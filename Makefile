@@ -1,0 +1,37 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Short mode skips the multi-minute experiment-shape tests.
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table/figure/study of the paper.
+experiments:
+	$(GO) run ./cmd/tcsim -exp all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/chatserver
+	$(GO) run ./examples/warehouse
+	$(GO) run ./examples/auctiondb
+	$(GO) run ./examples/numanode
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,194 @@
+package threadcluster
+
+// This file is the library's public API surface: the internal packages'
+// core types re-exported by alias, so downstream users can build machines,
+// install workloads and attach the thread-clustering engine without
+// importing internal paths.
+//
+// A minimal session:
+//
+//	mcfg := threadcluster.DefaultMachineConfig()
+//	mcfg.Policy = threadcluster.PolicyClustered
+//	machine, _ := threadcluster.NewMachine(mcfg)
+//
+//	arena := threadcluster.NewArena()
+//	spec, _ := threadcluster.NewSyntheticWorkload(arena, threadcluster.DefaultSyntheticConfig())
+//	_ = spec.Install(machine)
+//
+//	engine, _ := threadcluster.NewEngine(machine, threadcluster.DefaultEngineConfig())
+//	_ = engine.Install()
+//
+//	machine.RunRounds(3000)
+//	fmt.Println(engine.Report())
+
+import (
+	"threadcluster/internal/cache"
+	"threadcluster/internal/clustering"
+	"threadcluster/internal/core"
+	"threadcluster/internal/memory"
+	"threadcluster/internal/sched"
+	"threadcluster/internal/sim"
+	"threadcluster/internal/topology"
+	"threadcluster/internal/trace"
+	"threadcluster/internal/workloads"
+)
+
+// Machine simulation.
+type (
+	// Machine is the simulated SMP-CMP-SMT system: topology, coherent
+	// cache hierarchy, per-CPU PMUs, scheduler and execution engine.
+	Machine = sim.Machine
+	// MachineConfig assembles a Machine.
+	MachineConfig = sim.Config
+	// Thread is one software thread: an ID, a memory-reference generator
+	// and a ground-truth partition label.
+	Thread = sim.Thread
+	// MemRef is one unit of simulated work.
+	MemRef = sim.MemRef
+	// Generator produces a thread's reference stream.
+	Generator = sim.Generator
+)
+
+// NewMachine builds a machine.
+func NewMachine(cfg MachineConfig) (*Machine, error) { return sim.NewMachine(cfg) }
+
+// DefaultMachineConfig returns the paper's evaluation platform: the
+// OpenPower 720 topology, Figure 1 latencies and Table 1 caches.
+func DefaultMachineConfig() MachineConfig { return sim.DefaultConfig() }
+
+// Topology and placement.
+type (
+	// Topology is the machine shape (chips x cores x SMT contexts).
+	Topology = topology.Topology
+	// CPUID identifies one hardware context.
+	CPUID = topology.CPUID
+	// Latencies is the memory-hierarchy cost ladder.
+	Latencies = topology.Latencies
+	// Policy selects a thread-placement strategy.
+	Policy = sched.Policy
+	// ThreadID identifies a software thread.
+	ThreadID = sched.ThreadID
+)
+
+// The four placement strategies of the paper's Section 5.4.
+const (
+	PolicyDefault       = sched.PolicyDefault
+	PolicyRoundRobin    = sched.PolicyRoundRobin
+	PolicyHandOptimized = sched.PolicyHandOptimized
+	PolicyClustered     = sched.PolicyClustered
+)
+
+// OpenPower720 is the paper's 2x2x2 evaluation machine.
+func OpenPower720() Topology { return topology.OpenPower720() }
+
+// Power5_32Way is the Section 7.4 8-chip machine.
+func Power5_32Way() Topology { return topology.Power5_32Way() }
+
+// DefaultLatencies is the Figure 1 latency ladder.
+func DefaultLatencies() Latencies { return topology.DefaultLatencies() }
+
+// Memory.
+type (
+	// Addr is a simulated virtual address.
+	Addr = memory.Addr
+	// Region is a contiguous allocation.
+	Region = memory.Region
+	// Arena allocates the simulated address space. One arena is one
+	// machine's physical address space: all workloads installed on a
+	// machine must share it.
+	Arena = memory.Arena
+)
+
+// LineSize is the cache-line (and sharing-detection) granularity.
+const LineSize = memory.LineSize
+
+// NewArena returns a fresh simulated address space.
+func NewArena() *Arena { return memory.NewDefaultArena() }
+
+// Caches.
+type (
+	// CacheConfig sizes one cache level.
+	CacheConfig = cache.Config
+	// HierarchyConfig sizes the three levels.
+	HierarchyConfig = cache.HierarchyConfig
+)
+
+// Power5Caches returns Table 1's cache sizes.
+func Power5Caches() HierarchyConfig { return cache.Power5Config() }
+
+// The thread-clustering engine (the paper's contribution).
+type (
+	// Engine is the four-phase thread-clustering engine.
+	Engine = core.Engine
+	// EngineConfig parameterizes it; the defaults are the paper's values.
+	EngineConfig = core.Config
+	// Cluster is a detected group of sharing threads.
+	Cluster = clustering.Cluster
+	// ShMap is a per-thread sharing signature.
+	ShMap = clustering.ShMap
+)
+
+// NewEngine attaches a thread-clustering engine to a machine. Call
+// Install on the result to arm it.
+func NewEngine(m *Machine, cfg EngineConfig) (*Engine, error) { return core.New(m, cfg) }
+
+// DefaultEngineConfig returns the paper's parameter choices (20%
+// activation per 10^9-cycle window, 1-in-10 sampling, 10^6-sample target,
+// 256-entry shMaps, dot-product similarity at threshold 40000). For
+// second-scale simulations see the scaled values used throughout
+// internal/experiments.
+func DefaultEngineConfig() EngineConfig { return core.DefaultConfig() }
+
+// Workloads.
+type (
+	// WorkloadSpec is a buildable workload: threads plus ground truth.
+	WorkloadSpec = workloads.Spec
+	// SyntheticConfig parameterizes the scoreboard microbenchmark.
+	SyntheticConfig = workloads.SyntheticConfig
+	// VolanoConfig parameterizes the chat-server workload.
+	VolanoConfig = workloads.VolanoConfig
+	// JBBConfig parameterizes the warehouse workload.
+	JBBConfig = workloads.JBBConfig
+	// RubisConfig parameterizes the auction-database workload.
+	RubisConfig = workloads.RubisConfig
+	// StagedConfig parameterizes the SEDA-style pipeline workload.
+	StagedConfig = workloads.StagedConfig
+	// BTree is the warehouse/index structure laid out in simulated memory.
+	BTree = workloads.BTree
+)
+
+// Workload constructors and their default configurations.
+func NewSyntheticWorkload(a *Arena, cfg SyntheticConfig) (*WorkloadSpec, error) {
+	return workloads.NewSynthetic(a, cfg)
+}
+func NewVolanoWorkload(a *Arena, cfg VolanoConfig) (*WorkloadSpec, error) {
+	return workloads.NewVolano(a, cfg)
+}
+func NewJBBWorkload(a *Arena, cfg JBBConfig) (*WorkloadSpec, error) {
+	return workloads.NewJBB(a, cfg)
+}
+func NewRubisWorkload(a *Arena, cfg RubisConfig) (*WorkloadSpec, error) {
+	return workloads.NewRubis(a, cfg)
+}
+func NewStagedWorkload(a *Arena, cfg StagedConfig) (*WorkloadSpec, error) {
+	return workloads.NewStaged(a, cfg)
+}
+func DefaultSyntheticConfig() SyntheticConfig { return workloads.DefaultSyntheticConfig() }
+func DefaultVolanoConfig() VolanoConfig       { return workloads.DefaultVolanoConfig() }
+func DefaultJBBConfig() JBBConfig             { return workloads.DefaultJBBConfig() }
+func DefaultRubisConfig() RubisConfig         { return workloads.DefaultRubisConfig() }
+func DefaultStagedConfig() StagedConfig       { return workloads.DefaultStagedConfig() }
+
+// Traces.
+type (
+	// Trace is a recorded workload reference stream.
+	Trace = trace.Trace
+	// TraceRecorder captures streams from live threads.
+	TraceRecorder = trace.Recorder
+)
+
+// NewTraceRecorder returns a recorder; wrap each thread before installing
+// it on a machine.
+func NewTraceRecorder(maxRefsPerThread int) *TraceRecorder {
+	return trace.NewRecorder(maxRefsPerThread)
+}

@@ -1,0 +1,87 @@
+package threadcluster_test
+
+import (
+	"fmt"
+	"testing"
+
+	"threadcluster"
+)
+
+// Example is the library quickstart: scatter a sharing workload, attach
+// the engine, and watch the clusters form.
+func Example() {
+	mcfg := threadcluster.DefaultMachineConfig()
+	mcfg.Policy = threadcluster.PolicyRoundRobin // worst-case scatter
+	mcfg.QuantumCycles = 20_000
+	machine, err := threadcluster.NewMachine(mcfg)
+	if err != nil {
+		panic(err)
+	}
+
+	arena := threadcluster.NewArena()
+	spec, err := threadcluster.NewSyntheticWorkload(arena, threadcluster.DefaultSyntheticConfig())
+	if err != nil {
+		panic(err)
+	}
+	if err := spec.Install(machine); err != nil {
+		panic(err)
+	}
+
+	ecfg := threadcluster.DefaultEngineConfig()
+	ecfg.MonitorWindow = 200_000 // scaled to simulation time
+	ecfg.ActivationFraction = 0.05
+	ecfg.TargetSamples = 30_000
+	ecfg.SamplingInterval = 5
+	engine, err := threadcluster.NewEngine(machine, ecfg)
+	if err != nil {
+		panic(err)
+	}
+	if err := engine.Install(); err != nil {
+		panic(err)
+	}
+
+	machine.RunRounds(3000)
+	big := 0
+	for _, c := range engine.Clusters() {
+		if c.Size() >= 4 {
+			big++
+		}
+	}
+	fmt.Printf("detected %d scoreboard clusters\n", big)
+	// Output: detected 4 scoreboard clusters
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	machine, err := threadcluster.NewMachine(threadcluster.DefaultMachineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if machine.Topology() != threadcluster.OpenPower720() {
+		t.Error("default machine should be the OpenPower 720")
+	}
+	arena := threadcluster.NewArena()
+	spec, err := threadcluster.NewVolanoWorkload(arena, threadcluster.DefaultVolanoConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := threadcluster.NewTraceRecorder(100)
+	for _, th := range spec.Threads {
+		rec.Wrap(th)
+	}
+	if err := spec.Install(machine); err != nil {
+		t.Fatal(err)
+	}
+	machine.RunRounds(10)
+	if machine.TotalOps() == 0 {
+		t.Error("workload made no progress through the public API")
+	}
+	if rec.Captured() == 0 {
+		t.Error("trace recorder captured nothing")
+	}
+	if threadcluster.LineSize != 128 {
+		t.Error("public line size should be 128 bytes")
+	}
+	if lat := threadcluster.DefaultLatencies(); lat.RemoteL2 < 120 {
+		t.Error("public latencies should carry the Figure 1 cliff")
+	}
+}

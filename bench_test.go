@@ -1,0 +1,233 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation. Each benchmark runs the corresponding harness from
+// internal/experiments and reports the headline quantity of that figure
+// as a custom metric, so `go test -bench=. -benchmem` reproduces the
+// whole evaluation. The same harnesses print the full rows via
+// `go run ./cmd/tcsim -exp all`.
+package threadcluster_test
+
+import (
+	"testing"
+
+	"threadcluster/internal/experiments"
+	"threadcluster/internal/sched"
+)
+
+// benchOptions trims the run lengths: benchmarks regenerate the figures,
+// the correctness tests in internal/experiments assert the shapes.
+func benchOptions() experiments.Options {
+	opt := experiments.DefaultOptions()
+	opt.WarmRounds = 100
+	opt.EngineRounds = 2000
+	opt.MeasureRounds = 200
+	return opt
+}
+
+// BenchmarkTable1Topology regenerates Table 1 (machine specification).
+func BenchmarkTable1Topology(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Table1().String() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFigure1Latencies regenerates Figure 1 (latency ladder).
+func BenchmarkFigure1Latencies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure1(benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3StallBreakdown regenerates Figure 3 (VolanoMark CPI
+// stack) and reports the remote-access share of cycles.
+func BenchmarkFigure3StallBreakdown(b *testing.B) {
+	var remote float64
+	for i := 0; i < b.N; i++ {
+		_, bd, err := experiments.Figure3(experiments.Volano, benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		remote = bd.RemoteFraction()
+	}
+	b.ReportMetric(100*remote, "remote-stall-%")
+}
+
+// BenchmarkFigure5ShMaps regenerates Figure 5 (shMap visualizations for
+// all four workloads) and reports mean cluster purity.
+func BenchmarkFigure5ShMaps(b *testing.B) {
+	var purity float64
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.Figure5(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		purity = 0
+		for _, r := range results {
+			purity += r.Purity
+		}
+		purity /= float64(len(results))
+	}
+	b.ReportMetric(purity, "mean-purity")
+}
+
+// BenchmarkFigure6RemoteStalls regenerates Figure 6 and reports the best
+// remote-stall reduction achieved by automatic clustering.
+func BenchmarkFigure6RemoteStalls(b *testing.B) {
+	var bestReduction float64
+	for i := 0; i < b.N; i++ {
+		_, rows, err := experiments.Figure6(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		bestReduction = 0
+		for _, row := range rows {
+			if red := 1 - row.RelativeStalls[sched.PolicyClustered]; red > bestReduction {
+				bestReduction = red
+			}
+		}
+	}
+	b.ReportMetric(100*bestReduction, "best-stall-reduction-%")
+}
+
+// BenchmarkFigure7Performance regenerates Figure 7 and reports the best
+// performance gain achieved by automatic clustering.
+func BenchmarkFigure7Performance(b *testing.B) {
+	var bestGain float64
+	for i := 0; i < b.N; i++ {
+		_, rows, err := experiments.Figure7(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		bestGain = 0
+		for _, row := range rows {
+			if g := row.RelativePerf[sched.PolicyClustered] - 1; g > bestGain {
+				bestGain = g
+			}
+		}
+	}
+	b.ReportMetric(100*bestGain, "best-perf-gain-%")
+}
+
+// BenchmarkFigure8SamplingOverhead regenerates Figure 8 and reports the
+// overhead at the paper's balance point (10% capture rate).
+func BenchmarkFigure8SamplingOverhead(b *testing.B) {
+	var overheadAt10 float64
+	for i := 0; i < b.N; i++ {
+		points, _, err := experiments.Figure8(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range points {
+			if p.RatePercent == 10 {
+				overheadAt10 = p.OverheadPercent
+			}
+		}
+	}
+	b.ReportMetric(overheadAt10, "overhead-%-at-10%-rate")
+}
+
+// BenchmarkSpatialSensitivity regenerates the Section 6.4 study and
+// reports the purity at the paper's 256-entry size.
+func BenchmarkSpatialSensitivity(b *testing.B) {
+	var purity float64
+	for i := 0; i < b.N; i++ {
+		points, _, err := experiments.SpatialSensitivity(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range points {
+			if p.Entries == 256 {
+				purity = p.Purity
+			}
+		}
+	}
+	b.ReportMetric(purity, "purity-at-256")
+}
+
+// BenchmarkScale32Way regenerates the Section 7.4 scaling experiment and
+// reports the hand-optimized gain on the 8-chip machine.
+func BenchmarkScale32Way(b *testing.B) {
+	opt := benchOptions()
+	opt.EngineRounds = 1500
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Scale32(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = res.HandOptGain
+	}
+	b.ReportMetric(100*gain, "32way-handopt-gain-%")
+}
+
+// BenchmarkSDARPurity regenerates the Section 5.2.1 validation and
+// reports the sampled-address purity.
+func BenchmarkSDARPurity(b *testing.B) {
+	var purity float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.SDARPurity(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		purity = res.Purity
+	}
+	b.ReportMetric(100*purity, "sdar-purity-%")
+}
+
+// BenchmarkPageVsPMU regenerates the Section 1 detector comparison and
+// reports the page path's overhead multiple over the PMU path.
+func BenchmarkPageVsPMU(b *testing.B) {
+	var multiple float64
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.PageVsPMU(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var pmu, page float64
+		for _, r := range rows {
+			if r.Workload == experiments.JBB && r.Approach == "pmu" {
+				pmu = r.OverheadPercent
+			}
+			if r.Workload == experiments.JBB && r.Approach == "page" {
+				page = r.OverheadPercent
+			}
+		}
+		if pmu > 0 {
+			multiple = page / pmu
+		}
+	}
+	b.ReportMetric(multiple, "page-overhead-multiple")
+}
+
+// BenchmarkNUMAExtension regenerates the Section 8 NUMA study and reports
+// the NUMA-aware engine's throughput gain over the NUMA-blind one.
+func BenchmarkNUMAExtension(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		res, _, err := experiments.NUMA(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Clustered.OpsPerMCycle > 0 {
+			gain = res.NUMAEngine.OpsPerMCycle/res.Clustered.OpsPerMCycle - 1
+		}
+	}
+	b.ReportMetric(100*gain, "numa-aware-gain-%")
+}
+
+// BenchmarkClusteringAblation regenerates the algorithm/metric ablation
+// and reports the paper algorithm's purity.
+func BenchmarkClusteringAblation(b *testing.B) {
+	var purity float64
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Ablation(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		purity = rows[0].Purity
+	}
+	b.ReportMetric(purity, "one-pass-purity")
+}

@@ -1,0 +1,67 @@
+// Command shmapviz renders Figure 5: each thread's shMap sharing
+// signature as an ASCII gray-scale row, rows grouped by detected cluster,
+// globally shared entries removed. Darker characters mean more sampled
+// remote cache accesses on that shMap entry; a vertical dark band shared
+// by a group of rows is a thread cluster.
+//
+// Usage:
+//
+//	shmapviz                      # all four workloads
+//	shmapviz -workload specjbb
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"threadcluster/internal/experiments"
+	"threadcluster/internal/stats"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "restrict to one workload: microbenchmark|volano|specjbb|rubis (default: all)")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		pngDir   = flag.String("png", "", "also write shmap-<workload>.png files into this directory")
+	)
+	flag.Parse()
+
+	opt := experiments.DefaultOptions()
+	opt.Seed = *seed
+	results, err := experiments.Figure5(opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shmapviz:", err)
+		os.Exit(1)
+	}
+	shown := false
+	for _, r := range results {
+		if *workload != "" && r.Workload != *workload {
+			continue
+		}
+		fmt.Println(r)
+		shown = true
+		if *pngDir != "" {
+			path := filepath.Join(*pngDir, "shmap-"+r.Workload+".png")
+			if err := writePNG(path, r); err != nil {
+				fmt.Fprintln(os.Stderr, "shmapviz:", err)
+				os.Exit(1)
+			}
+			fmt.Println("wrote", path)
+		}
+	}
+	if !shown {
+		fmt.Fprintf(os.Stderr, "shmapviz: unknown workload %q\n", *workload)
+		os.Exit(1)
+	}
+}
+
+func writePNG(path string, r experiments.Figure5Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return stats.HeatmapPNG(f, r.Rows, r.RowGroups, 3, 6)
+}

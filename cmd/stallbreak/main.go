@@ -1,0 +1,77 @@
+// Command stallbreak prints the Figure 3 CPI stall breakdown for one
+// workload under a chosen placement policy — the view the paper's
+// monitoring phase uses to decide whether cross-chip communication is
+// performance-limiting.
+//
+// Usage:
+//
+//	stallbreak -workload volano -policy default
+//	stallbreak -workload specjbb -policy round-robin -rounds 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"threadcluster/internal/experiments"
+	"threadcluster/internal/pmu"
+	"threadcluster/internal/sched"
+	"threadcluster/internal/stats"
+)
+
+func parsePolicy(s string) (sched.Policy, error) {
+	switch s {
+	case "default":
+		return sched.PolicyDefault, nil
+	case "round-robin", "rr":
+		return sched.PolicyRoundRobin, nil
+	case "hand-optimized", "hand":
+		return sched.PolicyHandOptimized, nil
+	case "clustered":
+		return sched.PolicyClustered, nil
+	}
+	return 0, fmt.Errorf("unknown policy %q", s)
+}
+
+func main() {
+	var (
+		workload = flag.String("workload", experiments.Volano, "microbenchmark|volano|specjbb|rubis")
+		policy   = flag.String("policy", "default", "default|round-robin|hand-optimized|clustered")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		rounds   = flag.Int("rounds", 0, "override measured rounds (0 = default)")
+	)
+	flag.Parse()
+
+	pol, err := parsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stallbreak:", err)
+		os.Exit(1)
+	}
+	opt := experiments.DefaultOptions()
+	opt.Seed = *seed
+	if *rounds > 0 {
+		opt.MeasureRounds = *rounds
+	}
+	withEngine := pol == sched.PolicyClustered
+	res, _, err := experiments.RunWorkload(*workload, pol, withEngine, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stallbreak:", err)
+		os.Exit(1)
+	}
+	b := res.Breakdown
+	t := stats.NewTable(
+		fmt.Sprintf("Stall breakdown: %s under %s scheduling (CPI %.3f)", *workload, pol, b.CPI()),
+		"Component", "Share of cycles")
+	t.AddRow("completion", stats.Pct(stats.Ratio(float64(b.Completion), float64(b.Cycles))))
+	for _, ev := range pmu.StallEvents() {
+		t.AddRow(ev.String(), stats.Pct(b.Fraction(ev)))
+	}
+	t.AddRow("remote-total", stats.Pct(b.RemoteFraction()))
+	fmt.Println(t)
+	fmt.Printf("throughput: %.1f ops per million cycles (%d ops)\n", res.OpsPerMCycle, res.Ops)
+	if res.Engine != nil {
+		fmt.Printf("engine: %d activations, %d migrations, %d clusters\n",
+			res.Engine.Activations, res.Engine.Migrations, res.Engine.Clusters)
+	}
+}

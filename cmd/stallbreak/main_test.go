@@ -1,0 +1,27 @@
+package main
+
+import (
+	"testing"
+
+	"threadcluster/internal/sched"
+)
+
+func TestParsePolicy(t *testing.T) {
+	cases := map[string]sched.Policy{
+		"default":        sched.PolicyDefault,
+		"round-robin":    sched.PolicyRoundRobin,
+		"rr":             sched.PolicyRoundRobin,
+		"hand-optimized": sched.PolicyHandOptimized,
+		"hand":           sched.PolicyHandOptimized,
+		"clustered":      sched.PolicyClustered,
+	}
+	for in, want := range cases {
+		got, err := parsePolicy(in)
+		if err != nil || got != want {
+			t.Errorf("parsePolicy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := parsePolicy("bogus"); err == nil {
+		t.Error("bogus policy should error")
+	}
+}

@@ -1,0 +1,243 @@
+// Command tcsim runs the paper's experiments on the simulated
+// SMP-CMP-SMT machine and prints the tables, figures and sweeps of the
+// evaluation section.
+//
+// Usage:
+//
+//	tcsim -exp all                 # everything (several minutes)
+//	tcsim -exp fig6                # one experiment
+//	tcsim -exp fig3 -workload rubis
+//	tcsim -exp fig5 -seed 7
+//
+// Paper experiments: table1, fig1, fig3, fig5, fig6, fig7, fig8,
+// spatial, scale32, sdar. Extension studies: ablation, threshold,
+// pagevspmu, numa, phase, contention, migration, multiprog, smt, mux,
+// probe, staged, churn. Use -exp all for everything and -markdown for
+// GitHub-flavored tables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"threadcluster/internal/experiments"
+	"threadcluster/internal/stats"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment to run: table1|fig1|fig3|fig5|fig6|fig7|fig8|spatial|scale32|sdar|ablation|pagevspmu|threshold|numa|phase|contention|migration|multiprog|smt|mux|probe|staged|churn|all")
+		workload = flag.String("workload", experiments.Volano, "workload for fig3: microbenchmark|volano|specjbb|rubis")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		warm     = flag.Int("warm", 0, "override warm-up rounds (0 = default)")
+		measure  = flag.Int("measure", 0, "override measured rounds (0 = default)")
+		markdown = flag.Bool("markdown", false, "emit tables as GitHub-flavored Markdown")
+	)
+	flag.Parse()
+
+	opt := experiments.DefaultOptions()
+	opt.Seed = *seed
+	if *warm > 0 {
+		opt.WarmRounds = *warm
+	}
+	if *measure > 0 {
+		opt.MeasureRounds = *measure
+	}
+
+	if err := run(*exp, *workload, opt, *markdown); err != nil {
+		fmt.Fprintln(os.Stderr, "tcsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp, workload string, opt experiments.Options, markdown bool) error {
+	emit := func(t *stats.Table) {
+		if markdown {
+			fmt.Println(t.Markdown())
+		} else {
+			fmt.Println(t)
+		}
+	}
+	all := exp == "all"
+	ran := false
+	show := func(name string) bool {
+		if all || exp == name {
+			ran = true
+			return true
+		}
+		return false
+	}
+
+	if show("table1") {
+		emit(experiments.Table1())
+	}
+	if show("fig1") {
+		t, err := experiments.Figure1(opt)
+		if err != nil {
+			return err
+		}
+		emit(t)
+	}
+	if show("fig3") {
+		names := []string{workload}
+		if all {
+			names = experiments.AllWorkloads()
+		}
+		for _, n := range names {
+			t, _, err := experiments.Figure3(n, opt)
+			if err != nil {
+				return err
+			}
+			emit(t)
+		}
+	}
+	if show("fig5") {
+		results, err := experiments.Figure5(opt)
+		if err != nil {
+			return err
+		}
+		for _, r := range results {
+			fmt.Println(r)
+		}
+	}
+	if show("fig6") {
+		t, _, err := experiments.Figure6(opt)
+		if err != nil {
+			return err
+		}
+		emit(t)
+	}
+	if show("fig7") {
+		t, _, err := experiments.Figure7(opt)
+		if err != nil {
+			return err
+		}
+		emit(t)
+	}
+	if show("fig8") {
+		_, t, err := experiments.Figure8(opt)
+		if err != nil {
+			return err
+		}
+		emit(t)
+	}
+	if show("spatial") {
+		_, t, err := experiments.SpatialSensitivity(opt)
+		if err != nil {
+			return err
+		}
+		emit(t)
+	}
+	if show("scale32") {
+		res, err := experiments.Scale32(opt)
+		if err != nil {
+			return err
+		}
+		emit(res.Table())
+	}
+	if show("sdar") {
+		res, err := experiments.SDARPurity(opt)
+		if err != nil {
+			return err
+		}
+		emit(res.Table())
+	}
+	if show("ablation") {
+		_, t, err := experiments.Ablation(opt)
+		if err != nil {
+			return err
+		}
+		emit(t)
+	}
+	if show("threshold") {
+		_, t, err := experiments.ThresholdSensitivity(opt)
+		if err != nil {
+			return err
+		}
+		emit(t)
+	}
+	if show("pagevspmu") {
+		_, t, err := experiments.PageVsPMU(opt)
+		if err != nil {
+			return err
+		}
+		emit(t)
+	}
+	if show("numa") {
+		_, t, err := experiments.NUMA(opt)
+		if err != nil {
+			return err
+		}
+		emit(t)
+	}
+	if show("phase") {
+		res, err := experiments.PhaseChange(opt)
+		if err != nil {
+			return err
+		}
+		emit(res.Table())
+		fmt.Println(res.Timeline.String())
+		fmt.Println()
+	}
+	if show("contention") {
+		_, t, err := experiments.Contention(opt)
+		if err != nil {
+			return err
+		}
+		emit(t)
+	}
+	if show("migration") {
+		res, err := experiments.MigrationCost(opt)
+		if err != nil {
+			return err
+		}
+		emit(res.Table())
+	}
+	if show("multiprog") {
+		_, t, err := experiments.Multiprogrammed(opt)
+		if err != nil {
+			return err
+		}
+		emit(t)
+	}
+	if show("smt") {
+		_, t, err := experiments.SMTPlacement(opt)
+		if err != nil {
+			return err
+		}
+		emit(t)
+	}
+	if show("mux") {
+		_, t, err := experiments.MuxValidation(opt)
+		if err != nil {
+			return err
+		}
+		emit(t)
+	}
+	if show("probe") {
+		_, t, err := experiments.CacheProbe(opt)
+		if err != nil {
+			return err
+		}
+		emit(t)
+	}
+	if show("staged") {
+		_, t, err := experiments.Staged(opt)
+		if err != nil {
+			return err
+		}
+		emit(t)
+	}
+	if show("churn") {
+		_, t, err := experiments.Churn(opt)
+		if err != nil {
+			return err
+		}
+		emit(t)
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"testing"
+
+	"threadcluster/internal/experiments"
+)
+
+// fastOptions keeps CLI tests quick.
+func fastOptions() experiments.Options {
+	opt := experiments.DefaultOptions()
+	opt.WarmRounds = 30
+	opt.EngineRounds = 50
+	opt.MeasureRounds = 30
+	return opt
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("nonsense", experiments.Volano, fastOptions(), false); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestRunTable1AndFig1(t *testing.T) {
+	if err := run("table1", experiments.Volano, fastOptions(), true); err != nil {
+		t.Errorf("table1: %v", err)
+	}
+	if err := run("fig1", experiments.Volano, fastOptions(), false); err != nil {
+		t.Errorf("fig1: %v", err)
+	}
+}
+
+func TestRunFig3SingleWorkload(t *testing.T) {
+	if err := run("fig3", experiments.Microbenchmark, fastOptions(), false); err != nil {
+		t.Errorf("fig3: %v", err)
+	}
+}

@@ -1,0 +1,178 @@
+// Command tctrace records, inspects and replays memory-reference traces.
+//
+//	tctrace record -workload volano -rounds 200 -o volano.tctr
+//	tctrace info volano.tctr
+//	tctrace replay volano.tctr            # compare placement policies
+//
+// A trace is a portable, deterministic capture of a workload's reference
+// streams; replaying the same trace under every placement policy isolates
+// scheduling effects from workload randomness completely.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"threadcluster/internal/experiments"
+	"threadcluster/internal/sched"
+	"threadcluster/internal/sim"
+	"threadcluster/internal/stats"
+	"threadcluster/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "record":
+		err = record(os.Args[2:])
+	case "info":
+		err = info(os.Args[2:])
+	case "replay":
+		err = replay(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tctrace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: tctrace record|info|replay [flags] [file]")
+	os.Exit(2)
+}
+
+func record(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	workload := fs.String("workload", experiments.Volano, "microbenchmark|volano|specjbb|rubis")
+	rounds := fs.Int("rounds", 200, "scheduling rounds to capture")
+	maxRefs := fs.Int("maxrefs", 0, "per-thread reference cap (0 = unlimited)")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	out := fs.String("o", "workload.tctr", "output file")
+	compress := fs.Bool("gzip", false, "gzip-compress the trace (Load auto-detects)")
+	_ = fs.Parse(args)
+
+	spec, err := experiments.BuildWorkload(*workload, *seed)
+	if err != nil {
+		return err
+	}
+	rec := trace.NewRecorder(*maxRefs)
+	for _, th := range spec.Threads {
+		rec.Wrap(th)
+	}
+	mcfg := sim.DefaultConfig()
+	mcfg.Seed = *seed
+	mcfg.QuantumCycles = 20_000
+	m, err := sim.NewMachine(mcfg)
+	if err != nil {
+		return err
+	}
+	if err := spec.Install(m); err != nil {
+		return err
+	}
+	m.RunRounds(*rounds)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if *compress {
+		err = rec.Snapshot().SaveCompressed(f)
+	} else {
+		err = rec.Save(f)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d references from %d threads to %s\n",
+		rec.Captured(), len(spec.Threads), *out)
+	return nil
+}
+
+func loadFile(args []string) (*trace.Trace, error) {
+	if len(args) < 1 {
+		return nil, fmt.Errorf("trace file required")
+	}
+	f, err := os.Open(args[len(args)-1])
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.Load(f)
+}
+
+func info(args []string) error {
+	tr, err := loadFile(args)
+	if err != nil {
+		return err
+	}
+	t := stats.NewTable("Trace summary", "Quantity", "Value")
+	t.AddRowf("threads", len(tr.Threads))
+	t.AddRowf("references", tr.Refs())
+	t.AddRowf("distinct lines", tr.Footprint())
+	t.AddRowf("lines shared by >1 thread", tr.SharedLines())
+	fmt.Println(t)
+	parts := map[int]int{}
+	for _, th := range tr.Threads {
+		parts[th.Partition]++
+	}
+	fmt.Printf("partitions: %v\n", parts)
+	return nil
+}
+
+func replay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	rounds := fs.Int("rounds", 300, "rounds to replay per policy")
+	seed := fs.Int64("seed", 1, "machine seed")
+	_ = fs.Parse(args)
+	tr, err := loadFile(fs.Args())
+	if err != nil {
+		return err
+	}
+
+	t := stats.NewTable("Replay under each placement policy",
+		"Policy", "Remote stalls", "IPC")
+	for _, pol := range []sched.Policy{
+		sched.PolicyDefault, sched.PolicyRoundRobin, sched.PolicyHandOptimized,
+	} {
+		threads, err := tr.ThreadsForReplay()
+		if err != nil {
+			return err
+		}
+		mcfg := sim.DefaultConfig()
+		mcfg.Policy = pol
+		mcfg.Seed = *seed
+		mcfg.QuantumCycles = 20_000
+		m, err := sim.NewMachine(mcfg)
+		if err != nil {
+			return err
+		}
+		if pol == sched.PolicyHandOptimized {
+			byID := make(map[sched.ThreadID]int)
+			for _, th := range tr.Threads {
+				byID[th.ID] = th.Partition
+			}
+			m.Scheduler().SetPartitionHint(func(id sched.ThreadID) int { return byID[id] })
+		}
+		for _, th := range threads {
+			if err := m.AddThread(th); err != nil {
+				return err
+			}
+		}
+		m.RunRounds(*rounds)
+		b := m.Breakdown()
+		ipc := 0.0
+		if b.CPI() > 0 {
+			ipc = 1 / b.CPI()
+		}
+		t.AddRow(pol.String(), stats.Pct(b.RemoteFraction()), fmt.Sprintf("%.3f", ipc))
+	}
+	fmt.Println(t)
+	return nil
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRecordInfoReplayPipeline(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "t.tctr")
+	if err := record([]string{"-workload", "microbenchmark", "-rounds", "30", "-maxrefs", "2000", "-o", file}); err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	if st, err := os.Stat(file); err != nil || st.Size() == 0 {
+		t.Fatalf("trace file missing or empty: %v", err)
+	}
+	if err := info([]string{file}); err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	if err := replay([]string{"-rounds", "30", file}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+}
+
+func TestInfoMissingFile(t *testing.T) {
+	if err := info([]string{}); err == nil {
+		t.Error("missing file argument should error")
+	}
+	if err := info([]string{"/nonexistent/file.tctr"}); err == nil {
+		t.Error("nonexistent file should error")
+	}
+}
+
+func TestRecordUnknownWorkload(t *testing.T) {
+	if err := record([]string{"-workload", "nope", "-o", filepath.Join(t.TempDir(), "x")}); err == nil {
+		t.Error("unknown workload should error")
+	}
+}

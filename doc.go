@@ -1,0 +1,31 @@
+// Package threadcluster is a library-scale reproduction of "Thread
+// Clustering: Sharing-Aware Scheduling on SMP-CMP-SMT Multiprocessors"
+// (Tam, Azimi, Stumm — EuroSys 2007).
+//
+// The paper's scheme detects which software threads share data — online,
+// using only the data-sampling features of a Power5-style hardware
+// performance monitoring unit — clusters them by sharing pattern, and
+// migrates each cluster onto one chip so that sharing happens through
+// fast on-chip caches instead of the cross-chip interconnect.
+//
+// Because the original system is a modified Linux kernel on IBM Power5
+// hardware, this repository reproduces it over a simulated machine:
+//
+//   - internal/topology, internal/cache: an SMP-CMP-SMT machine with a
+//     coherent L1/L2/victim-L3 hierarchy and the paper's latency ladder;
+//   - internal/pmu: hardware performance counters with overflow
+//     exceptions, a continuous data-address sampling register and counter
+//     multiplexing;
+//   - internal/sched, internal/sim: run queues, the four placement
+//     policies of the evaluation, and the execution engine;
+//   - internal/clustering, internal/core: shMaps, the shMap filter, the
+//     similarity metric and the four-phase thread-clustering engine —
+//     the paper's contribution;
+//   - internal/workloads: the scoreboard microbenchmark, VolanoMark,
+//     SPECjbb and RUBiS analogues;
+//   - internal/experiments: one harness per table/figure of the paper.
+//
+// See README.md for a walkthrough, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
+// bench_test.go regenerate every table and figure.
+package threadcluster

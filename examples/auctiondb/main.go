@@ -1,0 +1,87 @@
+// Auctiondb: the RUBiS scenario of Section 5.3.4. One database server
+// process hosts two independent auction-site instances ("two separate
+// auction sites run by a single large media company"); each client
+// connection is served by a long-lived thread. The clustering engine must
+// discover the instance boundary from PMU samples alone and split the
+// instances across the chips.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"threadcluster/internal/core"
+	"threadcluster/internal/experiments"
+	"threadcluster/internal/sched"
+	"threadcluster/internal/sim"
+	"threadcluster/internal/stats"
+)
+
+func main() {
+	spec, err := experiments.BuildWorkload(experiments.Rubis, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mcfg := sim.DefaultConfig()
+	mcfg.Policy = sched.PolicyClustered
+	machine, err := sim.NewMachine(mcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := spec.Install(machine); err != nil {
+		log.Fatal(err)
+	}
+	engine, err := core.New(machine, experiments.ScaledEngineConfig(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := engine.Install(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("auction database: %d instances, %d connection threads\n\n",
+		spec.NumPartitions, len(spec.Threads))
+
+	machine.RunRounds(200)
+	machine.ResetMetrics()
+	machine.RunRounds(300)
+	before := machine.Breakdown()
+	opsBefore := machine.TotalOps()
+
+	machine.RunRounds(2600) // engine detects, clusters, migrates
+	machine.ResetMetrics()
+	machine.RunRounds(300)
+	after := machine.Breakdown()
+	opsAfter := machine.TotalOps()
+
+	fmt.Printf("remote-access stalls: %s -> %s of cycles\n",
+		stats.Pct(before.RemoteFraction()), stats.Pct(after.RemoteFraction()))
+	fmt.Printf("transactions per interval: %d -> %d (%+.1f%%)\n\n",
+		opsBefore, opsAfter, 100*(stats.Ratio(float64(opsAfter), float64(opsBefore))-1))
+
+	// Where did the threads end up? Each instance should own a chip.
+	truth := spec.Truth()
+	s := machine.Scheduler()
+	byChip := map[int]map[int]int{}
+	for _, th := range spec.Threads {
+		chip, ok := s.ChipOf(th.ID)
+		if !ok {
+			continue
+		}
+		if byChip[chip] == nil {
+			byChip[chip] = map[int]int{}
+		}
+		byChip[chip][truth[int(th.ID)]]++
+	}
+	chips := make([]int, 0, len(byChip))
+	for c := range byChip {
+		chips = append(chips, c)
+	}
+	sort.Ints(chips)
+	fmt.Println("final placement (threads per database instance on each chip):")
+	for _, c := range chips {
+		fmt.Printf("  chip %d: instance histogram %v\n", c, byChip[c])
+	}
+	fmt.Printf("\nengine: %d activations, %d migrations, %d/%d samples admitted\n",
+		engine.Activations(), engine.MigrationsDone(), engine.SamplesAdmitted(), engine.SamplesRead())
+}

@@ -1,0 +1,33 @@
+// Numanode: the Section 8 NUMA extension. A four-chip machine with
+// per-chip memory controllers runs four warehouse groups whose data is
+// bound to specific nodes. The base engine co-locates each group's
+// threads but does not know where their memory lives; the NUMA-aware
+// engine also samples remote-memory misses and places each cluster on the
+// chip that homes its data.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"threadcluster/internal/experiments"
+)
+
+func main() {
+	fmt.Println("Section 8 NUMA extension: 4 chips, per-chip memory, node-bound warehouses")
+	fmt.Println("(warehouse-to-node homes deliberately reversed so NUMA-blind placement misses)")
+	fmt.Println()
+	res, table, err := experiments.NUMA(experiments.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(table)
+	gain := 0.0
+	if res.Clustered.OpsPerMCycle > 0 {
+		gain = res.NUMAEngine.OpsPerMCycle/res.Clustered.OpsPerMCycle - 1
+	}
+	fmt.Printf("NUMA-aware placement beats NUMA-blind clustering by %+.1f%% throughput:\n", 100*gain)
+	fmt.Println("both fix remote-cache sharing, but only the extension keeps threads next")
+	fmt.Println("to their memory, eliminating the remote-memory stalls the blind engine")
+	fmt.Println("accidentally inflates.")
+}

@@ -1,0 +1,3 @@
+module threadcluster
+
+go 1.22

@@ -1,0 +1,76 @@
+package cache
+
+import (
+	"testing"
+
+	"threadcluster/internal/memory"
+	"threadcluster/internal/topology"
+)
+
+func benchHierarchy(b *testing.B) *Hierarchy {
+	b.Helper()
+	h, err := NewHierarchy(topology.OpenPower720(), topology.DefaultLatencies(), Power5Config())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return h
+}
+
+func BenchmarkAccessL1Hit(b *testing.B) {
+	h := benchHierarchy(b)
+	addr := memory.Addr(0x10000)
+	h.Access(0, addr, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(0, addr, false)
+	}
+}
+
+func BenchmarkAccessL2Hit(b *testing.B) {
+	h := benchHierarchy(b)
+	addrs := make([]memory.Addr, 1024)
+	for i := range addrs {
+		addrs[i] = memory.Addr(0x100000 + i*memory.LineSize)
+		h.Access(0, addrs[i], false) // fill L2 via core 0
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Alternate cores on one chip so L1 misses but L2 hits.
+		h.Access(topology.CPUID(2*(i%2)), addrs[i%len(addrs)], false)
+	}
+}
+
+func BenchmarkAccessCrossChipPingPong(b *testing.B) {
+	h := benchHierarchy(b)
+	addr := memory.Addr(0x200000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cpu := topology.CPUID(0)
+		if i%2 == 0 {
+			cpu = 4
+		}
+		h.Access(cpu, addr, true)
+	}
+}
+
+func BenchmarkAccessMemoryStream(b *testing.B) {
+	h := benchHierarchy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(0, memory.Addr(uint64(i)*memory.LineSize), false)
+	}
+}
+
+func BenchmarkSetAssocLookup(b *testing.B) {
+	c, err := NewSetAssoc(Power5Config().L2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 4096; i++ {
+		c.Insert(memory.Addr(i*memory.LineSize), Shared)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(memory.Addr((i % 4096) * memory.LineSize))
+	}
+}

@@ -1,0 +1,115 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"threadcluster/internal/memory"
+	"threadcluster/internal/topology"
+)
+
+// refModel is an intentionally naive re-implementation of the coherence
+// *classification* semantics (ignoring capacity): it tracks, per chip,
+// the set of lines the chip could possibly hold, and which chips hold a
+// line at all, with writes invalidating other holders. The real hierarchy
+// must never report a source that is impossible under the reference —
+// differential testing for the coherence logic, independent of LRU
+// details.
+type refModel struct {
+	topo topology.Topology
+	// holder[line] = set of chips that may hold the line.
+	holder map[memory.Addr]map[int]bool
+}
+
+func newRefModel(topo topology.Topology) *refModel {
+	return &refModel{topo: topo, holder: make(map[memory.Addr]map[int]bool)}
+}
+
+// access returns the set of legal sources for the access, then updates
+// the model.
+func (r *refModel) access(cpu topology.CPUID, line memory.Addr, write bool) map[Source]bool {
+	chip := r.topo.ChipOf(cpu)
+	h := r.holder[line]
+	legal := make(map[Source]bool)
+	if h != nil && h[chip] {
+		// Local copies may exist at any level (or may have been evicted,
+		// so memory and remote sources stay legal if others hold it).
+		legal[SrcL1] = true
+		legal[SrcL2] = true
+		legal[SrcL3] = true
+	}
+	othersHold := false
+	if h != nil {
+		for c := range h {
+			if c != chip {
+				othersHold = true
+			}
+		}
+	}
+	if othersHold {
+		legal[SrcRemoteL2] = true
+		legal[SrcRemoteL3] = true
+	}
+	// Memory is always reachable (local copies can be evicted silently).
+	legal[SrcMemory] = true
+
+	// Update: accessing chip now holds the line.
+	if h == nil {
+		h = make(map[int]bool)
+		r.holder[line] = h
+	}
+	if write {
+		for c := range h {
+			delete(h, c)
+		}
+	}
+	h[chip] = true
+	return legal
+}
+
+func TestHierarchyDifferentialAgainstReference(t *testing.T) {
+	topo := topology.OpenPower720()
+	h, err := NewHierarchy(topo, topology.DefaultLatencies(), SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := newRefModel(topo)
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 200_000; i++ {
+		cpu := topology.CPUID(rng.Intn(topo.NumCPUs()))
+		line := memory.Addr(uint64(rng.Intn(512)) * memory.LineSize)
+		write := rng.Intn(3) == 0
+		legal := ref.access(cpu, line, write)
+		res := h.Access(cpu, line, write)
+		if !legal[res.Source] {
+			t.Fatalf("op %d: cpu %d line %#x write=%v: source %v impossible (legal: %v)",
+				i, cpu, uint64(line), write, res.Source, legal)
+		}
+	}
+}
+
+// The sharpest corollary: after a write by chip A, no other chip can
+// satisfy a read remotely until someone re-shares — i.e., a read by chip A
+// immediately after its own write can never be remote.
+func TestNoRemoteAfterOwnWrite(t *testing.T) {
+	topo := topology.OpenPower720()
+	h, err := NewHierarchy(topo, topology.DefaultLatencies(), SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50_000; i++ {
+		cpu := topology.CPUID(rng.Intn(topo.NumCPUs()))
+		line := memory.Addr(uint64(rng.Intn(256)) * memory.LineSize)
+		h.Access(cpu, line, true)
+		res := h.Access(cpu, line, false)
+		if res.Source.Remote() {
+			t.Fatalf("op %d: read after own write went remote (%v)", i, res.Source)
+		}
+		// Noise traffic from other CPUs.
+		for j := 0; j < 3; j++ {
+			h.Access(topology.CPUID(rng.Intn(topo.NumCPUs())),
+				memory.Addr(uint64(rng.Intn(256))*memory.LineSize), rng.Intn(2) == 0)
+		}
+	}
+}

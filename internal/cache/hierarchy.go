@@ -1,0 +1,385 @@
+package cache
+
+import (
+	"fmt"
+
+	"threadcluster/internal/memory"
+	"threadcluster/internal/topology"
+)
+
+// Source says which level of the hierarchy satisfied an access. Local means
+// "on the same chip as the requesting CPU" (the paper treats the directly
+// attached off-chip L3 as local too); Remote means "on any other chip".
+type Source int
+
+const (
+	// SrcL1 is a hit in the core's own L1 data cache.
+	SrcL1 Source = iota
+	// SrcL2 is a hit in the chip-local L2.
+	SrcL2
+	// SrcL3 is a hit in the chip-local victim L3.
+	SrcL3
+	// SrcRemoteL2 is a transfer from another chip's L2.
+	SrcRemoteL2
+	// SrcRemoteL3 is a transfer from another chip's L3.
+	SrcRemoteL3
+	// SrcMemory is a fill from the local chip's memory (or from memory
+	// generally when the hierarchy is not NUMA-configured).
+	SrcMemory
+	// SrcRemoteMemory is a fill from another chip's memory controller
+	// (NUMA mode only).
+	SrcRemoteMemory
+	// NumSources is the number of distinct sources.
+	NumSources int = iota
+)
+
+func (s Source) String() string {
+	switch s {
+	case SrcL1:
+		return "L1"
+	case SrcL2:
+		return "L2"
+	case SrcL3:
+		return "L3"
+	case SrcRemoteL2:
+		return "remote-L2"
+	case SrcRemoteL3:
+		return "remote-L3"
+	case SrcMemory:
+		return "memory"
+	case SrcRemoteMemory:
+		return "remote-memory"
+	}
+	return fmt.Sprintf("Source(%d)", int(s))
+}
+
+// Remote reports whether the source is a *remote cache* — the event class
+// the paper's base scheme samples. Remote memory is classified separately
+// (Section 8's NUMA extension samples it too).
+func (s Source) Remote() bool { return s == SrcRemoteL2 || s == SrcRemoteL3 }
+
+// CrossChip reports whether satisfying the access crossed a chip
+// boundary at all (remote cache or remote memory).
+func (s Source) CrossChip() bool { return s.Remote() || s == SrcRemoteMemory }
+
+// AccessResult describes how one data access was satisfied.
+type AccessResult struct {
+	// Line is the cache line the access touched.
+	Line memory.Addr
+	// Source is the level that satisfied the access.
+	Source Source
+	// Cycles is the latency charged for the access.
+	Cycles uint64
+	// L1Miss reports whether the access missed the L1 (every source other
+	// than SrcL1). The PMU's continuous sampling register is updated on L1
+	// misses, so this drives sampling.
+	L1Miss bool
+}
+
+// HierarchyConfig sizes the three cache levels. The zero value is not
+// usable; use Power5Config for the paper's platform (Table 1).
+type HierarchyConfig struct {
+	L1 Config // per core
+	L2 Config // per chip
+	L3 Config // per chip (victim)
+}
+
+// Power5Config returns Table 1's cache sizes: 64 KB 4-way L1 data cache per
+// core, 2 MB 10-way L2 per chip, 36 MB 12-way victim L3 per chip.
+func Power5Config() HierarchyConfig {
+	return HierarchyConfig{
+		L1: Config{SizeBytes: 64 << 10, Ways: 4},
+		L2: Config{SizeBytes: 2 << 20, Ways: 10},
+		L3: Config{SizeBytes: 36 << 20, Ways: 12},
+	}
+}
+
+// SmallConfig returns a deliberately tiny hierarchy for tests that need to
+// force capacity evictions quickly.
+func SmallConfig() HierarchyConfig {
+	return HierarchyConfig{
+		L1: Config{SizeBytes: 4 << 10, Ways: 2},
+		L2: Config{SizeBytes: 16 << 10, Ways: 4},
+		L3: Config{SizeBytes: 64 << 10, Ways: 4},
+	}
+}
+
+// Hierarchy is the machine-wide cache system: one L1 per core, one L2 and
+// one victim L3 per chip, kept coherent with an invalidation protocol.
+// All methods are single-threaded by design; the simulator serializes
+// accesses the way a cycle-interleaved machine serializes its buses.
+type Hierarchy struct {
+	topo topology.Topology
+	lat  topology.Latencies
+	l1   []*SetAssoc // indexed by global core id
+	l2   []*SetAssoc // indexed by chip
+	l3   []*SetAssoc // indexed by chip
+
+	// coherence traffic counters
+	invalidationsSent uint64
+	upgrades          uint64
+	writebacks        uint64 // dirty lines evicted from the last level
+
+	// NUMA configuration: nil means uniform memory (the base platform).
+	nodes memory.NodeMap
+}
+
+// NewHierarchy builds the cache system for a topology.
+func NewHierarchy(topo topology.Topology, lat topology.Latencies, cfg HierarchyConfig) (*Hierarchy, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	if err := lat.Validate(); err != nil {
+		return nil, err
+	}
+	h := &Hierarchy{topo: topo, lat: lat}
+	for core := 0; core < topo.NumCores(); core++ {
+		c, err := NewSetAssoc(cfg.L1)
+		if err != nil {
+			return nil, fmt.Errorf("cache: L1 for core %d: %w", core, err)
+		}
+		h.l1 = append(h.l1, c)
+	}
+	for chip := 0; chip < topo.Chips; chip++ {
+		l2, err := NewSetAssoc(cfg.L2)
+		if err != nil {
+			return nil, fmt.Errorf("cache: L2 for chip %d: %w", chip, err)
+		}
+		l3, err := NewSetAssoc(cfg.L3)
+		if err != nil {
+			return nil, fmt.Errorf("cache: L3 for chip %d: %w", chip, err)
+		}
+		h.l2 = append(h.l2, l2)
+		h.l3 = append(h.l3, l3)
+	}
+	return h, nil
+}
+
+// Topology returns the machine shape the hierarchy was built for.
+func (h *Hierarchy) Topology() topology.Topology { return h.topo }
+
+// Latencies returns the latency ladder in use.
+func (h *Hierarchy) Latencies() topology.Latencies { return h.lat }
+
+// L1 returns the L1 cache of the given global core (for tests and stats).
+func (h *Hierarchy) L1(core int) *SetAssoc { return h.l1[core] }
+
+// L2 returns the L2 cache of the given chip.
+func (h *Hierarchy) L2(chip int) *SetAssoc { return h.l2[chip] }
+
+// L3 returns the victim L3 cache of the given chip.
+func (h *Hierarchy) L3(chip int) *SetAssoc { return h.l3[chip] }
+
+// InvalidationsSent returns how many line invalidations coherence issued.
+func (h *Hierarchy) InvalidationsSent() uint64 { return h.invalidationsSent }
+
+// Upgrades returns how many Shared->Modified write upgrades occurred.
+func (h *Hierarchy) Upgrades() uint64 { return h.upgrades }
+
+// Writebacks returns how many dirty lines were written back to memory
+// (Modified lines evicted from the last-level cache).
+func (h *Hierarchy) Writebacks() uint64 { return h.writebacks }
+
+// Access performs one data access by the given CPU and returns how it was
+// satisfied. Writes invalidate every other cached copy of the line
+// (invalidation-based coherence); reads leave remote copies in Shared
+// state. The returned latency follows the Figure 1 ladder.
+func (h *Hierarchy) Access(cpu topology.CPUID, addr memory.Addr, write bool) AccessResult {
+	line := memory.LineOf(addr)
+	core := h.topo.CoreOf(cpu)
+	chip := h.topo.ChipOf(cpu)
+
+	// L1 probe.
+	if st := h.l1[core].Lookup(line); st != Invalid {
+		if write && st == Shared {
+			// Write upgrade: invalidate every other copy in the machine.
+			h.upgrades++
+			h.invalidateOthers(line, core, chip)
+			h.l1[core].SetState(line, Modified)
+			h.l2[chip].SetState(line, Modified)
+		} else if write {
+			h.l1[core].SetState(line, Modified)
+			h.l2[chip].SetState(line, Modified)
+		}
+		return AccessResult{Line: line, Source: SrcL1, Cycles: h.lat.L1Hit}
+	}
+
+	// L2 probe (chip-local).
+	if st := h.l2[chip].Lookup(line); st != Invalid {
+		newState := st
+		if write {
+			if st == Shared {
+				h.upgrades++
+				h.invalidateOthers(line, core, chip)
+			}
+			newState = Modified
+			h.l2[chip].SetState(line, Modified)
+		}
+		h.fillL1(core, chip, line, newState)
+		return AccessResult{Line: line, Source: SrcL2, Cycles: h.lat.L2Hit, L1Miss: true}
+	}
+
+	// L3 probe (chip-local victim cache: a hit moves the line back to L2).
+	if st := h.l3[chip].Peek(line); st != Invalid {
+		h.l3[chip].Invalidate(line)
+		newState := st
+		if write {
+			if st == Shared {
+				h.upgrades++
+				h.invalidateOthers(line, core, chip)
+			}
+			newState = Modified
+		}
+		h.fillL2(core, chip, line, newState)
+		h.fillL1(core, chip, line, newState)
+		return AccessResult{Line: line, Source: SrcL3, Cycles: h.lat.L3Hit, L1Miss: true}
+	}
+
+	// Cross-chip snoop: another chip's L2, then another chip's L3.
+	remoteChip, remoteSrc := h.snoop(line, chip)
+	if remoteSrc != SrcMemory {
+		var newState State
+		if write {
+			// Read-with-intent-to-modify: invalidate every remote copy.
+			h.invalidateOthers(line, core, chip)
+			newState = Modified
+		} else {
+			// Remote sharer keeps a Shared copy; we take one too.
+			h.downgradeChip(line, remoteChip)
+			newState = Shared
+		}
+		h.fillL2(core, chip, line, newState)
+		h.fillL1(core, chip, line, newState)
+		lat := h.lat.RemoteL2
+		if remoteSrc == SrcRemoteL3 {
+			lat = h.lat.RemoteL3
+		}
+		return AccessResult{Line: line, Source: remoteSrc, Cycles: lat, L1Miss: true}
+	}
+
+	// Memory fill. Under NUMA configuration the line's home node decides
+	// whether this is a local or remote memory access.
+	st := Exclusive
+	if write {
+		st = Modified
+	}
+	h.fillL2(core, chip, line, st)
+	h.fillL1(core, chip, line, st)
+	src, lat := SrcMemory, h.lat.Memory
+	if h.nodes != nil && h.lat.RemoteMemory != 0 && h.nodes.NodeOf(line)%h.topo.Chips != chip {
+		src, lat = SrcRemoteMemory, h.lat.RemoteMemory
+	}
+	return AccessResult{Line: line, Source: src, Cycles: lat, L1Miss: true}
+}
+
+// SetNUMA configures per-chip memory homing: fills whose line is homed on
+// another chip's memory cost Latencies.RemoteMemory and are attributed to
+// SrcRemoteMemory. Passing nil reverts to uniform memory.
+func (h *Hierarchy) SetNUMA(nodes memory.NodeMap) { h.nodes = nodes }
+
+// snoop looks for the line in any other chip's L2 or L3 and returns the
+// owning chip and the source class, or SrcMemory if no chip holds it.
+// L2s are probed across all chips before L3s, mirroring the point-to-point
+// fabric's preference for the faster source.
+func (h *Hierarchy) snoop(line memory.Addr, exceptChip int) (int, Source) {
+	for chip := range h.l2 {
+		if chip == exceptChip {
+			continue
+		}
+		if h.l2[chip].Peek(line) != Invalid {
+			return chip, SrcRemoteL2
+		}
+	}
+	for chip := range h.l3 {
+		if chip == exceptChip {
+			continue
+		}
+		if h.l3[chip].Peek(line) != Invalid {
+			return chip, SrcRemoteL3
+		}
+	}
+	return -1, SrcMemory
+}
+
+// invalidateOthers removes every cached copy of the line outside the
+// requesting core's L1 and the requesting chip's L2/L3.
+func (h *Hierarchy) invalidateOthers(line memory.Addr, exceptCore, exceptChip int) {
+	for core := range h.l1 {
+		if core == exceptCore {
+			continue
+		}
+		if h.l1[core].Invalidate(line) != Invalid {
+			h.invalidationsSent++
+		}
+	}
+	for chip := range h.l2 {
+		if chip == exceptChip {
+			continue
+		}
+		if h.l2[chip].Invalidate(line) != Invalid {
+			h.invalidationsSent++
+		}
+		if h.l3[chip].Invalidate(line) != Invalid {
+			h.invalidationsSent++
+		}
+	}
+}
+
+// downgradeChip moves the line to Shared in the given chip's caches (and
+// the L1s of its cores), modelling a read snoop hit.
+func (h *Hierarchy) downgradeChip(line memory.Addr, chip int) {
+	if chip < 0 {
+		return
+	}
+	h.l2[chip].Downgrade(line)
+	h.l3[chip].Downgrade(line)
+	for core := chip * h.topo.CoresPerChip; core < (chip+1)*h.topo.CoresPerChip; core++ {
+		h.l1[core].Downgrade(line)
+	}
+}
+
+// fillL1 inserts the line into a core's L1. L1 evictions are clean drops:
+// the L2 above it is (approximately) inclusive, so the data survives.
+func (h *Hierarchy) fillL1(core, chip int, line memory.Addr, st State) {
+	h.l1[core].Insert(line, st)
+}
+
+// fillL2 inserts the line into a chip's L2, spilling any eviction into the
+// chip's victim L3 and maintaining L1 inclusion for evicted lines.
+func (h *Hierarchy) fillL2(core, chip int, line memory.Addr, st State) {
+	evicted, evictedState, didEvict := h.l2[chip].Insert(line, st)
+	if !didEvict {
+		return
+	}
+	// Victim L3 receives the evicted line; what the L3 itself evicts
+	// leaves the cache system, and dirty victims go back to memory.
+	if l3Victim, l3State, l3Evict := h.l3[chip].Insert(evicted, evictedState); l3Evict {
+		_ = l3Victim
+		if l3State == Modified {
+			h.writebacks++
+		}
+	}
+	// Inclusion: an L2 eviction must purge the chip's L1s so a remote
+	// chip's snoop (which only probes L2/L3) can never miss a live copy.
+	for c := chip * h.topo.CoresPerChip; c < (chip+1)*h.topo.CoresPerChip; c++ {
+		h.l1[c].Invalidate(evicted)
+	}
+}
+
+// FlushAll empties every cache, modelling the cold state after a machine
+// reset. Useful between experiment phases.
+func (h *Hierarchy) FlushAll() {
+	cfgOf := func(c *SetAssoc) Config { return c.Config() }
+	for i, c := range h.l1 {
+		nc, _ := NewSetAssoc(cfgOf(c))
+		h.l1[i] = nc
+	}
+	for i, c := range h.l2 {
+		nc, _ := NewSetAssoc(cfgOf(c))
+		h.l2[i] = nc
+	}
+	for i, c := range h.l3 {
+		nc, _ := NewSetAssoc(cfgOf(c))
+		h.l3[i] = nc
+	}
+}

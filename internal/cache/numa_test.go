@@ -1,0 +1,105 @@
+package cache
+
+import (
+	"testing"
+
+	"threadcluster/internal/memory"
+	"threadcluster/internal/topology"
+)
+
+func numaHierarchy(t *testing.T) (*Hierarchy, memory.StripedNodes) {
+	t.Helper()
+	nodes := memory.StripedNodes{N: 2, Stripe: 1 << 32}
+	h, err := NewHierarchy(topology.OpenPower720(), topology.NUMALatencies(), SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.SetNUMA(nodes)
+	return h, nodes
+}
+
+func TestNUMALocalMemoryFill(t *testing.T) {
+	h, _ := numaHierarchy(t)
+	// Node 0 address accessed from chip 0: local memory.
+	addr := memory.Addr(0x10000)
+	r := h.Access(0, addr, false)
+	if r.Source != SrcMemory {
+		t.Fatalf("source = %v, want local memory", r.Source)
+	}
+	if r.Cycles != h.Latencies().Memory {
+		t.Errorf("cycles = %d, want local memory latency %d", r.Cycles, h.Latencies().Memory)
+	}
+}
+
+func TestNUMARemoteMemoryFill(t *testing.T) {
+	h, nodes := numaHierarchy(t)
+	// Node 1 address accessed from chip 0: remote memory.
+	addr := memory.Addr(uint64(nodes.Stripe) + 0x10000)
+	if nodes.NodeOf(addr) != 1 {
+		t.Fatal("test address not homed on node 1")
+	}
+	r := h.Access(0, addr, false)
+	if r.Source != SrcRemoteMemory {
+		t.Fatalf("source = %v, want remote memory", r.Source)
+	}
+	if r.Cycles != h.Latencies().RemoteMemory {
+		t.Errorf("cycles = %d, want remote memory latency %d", r.Cycles, h.Latencies().RemoteMemory)
+	}
+	if !r.Source.CrossChip() {
+		t.Error("remote memory is a cross-chip access")
+	}
+	if r.Source.Remote() {
+		t.Error("remote memory is NOT a remote *cache* access")
+	}
+	// From chip 1 the same address is local.
+	h.FlushAll()
+	r = h.Access(4, addr, false)
+	if r.Source != SrcMemory {
+		t.Errorf("chip-1 access = %v, want local memory", r.Source)
+	}
+}
+
+func TestNUMACacheHitsUnaffected(t *testing.T) {
+	h, nodes := numaHierarchy(t)
+	addr := memory.Addr(uint64(nodes.Stripe) + 0x20000)
+	h.Access(0, addr, false) // remote-memory fill
+	r := h.Access(0, addr, false)
+	if r.Source != SrcL1 {
+		t.Errorf("second access = %v, want L1 hit (NUMA only affects fills)", r.Source)
+	}
+}
+
+func TestNUMADisabledWithoutNodeMap(t *testing.T) {
+	h, err := NewHierarchy(topology.OpenPower720(), topology.NUMALatencies(), SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := memory.Addr(0x10000 + (1 << 32))
+	r := h.Access(0, addr, false)
+	if r.Source != SrcMemory {
+		t.Errorf("without a node map every fill is local memory, got %v", r.Source)
+	}
+	// And zero RemoteMemory latency also disables the split.
+	lat := topology.DefaultLatencies()
+	h2, err := NewHierarchy(topology.OpenPower720(), lat, SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2.SetNUMA(memory.StripedNodes{N: 2, Stripe: 1 << 32})
+	r = h2.Access(0, addr, false)
+	if r.Source != SrcMemory {
+		t.Errorf("zero RemoteMemory latency should disable the split, got %v", r.Source)
+	}
+}
+
+func TestNUMARemoteCacheBeatsRemoteMemory(t *testing.T) {
+	// A line homed on node 1 but cached by chip 1 is fetched from chip
+	// 1's cache (remote L2), not from memory: the snoop happens first.
+	h, nodes := numaHierarchy(t)
+	addr := memory.Addr(uint64(nodes.Stripe) + 0x30000)
+	h.Access(4, addr, false) // chip 1 caches its local line
+	r := h.Access(0, addr, false)
+	if r.Source != SrcRemoteL2 {
+		t.Errorf("source = %v, want remote-L2 (cache-to-cache beats memory)", r.Source)
+	}
+}

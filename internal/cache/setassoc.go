@@ -1,0 +1,253 @@
+// Package cache simulates the SMP-CMP-SMT memory hierarchy of the paper's
+// evaluation platform: a per-core L1 data cache, a per-chip L2 shared by
+// the chip's cores, and a per-chip victim L3, kept coherent across chips by
+// an invalidation protocol. Every access reports the *source* that
+// satisfied it (local L1/L2/L3, a remote chip's L2/L3, or memory), which is
+// exactly the attribution the paper's PMU-based stall breakdown needs.
+package cache
+
+import (
+	"fmt"
+
+	"threadcluster/internal/memory"
+)
+
+// State is the MESI coherence state of a cached line.
+type State uint8
+
+const (
+	// Invalid marks an empty or invalidated way.
+	Invalid State = iota
+	// Shared marks a clean line that other caches may also hold.
+	Shared
+	// Exclusive marks a clean line held by no other chip.
+	Exclusive
+	// Modified marks a dirty line held by no other chip.
+	Modified
+)
+
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// Config sizes one cache.
+type Config struct {
+	SizeBytes uint64 // total capacity in bytes
+	Ways      int    // associativity
+}
+
+// Sets returns the number of sets the configuration yields.
+func (c Config) Sets() int {
+	lines := c.SizeBytes / memory.LineSize
+	return int(lines) / c.Ways
+}
+
+// Validate reports whether the configuration is internally consistent.
+func (c Config) Validate() error {
+	if c.Ways <= 0 {
+		return fmt.Errorf("cache: ways must be positive, got %d", c.Ways)
+	}
+	if c.SizeBytes < memory.LineSize {
+		return fmt.Errorf("cache: size %d smaller than one line", c.SizeBytes)
+	}
+	if c.SizeBytes%memory.LineSize != 0 {
+		return fmt.Errorf("cache: size %d not a multiple of the line size", c.SizeBytes)
+	}
+	if c.Sets() == 0 {
+		return fmt.Errorf("cache: %d bytes at %d ways yields zero sets", c.SizeBytes, c.Ways)
+	}
+	return nil
+}
+
+// Stats counts what happened to one cache since construction.
+type Stats struct {
+	Hits          uint64
+	Misses        uint64
+	Evictions     uint64
+	Invalidations uint64 // lines removed by coherence actions
+	Fills         uint64
+}
+
+type way struct {
+	tag   memory.Addr // line address; meaningful only when state != Invalid
+	state State
+	lru   uint64 // last-touch stamp; larger = more recent
+}
+
+// SetAssoc is a set-associative cache with true-LRU replacement. Addresses
+// are tracked at line granularity. It is a passive container: coherence
+// decisions live in Hierarchy.
+type SetAssoc struct {
+	cfg   Config
+	sets  [][]way
+	stamp uint64
+	stats Stats
+}
+
+// NewSetAssoc builds a cache from the configuration.
+func NewSetAssoc(cfg Config) (*SetAssoc, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Sets()
+	sets := make([][]way, n)
+	backing := make([]way, n*cfg.Ways)
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
+	}
+	return &SetAssoc{cfg: cfg, sets: sets}, nil
+}
+
+// Config returns the cache's configuration.
+func (c *SetAssoc) Config() Config { return c.cfg }
+
+// Stats returns a copy of the cache's counters.
+func (c *SetAssoc) Stats() Stats { return c.stats }
+
+func (c *SetAssoc) setOf(line memory.Addr) []way {
+	return c.sets[memory.LineIndex(line)%uint64(len(c.sets))]
+}
+
+// Lookup probes for the line. On a hit it refreshes LRU and returns the
+// current state; on a miss it returns Invalid.
+func (c *SetAssoc) Lookup(line memory.Addr) State {
+	set := c.setOf(line)
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == line {
+			c.stamp++
+			set[i].lru = c.stamp
+			c.stats.Hits++
+			return set[i].state
+		}
+	}
+	c.stats.Misses++
+	return Invalid
+}
+
+// Peek probes for the line without perturbing LRU or statistics. Coherence
+// snoops from other chips use Peek so that remote probes do not distort
+// the victim cache's recency ordering.
+func (c *SetAssoc) Peek(line memory.Addr) State {
+	set := c.setOf(line)
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == line {
+			return set[i].state
+		}
+	}
+	return Invalid
+}
+
+// Insert places the line in the given state, evicting the LRU way if the
+// set is full. It returns the evicted line and its state when an eviction
+// happened. Inserting a line that is already present updates its state in
+// place.
+func (c *SetAssoc) Insert(line memory.Addr, st State) (evicted memory.Addr, evictedState State, didEvict bool) {
+	if st == Invalid {
+		panic("cache: Insert with Invalid state")
+	}
+	set := c.setOf(line)
+	c.stamp++
+	// Already present: update in place.
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == line {
+			set[i].state = st
+			set[i].lru = c.stamp
+			return 0, Invalid, false
+		}
+	}
+	// Free way?
+	victim := -1
+	for i := range set {
+		if set[i].state == Invalid {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		// Evict true LRU.
+		victim = 0
+		for i := 1; i < len(set); i++ {
+			if set[i].lru < set[victim].lru {
+				victim = i
+			}
+		}
+		evicted, evictedState, didEvict = set[victim].tag, set[victim].state, true
+		c.stats.Evictions++
+	}
+	set[victim] = way{tag: line, state: st, lru: c.stamp}
+	c.stats.Fills++
+	return evicted, evictedState, didEvict
+}
+
+// Invalidate removes the line if present, returning the state it had. A
+// return of Invalid means the line was not cached.
+func (c *SetAssoc) Invalidate(line memory.Addr) State {
+	set := c.setOf(line)
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == line {
+			st := set[i].state
+			set[i].state = Invalid
+			c.stats.Invalidations++
+			return st
+		}
+	}
+	return Invalid
+}
+
+// Downgrade moves the line to Shared if it is present in Exclusive or
+// Modified state (a remote read snoop hit). It reports whether the line
+// was present.
+func (c *SetAssoc) Downgrade(line memory.Addr) bool {
+	set := c.setOf(line)
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == line {
+			if set[i].state == Exclusive || set[i].state == Modified {
+				set[i].state = Shared
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// SetState rewrites the coherence state of a present line (e.g. a write
+// upgrade Shared -> Modified). It reports whether the line was present.
+func (c *SetAssoc) SetState(line memory.Addr, st State) bool {
+	if st == Invalid {
+		panic("cache: SetState to Invalid; use Invalidate")
+	}
+	set := c.setOf(line)
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == line {
+			set[i].state = st
+			return true
+		}
+	}
+	return false
+}
+
+// Occupancy returns the number of valid lines currently cached.
+func (c *SetAssoc) Occupancy() int {
+	n := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].state != Invalid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Capacity returns the total number of lines the cache can hold.
+func (c *SetAssoc) Capacity() int { return len(c.sets) * c.cfg.Ways }

@@ -1,0 +1,235 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"threadcluster/internal/memory"
+)
+
+func mustCache(t *testing.T, cfg Config) *SetAssoc {
+	t.Helper()
+	c, err := NewSetAssoc(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func line(i uint64) memory.Addr { return memory.Addr(i * memory.LineSize) }
+
+func TestConfigSets(t *testing.T) {
+	p5 := Power5Config()
+	if got := p5.L1.Sets(); got != 128 {
+		t.Errorf("L1 sets = %d, want 128 (64KB/128B/4-way)", got)
+	}
+	if got := p5.L2.Sets(); got != 1638 {
+		t.Errorf("L2 sets = %d, want 1638 (2MB/128B/10-way)", got)
+	}
+	if got := p5.L3.Sets(); got != 24576 {
+		t.Errorf("L3 sets = %d, want 24576 (36MB/128B/12-way)", got)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{SizeBytes: 1024, Ways: 0},
+		{SizeBytes: 64, Ways: 1},              // smaller than a line
+		{SizeBytes: 1000, Ways: 2},            // not line multiple
+		{SizeBytes: memory.LineSize, Ways: 2}, // zero sets
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", cfg)
+		}
+	}
+	if err := (Config{SizeBytes: 4096, Ways: 2}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestLookupMissThenHit(t *testing.T) {
+	c := mustCache(t, Config{SizeBytes: 4096, Ways: 2})
+	if st := c.Lookup(line(1)); st != Invalid {
+		t.Fatalf("cold lookup = %v, want Invalid", st)
+	}
+	c.Insert(line(1), Shared)
+	if st := c.Lookup(line(1)); st != Shared {
+		t.Fatalf("lookup after insert = %v, want Shared", st)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Fills != 1 {
+		t.Errorf("stats = %+v, want 1 hit, 1 miss, 1 fill", s)
+	}
+}
+
+func TestInsertUpdatesInPlace(t *testing.T) {
+	c := mustCache(t, Config{SizeBytes: 4096, Ways: 2})
+	c.Insert(line(1), Shared)
+	_, _, evicted := c.Insert(line(1), Modified)
+	if evicted {
+		t.Error("re-insert of present line should not evict")
+	}
+	if st := c.Peek(line(1)); st != Modified {
+		t.Errorf("state after update = %v, want Modified", st)
+	}
+	if c.Occupancy() != 1 {
+		t.Errorf("occupancy = %d, want 1", c.Occupancy())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2-way, sets = 4096/128/2 = 16. Lines 0, 16, 32 all map to set 0.
+	c := mustCache(t, Config{SizeBytes: 4096, Ways: 2})
+	sets := uint64(c.Config().Sets())
+	a, b, d := line(0), line(sets), line(2*sets)
+	c.Insert(a, Shared)
+	c.Insert(b, Shared)
+	c.Lookup(a) // touch a so b becomes LRU
+	evicted, _, did := c.Insert(d, Shared)
+	if !did || evicted != b {
+		t.Fatalf("evicted %#x (did=%v), want %#x (the LRU)", uint64(evicted), did, uint64(b))
+	}
+	if c.Peek(a) == Invalid || c.Peek(d) == Invalid {
+		t.Error("a and d should be resident after eviction of b")
+	}
+}
+
+func TestPeekDoesNotPerturbLRU(t *testing.T) {
+	c := mustCache(t, Config{SizeBytes: 4096, Ways: 2})
+	sets := uint64(c.Config().Sets())
+	a, b, d := line(0), line(sets), line(2*sets)
+	c.Insert(a, Shared)
+	c.Insert(b, Shared)
+	c.Peek(a) // must NOT refresh a
+	evicted, _, did := c.Insert(d, Shared)
+	if !did || evicted != a {
+		t.Fatalf("evicted %#x, want %#x: Peek must not refresh LRU", uint64(evicted), uint64(a))
+	}
+	before := c.Stats()
+	c.Peek(d)
+	if after := c.Stats(); after != before {
+		t.Error("Peek must not change statistics")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := mustCache(t, Config{SizeBytes: 4096, Ways: 2})
+	c.Insert(line(3), Modified)
+	if st := c.Invalidate(line(3)); st != Modified {
+		t.Errorf("Invalidate returned %v, want Modified", st)
+	}
+	if st := c.Invalidate(line(3)); st != Invalid {
+		t.Errorf("second Invalidate returned %v, want Invalid", st)
+	}
+	if c.Occupancy() != 0 {
+		t.Errorf("occupancy = %d, want 0", c.Occupancy())
+	}
+	if got := c.Stats().Invalidations; got != 1 {
+		t.Errorf("invalidations = %d, want 1", got)
+	}
+}
+
+func TestDowngrade(t *testing.T) {
+	c := mustCache(t, Config{SizeBytes: 4096, Ways: 2})
+	c.Insert(line(5), Modified)
+	if !c.Downgrade(line(5)) {
+		t.Fatal("Downgrade of present line should report true")
+	}
+	if st := c.Peek(line(5)); st != Shared {
+		t.Errorf("state after downgrade = %v, want Shared", st)
+	}
+	if c.Downgrade(line(6)) {
+		t.Error("Downgrade of absent line should report false")
+	}
+	// Downgrading a Shared line keeps it Shared.
+	if !c.Downgrade(line(5)) || c.Peek(line(5)) != Shared {
+		t.Error("Downgrade of Shared line should keep Shared")
+	}
+}
+
+func TestSetState(t *testing.T) {
+	c := mustCache(t, Config{SizeBytes: 4096, Ways: 2})
+	c.Insert(line(7), Shared)
+	if !c.SetState(line(7), Modified) {
+		t.Fatal("SetState of present line should report true")
+	}
+	if st := c.Peek(line(7)); st != Modified {
+		t.Errorf("state = %v, want Modified", st)
+	}
+	if c.SetState(line(8), Shared) {
+		t.Error("SetState of absent line should report false")
+	}
+}
+
+func TestInsertPanicsOnInvalid(t *testing.T) {
+	c := mustCache(t, Config{SizeBytes: 4096, Ways: 2})
+	defer func() {
+		if recover() == nil {
+			t.Error("Insert(Invalid) should panic")
+		}
+	}()
+	c.Insert(line(1), Invalid)
+}
+
+// Property: occupancy never exceeds capacity, and a line just inserted is
+// always resident, under arbitrary insert/invalidate sequences.
+func TestOccupancyBounded(t *testing.T) {
+	f := func(ops []uint16, seed int64) bool {
+		c, err := NewSetAssoc(Config{SizeBytes: 2048, Ways: 2})
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for _, op := range ops {
+			l := line(uint64(op % 64))
+			if rng.Intn(4) == 0 {
+				c.Invalidate(l)
+			} else {
+				c.Insert(l, Shared)
+				if c.Peek(l) == Invalid {
+					return false
+				}
+			}
+			if c.Occupancy() > c.Capacity() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: inserting N distinct lines that map to the same set keeps at
+// most Ways of them resident, and each eviction reports a line that was
+// previously resident.
+func TestSetAssociativityRespected(t *testing.T) {
+	c := mustCache(t, Config{SizeBytes: 4096, Ways: 2})
+	sets := uint64(c.Config().Sets())
+	resident := make(map[memory.Addr]bool)
+	for i := uint64(0); i < 10; i++ {
+		l := line(i * sets) // all in set 0
+		evicted, _, did := c.Insert(l, Shared)
+		if did {
+			if !resident[evicted] {
+				t.Fatalf("evicted %#x was not resident", uint64(evicted))
+			}
+			delete(resident, evicted)
+		}
+		resident[l] = true
+		if len(resident) > 2 {
+			t.Fatalf("more than Ways lines resident in one set: %d", len(resident))
+		}
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for st, want := range map[State]string{Invalid: "I", Shared: "S", Exclusive: "E", Modified: "M"} {
+		if got := st.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", st, got, want)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package clustering
+
+import (
+	"sort"
+)
+
+// Cluster is a group of threads detected to share data.
+type Cluster struct {
+	// Rep is the representative thread whose shMap stands for the cluster
+	// (Section 4.4.2: any member can represent the cluster because
+	// intra-cluster sharing is assumed symmetric).
+	Rep ThreadKey
+	// Members lists every thread in the cluster, including Rep, in
+	// ascending ThreadKey order.
+	Members []ThreadKey
+}
+
+// Size returns the number of member threads.
+func (c Cluster) Size() int { return len(c.Members) }
+
+// Config parameterizes the one-pass clusterer.
+type Config struct {
+	// Threshold is the similarity above which a thread joins a cluster
+	// (paper: ~40000 for the dot-product metric).
+	Threshold float64
+	// Floor treats counter values below it as zero (paper: 3).
+	Floor uint8
+	// GlobalFraction masks entries touched by more than this fraction of
+	// threads (paper: 0.5).
+	GlobalFraction float64
+	// Metric scores vector pairs; nil means DotProduct.
+	Metric Metric
+}
+
+// DefaultConfig returns the paper's parameters.
+func DefaultConfig() Config {
+	return Config{
+		Threshold:      float64(DefaultSimilarityThreshold),
+		Floor:          DefaultFloor,
+		GlobalFraction: 0.5,
+		Metric:         DotProduct,
+	}
+}
+
+// Cluster runs the one-pass heuristic of Section 4.4.2 over the threads'
+// shMaps: after masking globally shared entries, scan the threads once (in
+// ascending key order, for determinism); each thread joins the best
+// existing cluster whose representative it resembles above the threshold,
+// or founds a new cluster and becomes its representative. Complexity is
+// O(T*c) similarity computations for T threads and c clusters.
+//
+// Threads with empty (all-zero after flooring) shMaps suffer no remote
+// accesses worth acting on; they come back as singleton clusters, which
+// the migration policy treats as unclustered filler.
+func (cfg Config) Cluster(shmaps map[ThreadKey]*ShMap) []Cluster {
+	metric := cfg.Metric
+	if metric == nil {
+		metric = DotProduct
+	}
+	keys := make([]ThreadKey, 0, len(shmaps))
+	entries := 0
+	for k, m := range shmaps {
+		keys = append(keys, k)
+		if m.Len() > entries {
+			entries = m.Len()
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	vecs := make([]*ShMap, 0, len(keys))
+	for _, k := range keys {
+		vecs = append(vecs, shmaps[k])
+	}
+	mask := GlobalMask(vecs, entries, cfg.GlobalFraction)
+
+	var clusters []Cluster
+	for _, k := range keys {
+		m := shmaps[k]
+		best, bestScore := -1, 0.0
+		for ci := range clusters {
+			score := metric(shmaps[clusters[ci].Rep], m, cfg.Floor, mask)
+			if score >= cfg.Threshold && score > bestScore {
+				best, bestScore = ci, score
+			}
+		}
+		if best >= 0 {
+			clusters[best].Members = append(clusters[best].Members, k)
+		} else {
+			clusters = append(clusters, Cluster{Rep: k, Members: []ThreadKey{k}})
+		}
+	}
+	return clusters
+}
+
+// SortBySize orders clusters from largest to smallest (ties broken by
+// representative key), the order the migration policy consumes them in
+// (Section 4.5).
+func SortBySize(clusters []Cluster) {
+	sort.Slice(clusters, func(i, j int) bool {
+		if clusters[i].Size() != clusters[j].Size() {
+			return clusters[i].Size() > clusters[j].Size()
+		}
+		return clusters[i].Rep < clusters[j].Rep
+	})
+}
+
+// Assignment maps each thread to the index of its cluster.
+func Assignment(clusters []Cluster) map[ThreadKey]int {
+	a := make(map[ThreadKey]int)
+	for ci, c := range clusters {
+		for _, t := range c.Members {
+			a[t] = ci
+		}
+	}
+	return a
+}
+
+// Purity measures cluster quality against a ground-truth partition: for
+// each detected cluster, the fraction of members belonging to the
+// cluster's majority truth label, weighted by cluster size. 1.0 means
+// every detected cluster is homogeneous. Singleton clusters are trivially
+// pure; callers who care should also check the cluster count.
+func Purity(clusters []Cluster, truth map[ThreadKey]int) float64 {
+	total, correct := 0, 0
+	for _, c := range clusters {
+		counts := make(map[int]int)
+		for _, t := range c.Members {
+			counts[truth[t]]++
+		}
+		max := 0
+		for _, n := range counts {
+			if n > max {
+				max = n
+			}
+		}
+		total += c.Size()
+		correct += max
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// RandIndex computes the Rand index between the detected clustering and a
+// ground-truth partition: the fraction of thread pairs on which the two
+// agree (same-cluster vs different-cluster). 1.0 is perfect agreement.
+func RandIndex(clusters []Cluster, truth map[ThreadKey]int) float64 {
+	assign := Assignment(clusters)
+	keys := make([]ThreadKey, 0, len(assign))
+	for k := range assign {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	agree, pairs := 0, 0
+	for i := 0; i < len(keys); i++ {
+		for j := i + 1; j < len(keys); j++ {
+			sameDetected := assign[keys[i]] == assign[keys[j]]
+			sameTruth := truth[keys[i]] == truth[keys[j]]
+			if sameDetected == sameTruth {
+				agree++
+			}
+			pairs++
+		}
+	}
+	if pairs == 0 {
+		return 1
+	}
+	return float64(agree) / float64(pairs)
+}

@@ -1,0 +1,66 @@
+package clustering_test
+
+import (
+	"fmt"
+
+	"threadcluster/internal/clustering"
+)
+
+// Example demonstrates the full clustering pipeline on hand-built shMaps:
+// two pairs of threads share two different cache-line groups, and every
+// thread touches one globally shared entry that the histogram mask must
+// discard.
+func Example() {
+	shmaps := make(map[clustering.ThreadKey]*clustering.ShMap)
+	bump := func(m *clustering.ShMap, entry, times int) {
+		for i := 0; i < times; i++ {
+			m.Increment(entry)
+		}
+	}
+	for tid := clustering.ThreadKey(0); tid < 4; tid++ {
+		m := clustering.NewShMap(64)
+		if tid < 2 {
+			bump(m, 7, 200) // pair A shares entry 7
+		} else {
+			bump(m, 21, 200) // pair B shares entry 21
+		}
+		bump(m, 50, 200) // everyone hammers the global entry
+		shmaps[tid] = m
+	}
+
+	cfg := clustering.DefaultConfig()
+	clusters := cfg.Cluster(shmaps)
+	for i, c := range clusters {
+		fmt.Printf("cluster %d: threads %v\n", i, c.Members)
+	}
+	// Output:
+	// cluster 0: threads [0 1]
+	// cluster 1: threads [2 3]
+}
+
+// ExampleDotProduct shows the paper's similarity metric with its noise
+// floor: entries below the floor are treated as zero.
+func ExampleDotProduct() {
+	a, b := clustering.NewShMap(8), clustering.NewShMap(8)
+	for i := 0; i < 100; i++ {
+		a.Increment(3)
+		b.Increment(3)
+	}
+	a.Increment(5) // sub-floor noise on entry 5
+	b.Increment(5)
+	fmt.Println(clustering.DotProduct(a, b, clustering.DefaultFloor, nil))
+	// Output: 10000
+}
+
+// ExampleFilter shows spatial sampling: first touch claims an entry
+// immutably, matching lines pass, colliding lines are discarded.
+func ExampleFilter() {
+	f, _ := clustering.NewFilter(16, 0)
+	idx, ok := f.Admit(1, 0x1000)
+	fmt.Println("first touch admitted:", ok)
+	idx2, ok2 := f.Admit(2, 0x1000)
+	fmt.Println("same line, other thread:", ok2, idx == idx2)
+	// Output:
+	// first touch admitted: true
+	// same line, other thread: true true
+}

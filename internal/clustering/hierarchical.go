@@ -1,0 +1,85 @@
+package clustering
+
+import "sort"
+
+// Hierarchical performs agglomerative average-linkage clustering over the
+// shMap vectors — the other "full-blown" algorithm the paper defers to
+// future work. Starting from singleton clusters, the two most similar
+// clusters are merged repeatedly until no pair's average pairwise
+// similarity reaches the threshold. Cost is O(T^3) similarity evaluations
+// in this simple implementation, which is exactly why the paper's online
+// engine does not use it; it exists as an offline quality baseline.
+func Hierarchical(shmaps map[ThreadKey]*ShMap, cfg Config) []Cluster {
+	metric := cfg.Metric
+	if metric == nil {
+		metric = DotProduct
+	}
+	keys := sortedKeys(shmaps)
+	if len(keys) == 0 {
+		return nil
+	}
+	entries := 0
+	vecs := make([]*ShMap, 0, len(keys))
+	for _, k := range keys {
+		vecs = append(vecs, shmaps[k])
+		if shmaps[k].Len() > entries {
+			entries = shmaps[k].Len()
+		}
+	}
+	mask := GlobalMask(vecs, entries, cfg.GlobalFraction)
+
+	// Pairwise similarity matrix over threads.
+	n := len(keys)
+	sim := make([][]float64, n)
+	for i := range sim {
+		sim[i] = make([]float64, n)
+		for j := range sim[i] {
+			if i != j {
+				sim[i][j] = metric(shmaps[keys[i]], shmaps[keys[j]], cfg.Floor, mask)
+			}
+		}
+	}
+
+	groups := make([][]int, n)
+	for i := range groups {
+		groups[i] = []int{i}
+	}
+
+	avgLink := func(a, b []int) float64 {
+		var sum float64
+		for _, i := range a {
+			for _, j := range b {
+				sum += sim[i][j]
+			}
+		}
+		return sum / float64(len(a)*len(b))
+	}
+
+	for len(groups) > 1 {
+		bi, bj, best := -1, -1, 0.0
+		for i := 0; i < len(groups); i++ {
+			for j := i + 1; j < len(groups); j++ {
+				if s := avgLink(groups[i], groups[j]); s > best {
+					bi, bj, best = i, j, s
+				}
+			}
+		}
+		if bi < 0 || best < cfg.Threshold {
+			break
+		}
+		groups[bi] = append(groups[bi], groups[bj]...)
+		groups = append(groups[:bj], groups[bj+1:]...)
+	}
+
+	var out []Cluster
+	for _, g := range groups {
+		members := make([]ThreadKey, 0, len(g))
+		for _, i := range g {
+			members = append(members, keys[i])
+		}
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		out = append(out, Cluster{Rep: members[0], Members: members})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rep < out[j].Rep })
+	return out
+}

@@ -1,0 +1,105 @@
+// Package clustering implements the sharing-detection data structures and
+// clustering algorithms of Section 4 of the paper: shMap summary vectors
+// of 8-bit saturating counters, the process-wide shMap filter that
+// implements spatial sampling with immutable first-touch entries, the
+// dot-product similarity metric with its small-value noise floor, the
+// histogram-based removal of globally shared cache lines, and the one-pass
+// representative clustering heuristic. K-means and agglomerative
+// hierarchical clustering — the "full-blown algorithms" the paper defers
+// to future work — are provided as comparison baselines, along with cosine
+// and Jaccard alternative similarity metrics.
+package clustering
+
+import (
+	"fmt"
+
+	"threadcluster/internal/memory"
+)
+
+// DefaultEntries is the paper's shMap size: 256 entries (Section 4.3.1).
+const DefaultEntries = 256
+
+// CounterMax is the saturation point of one shMap entry (8-bit counters).
+const CounterMax = 255
+
+// ShMap is a per-thread summary vector: each entry is an 8-bit saturating
+// counter of sampled remote cache accesses whose line hashed to that entry.
+// "Each shMap shows which data items each thread is fetching from caches
+// on remote chips." (Section 4.3)
+type ShMap struct {
+	counters []uint8
+}
+
+// NewShMap allocates a vector with n entries (DefaultEntries if n <= 0).
+func NewShMap(n int) *ShMap {
+	if n <= 0 {
+		n = DefaultEntries
+	}
+	return &ShMap{counters: make([]uint8, n)}
+}
+
+// Len returns the number of entries.
+func (m *ShMap) Len() int { return len(m.counters) }
+
+// Increment bumps entry i, saturating at CounterMax.
+func (m *ShMap) Increment(i int) {
+	if m.counters[i] < CounterMax {
+		m.counters[i]++
+	}
+}
+
+// Get returns the value of entry i.
+func (m *ShMap) Get(i int) uint8 { return m.counters[i] }
+
+// NonZero returns how many entries have been touched at all.
+func (m *ShMap) NonZero() int {
+	n := 0
+	for _, c := range m.counters {
+		if c > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Total returns the sum of all counters.
+func (m *ShMap) Total() uint64 {
+	var t uint64
+	for _, c := range m.counters {
+		t += uint64(c)
+	}
+	return t
+}
+
+// Reset zeroes every counter.
+func (m *ShMap) Reset() {
+	for i := range m.counters {
+		m.counters[i] = 0
+	}
+}
+
+// Clone returns a deep copy.
+func (m *ShMap) Clone() *ShMap {
+	c := make([]uint8, len(m.counters))
+	copy(c, m.counters)
+	return &ShMap{counters: c}
+}
+
+// Row exposes the raw counters (read-only by convention); the Figure 5
+// visualizer renders these as gray-scale rows.
+func (m *ShMap) Row() []uint8 { return m.counters }
+
+func (m *ShMap) String() string {
+	return fmt.Sprintf("shMap{%d entries, %d nonzero, total %d}", m.Len(), m.NonZero(), m.Total())
+}
+
+// HashLine maps a cache-line address to a shMap/filter entry index in
+// [0, n). The multiplicative (Fibonacci) hash spreads the dense, highly
+// structured line indices of real data structures evenly across the small
+// entry space; the paper only requires "a simple hash function"
+// (Section 4.3.1).
+func HashLine(line memory.Addr, n int) int {
+	idx := memory.LineIndex(line)
+	h := idx * 0x9E3779B97F4A7C15 // 2^64 / phi
+	return int((h >> 32) % uint64(n))
+}

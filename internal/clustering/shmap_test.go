@@ -1,0 +1,228 @@
+package clustering
+
+import (
+	"testing"
+	"testing/quick"
+
+	"threadcluster/internal/memory"
+)
+
+func TestNewShMapDefaults(t *testing.T) {
+	m := NewShMap(0)
+	if m.Len() != DefaultEntries {
+		t.Errorf("default size = %d, want %d", m.Len(), DefaultEntries)
+	}
+	m = NewShMap(128)
+	if m.Len() != 128 {
+		t.Errorf("size = %d, want 128", m.Len())
+	}
+}
+
+func TestShMapIncrementSaturates(t *testing.T) {
+	m := NewShMap(8)
+	for i := 0; i < 1000; i++ {
+		m.Increment(3)
+	}
+	if got := m.Get(3); got != CounterMax {
+		t.Errorf("saturated counter = %d, want %d", got, CounterMax)
+	}
+	if got := m.Get(2); got != 0 {
+		t.Errorf("untouched counter = %d, want 0", got)
+	}
+	if m.NonZero() != 1 {
+		t.Errorf("NonZero = %d, want 1", m.NonZero())
+	}
+	if m.Total() != CounterMax {
+		t.Errorf("Total = %d, want %d", m.Total(), CounterMax)
+	}
+}
+
+func TestShMapResetAndClone(t *testing.T) {
+	m := NewShMap(8)
+	m.Increment(1)
+	m.Increment(1)
+	c := m.Clone()
+	m.Reset()
+	if m.NonZero() != 0 {
+		t.Error("Reset should zero everything")
+	}
+	if c.Get(1) != 2 {
+		t.Error("Clone should be independent of the original")
+	}
+}
+
+// Property: saturating counters are monotone and bounded.
+func TestShMapCounterBounds(t *testing.T) {
+	f := func(incs []uint8) bool {
+		m := NewShMap(4)
+		var prev uint8
+		for _, x := range incs {
+			m.Increment(int(x) % 4)
+			v := m.Get(int(x) % 4)
+			if v > CounterMax {
+				return false
+			}
+			_ = prev
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashLineInRangeAndDeterministic(t *testing.T) {
+	f := func(a uint64, nRaw uint8) bool {
+		n := int(nRaw%200) + 1
+		h1 := HashLine(memory.Addr(a), n)
+		h2 := HashLine(memory.Addr(a), n)
+		return h1 == h2 && h1 >= 0 && h1 < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashLineIgnoresOffsetWithinLine(t *testing.T) {
+	base := memory.Addr(0x12340080)
+	for off := memory.Addr(0); off < memory.LineSize; off++ {
+		if HashLine(memory.LineOf(base+off), 256) != HashLine(memory.LineOf(base), 256) {
+			t.Fatal("same line should hash identically regardless of offset")
+		}
+	}
+}
+
+func TestHashLineSpreads(t *testing.T) {
+	// Sequential lines (the common layout of a real data structure) must
+	// spread across entries, not pile onto a few.
+	const n = 256
+	seen := make(map[int]bool)
+	for i := uint64(0); i < 1000; i++ {
+		seen[HashLine(memory.Addr(i*memory.LineSize), n)] = true
+	}
+	if len(seen) < n/2 {
+		t.Errorf("1000 sequential lines landed on only %d/%d entries", len(seen), n)
+	}
+}
+
+func TestFilterFirstTouchImmutable(t *testing.T) {
+	f, err := NewFilter(256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lineA := memory.Addr(0x1000)
+	idx, ok := f.Admit(1, lineA)
+	if !ok {
+		t.Fatal("first touch should claim the entry")
+	}
+	// The same line passes again, for any thread.
+	if idx2, ok := f.Admit(2, lineA); !ok || idx2 != idx {
+		t.Error("matching line should pass the filter for any thread")
+	}
+	// A different line hashing elsewhere is fine; find one colliding with
+	// lineA's entry to verify rejection.
+	var collider memory.Addr
+	found := false
+	for i := uint64(1); i < 100000; i++ {
+		c := memory.Addr(i * memory.LineSize)
+		if c != lineA && HashLine(c, 256) == idx {
+			collider, found = c, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no collider found")
+	}
+	if _, ok := f.Admit(3, collider); ok {
+		t.Error("collision with a claimed entry must be rejected (immutability)")
+	}
+	if got, ok := f.EntryLine(idx); !ok || got != lineA {
+		t.Error("entry should still hold the first-touch line")
+	}
+}
+
+func TestFilterQuota(t *testing.T) {
+	f, _ := NewFilter(256, 2)
+	claimed := 0
+	for i := uint64(0); i < 64 && claimed < 5; i++ {
+		if _, ok := f.Admit(7, memory.Addr(i*memory.LineSize*97)); ok {
+			claimed++
+		}
+	}
+	if got := f.OwnedBy(7); got != 2 {
+		t.Errorf("thread claimed %d entries, quota is 2", got)
+	}
+	// Another thread can still claim fresh entries.
+	if _, ok := f.Admit(8, memory.Addr(0x7f000000)); !ok {
+		t.Error("other threads should not be blocked by thread 7's quota")
+	}
+}
+
+func TestFilterStatsAndReset(t *testing.T) {
+	f, _ := NewFilter(16, 0)
+	f.Admit(1, 0x1000)
+	f.Admit(1, 0x1000)
+	if f.Admits() != 2 {
+		t.Errorf("admits = %d, want 2", f.Admits())
+	}
+	if f.Claimed() != 1 {
+		t.Errorf("claimed = %d, want 1", f.Claimed())
+	}
+	f.Reset()
+	if f.Claimed() != 0 || f.Admits() != 0 || f.OwnedBy(1) != 0 {
+		t.Error("Reset should clear all state")
+	}
+}
+
+func TestFilterValidation(t *testing.T) {
+	if _, err := NewFilter(0, 1); err == nil {
+		t.Error("zero-size filter should fail")
+	}
+	if _, err := NewFilter(-5, 1); err == nil {
+		t.Error("negative-size filter should fail")
+	}
+	f, _ := NewFilter(8, 100)
+	if f.quota != 8 {
+		t.Errorf("quota should clamp to size, got %d", f.quota)
+	}
+}
+
+func TestFilterEntryLineBounds(t *testing.T) {
+	f, _ := NewFilter(8, 0)
+	if _, ok := f.EntryLine(-1); ok {
+		t.Error("negative index should report absent")
+	}
+	if _, ok := f.EntryLine(8); ok {
+		t.Error("out-of-range index should report absent")
+	}
+	if _, ok := f.EntryLine(0); ok {
+		t.Error("unclaimed entry should report absent")
+	}
+}
+
+// Property: the filter never admits two different lines into one entry.
+func TestFilterNoAliasing(t *testing.T) {
+	f := func(lines []uint32) bool {
+		flt, err := NewFilter(32, 0)
+		if err != nil {
+			return false
+		}
+		entryLine := make(map[int]memory.Addr)
+		for ti, l := range lines {
+			line := memory.LineOf(memory.Addr(l))
+			idx, ok := flt.Admit(ThreadKey(ti%4), line)
+			if !ok {
+				continue
+			}
+			if prev, seen := entryLine[idx]; seen && prev != line {
+				return false
+			}
+			entryLine[idx] = line
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,115 @@
+package clustering
+
+import "math"
+
+// DefaultFloor is the paper's noise floor: entry values below 3 "may be
+// incidental or due to cold sharing" and are treated as zero
+// (Section 4.4.1).
+const DefaultFloor uint8 = 3
+
+// DefaultSimilarityThreshold is the paper's clustering threshold: two
+// vectors whose dot product exceeds ~40000 belong to the same cluster —
+// e.g. one shared entry with both counters above 200, or two entries above
+// 145 (Section 4.4.1).
+const DefaultSimilarityThreshold uint64 = 40000
+
+// Metric computes a similarity score between two equally sized shMaps,
+// applying the noise floor and the global-sharing mask (entries where
+// mask[i] is true are ignored). Higher is more similar.
+type Metric func(a, b *ShMap, floor uint8, mask []bool) float64
+
+// floored returns the entry value with the noise floor applied.
+func floored(v, floor uint8) uint64 {
+	if v < floor {
+		return 0
+	}
+	return uint64(v)
+}
+
+// DotProduct is the paper's similarity metric:
+//
+//	similarity(T1, T2) = sum_i T1[i]*T2[i]
+//
+// It only scores entries where both vectors are non-zero — i.e. lines on
+// which *both* threads incurred remote accesses — and it weighs sharing
+// intensity multiplicatively.
+func DotProduct(a, b *ShMap, floor uint8, mask []bool) float64 {
+	var sum uint64
+	for i := 0; i < a.Len() && i < b.Len(); i++ {
+		if mask != nil && mask[i] {
+			continue
+		}
+		sum += floored(a.Get(i), floor) * floored(b.Get(i), floor)
+	}
+	return float64(sum)
+}
+
+// Cosine is an alternative metric (ablation, Section 8 future work): the
+// dot product normalized by vector magnitudes, in [0,1]. It ignores
+// intensity scale, which the paper's metric deliberately keeps.
+func Cosine(a, b *ShMap, floor uint8, mask []bool) float64 {
+	var dot, na, nb uint64
+	for i := 0; i < a.Len() && i < b.Len(); i++ {
+		if mask != nil && mask[i] {
+			continue
+		}
+		va, vb := floored(a.Get(i), floor), floored(b.Get(i), floor)
+		dot += va * vb
+		na += va * va
+		nb += vb * vb
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return float64(dot) / (math.Sqrt(float64(na)) * math.Sqrt(float64(nb)))
+}
+
+// Jaccard is a second alternative metric: the ratio of co-touched entries
+// to touched entries, in [0,1]. It discards intensity entirely.
+func Jaccard(a, b *ShMap, floor uint8, mask []bool) float64 {
+	var inter, union int
+	for i := 0; i < a.Len() && i < b.Len(); i++ {
+		if mask != nil && mask[i] {
+			continue
+		}
+		va, vb := floored(a.Get(i), floor) > 0, floored(b.Get(i), floor) > 0
+		if va && vb {
+			inter++
+		}
+		if va || vb {
+			union++
+		}
+	}
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// GlobalMask builds the histogram of Section 4.4.2 and masks entries that
+// are globally shared: an entry is masked when more than fraction of the
+// threads have a non-zero value there ("more than half of the total number
+// of threads" with fraction = 0.5). Masked entries carry process-wide
+// state (locks, allocator metadata, JVM internals) and say nothing about
+// cluster structure.
+func GlobalMask(shmaps []*ShMap, entries int, fraction float64) []bool {
+	mask := make([]bool, entries)
+	if len(shmaps) == 0 {
+		return mask
+	}
+	hist := make([]int, entries)
+	for _, m := range shmaps {
+		for i := 0; i < entries && i < m.Len(); i++ {
+			if m.Get(i) > 0 {
+				hist[i]++
+			}
+		}
+	}
+	limit := fraction * float64(len(shmaps))
+	for i, h := range hist {
+		if float64(h) > limit {
+			mask[i] = true
+		}
+	}
+	return mask
+}

@@ -1,0 +1,317 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"threadcluster/internal/cache"
+	"threadcluster/internal/clustering"
+	"threadcluster/internal/memory"
+	"threadcluster/internal/sched"
+	"threadcluster/internal/sim"
+	"threadcluster/internal/topology"
+)
+
+// numaTestMachine builds a 2-chip NUMA machine with striped node arenas
+// and two sharing groups, group g's data homed on node g but the threads
+// scattered round-robin.
+func numaTestMachine(t *testing.T) (*sim.Machine, memory.StripedNodes, []*sim.Thread) {
+	t.Helper()
+	nodes := memory.StripedNodes{N: 2, Stripe: 1 << 32}
+	arenas, err := memory.NodeArenas(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Policy = sched.PolicyClustered
+	cfg.QuantumCycles = 20_000
+	cfg.Lat = topology.NUMALatencies()
+	cfg.Caches = cache.SmallConfig() // tiny caches: memory fills dominate
+	m, err := sim.NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Hierarchy().SetNUMA(nodes)
+	sharedRegions := []memory.Region{
+		arenas[0].MustAlloc(16*memory.LineSize, 0),
+		arenas[1].MustAlloc(16*memory.LineSize, 0),
+	}
+	var threads []*sim.Thread
+	for i := 0; i < 8; i++ {
+		g := i % 2
+		th := &sim.Thread{
+			ID: sched.ThreadID(i),
+			Gen: &groupSharer{
+				rng:     rand.New(rand.NewSource(int64(100 + i))),
+				private: arenas[g].MustAlloc(64<<10, 0),
+				shared:  sharedRegions[g],
+				ratio:   0.4,
+			},
+			Partition: g,
+		}
+		if err := m.AddThread(th); err != nil {
+			t.Fatal(err)
+		}
+		threads = append(threads, th)
+	}
+	return m, nodes, threads
+}
+
+func TestNUMASamplingFeedsShMaps(t *testing.T) {
+	m, nodes, _ := numaTestMachine(t)
+	cfg := testEngineConfig()
+	cfg.NUMA = true
+	cfg.NodeOf = func(a memory.Addr) int { return nodes.NodeOf(a) }
+	e, err := New(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Install(); err != nil {
+		t.Fatal(err)
+	}
+	e.ForceDetection()
+	m.RunRounds(100)
+	if e.SamplesRead() == 0 {
+		t.Fatal("NUMA engine read no samples")
+	}
+	if e.SamplesAdmitted() == 0 {
+		t.Fatal("NUMA engine admitted no samples")
+	}
+}
+
+func TestNUMAPreferredChipFollowsDataHome(t *testing.T) {
+	m, nodes, threads := numaTestMachine(t)
+	cfg := testEngineConfig()
+	cfg.NUMA = true
+	cfg.NodeOf = func(a memory.Addr) int { return nodes.NodeOf(a) }
+	e, err := New(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Install(); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 4000 && e.MigrationsDone() == 0; r += 20 {
+		m.RunRounds(20)
+	}
+	if e.MigrationsDone() == 0 {
+		t.Fatalf("engine never migrated (samples %d)", e.SamplesRead())
+	}
+	// Every clustered thread must sit on the chip its group's data is
+	// homed on (group g -> node g).
+	misplaced := 0
+	for _, th := range threads {
+		chip, ok := m.Scheduler().ChipOf(th.ID)
+		if !ok {
+			t.Fatalf("thread %d unplaced", th.ID)
+		}
+		if chip != th.Partition {
+			misplaced++
+		}
+	}
+	if misplaced > 2 {
+		t.Errorf("%d of %d threads off their data's home chip", misplaced, len(threads))
+	}
+}
+
+func TestPerProcessFiltersIsolateProcesses(t *testing.T) {
+	// Two "processes" of 8 threads each; within a process, two sharing
+	// groups. ProcessOf splits at id 100.
+	cfg := sim.DefaultConfig()
+	cfg.Policy = sched.PolicyClustered
+	cfg.QuantumCycles = 20_000
+	m, err := sim.NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arena := memory.NewDefaultArena()
+	addProc := func(base int) {
+		shared := []memory.Region{
+			arena.MustAlloc(16*memory.LineSize, 0),
+			arena.MustAlloc(16*memory.LineSize, 0),
+		}
+		for i := 0; i < 8; i++ {
+			gen := &groupSharer{
+				rng:     rand.New(rand.NewSource(int64(base + i))),
+				private: arena.MustAlloc(32<<10, 0),
+				shared:  shared[i%2],
+				ratio:   0.4,
+			}
+			if err := m.AddThread(&sim.Thread{ID: sched.ThreadID(base + i), Gen: gen, Partition: i % 2}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	addProc(0)
+	addProc(100)
+
+	ecfg := testEngineConfig()
+	ecfg.ProcessOf = func(id sched.ThreadID) int {
+		if id >= 100 {
+			return 1
+		}
+		return 0
+	}
+	e, err := New(m, ecfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Install(); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 4000 && e.Clusters() == nil; r += 20 {
+		m.RunRounds(20)
+	}
+	if e.Clusters() == nil {
+		t.Fatalf("detection never completed (samples %d)", e.SamplesRead())
+	}
+	for ci, c := range e.Clusters() {
+		if c.Size() < 2 {
+			continue
+		}
+		procs := map[int]bool{}
+		for _, tk := range c.Members {
+			procs[ecfg.ProcessOf(sched.ThreadID(tk))] = true
+		}
+		if len(procs) > 1 {
+			t.Errorf("cluster %d mixes processes: %v", ci, c.Members)
+		}
+	}
+	// Both processes must be represented in the clustering result (the
+	// live ShMaps may already have been reset by a re-activation).
+	seenProc := map[int]bool{}
+	for _, c := range e.Clusters() {
+		for _, tk := range c.Members {
+			seenProc[ecfg.ProcessOf(sched.ThreadID(tk))] = true
+		}
+	}
+	if !seenProc[0] || !seenProc[1] {
+		t.Errorf("clustering missing a process: %v", seenProc)
+	}
+}
+
+func TestStabilityAcrossReclusterings(t *testing.T) {
+	// Static sharing pattern: successive re-clusterings must agree.
+	m := buildGroupedMachine(t, sched.PolicyClustered, 2, 8, 31)
+	cfg := testEngineConfig()
+	cfg.TargetSamples = 15_000
+	e, _ := New(m, cfg)
+	if err := e.Install(); err != nil {
+		t.Fatal(err)
+	}
+	if _, known := e.Stability(); known {
+		t.Fatal("stability should be unknown before two clusterings")
+	}
+	// Force two detections back to back.
+	for round := 0; round < 2; round++ {
+		e.ForceDetection()
+		for r := 0; r < 4000 && e.Phase() == PhaseDetecting; r += 20 {
+			m.RunRounds(20)
+		}
+		if e.Phase() == PhaseDetecting {
+			t.Fatalf("detection %d never finished", round)
+		}
+	}
+	s, known := e.Stability()
+	if !known {
+		t.Fatal("stability should be known after two clusterings")
+	}
+	if s < 0.9 {
+		t.Errorf("stability = %.2f on a static workload, want >= 0.9", s)
+	}
+}
+
+func TestClusteringAgreementFunction(t *testing.T) {
+	a := []clustering.Cluster{
+		{Rep: 1, Members: []clustering.ThreadKey{1, 2}},
+		{Rep: 3, Members: []clustering.ThreadKey{3, 4}},
+	}
+	if got := clusteringAgreement(a, a, 2); got != 1 {
+		t.Errorf("self agreement = %v, want 1", got)
+	}
+	b := []clustering.Cluster{
+		{Rep: 1, Members: []clustering.ThreadKey{1, 3}},
+		{Rep: 2, Members: []clustering.ThreadKey{2, 4}},
+	}
+	if got := clusteringAgreement(a, b, 2); got >= 1 {
+		t.Errorf("disagreeing partitions scored %v, want < 1", got)
+	}
+	// Disjoint thread sets: trivially stable.
+	c := []clustering.Cluster{{Rep: 9, Members: []clustering.ThreadKey{9, 10}}}
+	if got := clusteringAgreement(a, c, 2); got != 1 {
+		t.Errorf("disjoint sets = %v, want 1", got)
+	}
+	// All-singleton second clustering: vacuous agreement (a successful
+	// migration leaves nothing to see).
+	singles := []clustering.Cluster{
+		{Rep: 1, Members: []clustering.ThreadKey{1}},
+		{Rep: 2, Members: []clustering.ThreadKey{2}},
+	}
+	if got := clusteringAgreement(a, singles, 2); got != 1 {
+		t.Errorf("singleton follow-up = %v, want vacuous 1", got)
+	}
+}
+
+func TestFilterForSharedWithinProcess(t *testing.T) {
+	m := buildGroupedMachine(t, sched.PolicyClustered, 2, 2, 11)
+	cfg := testEngineConfig()
+	cfg.ProcessOf = func(id sched.ThreadID) int { return int(id) % 2 }
+	e, err := New(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.filterFor(0) != e.filterFor(2) {
+		t.Error("threads of one process must share a filter")
+	}
+	if e.filterFor(0) == e.filterFor(1) {
+		t.Error("threads of different processes must have distinct filters")
+	}
+	// Single-process engines share the one filter.
+	e2, _ := New(m, testEngineConfig())
+	if e2.filterFor(0) != e2.filterFor(99) {
+		t.Error("single-process engine must use one filter for all threads")
+	}
+}
+
+func TestClusteringThresholdRejectsStrangers(t *testing.T) {
+	// A direct check on clusterAll with processes: identical shMap entry
+	// indices in different processes must not merge, because each process
+	// gets its own clustering pass. Each process has 5 threads: 0 and 1
+	// share entry A, 2 and 3 share entry B, 4 is noise — so shared
+	// entries stay below the global-mask majority.
+	m := buildGroupedMachine(t, sched.PolicyClustered, 2, 2, 12)
+	cfg := testEngineConfig()
+	cfg.ProcessOf = func(id sched.ThreadID) int { return int(id) / 5 }
+	e, _ := New(m, cfg)
+	mk := func(entry int) *clustering.ShMap {
+		sm := clustering.NewShMap(cfg.ShMapEntries)
+		for i := 0; i < 250; i++ {
+			sm.Increment(entry)
+		}
+		return sm
+	}
+	for proc := 0; proc < 2; proc++ {
+		base := clustering.ThreadKey(proc * 5)
+		// Both processes use the SAME entry indices.
+		e.shmaps[base+0], e.shmaps[base+1] = mk(7), mk(7)
+		e.shmaps[base+2], e.shmaps[base+3] = mk(9), mk(9)
+		e.shmaps[base+4] = mk(int(40 + base))
+	}
+	clusters := e.clusterAll()
+	for _, c := range clusters {
+		for _, tk := range c.Members {
+			if cfg.ProcessOf(sched.ThreadID(tk)) != cfg.ProcessOf(sched.ThreadID(c.Rep)) {
+				t.Fatalf("cluster %v crosses processes", c.Members)
+			}
+		}
+	}
+	big := 0
+	for _, c := range clusters {
+		if c.Size() == 2 {
+			big++
+		}
+	}
+	if big != 4 {
+		t.Errorf("2-thread clusters = %d, want 4 (two per process)", big)
+	}
+}

@@ -1,0 +1,533 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"threadcluster/internal/clustering"
+	"threadcluster/internal/memory"
+	"threadcluster/internal/sched"
+	"threadcluster/internal/sim"
+	"threadcluster/internal/topology"
+)
+
+// groupSharer reads/writes a group-shared scoreboard plus private data.
+type groupSharer struct {
+	rng     *rand.Rand
+	private memory.Region
+	shared  memory.Region
+	ratio   float64
+}
+
+func (g *groupSharer) Next() sim.MemRef {
+	if g.rng.Float64() < g.ratio {
+		lines := g.shared.Size / memory.LineSize
+		off := uint64(g.rng.Intn(int(lines))) * memory.LineSize
+		return sim.MemRef{Addr: g.shared.At(off), Write: g.rng.Intn(3) == 0, Insts: 8, Ops: 1}
+	}
+	lines := g.private.Size / memory.LineSize
+	off := uint64(g.rng.Intn(int(lines))) * memory.LineSize
+	return sim.MemRef{Addr: g.private.At(off), Write: false, Insts: 8, Ops: 1}
+}
+
+// buildGroupedMachine creates nGroups*perGroup threads; thread i belongs to
+// group i%nGroups (interleaved so any naive placement scatters groups).
+func buildGroupedMachine(t *testing.T, policy sched.Policy, nGroups, perGroup int, seed int64) *sim.Machine {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.Policy = policy
+	cfg.QuantumCycles = 20_000
+	cfg.Seed = seed
+	m, err := sim.NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arena := memory.NewDefaultArena()
+	shared := make([]memory.Region, nGroups)
+	for g := range shared {
+		shared[g] = arena.MustAlloc(16*memory.LineSize, 0) // small, hot scoreboard
+	}
+	for i := 0; i < nGroups*perGroup; i++ {
+		g := i % nGroups
+		gen := &groupSharer{
+			rng:     rand.New(rand.NewSource(seed*1000 + int64(i))),
+			private: arena.MustAlloc(64<<10, 0),
+			shared:  shared[g],
+			ratio:   0.4,
+		}
+		if err := m.AddThread(&sim.Thread{ID: sched.ThreadID(i), Gen: gen, Partition: g}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+// testEngineConfig returns paper parameters scaled to fast simulations.
+func testEngineConfig() Config {
+	cfg := DefaultConfig()
+	cfg.MonitorWindow = 200_000
+	cfg.ActivationFraction = 0.05
+	cfg.TargetSamples = 30_000
+	cfg.SamplingInterval = 5
+	return cfg
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, DefaultConfig()); err == nil {
+		t.Error("nil machine should fail")
+	}
+	m := buildGroupedMachine(t, sched.PolicyClustered, 2, 2, 1)
+	bad := DefaultConfig()
+	bad.PMUSlot = 99
+	if _, err := New(m, bad); err == nil {
+		t.Error("bad PMU slot should fail")
+	}
+	e, err := New(m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Defaults filled in.
+	if e.cfg.ShMapEntries != clustering.DefaultEntries || e.cfg.SamplingInterval == 0 {
+		t.Error("zero config should get defaults")
+	}
+}
+
+func TestInstallTwiceFails(t *testing.T) {
+	m := buildGroupedMachine(t, sched.PolicyClustered, 2, 2, 1)
+	e, _ := New(m, testEngineConfig())
+	if err := e.Install(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Install(); err == nil {
+		t.Error("double install should fail")
+	}
+}
+
+func TestMonitoringDoesNotActivateOnPrivateWork(t *testing.T) {
+	// All threads on private data: no remote stalls, engine must stay in
+	// monitoring forever.
+	cfg := sim.DefaultConfig()
+	cfg.Policy = sched.PolicyClustered
+	cfg.QuantumCycles = 20_000
+	m, _ := sim.NewMachine(cfg)
+	arena := memory.NewDefaultArena()
+	for i := 0; i < 8; i++ {
+		gen := &groupSharer{
+			rng:     rand.New(rand.NewSource(int64(i))),
+			private: arena.MustAlloc(64<<10, 0),
+			shared:  arena.MustAlloc(16*memory.LineSize, 0), // unique per thread
+			ratio:   0,
+		}
+		_ = m.AddThread(&sim.Thread{ID: sched.ThreadID(i), Gen: gen})
+	}
+	e, _ := New(m, testEngineConfig())
+	if err := e.Install(); err != nil {
+		t.Fatal(err)
+	}
+	m.RunRounds(100)
+	if e.Activations() != 0 {
+		t.Errorf("engine activated %d times on a private workload", e.Activations())
+	}
+	if e.Phase() != PhaseMonitoring {
+		t.Errorf("phase = %v, want monitoring", e.Phase())
+	}
+}
+
+func TestActivationOnSharingWorkload(t *testing.T) {
+	m := buildGroupedMachine(t, sched.PolicyClustered, 2, 8, 3)
+	e, _ := New(m, testEngineConfig())
+	if err := e.Install(); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 400 && e.Activations() == 0; r += 10 {
+		m.RunRounds(10)
+	}
+	if e.Activations() == 0 {
+		t.Fatalf("engine never activated; remote fraction = %.4f", m.Breakdown().RemoteFraction())
+	}
+}
+
+func TestFullCycleClustersMatchGroundTruth(t *testing.T) {
+	m := buildGroupedMachine(t, sched.PolicyClustered, 2, 8, 4)
+	cfg := testEngineConfig()
+	e, _ := New(m, cfg)
+	if err := e.Install(); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 3000 && e.Clusters() == nil; r += 20 {
+		m.RunRounds(20)
+	}
+	clusters := e.Clusters()
+	if clusters == nil {
+		t.Fatalf("detection never completed (phase=%v, samples=%d)", e.Phase(), e.SamplesRead())
+	}
+
+	truth := make(map[clustering.ThreadKey]int)
+	for _, th := range m.Threads() {
+		truth[clustering.ThreadKey(th.ID)] = th.Partition
+	}
+	if p := clustering.Purity(clusters, truth); p < 0.9 {
+		t.Errorf("cluster purity = %.3f, want >= 0.9 (clusters: %+v)", p, clusters)
+	}
+	// The two groups must land in at least two real clusters.
+	big := 0
+	for _, c := range clusters {
+		if c.Size() >= 4 {
+			big++
+		}
+	}
+	if big < 2 {
+		t.Errorf("found %d substantial clusters, want >= 2", big)
+	}
+}
+
+func TestMigrationCoLocatesClustersAndBalancesChips(t *testing.T) {
+	m := buildGroupedMachine(t, sched.PolicyClustered, 2, 8, 5)
+	e, _ := New(m, testEngineConfig())
+	_ = e.Install()
+	for r := 0; r < 3000 && e.MigrationsDone() == 0; r += 20 {
+		m.RunRounds(20)
+	}
+	if e.MigrationsDone() == 0 {
+		t.Fatal("no migration happened")
+	}
+	s := m.Scheduler()
+	// Chips balanced: 16 threads, 2 chips -> 8 each.
+	load := s.ChipLoad()
+	if load[0] != 8 || load[1] != 8 {
+		t.Errorf("chip load = %v, want [8 8]", load)
+	}
+	// Each detected cluster sits on one chip.
+	for ci, c := range e.Clusters() {
+		if c.Size() < 2 {
+			continue
+		}
+		chips := make(map[int]int)
+		for _, tk := range c.Members {
+			chip, ok := s.ChipOf(sched.ThreadID(tk))
+			if !ok {
+				t.Fatalf("cluster member %d unknown to scheduler", tk)
+			}
+			chips[chip]++
+		}
+		if len(chips) != 1 {
+			t.Errorf("cluster %d spread over chips %v, want one chip", ci, chips)
+		}
+	}
+}
+
+func TestClusteringReducesRemoteStalls(t *testing.T) {
+	// The headline effect (Figure 6): with the engine on, remote stalls
+	// drop well below the engine-off run under identical workloads.
+	runFrac := func(withEngine bool) float64 {
+		m := buildGroupedMachine(t, sched.PolicyClustered, 2, 8, 6)
+		var e *Engine
+		if withEngine {
+			e, _ = New(m, testEngineConfig())
+			if err := e.Install(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Warm up / let the engine do its work.
+		m.RunRounds(1500)
+		if withEngine && e.MigrationsDone() == 0 {
+			t.Fatalf("engine made no migrations (phase %v, samples %d)", e.Phase(), e.SamplesRead())
+		}
+		// Measure a clean interval.
+		m.ResetMetrics()
+		m.RunRounds(500)
+		return m.Breakdown().RemoteFraction()
+	}
+	off := runFrac(false)
+	on := runFrac(true)
+	if off <= 0 {
+		t.Fatal("baseline produced no remote stalls; workload broken")
+	}
+	if on > off*0.6 {
+		t.Errorf("engine should cut remote stalls by >40%%: off=%.4f on=%.4f", off, on)
+	}
+}
+
+func TestForceDetection(t *testing.T) {
+	m := buildGroupedMachine(t, sched.PolicyClustered, 2, 4, 7)
+	e, _ := New(m, testEngineConfig())
+	_ = e.Install()
+	e.ForceDetection()
+	if e.Phase() != PhaseDetecting {
+		t.Fatalf("phase = %v, want detecting", e.Phase())
+	}
+	if e.Activations() != 1 {
+		t.Errorf("activations = %d, want 1", e.Activations())
+	}
+	// Idempotent while already detecting.
+	e.ForceDetection()
+	if e.Activations() != 1 {
+		t.Error("ForceDetection while detecting should be a no-op")
+	}
+}
+
+func TestDetectionCollectsSamplesAndCostsCycles(t *testing.T) {
+	m := buildGroupedMachine(t, sched.PolicyClustered, 2, 8, 8)
+	cfg := testEngineConfig()
+	e, _ := New(m, cfg)
+	_ = e.Install()
+	e.ForceDetection()
+	m.RunRounds(200)
+	if e.SamplesRead() == 0 {
+		t.Fatal("no samples read during detection")
+	}
+	if e.SamplesAdmitted() == 0 {
+		t.Fatal("no samples admitted by the filter")
+	}
+	if m.OverheadCycles() == 0 {
+		t.Error("sampling interrupts should cost cycles")
+	}
+	if len(e.ShMaps()) == 0 {
+		t.Error("shMaps should exist for sampled threads")
+	}
+}
+
+func TestDetectionEndsAndRecordsTrackingTime(t *testing.T) {
+	m := buildGroupedMachine(t, sched.PolicyClustered, 2, 8, 9)
+	cfg := testEngineConfig()
+	cfg.TargetSamples = 5_000
+	e, _ := New(m, cfg)
+	_ = e.Install()
+	e.ForceDetection()
+	for r := 0; r < 2000 && e.Phase() == PhaseDetecting; r += 10 {
+		m.RunRounds(10)
+	}
+	if e.Phase() != PhaseMonitoring {
+		t.Fatalf("detection never finished (samples=%d)", e.SamplesRead())
+	}
+	if e.LastDetectionCycles() == 0 {
+		t.Error("tracking time should be recorded")
+	}
+	if e.SamplesRead() < cfg.TargetSamples {
+		t.Errorf("finished with %d samples, want >= %d", e.SamplesRead(), cfg.TargetSamples)
+	}
+}
+
+func TestSamplingRateControlsTrackingTimeAndOverhead(t *testing.T) {
+	// Figure 8's trade-off: a higher capture fraction (smaller N) finishes
+	// detection sooner but burns more overhead cycles per unit time.
+	run := func(interval uint64) (tracking uint64, overheadFrac float64) {
+		m := buildGroupedMachine(t, sched.PolicyClustered, 2, 8, 10)
+		cfg := testEngineConfig()
+		cfg.SamplingInterval = interval
+		cfg.SamplingJitter = 0
+		cfg.TargetSamples = 4_000
+		e, _ := New(m, cfg)
+		_ = e.Install()
+		e.ForceDetection()
+		for r := 0; r < 5000 && e.Phase() == PhaseDetecting; r += 10 {
+			m.RunRounds(10)
+		}
+		if e.Phase() == PhaseDetecting {
+			t.Fatalf("interval %d: detection did not finish", interval)
+		}
+		b := m.Breakdown()
+		return e.LastDetectionCycles(), float64(m.OverheadCycles()) / float64(b.Cycles)
+	}
+	fastTrack, fastOver := run(2)  // capture 1 in 2
+	slowTrack, slowOver := run(20) // capture 1 in 20
+	if fastTrack >= slowTrack {
+		t.Errorf("higher rate should finish sooner: N=2 took %d, N=20 took %d", fastTrack, slowTrack)
+	}
+	if fastOver <= slowOver {
+		t.Errorf("higher rate should cost more overhead: N=2 %.5f, N=20 %.5f", fastOver, slowOver)
+	}
+}
+
+// TestGlobalSharingGroupIsIgnored documents a deliberate design property:
+// when ONE structure is shared by every thread, the global-sharing mask
+// removes it from every shMap (Section 4.4.2) and the engine refuses to
+// form a cluster — global sharing is exactly the case the paper's
+// predecessors (Thekkath & Eggers) failed on, and placement cannot help
+// it anyway.
+func TestGlobalSharingGroupIsIgnored(t *testing.T) {
+	m := buildGroupedMachine(t, sched.PolicyClustered, 1, 16, 21)
+	cfg := testEngineConfig()
+	cfg.TargetSamples = 8_000
+	e, _ := New(m, cfg)
+	if err := e.Install(); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 6000 && e.Activations() < 2; r += 20 {
+		m.RunRounds(20)
+	}
+	if e.Clusters() == nil {
+		t.Fatalf("first detection never completed (samples %d)", e.SamplesRead())
+	}
+	for _, c := range e.Clusters() {
+		if c.Size() >= e.cfg.MinClusterSize {
+			t.Fatalf("globally shared workload produced a cluster of %d threads", c.Size())
+		}
+	}
+	if e.MigrationsDone() != 0 {
+		t.Errorf("engine migrated %d threads despite having no actionable clusters", e.MigrationsDone())
+	}
+}
+
+// TestOversizedClusterIsNeutralized exercises the Section 4.5 capacity
+// rule directly on the migration policy: a cluster too big for one chip
+// is "neutralized by distributing its threads evenly among the chips".
+func TestOversizedClusterIsNeutralized(t *testing.T) {
+	m := buildGroupedMachine(t, sched.PolicyClustered, 2, 8, 22)
+	e, _ := New(m, testEngineConfig())
+	if err := e.Install(); err != nil {
+		t.Fatal(err)
+	}
+	// Hand the migration policy a 12-thread cluster on a 2-chip machine
+	// with 16 threads: capacity is 8, so the cluster must be spread.
+	big := clustering.Cluster{Rep: 0}
+	for i := 0; i < 12; i++ {
+		big.Members = append(big.Members, clustering.ThreadKey(i))
+	}
+	e.migrate([]clustering.Cluster{big})
+	if e.MigrationsDone() == 0 {
+		t.Fatal("migration did nothing")
+	}
+	// The cluster's threads must span both chips roughly evenly.
+	perChip := map[int]int{}
+	for _, tk := range big.Members {
+		chip, ok := m.Scheduler().ChipOf(sched.ThreadID(tk))
+		if !ok {
+			t.Fatalf("member %d unplaced", tk)
+		}
+		perChip[chip]++
+	}
+	if len(perChip) != 2 {
+		t.Fatalf("oversized cluster was packed onto %d chip(s): %v", len(perChip), perChip)
+	}
+	diff := perChip[0] - perChip[1]
+	if diff < 0 {
+		diff = -diff
+	}
+	// The split adapts to the unclustered threads' pre-existing load;
+	// what matters is that it is even-ish, not packed.
+	if diff > 4 {
+		t.Errorf("cluster spread = %v, want roughly even", perChip)
+	}
+	// Machine-wide balance holds.
+	load := m.Scheduler().ChipLoad()
+	if load[0] != 8 || load[1] != 8 {
+		t.Errorf("chip load = %v, want [8 8]", load)
+	}
+}
+
+// TestMonitoringOverheadNegligible verifies the Section 4.2 claim: "the
+// overhead of monitoring stall breakdown is negligible since it is mostly
+// done by the hardware PMU. As a result, we can afford to continuously
+// monitor stall breakdown with no visible effect on system performance."
+// In the monitoring phase the engine's overflow counters are disarmed, so
+// it must burn zero interrupt cycles.
+func TestMonitoringOverheadNegligible(t *testing.T) {
+	m := buildGroupedMachine(t, sched.PolicyClustered, 2, 4, 23)
+	cfg := testEngineConfig()
+	cfg.ActivationFraction = 10 // never activate: stay monitoring forever
+	e, _ := New(m, cfg)
+	if err := e.Install(); err != nil {
+		t.Fatal(err)
+	}
+	m.RunRounds(300)
+	if e.Phase() != PhaseMonitoring {
+		t.Fatalf("phase = %v, want monitoring", e.Phase())
+	}
+	if m.OverheadCycles() != 0 {
+		t.Errorf("monitoring burned %d overhead cycles, want 0", m.OverheadCycles())
+	}
+	// Throughput must equal an engine-less run exactly (same seed).
+	m2 := buildGroupedMachine(t, sched.PolicyClustered, 2, 4, 23)
+	m2.RunRounds(300)
+	if m.TotalOps() != m2.TotalOps() {
+		t.Errorf("monitoring changed throughput: %d vs %d ops", m.TotalOps(), m2.TotalOps())
+	}
+}
+
+func TestEngineWithNoThreads(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.Policy = sched.PolicyClustered
+	cfg.QuantumCycles = 20_000
+	m, _ := sim.NewMachine(cfg)
+	e, _ := New(m, testEngineConfig())
+	if err := e.Install(); err != nil {
+		t.Fatal(err)
+	}
+	// Must idle gracefully: no activation, no panic.
+	m.RunRounds(50)
+	e.ForceDetection()
+	m.RunRounds(50)
+	if e.SamplesRead() != 0 {
+		t.Error("no threads should mean no samples")
+	}
+}
+
+func TestReport(t *testing.T) {
+	m := buildGroupedMachine(t, sched.PolicyClustered, 2, 4, 24)
+	e, _ := New(m, testEngineConfig())
+	_ = e.Install()
+	r := e.Report()
+	if !strings.Contains(r, "phase=monitoring") {
+		t.Errorf("report missing phase: %s", r)
+	}
+	e.ForceDetection()
+	m.RunRounds(40)
+	r = e.Report()
+	if !strings.Contains(r, "detection:") {
+		t.Errorf("detecting report missing sampling line: %s", r)
+	}
+	for r := 0; r < 4000 && e.Clusters() == nil; r += 20 {
+		m.RunRounds(20)
+	}
+	if e.Clusters() == nil {
+		t.Fatal("detection never finished")
+	}
+	if !strings.Contains(e.Report(), "clusters (") {
+		t.Errorf("post-clustering report missing clusters: %s", e.Report())
+	}
+}
+
+// TestNiagaraSingleChipStaysIdle: on a single-chip machine (the Niagara
+// case from the introduction) there are no remote caches, so the engine
+// never has a reason to act.
+func TestNiagaraSingleChipStaysIdle(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.Topo = topology.NiagaraLike()
+	cfg.Policy = sched.PolicyClustered
+	cfg.QuantumCycles = 20_000
+	m, err := sim.NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arena := memory.NewDefaultArena()
+	shared := arena.MustAlloc(16*memory.LineSize, 0)
+	for i := 0; i < 32; i++ {
+		gen := &groupSharer{
+			rng:     rand.New(rand.NewSource(int64(i))),
+			private: arena.MustAlloc(32<<10, 0),
+			shared:  shared,
+			ratio:   0.5,
+		}
+		_ = m.AddThread(&sim.Thread{ID: sched.ThreadID(i), Gen: gen})
+	}
+	e, _ := New(m, testEngineConfig())
+	_ = e.Install()
+	m.RunRounds(200)
+	if e.Activations() != 0 {
+		t.Errorf("engine activated %d times on a single-chip machine", e.Activations())
+	}
+	if got := m.Breakdown().RemoteStalls(); got != 0 {
+		t.Errorf("single-chip machine reported %d remote stall cycles", got)
+	}
+}
+
+func TestPhaseStrings(t *testing.T) {
+	if PhaseMonitoring.String() != "monitoring" || PhaseDetecting.String() != "detecting" {
+		t.Error("phase strings wrong")
+	}
+	if Phase(9).String() == "" {
+		t.Error("unknown phase should render")
+	}
+}

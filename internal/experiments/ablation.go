@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"threadcluster/internal/clustering"
+	"threadcluster/internal/stats"
+)
+
+// AblationRow scores one clustering algorithm or similarity metric on
+// shMaps captured from a real detection run.
+type AblationRow struct {
+	Algorithm string
+	Clusters  int
+	Purity    float64
+	RandIndex float64
+	// Elapsed is wall-clock cost of the clustering pass itself — the
+	// dimension that rules the "full-blown" algorithms out of an online
+	// engine (Section 4.4.2).
+	Elapsed time.Duration
+}
+
+// Ablation reproduces the study the paper defers to future work
+// (Section 8): compare the light-weight one-pass clusterer against
+// K-means and agglomerative hierarchical clustering, and the dot-product
+// similarity metric against cosine and Jaccard, on the shMaps captured
+// from one SPECjbb detection phase.
+func Ablation(opt Options) ([]AblationRow, *stats.Table, error) {
+	shmaps, truth, spec, err := detectedShMaps(JBB, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	scaled := ScaledEngineConfig(opt.Seed).Clustering
+
+	run := func(name string, f func() []clustering.Cluster) AblationRow {
+		start := time.Now()
+		clusters := f()
+		elapsed := time.Since(start)
+		return AblationRow{
+			Algorithm: name,
+			Clusters:  len(clusters),
+			Purity:    clustering.Purity(clusters, truth),
+			RandIndex: clustering.RandIndex(clusters, truth),
+			Elapsed:   elapsed,
+		}
+	}
+
+	rows := []AblationRow{
+		run("one-pass dot-product (paper)", func() []clustering.Cluster {
+			return scaled.Cluster(shmaps)
+		}),
+		run("one-pass cosine", func() []clustering.Cluster {
+			cfg := scaled
+			cfg.Metric = clustering.Cosine
+			cfg.Threshold = 0.5
+			return cfg.Cluster(shmaps)
+		}),
+		run("one-pass jaccard", func() []clustering.Cluster {
+			cfg := scaled
+			cfg.Metric = clustering.Jaccard
+			cfg.Threshold = 0.3
+			return cfg.Cluster(shmaps)
+		}),
+		run(fmt.Sprintf("k-means (k=%d, oracle)", spec.NumPartitions), func() []clustering.Cluster {
+			return clustering.KMeans(shmaps, spec.NumPartitions, scaled.Floor, scaled.GlobalFraction, opt.Seed, 50)
+		}),
+		run("hierarchical avg-linkage", func() []clustering.Cluster {
+			return clustering.Hierarchical(shmaps, scaled)
+		}),
+	}
+
+	t := stats.NewTable("Ablation: clustering algorithms and similarity metrics (SPECjbb shMaps)",
+		"Algorithm", "Clusters", "Purity", "Rand index", "Cost")
+	for _, r := range rows {
+		t.AddRow(r.Algorithm,
+			fmt.Sprintf("%d", r.Clusters),
+			fmt.Sprintf("%.3f", r.Purity),
+			fmt.Sprintf("%.3f", r.RandIndex),
+			r.Elapsed.Round(time.Microsecond).String())
+	}
+	return rows, t, nil
+}
+
+// ThresholdPoint is one sweep point of the similarity-threshold
+// sensitivity study.
+type ThresholdPoint struct {
+	Threshold float64
+	Clusters  int
+	RandIndex float64
+}
+
+// ThresholdSensitivity sweeps the similarity threshold over three orders
+// of magnitude on shMaps captured from one SPECjbb detection and reports
+// how the clustering responds — the parameter-sensitivity question
+// Section 8 leaves open. The expected shape: a wide plateau of correct
+// clusterings between "too low" (everything merges) and "too high"
+// (everything is a singleton).
+func ThresholdSensitivity(opt Options) ([]ThresholdPoint, *stats.Table, error) {
+	shmaps, truth, _, err := detectedShMaps(JBB, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	scaled := ScaledEngineConfig(opt.Seed).Clustering
+	thresholds := []float64{1, 10, 50, 100, 500, 1_000, 5_000, 20_000, 100_000, 1_000_000}
+	var points []ThresholdPoint
+	t := stats.NewTable("Similarity-threshold sensitivity (SPECjbb shMaps, dot-product metric)",
+		"Threshold", "Clusters", "Rand index")
+	for _, th := range thresholds {
+		cfg := scaled
+		cfg.Threshold = th
+		clusters := cfg.Cluster(shmaps)
+		p := ThresholdPoint{
+			Threshold: th,
+			Clusters:  len(clusters),
+			RandIndex: clustering.RandIndex(clusters, truth),
+		}
+		points = append(points, p)
+		t.AddRow(fmt.Sprintf("%.0f", th), fmt.Sprintf("%d", p.Clusters), fmt.Sprintf("%.3f", p.RandIndex))
+	}
+	return points, t, nil
+}

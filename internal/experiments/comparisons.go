@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"threadcluster/internal/memory"
+	"threadcluster/internal/sched"
+	"threadcluster/internal/sim"
+	"threadcluster/internal/stats"
+	"threadcluster/internal/topology"
+	"threadcluster/internal/workloads"
+)
+
+// ComparisonRow is one workload's results across the four placement
+// strategies, normalized to default Linux scheduling as in Figures 6
+// and 7.
+type ComparisonRow struct {
+	Workload string
+	// Runs holds the raw metrics per policy.
+	Runs map[sched.Policy]RunMetrics
+	// RelativeStalls is remote-access stall cycles relative to default
+	// (Figure 6; lower is better).
+	RelativeStalls map[sched.Policy]float64
+	// RelativePerf is application throughput relative to default
+	// (Figure 7; higher is better).
+	RelativePerf map[sched.Policy]float64
+}
+
+// comparisonPolicies is the display order of Figures 6 and 7.
+func comparisonPolicies() []sched.Policy {
+	return []sched.Policy{
+		sched.PolicyDefault, sched.PolicyRoundRobin,
+		sched.PolicyHandOptimized, sched.PolicyClustered,
+	}
+}
+
+// Comparison runs Figures 6 and 7's underlying experiment for the given
+// workloads. Workloads run in parallel (each on its own machines).
+func Comparison(names []string, opt Options) ([]ComparisonRow, error) {
+	rows := make([]ComparisonRow, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			runs, err := PolicyRuns(name, opt)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			def := runs[sched.PolicyDefault]
+			row := ComparisonRow{
+				Workload:       name,
+				Runs:           runs,
+				RelativeStalls: make(map[sched.Policy]float64, 4),
+				RelativePerf:   make(map[sched.Policy]float64, 4),
+			}
+			for pol, r := range runs {
+				row.RelativeStalls[pol] = stats.Ratio(float64(r.RemoteStalls), float64(def.RemoteStalls))
+				row.RelativePerf[pol] = stats.Ratio(r.OpsPerMCycle, def.OpsPerMCycle)
+			}
+			rows[i] = row
+		}(i, name)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// Figure6 reproduces Figure 6: the impact of the scheduling schemes on
+// stalls caused by remote cache accesses, relative to default Linux
+// scheduling (1.00). The paper reports reductions of up to 70% from
+// automatic clustering.
+func Figure6(opt Options) (*stats.Table, []ComparisonRow, error) {
+	rows, err := Comparison(ServerWorkloads(), opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := stats.NewTable("Figure 6: remote-access stalls relative to default Linux",
+		"Workload", "default", "round-robin", "hand-optimized", "clustered")
+	for _, row := range rows {
+		cells := []string{row.Workload}
+		for _, pol := range comparisonPolicies() {
+			cells = append(cells, fmt.Sprintf("%.2f", row.RelativeStalls[pol]))
+		}
+		t.AddRow(cells...)
+	}
+	return t, rows, nil
+}
+
+// Figure7 reproduces Figure 7: application-reported performance relative
+// to default Linux scheduling (1.00). The paper reports gains of up to 7%;
+// the simulated gains are larger because the simulated workloads have a
+// larger remote-stall share of CPI than the paper's hardware runs, but the
+// paper's own sanity relation holds — the gain approximately matches the
+// share of cycles recovered from remote-access stalls.
+func Figure7(opt Options) (*stats.Table, []ComparisonRow, error) {
+	rows, err := Comparison(ServerWorkloads(), opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := stats.NewTable("Figure 7: application performance relative to default Linux",
+		"Workload", "default", "round-robin", "hand-optimized", "clustered")
+	for _, row := range rows {
+		cells := []string{row.Workload}
+		for _, pol := range comparisonPolicies() {
+			cells = append(cells, fmt.Sprintf("%.3f", row.RelativePerf[pol]))
+		}
+		t.AddRow(cells...)
+	}
+	return t, rows, nil
+}
+
+// Scale32Result is the Section 7.4 scaling experiment outcome.
+type Scale32Result struct {
+	// HandOptGain is hand-optimized SPECjbb throughput over default on the
+	// 32-way (8-chip) machine; the paper's preliminary result is ~14%,
+	// double the 8-way machine's gain.
+	HandOptGain float64
+	// ClusteredGain is the automatic engine's gain on the same machine
+	// (the measurement the paper says was still in progress).
+	ClusteredGain float64
+	// SmallMachineHandOptGain is the same workload's hand-optimized gain
+	// on the 8-way machine, for the "greater impact at scale" comparison.
+	SmallMachineHandOptGain float64
+}
+
+// Scale32 reproduces Section 7.4: thread clustering on a 32-way Power5
+// multiprocessor consisting of 8 chips, using SPECjbb with one warehouse
+// group per chip. The expectation is a larger gain than on the 8-way
+// machine because a scattered thread's sharing partner is on another chip
+// 7 times out of 8 rather than 1 time out of 2.
+func Scale32(opt Options) (Scale32Result, error) {
+	big := opt
+	big.Topo = topology.Power5_32Way()
+
+	buildBig := func(policy sched.Policy) (*sim.Machine, *workloads.Spec, error) {
+		arena := memory.NewDefaultArena()
+		cfg := workloads.DefaultJBBConfig()
+		cfg.Warehouses = 8
+		cfg.ThreadsPerWarehouse = 8
+		cfg.Seed = big.Seed
+		spec, err := workloads.NewJBB(arena, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		mcfg := sim.DefaultConfig()
+		mcfg.Topo = big.Topo
+		mcfg.Policy = policy
+		mcfg.QuantumCycles = big.QuantumCycles
+		mcfg.Seed = big.Seed
+		m, err := sim.NewMachine(mcfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := spec.Install(m); err != nil {
+			return nil, nil, err
+		}
+		return m, spec, nil
+	}
+
+	measure := func(policy sched.Policy, withEngine bool) (float64, error) {
+		m, _, err := buildBig(policy)
+		if err != nil {
+			return 0, err
+		}
+		if withEngine {
+			eng, err := newScaledEngine(m, big.Seed)
+			if err != nil {
+				return 0, err
+			}
+			if err := eng.Install(); err != nil {
+				return 0, err
+			}
+		}
+		m.RunRounds(big.WarmRounds + big.EngineRounds)
+		m.ResetMetrics()
+		m.RunRounds(big.MeasureRounds)
+		b := m.Breakdown()
+		return stats.Ratio(float64(m.TotalOps()), float64(b.Cycles)/1e6), nil
+	}
+
+	defPerf, err := measure(sched.PolicyDefault, false)
+	if err != nil {
+		return Scale32Result{}, err
+	}
+	hoPerf, err := measure(sched.PolicyHandOptimized, false)
+	if err != nil {
+		return Scale32Result{}, err
+	}
+	clPerf, err := measure(sched.PolicyClustered, true)
+	if err != nil {
+		return Scale32Result{}, err
+	}
+
+	// The 8-way comparison uses the standard jbb configuration.
+	smallRuns, err := PolicyRuns(JBB, opt)
+	if err != nil {
+		return Scale32Result{}, err
+	}
+	smallDef := smallRuns[sched.PolicyDefault].OpsPerMCycle
+	smallHO := smallRuns[sched.PolicyHandOptimized].OpsPerMCycle
+
+	return Scale32Result{
+		HandOptGain:             stats.Ratio(hoPerf, defPerf) - 1,
+		ClusteredGain:           stats.Ratio(clPerf, defPerf) - 1,
+		SmallMachineHandOptGain: stats.Ratio(smallHO, smallDef) - 1,
+	}, nil
+}
+
+// Table renders the scaling result.
+func (r Scale32Result) Table() *stats.Table {
+	t := stats.NewTable("Section 7.4: SPECjbb gains over default Linux by machine size",
+		"Configuration", "hand-optimized", "clustered")
+	t.AddRow("8-way (2 chips)", stats.Pct(r.SmallMachineHandOptGain), "-")
+	t.AddRow("32-way (8 chips)", stats.Pct(r.HandOptGain), stats.Pct(r.ClusteredGain))
+	return t
+}

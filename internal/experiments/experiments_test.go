@@ -1,0 +1,606 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"threadcluster/internal/sched"
+)
+
+// testOptions shrinks the run lengths; the figure shapes must survive.
+func testOptions() Options {
+	opt := DefaultOptions()
+	opt.WarmRounds = 120
+	opt.EngineRounds = 2200
+	opt.MeasureRounds = 250
+	return opt
+}
+
+func TestBuildWorkloadNames(t *testing.T) {
+	for _, name := range AllWorkloads() {
+		spec, err := BuildWorkload(name, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(spec.Threads) == 0 {
+			t.Errorf("%s: no threads", name)
+		}
+	}
+	if _, err := BuildWorkload("nope", 1); err == nil {
+		t.Error("unknown workload should fail")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	out := Table1().String()
+	for _, want := range []string{"Power5", "64KB", "2MB", "36MB", "128B"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure1LatenciesMeasuredMatchConfigured(t *testing.T) {
+	tbl, err := Figure1(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	// Configured and measured columns must agree for the probed rows.
+	for _, row := range tbl.Rows[:4] {
+		if row[1] != row[2] {
+			t.Errorf("row %q: configured %s != measured %s", row[0], row[1], row[2])
+		}
+	}
+	if !strings.Contains(out, "Remote L2") {
+		t.Error("remote row missing")
+	}
+}
+
+func TestFigure3VolanoBreakdown(t *testing.T) {
+	tbl, b, err := Figure3(Volano, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Cycles == 0 {
+		t.Fatal("no cycles measured")
+	}
+	// Under default scheduling the remote share must be substantial (it is
+	// what motivates the whole paper) but far from everything.
+	if f := b.RemoteFraction(); f < 0.02 || f > 0.6 {
+		t.Errorf("remote fraction = %.3f, want a visible but partial share", f)
+	}
+	// Completion plus categorized stalls should cover most of the cycles.
+	covered := float64(b.Completion+b.StallTotal()) / float64(b.Cycles)
+	if covered < 0.95 {
+		t.Errorf("CPI stack covers only %.2f of cycles", covered)
+	}
+	if !strings.Contains(tbl.String(), "completion") {
+		t.Error("breakdown table missing completion row")
+	}
+}
+
+func TestFigure6And7Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full comparison sweep is slow")
+	}
+	opt := testOptions()
+	_, rows, err := Figure6(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3 server workloads", len(rows))
+	}
+	for _, row := range rows {
+		ho := row.RelativeStalls[sched.PolicyHandOptimized]
+		cl := row.RelativeStalls[sched.PolicyClustered]
+		// The paper's headline: hand-optimized and clustered remove a
+		// large share of remote-access stalls (up to 70% in the paper).
+		if ho > 0.7 {
+			t.Errorf("%s: hand-optimized relative stalls = %.2f, want < 0.7", row.Workload, ho)
+		}
+		if cl > 0.75 {
+			t.Errorf("%s: clustered relative stalls = %.2f, want < 0.75", row.Workload, cl)
+		}
+		// And performance moves the same direction (Figure 7).
+		if perf := row.RelativePerf[sched.PolicyClustered]; perf < 1.0 {
+			t.Errorf("%s: clustered relative performance = %.3f, want >= 1", row.Workload, perf)
+		}
+		if perf := row.RelativePerf[sched.PolicyHandOptimized]; perf < 1.0 {
+			t.Errorf("%s: hand-optimized relative performance = %.3f, want >= 1", row.Workload, perf)
+		}
+	}
+}
+
+func TestFigure5ClustersAreMeaningful(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure 5 detection runs are slow")
+	}
+	results, err := Figure5(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("results = %d, want 4 workloads", len(results))
+	}
+	for _, r := range results {
+		if r.Heatmap == "" {
+			t.Errorf("%s: empty heatmap", r.Workload)
+		}
+		// The paper: detection matches application logic for three of
+		// four workloads; VolanoMark's clusters need not conform to the
+		// rooms. We require high purity everywhere except volano, where
+		// we only require that clustering found real (>= 2-thread)
+		// groups of threads that genuinely share.
+		if r.Workload != Volano {
+			if r.Purity < 0.85 {
+				t.Errorf("%s: purity = %.2f, want >= 0.85", r.Workload, r.Purity)
+			}
+		}
+		big := 0
+		for _, c := range r.Clusters {
+			if c.Size() >= 2 {
+				big++
+			}
+		}
+		if big == 0 {
+			t.Errorf("%s: no multi-thread clusters detected", r.Workload)
+		}
+	}
+}
+
+func TestFigure8TradeoffShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure 8 sweep is slow")
+	}
+	points, tbl, err := Figure8(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 5 {
+		t.Fatalf("points = %d, want 5 rates", len(points))
+	}
+	// Overhead must be monotone non-decreasing and tracking time monotone
+	// non-increasing as the capture rate rises — the Figure 8 shape.
+	for i := 1; i < len(points); i++ {
+		if points[i].RatePercent <= points[i-1].RatePercent {
+			t.Fatalf("sweep not ordered by rate: %+v", points)
+		}
+		if points[i].OverheadPercent < points[i-1].OverheadPercent {
+			t.Errorf("overhead not monotone: %.3f%% at %.0f%% vs %.3f%% at %.0f%%",
+				points[i].OverheadPercent, points[i].RatePercent,
+				points[i-1].OverheadPercent, points[i-1].RatePercent)
+		}
+		if points[i].TrackingCycles > points[i-1].TrackingCycles {
+			t.Errorf("tracking time not monotone: %d at %.0f%% vs %d at %.0f%%",
+				points[i].TrackingCycles, points[i].RatePercent,
+				points[i-1].TrackingCycles, points[i-1].RatePercent)
+		}
+	}
+	if !strings.Contains(tbl.String(), "1 in 10") {
+		t.Error("table missing the paper's balance point row")
+	}
+}
+
+func TestSpatialSensitivityInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spatial sweep is slow")
+	}
+	points, _, err := SpatialSensitivity(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d, want 3 sizes", len(points))
+	}
+	// Section 6.4: cluster identification is largely invariant across
+	// 128/256/512 entries.
+	for _, p := range points {
+		if p.BigClusters != points[0].BigClusters {
+			t.Errorf("cluster count varies with shMap size: %+v", points)
+			break
+		}
+	}
+	for _, p := range points {
+		if p.Purity < 0.85 {
+			t.Errorf("entries=%d: purity %.2f, want >= 0.85", p.Entries, p.Purity)
+		}
+	}
+}
+
+func TestSDARPurityNearPerfect(t *testing.T) {
+	res, err := SDARPurity(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SamplesRead < 100 {
+		t.Fatalf("only %d samples read; workload too quiet", res.SamplesRead)
+	}
+	// Section 5.2.1: "almost all of the local L1 data cache misses
+	// recorded in our trace are indeed satisfied by remote cache accesses".
+	if res.Purity < 0.95 {
+		t.Errorf("SDAR purity = %.3f, want >= 0.95", res.Purity)
+	}
+}
+
+func TestAblationAlgorithmsAgree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation detection run is slow")
+	}
+	rows, tbl, err := Ablation(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5 algorithms", len(rows))
+	}
+	for _, r := range rows {
+		if r.Purity < 0.8 {
+			t.Errorf("%s: purity = %.2f, want >= 0.8", r.Algorithm, r.Purity)
+		}
+	}
+	if !strings.Contains(tbl.String(), "one-pass dot-product") {
+		t.Error("table missing the paper's algorithm")
+	}
+}
+
+func TestPageVsPMUDetection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("detector comparison is slow")
+	}
+	rows, tbl, err := PageVsPMU(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (2 workloads x 2 approaches)", len(rows))
+	}
+	byKey := make(map[string]DetectorComparison)
+	for _, r := range rows {
+		byKey[r.Workload+"/"+r.Approach] = r
+	}
+	// The PMU path must be precise on both workloads.
+	for _, w := range []string{Microbenchmark, JBB} {
+		if p := byKey[w+"/pmu"].Purity; p < 0.9 {
+			t.Errorf("%s pmu purity = %.2f, want >= 0.9", w, p)
+		}
+	}
+	// The page path must be strictly worse on cluster quality for the
+	// sub-page microbenchmark, and more expensive everywhere.
+	micro := byKey[Microbenchmark+"/page"]
+	if micro.RandIndex >= byKey[Microbenchmark+"/pmu"].RandIndex {
+		t.Errorf("page path rand %.2f should trail pmu rand %.2f on sub-page data",
+			micro.RandIndex, byKey[Microbenchmark+"/pmu"].RandIndex)
+	}
+	for _, w := range []string{Microbenchmark, JBB} {
+		if byKey[w+"/page"].OverheadPercent <= byKey[w+"/pmu"].OverheadPercent {
+			t.Errorf("%s: page overhead %.2f%% should exceed pmu overhead %.2f%%",
+				w, byKey[w+"/page"].OverheadPercent, byKey[w+"/pmu"].OverheadPercent)
+		}
+	}
+	_ = tbl.String()
+}
+
+func TestChurnDegradesClustering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn sweep is slow")
+	}
+	points, _, err := Churn(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d, want 3", len(points))
+	}
+	persistent := points[0]
+	if persistent.RemoteFraction > 0.08 {
+		t.Errorf("persistent connections should cluster well, residual %.3f", persistent.RemoteFraction)
+	}
+	for _, p := range points[1:] {
+		if p.RemoteFraction < persistent.RemoteFraction*2 {
+			t.Errorf("%s: residual %.3f should be at least 2x the persistent %.3f",
+				p.Label, p.RemoteFraction, persistent.RemoteFraction)
+		}
+	}
+}
+
+func TestStagedPipelineCut(t *testing.T) {
+	if testing.Short() {
+		t.Skip("staged study is slow")
+	}
+	res, _, err := Staged(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DefaultRemote < 0.05 {
+		t.Fatalf("default remote fraction %.3f too low; chain workload broken", res.DefaultRemote)
+	}
+	if res.ClusteredRemote >= res.DefaultRemote*0.6 {
+		t.Errorf("clustering should cut chain traffic: %.3f vs %.3f",
+			res.ClusteredRemote, res.DefaultRemote)
+	}
+	if res.ClusteredOps <= res.DefaultOps {
+		t.Errorf("clustered events %d should exceed default %d", res.ClusteredOps, res.DefaultOps)
+	}
+	if !res.ContiguousCut {
+		t.Errorf("placement %v is not a contiguous cut of the pipeline", res.StageChips)
+	}
+}
+
+func TestCacheProbeStaircase(t *testing.T) {
+	if testing.Short() {
+		t.Skip("latency sweep walks large working sets")
+	}
+	points, _, err := CacheProbe(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	expect := map[string][2]float64{
+		"L1":     {0.5, 3},
+		"L2":     {10, 20},
+		"L3":     {70, 110},
+		"memory": {200, 350},
+	}
+	for _, p := range points {
+		bounds := expect[p.Level]
+		if p.CyclesPerAccess < bounds[0] || p.CyclesPerAccess > bounds[1] {
+			t.Errorf("%s working set %d: %.1f cycles/access outside [%g,%g]",
+				p.Level, p.WorkingSetBytes, p.CyclesPerAccess, bounds[0], bounds[1])
+		}
+	}
+	// The staircase must be monotone non-decreasing.
+	for i := 1; i < len(points); i++ {
+		if points[i].CyclesPerAccess < points[i-1].CyclesPerAccess-0.5 {
+			t.Errorf("latency curve dipped at %d bytes", points[i].WorkingSetBytes)
+		}
+	}
+}
+
+func TestMuxValidationTracksExactBreakdown(t *testing.T) {
+	res, tbl, err := MuxValidation(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no comparison rows")
+	}
+	// Azimi et al. report fine-grained multiplexing tracking within a few
+	// percent; require the same here.
+	if res.MaxErrorPts > 3.0 {
+		t.Errorf("worst multiplexing error = %.2f points, want <= 3:\n%s", res.MaxErrorPts, tbl)
+	}
+}
+
+func TestSMTPlacementAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep is slow")
+	}
+	rows, _, err := SMTPlacement(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	random, spread := rows[0], rows[1]
+	if spread.SMTStallFraction > 0.001 {
+		t.Errorf("cores-first placement should eliminate SMT stalls, got %.4f", spread.SMTStallFraction)
+	}
+	if random.SMTStallFraction <= spread.SMTStallFraction {
+		t.Errorf("random placement (%.4f) should average more SMT stalls than cores-first (%.4f)",
+			random.SMTStallFraction, spread.SMTStallFraction)
+	}
+	if spread.OpsPerMCycle <= random.OpsPerMCycle {
+		t.Errorf("cores-first throughput %.1f should beat random %.1f",
+			spread.OpsPerMCycle, random.OpsPerMCycle)
+	}
+}
+
+func TestThresholdSensitivityPlateau(t *testing.T) {
+	if testing.Short() {
+		t.Skip("threshold sweep needs a detection run")
+	}
+	points, _, err := ThresholdSensitivity(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// There must be a plateau of thresholds achieving a high Rand index,
+	// and the extremes must degrade: very high thresholds shatter the
+	// clusters into singletons.
+	best := 0.0
+	plateau := 0
+	for _, p := range points {
+		if p.RandIndex > best {
+			best = p.RandIndex
+		}
+	}
+	for _, p := range points {
+		if p.RandIndex >= best-0.05 {
+			plateau++
+		}
+	}
+	if best < 0.9 {
+		t.Errorf("best rand index = %.2f, want >= 0.9", best)
+	}
+	if plateau < 3 {
+		t.Errorf("only %d thresholds near the best score; expected a robust plateau", plateau)
+	}
+	last := points[len(points)-1]
+	if last.Clusters <= points[0].Clusters {
+		t.Errorf("highest threshold should shatter clusters: %d vs %d at the lowest",
+			last.Clusters, points[0].Clusters)
+	}
+}
+
+func TestMultiprogrammed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multiprogrammed study is slow")
+	}
+	res, tbl, err := Multiprogrammed(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Threads of different processes never share memory; clusters must
+	// never mix processes.
+	if res.CrossProcessClusters != 0 {
+		t.Errorf("found %d cross-process clusters, want 0", res.CrossProcessClusters)
+	}
+	// The engine must cut machine-wide remote stalls...
+	if res.ClusteredRemoteFraction >= res.DefaultRemoteFraction*0.8 {
+		t.Errorf("clustered remote fraction %.3f should be well below default %.3f",
+			res.ClusteredRemoteFraction, res.DefaultRemoteFraction)
+	}
+	// ...without sacrificing either process's throughput.
+	for p := 0; p < 2; p++ {
+		if res.ClusteredOps[p] < res.DefaultOps[p] {
+			t.Errorf("process %d ops fell: %d -> %d", p, res.DefaultOps[p], res.ClusteredOps[p])
+		}
+	}
+	_ = tbl.String()
+}
+
+func TestContentionStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("contention study is slow")
+	}
+	rows, _, err := Contention(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	get := func(l3Sub, placement string) ContentionRow {
+		for _, r := range rows {
+			if r.Placement == placement && len(r.L3) >= len(l3Sub) && r.L3[:len(l3Sub)] == l3Sub {
+				return r
+			}
+		}
+		t.Fatalf("row %s/%s missing", l3Sub, placement)
+		return ContentionRow{}
+	}
+	for _, l3 := range []string{"36MB", "1MB"} {
+		packed := get(l3, "packed on one chip")
+		balanced := get(l3, "engine (balanced)")
+		// Packing one oversized group on a chip buys zero remote stalls
+		// but loses on local contention + idle capacity.
+		if packed.RemoteFraction > 0.01 {
+			t.Errorf("%s: packed placement should have ~no remote stalls, got %.3f", l3, packed.RemoteFraction)
+		}
+		if packed.LocalMissFraction <= balanced.LocalMissFraction {
+			t.Errorf("%s: packed local-miss stalls %.3f should exceed balanced %.3f",
+				l3, packed.LocalMissFraction, balanced.LocalMissFraction)
+		}
+		if packed.OpsPerMCycle >= balanced.OpsPerMCycle {
+			t.Errorf("%s: packed throughput %.1f should trail balanced %.1f",
+				l3, packed.OpsPerMCycle, balanced.OpsPerMCycle)
+		}
+	}
+	// The paper's mitigation claim: the big L3 absorbs most of the
+	// contention, so shrinking it must make packing hurt much more.
+	bigGap := get("36MB", "engine (balanced)").OpsPerMCycle / get("36MB", "packed on one chip").OpsPerMCycle
+	smallGap := get("1MB", "engine (balanced)").OpsPerMCycle / get("1MB", "packed on one chip").OpsPerMCycle
+	if smallGap <= bigGap {
+		t.Errorf("shrunk L3 should widen the contention gap: big-L3 ratio %.2f, small-L3 ratio %.2f", bigGap, smallGap)
+	}
+}
+
+func TestMigrationCostTransient(t *testing.T) {
+	if testing.Short() {
+		t.Skip("migration study is slow")
+	}
+	res, err := MigrationCost(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SteadyBefore < 0.05 {
+		t.Fatalf("scattered steady state %.3f too low; workload broken", res.SteadyBefore)
+	}
+	// Migration pays off: the settled level is far below scattered.
+	if res.SteadyAfter > res.SteadyBefore/4 {
+		t.Errorf("settled remote stalls %.3f should be <1/4 of scattered %.3f", res.SteadyAfter, res.SteadyBefore)
+	}
+	// The reload transient exists but decays within a few windows
+	// ("amortized over the long thread execution time").
+	if res.FirstWindowAfter <= res.SteadyAfter {
+		t.Errorf("first post-migration window %.3f should show a reload burst above settled %.3f",
+			res.FirstWindowAfter, res.SteadyAfter)
+	}
+	if res.SettleWindows > 10 {
+		t.Errorf("transient took %d windows to settle, want <= 10", res.SettleWindows)
+	}
+}
+
+func TestPhaseChangeAdaptation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("phase-change run is slow")
+	}
+	res, err := PhaseChange(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The engine must have re-entered detection after the shift.
+	if res.Activations < 2 {
+		t.Errorf("activations = %d, want >= 2 (initial + re-clustering)", res.Activations)
+	}
+	// The shift must be visible as a remote-stall spike...
+	if res.PeakAfterShift < 0.08 {
+		t.Errorf("peak after shift = %.3f, want a visible spike", res.PeakAfterShift)
+	}
+	// ...and the engine must bring it back down.
+	if res.FinalFraction > res.PeakAfterShift/2 {
+		t.Errorf("final fraction %.3f should be far below the %.3f peak", res.FinalFraction, res.PeakAfterShift)
+	}
+	// The final clustering must match the SECOND phase's ground truth.
+	if res.SecondPhasePurity < 0.9 {
+		t.Errorf("second-phase purity = %.2f, want >= 0.9", res.SecondPhasePurity)
+	}
+}
+
+func TestNUMAExtension(t *testing.T) {
+	if testing.Short() {
+		t.Skip("NUMA study is slow")
+	}
+	res, tbl, err := NUMA(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both engines must fix remote-cache stalls.
+	if res.Clustered.RemoteCacheFraction >= res.Default.RemoteCacheFraction {
+		t.Errorf("blind engine should cut remote-cache stalls: %.3f vs default %.3f",
+			res.Clustered.RemoteCacheFraction, res.Default.RemoteCacheFraction)
+	}
+	// Only the Section 8 extension fixes remote-memory stalls.
+	if res.NUMAEngine.RemoteMemoryFraction >= res.Clustered.RemoteMemoryFraction/2 {
+		t.Errorf("NUMA engine remote-memory stalls %.3f should be far below blind %.3f",
+			res.NUMAEngine.RemoteMemoryFraction, res.Clustered.RemoteMemoryFraction)
+	}
+	if res.NUMAEngine.RemoteMemoryFraction >= res.Default.RemoteMemoryFraction {
+		t.Errorf("NUMA engine remote-memory stalls %.3f should beat default %.3f",
+			res.NUMAEngine.RemoteMemoryFraction, res.Default.RemoteMemoryFraction)
+	}
+	// And it must win on throughput.
+	if res.NUMAEngine.OpsPerMCycle <= res.Clustered.OpsPerMCycle {
+		t.Errorf("NUMA engine throughput %.1f should beat blind %.1f",
+			res.NUMAEngine.OpsPerMCycle, res.Clustered.OpsPerMCycle)
+	}
+	_ = tbl.String()
+}
+
+func TestScale32LargerGain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("32-way runs are slow")
+	}
+	res, err := Scale32(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Section 7.4: the 8-chip machine shows a greater impact than the
+	// 2-chip machine (the paper saw 14% vs 7-8%).
+	if res.HandOptGain <= res.SmallMachineHandOptGain {
+		t.Errorf("32-way hand-opt gain %.3f should exceed 8-way gain %.3f",
+			res.HandOptGain, res.SmallMachineHandOptGain)
+	}
+	if res.ClusteredGain <= 0 {
+		t.Errorf("32-way clustered gain = %.3f, want > 0", res.ClusteredGain)
+	}
+	_ = res.Table().String()
+}

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+
+	"threadcluster/internal/clustering"
+	"threadcluster/internal/core"
+	"threadcluster/internal/pagedetect"
+	"threadcluster/internal/sched"
+	"threadcluster/internal/sim"
+	"threadcluster/internal/stats"
+)
+
+// DetectorComparison is one row of the PMU-vs-page-protection study: the
+// same workload observed by the paper's PMU sampling path and by the
+// software-DSM page-protection baseline that Section 1 argues against.
+type DetectorComparison struct {
+	Workload string
+	Approach string // "pmu" or "page"
+	// Purity and RandIndex score the detected clusters against ground
+	// truth.
+	Purity    float64
+	RandIndex float64
+	// Clusters is the number of >= 2-thread clusters found.
+	Clusters int
+	// OverheadPercent is detection overhead as a share of all cycles
+	// during the detection window.
+	OverheadPercent float64
+}
+
+// PageVsPMU runs the Section 1 comparison: detection granularity and
+// overhead of the PMU path (128-byte lines, hardware-sampled, filtered)
+// versus page protection (4KB pages, fault per first touch per epoch).
+// The expectation, straight from the paper's motivation: the PMU path
+// cleanly separates sharing groups at a fraction of the overhead, while
+// the page path suffers false sharing — sub-page structures coalesce and
+// a shared allocator interleaves unrelated objects on the same pages.
+func PageVsPMU(opt Options) ([]DetectorComparison, *stats.Table, error) {
+	var rows []DetectorComparison
+	for _, workload := range []string{Microbenchmark, JBB} {
+		pmuRow, err := pmuDetectorRow(workload, opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		pageRow, err := pageDetectorRow(workload, opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		rows = append(rows, pmuRow, pageRow)
+	}
+	t := stats.NewTable("Section 1 study: PMU sampling vs page-protection detection",
+		"Workload", "Approach", ">=2-thread clusters", "Purity", "Rand index", "Overhead")
+	for _, r := range rows {
+		t.AddRow(r.Workload, r.Approach,
+			fmt.Sprintf("%d", r.Clusters),
+			fmt.Sprintf("%.3f", r.Purity),
+			fmt.Sprintf("%.3f", r.RandIndex),
+			fmt.Sprintf("%.2f%%", r.OverheadPercent))
+	}
+	return rows, t, nil
+}
+
+func pmuDetectorRow(workload string, opt Options) (DetectorComparison, error) {
+	spec, err := BuildWorkload(workload, opt.Seed)
+	if err != nil {
+		return DetectorComparison{}, err
+	}
+	m, err := newScatterMachine(opt)
+	if err != nil {
+		return DetectorComparison{}, err
+	}
+	if err := spec.Install(m); err != nil {
+		return DetectorComparison{}, err
+	}
+	eng, err := core.New(m, ControlledEngineConfig(opt.Seed))
+	if err != nil {
+		return DetectorComparison{}, err
+	}
+	if err := eng.Install(); err != nil {
+		return DetectorComparison{}, err
+	}
+	m.RunRounds(opt.WarmRounds)
+	m.ResetMetrics()
+	snap, err := forceDetectionAndWait(m, eng, 40*opt.EngineRounds)
+	if err != nil {
+		return DetectorComparison{}, fmt.Errorf("pmu path on %s: %w", workload, err)
+	}
+	b := m.Breakdown()
+	return DetectorComparison{
+		Workload:        workload,
+		Approach:        "pmu",
+		Purity:          clustering.Purity(snap.clusters, truthOf(spec)),
+		RandIndex:       clustering.RandIndex(snap.clusters, truthOf(spec)),
+		Clusters:        bigClusters(snap.clusters),
+		OverheadPercent: 100 * stats.Ratio(float64(m.OverheadCycles()), float64(b.Cycles)),
+	}, nil
+}
+
+func pageDetectorRow(workload string, opt Options) (DetectorComparison, error) {
+	spec, err := BuildWorkload(workload, opt.Seed)
+	if err != nil {
+		return DetectorComparison{}, err
+	}
+	m, err := newScatterMachine(opt)
+	if err != nil {
+		return DetectorComparison{}, err
+	}
+	if err := spec.Install(m); err != nil {
+		return DetectorComparison{}, err
+	}
+	det, err := pagedetect.New(pagedetect.DefaultConfig())
+	if err != nil {
+		return DetectorComparison{}, err
+	}
+	m.RunRounds(opt.WarmRounds)
+	m.ResetMetrics()
+	det.Install(m)
+	// Give the page path the same wall-clock budget the PMU path's
+	// detection typically needs in these configurations.
+	m.RunRounds(opt.EngineRounds)
+	det.Stop(m)
+
+	clusters := det.Cluster(pagedetect.DefaultClusterConfig())
+	b := m.Breakdown()
+	return DetectorComparison{
+		Workload:        workload,
+		Approach:        "page",
+		Purity:          clustering.Purity(clusters, truthOf(spec)),
+		RandIndex:       clustering.RandIndex(clusters, truthOf(spec)),
+		Clusters:        bigClusters(clusters),
+		OverheadPercent: 100 * stats.Ratio(float64(m.OverheadCycles()), float64(b.Cycles)),
+	}, nil
+}
+
+// newScatterMachine builds a machine whose placement scatters sharing
+// groups (round-robin), so both detectors see plenty of cross-chip
+// sharing to work with.
+func newScatterMachine(opt Options) (*sim.Machine, error) {
+	mcfg := sim.DefaultConfig()
+	mcfg.Topo = opt.Topo
+	mcfg.Policy = sched.PolicyRoundRobin
+	mcfg.QuantumCycles = opt.QuantumCycles
+	mcfg.Seed = opt.Seed
+	return sim.NewMachine(mcfg)
+}
+
+func truthOf(spec interface {
+	Truth() map[int]int
+}) map[clustering.ThreadKey]int {
+	truth := make(map[clustering.ThreadKey]int)
+	for id, p := range spec.Truth() {
+		truth[clustering.ThreadKey(id)] = p
+	}
+	return truth
+}
+
+func bigClusters(clusters []clustering.Cluster) int {
+	n := 0
+	for _, c := range clusters {
+		if c.Size() >= 2 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,182 @@
+package memory
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLineOf(t *testing.T) {
+	tests := []struct {
+		addr Addr
+		want Addr
+	}{
+		{0, 0},
+		{1, 0},
+		{127, 0},
+		{128, 128},
+		{129, 128},
+		{0x10037, 0x10000},
+	}
+	for _, tc := range tests {
+		if got := LineOf(tc.addr); got != tc.want {
+			t.Errorf("LineOf(%#x) = %#x, want %#x", uint64(tc.addr), uint64(got), uint64(tc.want))
+		}
+	}
+}
+
+func TestSameLine(t *testing.T) {
+	if !SameLine(0x1000, 0x107f) {
+		t.Error("0x1000 and 0x107f should share a line")
+	}
+	if SameLine(0x107f, 0x1080) {
+		t.Error("0x107f and 0x1080 should not share a line")
+	}
+}
+
+func TestLineIndexConsistentWithLineOf(t *testing.T) {
+	f := func(a uint64) bool {
+		addr := Addr(a)
+		return LineIndex(addr) == uint64(LineOf(addr))/LineSize
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegionContains(t *testing.T) {
+	r := Region{Base: 0x1000, Size: 256}
+	if !r.Contains(0x1000) || !r.Contains(0x10ff) {
+		t.Error("region should contain its endpoints-inclusive range")
+	}
+	if r.Contains(0xfff) || r.Contains(0x1100) {
+		t.Error("region should not contain addresses outside it")
+	}
+	if r.End() != 0x1100 {
+		t.Errorf("End = %#x, want 0x1100", uint64(r.End()))
+	}
+}
+
+func TestRegionLines(t *testing.T) {
+	if got := (Region{Base: 0, Size: 128}).Lines(); got != 1 {
+		t.Errorf("128-byte region spans %d lines, want 1", got)
+	}
+	if got := (Region{Base: 0, Size: 129}).Lines(); got != 2 {
+		t.Errorf("129-byte region spans %d lines, want 2", got)
+	}
+	if got := (Region{Base: 0, Size: 4096}).Lines(); got != 32 {
+		t.Errorf("4096-byte region spans %d lines, want 32", got)
+	}
+}
+
+func TestRegionAtPanicsOutOfBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("At past the end should panic")
+		}
+	}()
+	r := Region{Base: 0x1000, Size: 16}
+	_ = r.At(16)
+}
+
+func TestRegionOverlaps(t *testing.T) {
+	a := Region{Base: 0x1000, Size: 0x100}
+	b := Region{Base: 0x10ff, Size: 1}
+	c := Region{Base: 0x1100, Size: 0x100}
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("a and b should overlap")
+	}
+	if a.Overlaps(c) || c.Overlaps(a) {
+		t.Error("a and c should not overlap")
+	}
+}
+
+func TestArenaAllocAligned(t *testing.T) {
+	a := NewDefaultArena()
+	r, err := a.Alloc(100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(r.Base)%LineSize != 0 {
+		t.Errorf("default alignment should be line-aligned, got %#x", uint64(r.Base))
+	}
+	r2, err := a.Alloc(100, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(r2.Base)%4096 != 0 {
+		t.Errorf("4096 alignment violated: %#x", uint64(r2.Base))
+	}
+}
+
+func TestArenaRejectsBadRequests(t *testing.T) {
+	a := NewDefaultArena()
+	if _, err := a.Alloc(0, 0); err == nil {
+		t.Error("zero-size alloc should fail")
+	}
+	if _, err := a.Alloc(16, 3); err == nil {
+		t.Error("non-power-of-two alignment should fail")
+	}
+}
+
+func TestArenaExhaustion(t *testing.T) {
+	a, err := NewArena(0x1000, 0x2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(0x800, LineSize); err != nil {
+		t.Fatalf("first alloc should fit: %v", err)
+	}
+	if _, err := a.Alloc(0x1000, LineSize); err == nil {
+		t.Error("alloc past the limit should fail")
+	}
+}
+
+func TestNewArenaRejectsInvertedRange(t *testing.T) {
+	if _, err := NewArena(0x2000, 0x1000); err == nil {
+		t.Error("base >= limit should fail")
+	}
+}
+
+// Property: allocations never overlap and respect requested alignment.
+func TestArenaAllocationsDisjoint(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		a := NewDefaultArena()
+		var regions []Region
+		for _, s := range sizes {
+			size := uint64(s%4096) + 1
+			r, err := a.Alloc(size, 0)
+			if err != nil {
+				return false
+			}
+			for _, prev := range regions {
+				if r.Overlaps(prev) {
+					return false
+				}
+			}
+			regions = append(regions, r)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Used grows monotonically and is at least the sum of sizes.
+func TestArenaUsedMonotone(t *testing.T) {
+	a := NewDefaultArena()
+	var prev, sum uint64
+	for i := 0; i < 100; i++ {
+		size := uint64(i%512 + 1)
+		a.MustAlloc(size, 0)
+		sum += size
+		used := a.Used()
+		if used < prev {
+			t.Fatalf("Used went backwards: %d -> %d", prev, used)
+		}
+		prev = used
+	}
+	if prev < sum {
+		t.Errorf("Used = %d, want >= %d (sum of sizes)", prev, sum)
+	}
+}

@@ -1,0 +1,82 @@
+package memory
+
+import "fmt"
+
+// NodeMap assigns every address a home NUMA node. On the machines the
+// paper targets, memory controllers are per chip, so node indices
+// coincide with chip indices. Section 8 sketches extending thread
+// clustering to NUMA by also sampling misses satisfied from remote
+// memory; the cache hierarchy consults a NodeMap to classify memory
+// fills as local or remote.
+type NodeMap interface {
+	// NodeOf returns the home node of the address, in [0, Nodes()).
+	NodeOf(a Addr) int
+	// Nodes returns the node count.
+	Nodes() int
+}
+
+// InterleavedNodes models the default policy of striping physical memory
+// across nodes at a fine granularity (here: per page group). Interleaving
+// gives no thread a home-field advantage — the layout NUMA-blind
+// allocation produces.
+type InterleavedNodes struct {
+	// N is the node count.
+	N int
+	// Granularity is the stripe size in bytes (default 4096).
+	Granularity uint64
+}
+
+// NodeOf implements NodeMap.
+func (in InterleavedNodes) NodeOf(a Addr) int {
+	g := in.Granularity
+	if g == 0 {
+		g = 4096
+	}
+	return int((uint64(a) / g) % uint64(in.N))
+}
+
+// Nodes implements NodeMap.
+func (in InterleavedNodes) Nodes() int { return in.N }
+
+// StripedNodes assigns huge contiguous address stripes to nodes:
+// addresses in [k*Stripe, (k+1)*Stripe) live on node k%N. Combined with
+// one arena per stripe this models node-bound allocation (numactl
+// membind, or first-touch by threads pinned to a node): everything a
+// component ever allocates stays on its home node.
+type StripedNodes struct {
+	// N is the node count.
+	N int
+	// Stripe is the bytes per stripe; must be large enough that each
+	// component's arena fits inside one stripe.
+	Stripe uint64
+}
+
+// NodeOf implements NodeMap.
+func (sn StripedNodes) NodeOf(a Addr) int {
+	return int((uint64(a) / sn.Stripe) % uint64(sn.N))
+}
+
+// Nodes implements NodeMap.
+func (sn StripedNodes) Nodes() int { return sn.N }
+
+// NodeArenas builds one arena per node under a StripedNodes map: arena i
+// allocates only addresses homed on node i.
+func NodeArenas(sn StripedNodes) ([]*Arena, error) {
+	if sn.N <= 0 {
+		return nil, fmt.Errorf("memory: node count must be positive, got %d", sn.N)
+	}
+	if sn.Stripe < LineSize {
+		return nil, fmt.Errorf("memory: stripe %d smaller than a line", sn.Stripe)
+	}
+	arenas := make([]*Arena, sn.N)
+	for i := range arenas {
+		base := Addr(uint64(i)*sn.Stripe + uint64(DefaultArenaBase))
+		limit := Addr(uint64(i+1) * sn.Stripe)
+		a, err := NewArena(base, limit)
+		if err != nil {
+			return nil, err
+		}
+		arenas[i] = a
+	}
+	return arenas, nil
+}

@@ -1,0 +1,99 @@
+package memory
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInterleavedNodes(t *testing.T) {
+	in := InterleavedNodes{N: 4, Granularity: 4096}
+	if in.Nodes() != 4 {
+		t.Errorf("Nodes = %d, want 4", in.Nodes())
+	}
+	if in.NodeOf(0) != 0 || in.NodeOf(4096) != 1 || in.NodeOf(4*4096) != 0 {
+		t.Error("interleaving wrong")
+	}
+	// Default granularity.
+	d := InterleavedNodes{N: 2}
+	if d.NodeOf(4095) != 0 || d.NodeOf(4096) != 1 {
+		t.Error("default granularity should be 4096")
+	}
+}
+
+func TestInterleavedNodesInRange(t *testing.T) {
+	f := func(a uint64, nRaw uint8) bool {
+		n := int(nRaw%8) + 1
+		node := InterleavedNodes{N: n}.NodeOf(Addr(a))
+		return node >= 0 && node < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStripedNodes(t *testing.T) {
+	sn := StripedNodes{N: 4, Stripe: 1 << 32}
+	if sn.NodeOf(0) != 0 {
+		t.Error("first stripe should be node 0")
+	}
+	if sn.NodeOf(Addr(1<<32)) != 1 || sn.NodeOf(Addr(3<<32)) != 3 {
+		t.Error("stripe mapping wrong")
+	}
+	if sn.NodeOf(Addr(4<<32)) != 0 {
+		t.Error("stripes should wrap modulo N")
+	}
+}
+
+func TestNodeArenas(t *testing.T) {
+	sn := StripedNodes{N: 3, Stripe: 1 << 30}
+	arenas, err := NodeArenas(sn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arenas) != 3 {
+		t.Fatalf("arenas = %d, want 3", len(arenas))
+	}
+	for i, a := range arenas {
+		r := a.MustAlloc(4096, 0)
+		if sn.NodeOf(r.Base) != i {
+			t.Errorf("arena %d allocated %#x on node %d", i, uint64(r.Base), sn.NodeOf(r.Base))
+		}
+		if sn.NodeOf(r.End()-1) != i {
+			t.Errorf("arena %d allocation spills across stripes", i)
+		}
+	}
+}
+
+func TestNodeArenasValidation(t *testing.T) {
+	if _, err := NodeArenas(StripedNodes{N: 0, Stripe: 1 << 30}); err == nil {
+		t.Error("zero nodes should fail")
+	}
+	if _, err := NodeArenas(StripedNodes{N: 2, Stripe: 64}); err == nil {
+		t.Error("sub-line stripe should fail")
+	}
+}
+
+// Property: allocations from distinct node arenas never overlap and stay
+// on their node.
+func TestNodeArenasDisjoint(t *testing.T) {
+	sn := StripedNodes{N: 4, Stripe: 1 << 28}
+	arenas, err := NodeArenas(sn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var regions []Region
+	for node, a := range arenas {
+		for j := 0; j < 20; j++ {
+			r := a.MustAlloc(uint64(512+j*128), 0)
+			if sn.NodeOf(r.Base) != node {
+				t.Fatalf("allocation off its node")
+			}
+			for _, prev := range regions {
+				if r.Overlaps(prev) {
+					t.Fatalf("cross-arena overlap")
+				}
+			}
+			regions = append(regions, r)
+		}
+	}
+}

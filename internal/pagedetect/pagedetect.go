@@ -1,0 +1,281 @@
+// Package pagedetect implements the sharing-detection baseline the
+// paper's introduction argues against: the software-DSM technique
+// (TreadMarks [1]) of using virtual-memory page protection to observe
+// which threads touch which data.
+//
+// The mechanism: pages are write-protected (or fully protected); the
+// first access by any thread faults into the kernel, which records
+// (thread, page) and unprotects the page; a periodic sweep re-protects
+// everything so access patterns keep being observed.
+//
+// Its two structural drawbacks, quoted from Section 1 of the paper, are
+// exactly what this implementation reproduces so the comparison
+// experiment can measure them:
+//
+//  1. "the page-level granularity of detecting sharing is relatively
+//     coarse with a high degree of false sharing" — two threads touching
+//     unrelated objects that happen to share a 4KB page look like
+//     sharers;
+//  2. "the overhead of protecting pages results in high overhead with an
+//     attendant increase in page-table traversals and TLB flushing" —
+//     every observation costs a fault (thousands of cycles), and the
+//     re-protection sweep costs TLB shootdowns.
+//
+// Unlike the PMU path — which squeezes line addresses through a small
+// fixed shMap with a collision-discarding filter — the page path tracks
+// pages exactly (a DSM keeps a precise per-page copyset, and pages are
+// 32x fewer than lines), so its per-thread signatures are sparse
+// page->count vectors with no aliasing. Its precision limit is the page
+// granularity itself: unrelated objects on one page are
+// indistinguishable. The detector ships its own one-pass clusterer over
+// the sparse vectors, mirroring the paper's algorithm, so the comparison
+// experiment isolates the detection mechanism.
+package pagedetect
+
+import (
+	"fmt"
+	"sort"
+
+	"threadcluster/internal/clustering"
+	"threadcluster/internal/memory"
+	"threadcluster/internal/sim"
+	"threadcluster/internal/topology"
+)
+
+// PageSize is the virtual-memory page size (4 KiB), the mechanism's
+// granularity — 32x coarser than the PMU path's 128-byte cache line.
+const PageSize = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// PageOf returns the page base address containing a.
+func PageOf(a memory.Addr) memory.Addr { return a &^ (PageSize - 1) }
+
+// Config parameterizes the detector.
+type Config struct {
+	// FaultCycles is the cost of one protection fault: trap, kernel
+	// entry, page-table walk, bookkeeping, unprotect, TLB entry
+	// invalidation, return. Thousands of cycles on real hardware.
+	FaultCycles uint64
+	// SweepInterval is how often (in cycles) every observed page is
+	// re-protected so sharing keeps being sampled.
+	SweepInterval uint64
+	// SweepCostPerPage models the page-table update + TLB shootdown per
+	// re-protected page, charged (amortized) to the next faulting access.
+	SweepCostPerPage uint64
+}
+
+// DefaultConfig uses costs in the range reported for page-protection
+// based systems: ~3000 cycles per fault, sweeps every 500k cycles.
+func DefaultConfig() Config {
+	return Config{
+		FaultCycles:      3000,
+		SweepInterval:    500_000,
+		SweepCostPerPage: 200,
+	}
+}
+
+// Detector observes every memory reference through the simulator's
+// access-observer hook and builds page-granularity signature vectors.
+type Detector struct {
+	cfg Config
+
+	// protected tracks the pages currently armed to fault. A page absent
+	// from the map has never been seen; a page with value true is armed;
+	// false means currently unprotected (already faulted this epoch).
+	protected map[memory.Addr]bool
+	// vectors are exact per-thread page->fault-count signatures.
+	vectors map[clustering.ThreadKey]map[memory.Addr]uint32
+
+	lastSweep  uint64
+	sweepDebt  uint64 // amortized sweep cost charged on subsequent faults
+	faults     uint64
+	sweeps     uint64
+	pagesSwept uint64
+	enabled    bool
+}
+
+// New creates a detector.
+func New(cfg Config) (*Detector, error) {
+	if cfg.FaultCycles == 0 {
+		return nil, fmt.Errorf("pagedetect: fault cost must be nonzero")
+	}
+	if cfg.SweepInterval == 0 {
+		return nil, fmt.Errorf("pagedetect: sweep interval must be nonzero")
+	}
+	return &Detector{
+		cfg:       cfg,
+		protected: make(map[memory.Addr]bool),
+		vectors:   make(map[clustering.ThreadKey]map[memory.Addr]uint32),
+	}, nil
+}
+
+// Install hooks the detector into the machine and starts detecting.
+func (d *Detector) Install(m *sim.Machine) {
+	d.enabled = true
+	d.lastSweep = m.Clock()
+	m.SetAccessObserver(d.observe)
+	m.OnTick(d.tick)
+}
+
+// Stop detaches the observation (the tick hook stays registered but
+// becomes inert).
+func (d *Detector) Stop(m *sim.Machine) {
+	d.enabled = false
+	m.SetAccessObserver(nil)
+}
+
+// observe is the page-fault path.
+func (d *Detector) observe(cpu topology.CPUID, t *sim.Thread, ref sim.MemRef) uint64 {
+	if !d.enabled || t == nil {
+		return 0
+	}
+	page := PageOf(ref.Addr)
+	armed, seen := d.protected[page]
+	if seen && !armed {
+		return 0 // unprotected this epoch: hardware-speed access
+	}
+	// Fault: record the access and unprotect the page.
+	d.protected[page] = false
+	d.faults++
+	key := clustering.ThreadKey(t.ID)
+	v, ok := d.vectors[key]
+	if !ok {
+		v = make(map[memory.Addr]uint32)
+		d.vectors[key] = v
+	}
+	v[page]++
+	cost := d.cfg.FaultCycles
+	if d.sweepDebt > 0 {
+		// Amortize the last sweep's TLB-shootdown bill over the faults
+		// that follow it.
+		chunk := d.sweepDebt / 4
+		if chunk == 0 {
+			chunk = d.sweepDebt
+		}
+		cost += chunk
+		d.sweepDebt -= chunk
+	}
+	return cost
+}
+
+// tick re-protects all observed pages every SweepInterval cycles.
+func (d *Detector) tick(m *sim.Machine) {
+	if !d.enabled || m.Clock()-d.lastSweep < d.cfg.SweepInterval {
+		return
+	}
+	d.lastSweep = m.Clock()
+	d.sweeps++
+	for page, armed := range d.protected {
+		if !armed {
+			d.protected[page] = true
+			d.pagesSwept++
+			d.sweepDebt += d.cfg.SweepCostPerPage
+		}
+	}
+}
+
+// Vectors returns the exact per-thread page->fault-count signatures.
+func (d *Detector) Vectors() map[clustering.ThreadKey]map[memory.Addr]uint32 { return d.vectors }
+
+// Similarity is the paper's dot-product metric evaluated over the exact
+// sparse page vectors: only pages both threads faulted on contribute,
+// weighted by fault-count product, with the same small-value noise floor.
+// Pages in the global set (faulted on by more than half the threads) are
+// skipped, mirroring the shMap path's global-sharing mask.
+func Similarity(a, b map[memory.Addr]uint32, floor uint32, global map[memory.Addr]bool) float64 {
+	var sum float64
+	for page, va := range a {
+		if va < floor || global[page] {
+			continue
+		}
+		if vb := b[page]; vb >= floor {
+			sum += float64(va) * float64(vb)
+		}
+	}
+	return sum
+}
+
+// ClusterConfig parameterizes the page-path clusterer, mirroring
+// clustering.Config.
+type ClusterConfig struct {
+	Threshold      float64
+	Floor          uint32
+	GlobalFraction float64
+}
+
+// DefaultClusterConfig scales the threshold to the page path's signal
+// range. Because the kernel unprotects a page at the first fault, only
+// one thread observes each (page, epoch) pair; per-thread counts are
+// bounded by the number of re-protection sweeps divided by the number of
+// sharers, far below the PMU path's per-sample counts. This is one more
+// structural cost of the technique: intensity information accumulates a
+// whole protection epoch at a time.
+func DefaultClusterConfig() ClusterConfig {
+	return ClusterConfig{Threshold: 30, Floor: 3, GlobalFraction: 0.5}
+}
+
+// Cluster runs the paper's one-pass representative clustering over the
+// exact page vectors.
+func (d *Detector) Cluster(cfg ClusterConfig) []clustering.Cluster {
+	keys := make([]clustering.ThreadKey, 0, len(d.vectors))
+	for k := range d.vectors {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	// Global-page histogram, as in Section 4.4.2.
+	hist := make(map[memory.Addr]int)
+	for _, v := range d.vectors {
+		for page, n := range v {
+			if n > 0 {
+				hist[page]++
+			}
+		}
+	}
+	global := make(map[memory.Addr]bool)
+	limit := cfg.GlobalFraction * float64(len(d.vectors))
+	for page, n := range hist {
+		if float64(n) > limit {
+			global[page] = true
+		}
+	}
+
+	var clusters []clustering.Cluster
+	for _, k := range keys {
+		v := d.vectors[k]
+		best, bestScore := -1, 0.0
+		for ci := range clusters {
+			score := Similarity(d.vectors[clusters[ci].Rep], v, cfg.Floor, global)
+			if score >= cfg.Threshold && score > bestScore {
+				best, bestScore = ci, score
+			}
+		}
+		if best >= 0 {
+			clusters[best].Members = append(clusters[best].Members, k)
+		} else {
+			clusters = append(clusters, clustering.Cluster{Rep: k, Members: []clustering.ThreadKey{k}})
+		}
+	}
+	return clusters
+}
+
+// Faults returns how many protection faults fired.
+func (d *Detector) Faults() uint64 { return d.faults }
+
+// Sweeps returns how many re-protection sweeps ran.
+func (d *Detector) Sweeps() uint64 { return d.sweeps }
+
+// PagesSwept returns the cumulative number of page re-protections.
+func (d *Detector) PagesSwept() uint64 { return d.pagesSwept }
+
+// PagesSeen returns how many distinct pages were ever observed.
+func (d *Detector) PagesSeen() int { return len(d.protected) }
+
+// Reset clears all observations.
+func (d *Detector) Reset() {
+	d.protected = make(map[memory.Addr]bool)
+	d.vectors = make(map[clustering.ThreadKey]map[memory.Addr]uint32)
+	d.faults, d.sweeps, d.pagesSwept, d.sweepDebt = 0, 0, 0, 0
+}

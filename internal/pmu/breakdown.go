@@ -1,0 +1,134 @@
+package pmu
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Breakdown is a CPI stack in the style of Figure 3: total cycles divided
+// into completion cycles (cycles in which at least one instruction
+// retired) and stall cycles attributed to their causes, with data-cache
+// stalls further broken down by the source that eventually satisfied the
+// miss.
+type Breakdown struct {
+	Cycles     uint64
+	Completion uint64
+	Insts      uint64
+	// Stalls maps each stall-category event to its cycle count.
+	Stalls map[Event]uint64
+}
+
+// BreakdownFrom assembles a Breakdown from a PMU's exact counts.
+func BreakdownFrom(p *PMU) Breakdown {
+	b := Breakdown{
+		Cycles:     p.Count(EvCycles),
+		Completion: p.Count(EvCompletionCycles),
+		Insts:      p.Count(EvInstCompleted),
+		Stalls:     make(map[Event]uint64, len(StallEvents())),
+	}
+	for _, ev := range StallEvents() {
+		b.Stalls[ev] = p.Count(ev)
+	}
+	return b
+}
+
+// BreakdownFromMux assembles a Breakdown from multiplexed estimates — this
+// is what the online engine sees, complete with multiplexing noise.
+func BreakdownFromMux(m *Multiplexer) Breakdown {
+	b := Breakdown{
+		Cycles:     m.Estimate(EvCycles),
+		Completion: m.Estimate(EvCompletionCycles),
+		Insts:      m.Estimate(EvInstCompleted),
+		Stalls:     make(map[Event]uint64, len(StallEvents())),
+	}
+	for _, ev := range StallEvents() {
+		b.Stalls[ev] = m.Estimate(ev)
+	}
+	return b
+}
+
+// Add accumulates another breakdown (e.g. across the machine's CPUs).
+func (b *Breakdown) Add(o Breakdown) {
+	b.Cycles += o.Cycles
+	b.Completion += o.Completion
+	b.Insts += o.Insts
+	if b.Stalls == nil {
+		b.Stalls = make(map[Event]uint64, len(StallEvents()))
+	}
+	for ev, v := range o.Stalls {
+		b.Stalls[ev] += v
+	}
+}
+
+// CPI returns average cycles per instruction (0 when no instructions ran).
+func (b Breakdown) CPI() float64 {
+	if b.Insts == 0 {
+		return 0
+	}
+	return float64(b.Cycles) / float64(b.Insts)
+}
+
+// StallTotal returns the sum of all categorized stall cycles.
+func (b Breakdown) StallTotal() uint64 {
+	var t uint64
+	for _, v := range b.Stalls {
+		t += v
+	}
+	return t
+}
+
+// RemoteStalls returns stall cycles caused by remote cache accesses
+// (remote L2 + remote L3) — the quantity the activation threshold and
+// Figures 6's reductions are defined over.
+func (b Breakdown) RemoteStalls() uint64 {
+	return b.Stalls[EvStallRemoteL2] + b.Stalls[EvStallRemoteL3]
+}
+
+// RemoteMemoryStalls returns stall cycles on remote-memory (NUMA) fills.
+func (b Breakdown) RemoteMemoryStalls() uint64 {
+	return b.Stalls[EvStallRemoteMemory]
+}
+
+// RemoteMemoryFraction returns remote-memory stall cycles as a fraction
+// of all cycles.
+func (b Breakdown) RemoteMemoryFraction() float64 {
+	if b.Cycles == 0 {
+		return 0
+	}
+	return float64(b.RemoteMemoryStalls()) / float64(b.Cycles)
+}
+
+// RemoteFraction returns remote-access stall cycles as a fraction of all
+// cycles (0 when no cycles elapsed).
+func (b Breakdown) RemoteFraction() float64 {
+	if b.Cycles == 0 {
+		return 0
+	}
+	return float64(b.RemoteStalls()) / float64(b.Cycles)
+}
+
+// Fraction returns one stall category as a fraction of all cycles.
+func (b Breakdown) Fraction(ev Event) float64 {
+	if b.Cycles == 0 {
+		return 0
+	}
+	return float64(b.Stalls[ev]) / float64(b.Cycles)
+}
+
+// String renders the breakdown as a Figure 3-style table, categories
+// sorted by descending share.
+func (b Breakdown) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cycles=%d insts=%d CPI=%.3f\n", b.Cycles, b.Insts, b.CPI())
+	if b.Cycles == 0 {
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "  %-18s %6.2f%%\n", "completion", 100*float64(b.Completion)/float64(b.Cycles))
+	evs := StallEvents()
+	sort.Slice(evs, func(i, j int) bool { return b.Stalls[evs[i]] > b.Stalls[evs[j]] })
+	for _, ev := range evs {
+		fmt.Fprintf(&sb, "  %-18s %6.2f%%\n", ev.String(), 100*b.Fraction(ev))
+	}
+	return sb.String()
+}

@@ -1,0 +1,136 @@
+// Package pmu simulates a Power5-style performance monitoring unit: a
+// small set of programmable hardware performance counters (HPCs) with
+// overflow exceptions, a continuous-sampling data-address register that is
+// updated on every L1 data-cache miss regardless of the miss's source
+// (Section 5.2.1 of the paper), fine-grained counter multiplexing in the
+// style of Azimi et al. [2], and a CPI stall-breakdown accumulator
+// (Figure 3).
+//
+// The thread-clustering engine is only allowed to see the machine through
+// this interface — counters, overflow interrupts and the sampling register
+// — never the simulator's ground truth, so the paper's indirect
+// remote-access capture technique is exercised for real.
+package pmu
+
+import (
+	"fmt"
+
+	"threadcluster/internal/cache"
+)
+
+// Event identifies a countable micro-architectural event.
+type Event int
+
+const (
+	// EvCycles counts elapsed CPU cycles.
+	EvCycles Event = iota
+	// EvInstCompleted counts retired instructions.
+	EvInstCompleted
+	// EvCompletionCycles counts cycles in which at least one instruction
+	// retired (the "completion" component of the CPI stack).
+	EvCompletionCycles
+	// EvL1DMiss counts L1 data-cache misses from any source.
+	EvL1DMiss
+	// EvMissL2 counts L1D misses satisfied by the chip-local L2.
+	EvMissL2
+	// EvMissL3 counts L1D misses satisfied by the chip-local L3.
+	EvMissL3
+	// EvMissRemoteL2 counts L1D misses satisfied by a remote chip's L2.
+	EvMissRemoteL2
+	// EvMissRemoteL3 counts L1D misses satisfied by a remote chip's L3.
+	EvMissRemoteL3
+	// EvMissMemory counts L1D misses satisfied by local main memory.
+	EvMissMemory
+	// EvMissRemoteMemory counts L1D misses satisfied by another chip's
+	// memory controller (NUMA mode).
+	EvMissRemoteMemory
+	// EvRemoteAccess counts L1D misses satisfied by any remote cache
+	// (remote L2 + remote L3). This is the countable event that the
+	// Section 5.2.1 composition sets an overflow exception on.
+	EvRemoteAccess
+	// EvStallL2 .. EvStallMemory count stall cycles attributed to data
+	// cache misses, broken down by the satisfying source.
+	EvStallL2
+	EvStallL3
+	EvStallRemoteL2
+	EvStallRemoteL3
+	EvStallMemory
+	// EvStallRemoteMemory counts stall cycles on remote-memory fills.
+	EvStallRemoteMemory
+	// EvStallSMT counts cycles lost to the SMT sibling context competing
+	// for the core's issue bandwidth.
+	EvStallSMT
+	// EvStallBranch counts stall cycles from branch mispredictions.
+	EvStallBranch
+	// EvStallOther counts stall cycles from all remaining causes (fixed
+	// point, floating point, instruction fetch, ...).
+	EvStallOther
+	// NumEvents is the size of the event space.
+	NumEvents int = iota
+)
+
+var eventNames = [NumEvents]string{
+	"cycles", "inst-completed", "completion-cycles", "l1d-miss",
+	"miss-l2", "miss-l3", "miss-remote-l2", "miss-remote-l3", "miss-memory",
+	"miss-remote-memory",
+	"remote-access",
+	"stall-l2", "stall-l3", "stall-remote-l2", "stall-remote-l3", "stall-memory",
+	"stall-remote-memory", "stall-smt",
+	"stall-branch", "stall-other",
+}
+
+func (e Event) String() string {
+	if e >= 0 && int(e) < NumEvents {
+		return eventNames[e]
+	}
+	return fmt.Sprintf("Event(%d)", int(e))
+}
+
+// MissEvent maps a cache source to the per-source miss event. It returns
+// false for SrcL1, which is a hit and produces no miss event.
+func MissEvent(src cache.Source) (Event, bool) {
+	switch src {
+	case cache.SrcL2:
+		return EvMissL2, true
+	case cache.SrcL3:
+		return EvMissL3, true
+	case cache.SrcRemoteL2:
+		return EvMissRemoteL2, true
+	case cache.SrcRemoteL3:
+		return EvMissRemoteL3, true
+	case cache.SrcMemory:
+		return EvMissMemory, true
+	case cache.SrcRemoteMemory:
+		return EvMissRemoteMemory, true
+	}
+	return 0, false
+}
+
+// StallEvent maps a cache source to the per-source stall event. It returns
+// false for SrcL1: an L1 hit's couple of cycles are overlapped by the
+// pipeline and never show up as a stall.
+func StallEvent(src cache.Source) (Event, bool) {
+	switch src {
+	case cache.SrcL2:
+		return EvStallL2, true
+	case cache.SrcL3:
+		return EvStallL3, true
+	case cache.SrcRemoteL2:
+		return EvStallRemoteL2, true
+	case cache.SrcRemoteL3:
+		return EvStallRemoteL3, true
+	case cache.SrcMemory:
+		return EvStallMemory, true
+	case cache.SrcRemoteMemory:
+		return EvStallRemoteMemory, true
+	}
+	return 0, false
+}
+
+// StallEvents lists every stall-category event, in display order.
+func StallEvents() []Event {
+	return []Event{
+		EvStallL2, EvStallL3, EvStallRemoteL2, EvStallRemoteL3,
+		EvStallMemory, EvStallRemoteMemory, EvStallSMT, EvStallBranch, EvStallOther,
+	}
+}

@@ -1,0 +1,210 @@
+package pmu
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewMultiplexerValidation(t *testing.T) {
+	if _, err := NewMultiplexer(nil, 100); err == nil {
+		t.Error("empty groups should fail")
+	}
+	if _, err := NewMultiplexer([][]Event{{EvCycles}}, 0); err == nil {
+		t.Error("zero slice length should fail")
+	}
+	big := make([]Event, NumPhysicalCounters+1)
+	for i := range big {
+		big[i] = Event(i)
+	}
+	if _, err := NewMultiplexer([][]Event{big}, 100); err == nil {
+		t.Error("group exceeding physical counters should fail")
+	}
+	if _, err := NewMultiplexer([][]Event{{EvCycles}, {EvCycles}}, 100); err == nil {
+		t.Error("duplicate event across groups should fail")
+	}
+	if _, err := NewMultiplexer([][]Event{{Event(NumEvents)}}, 100); err == nil {
+		t.Error("unknown event should fail")
+	}
+}
+
+func TestMuxOnlyActiveGroupCounts(t *testing.T) {
+	m, err := NewMultiplexer([][]Event{{EvCycles}, {EvL1DMiss}}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New()
+	p.AttachMultiplexer(m)
+	// Group 0 active: EvCycles counted, EvL1DMiss not.
+	p.Observe(EvCycles, 10)
+	p.Observe(EvL1DMiss, 10)
+	if m.Observed(EvCycles) != 10 || m.Observed(EvL1DMiss) != 0 {
+		t.Fatalf("observed = %d/%d, want 10/0", m.Observed(EvCycles), m.Observed(EvL1DMiss))
+	}
+	m.Advance(100) // rotate to group 1
+	p.Observe(EvCycles, 10)
+	p.Observe(EvL1DMiss, 10)
+	if m.Observed(EvCycles) != 10 || m.Observed(EvL1DMiss) != 10 {
+		t.Fatalf("after rotation observed = %d/%d, want 10/10",
+			m.Observed(EvCycles), m.Observed(EvL1DMiss))
+	}
+}
+
+func TestMuxEstimateScaling(t *testing.T) {
+	// Two groups, equal slices: each event active half the time; estimates
+	// should be ~2x observed.
+	m, _ := NewMultiplexer([][]Event{{EvCycles}, {EvL1DMiss}}, 50)
+	p := New()
+	p.AttachMultiplexer(m)
+	for i := 0; i < 100; i++ {
+		p.Observe(EvCycles, 1)
+		p.Observe(EvL1DMiss, 1)
+		m.Advance(1)
+	}
+	est := m.Estimate(EvCycles)
+	if est < 80 || est > 120 {
+		t.Errorf("estimate = %d, want ~100 (2x the ~50 observed)", est)
+	}
+	frac := m.ActiveFraction(EvCycles)
+	if frac < 0.4 || frac > 0.6 {
+		t.Errorf("active fraction = %.2f, want ~0.5", frac)
+	}
+}
+
+func TestMuxEstimateUnmonitored(t *testing.T) {
+	m, _ := NewMultiplexer([][]Event{{EvCycles}}, 50)
+	if m.Estimate(EvL1DMiss) != 0 {
+		t.Error("unmonitored event should estimate to 0")
+	}
+	if m.Estimate(EvCycles) != 0 {
+		t.Error("event with no active time should estimate to 0")
+	}
+}
+
+func TestMuxAdvanceAcrossManySlices(t *testing.T) {
+	m, _ := NewMultiplexer([][]Event{{EvCycles}, {EvL1DMiss}, {EvInstCompleted}}, 10)
+	m.Advance(1000) // 100 slices: each group active ~1/3 of the time
+	for _, ev := range []Event{EvCycles, EvL1DMiss, EvInstCompleted} {
+		f := m.ActiveFraction(ev)
+		if f < 0.30 || f > 0.37 {
+			t.Errorf("%v active fraction = %.3f, want ~1/3", ev, f)
+		}
+	}
+}
+
+func TestMuxReset(t *testing.T) {
+	m, _ := NewMultiplexer([][]Event{{EvCycles}}, 10)
+	p := New()
+	p.AttachMultiplexer(m)
+	p.Observe(EvCycles, 5)
+	m.Advance(25)
+	m.Reset()
+	if m.Observed(EvCycles) != 0 || m.Estimate(EvCycles) != 0 || m.ActiveFraction(EvCycles) != 0 {
+		t.Error("Reset should clear observations")
+	}
+}
+
+// Property-style: for a steady event stream, the multiplexed estimate
+// converges to the true count within sampling error regardless of slice
+// length.
+func TestMuxEstimateConvergence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, sliceLen := range []uint64{7, 64, 500} {
+		m, _ := NewMultiplexer([][]Event{
+			{EvCycles, EvInstCompleted},
+			{EvL1DMiss, EvMissL2},
+			{EvStallRemoteL2, EvStallRemoteL3},
+		}, sliceLen)
+		p := New()
+		p.AttachMultiplexer(m)
+		var trueCount uint64
+		for i := 0; i < 30000; i++ {
+			n := uint64(rng.Intn(3))
+			p.Observe(EvL1DMiss, n)
+			trueCount += n
+			m.Advance(1)
+		}
+		est := float64(m.Estimate(EvL1DMiss))
+		if est < 0.85*float64(trueCount) || est > 1.15*float64(trueCount) {
+			t.Errorf("sliceLen=%d: estimate %v vs true %v outside 15%%", sliceLen, est, trueCount)
+		}
+	}
+}
+
+func TestBreakdownFromPMU(t *testing.T) {
+	p := New()
+	p.Observe(EvCycles, 1000)
+	p.Observe(EvCompletionCycles, 400)
+	p.Observe(EvInstCompleted, 400)
+	p.Observe(EvStallRemoteL2, 150)
+	p.Observe(EvStallRemoteL3, 50)
+	p.Observe(EvStallMemory, 200)
+	p.Observe(EvStallOther, 200)
+	b := BreakdownFrom(p)
+	if b.CPI() != 2.5 {
+		t.Errorf("CPI = %v, want 2.5", b.CPI())
+	}
+	if b.RemoteStalls() != 200 {
+		t.Errorf("remote stalls = %d, want 200", b.RemoteStalls())
+	}
+	if got := b.RemoteFraction(); got != 0.2 {
+		t.Errorf("remote fraction = %v, want 0.2", got)
+	}
+	if b.StallTotal() != 600 {
+		t.Errorf("stall total = %d, want 600", b.StallTotal())
+	}
+	if b.Fraction(EvStallMemory) != 0.2 {
+		t.Errorf("memory stall fraction = %v, want 0.2", b.Fraction(EvStallMemory))
+	}
+}
+
+func TestBreakdownAdd(t *testing.T) {
+	p1, p2 := New(), New()
+	p1.Observe(EvCycles, 100)
+	p1.Observe(EvStallRemoteL2, 10)
+	p2.Observe(EvCycles, 300)
+	p2.Observe(EvStallRemoteL2, 30)
+	var b Breakdown
+	b.Add(BreakdownFrom(p1))
+	b.Add(BreakdownFrom(p2))
+	if b.Cycles != 400 || b.RemoteStalls() != 40 {
+		t.Errorf("aggregate = %d cycles / %d remote, want 400/40", b.Cycles, b.RemoteStalls())
+	}
+}
+
+func TestBreakdownZeroSafe(t *testing.T) {
+	var b Breakdown
+	if b.CPI() != 0 || b.RemoteFraction() != 0 || b.Fraction(EvStallOther) != 0 {
+		t.Error("zero breakdown should produce zero ratios, not NaN")
+	}
+	_ = b.String() // must not panic
+}
+
+func TestBreakdownFromMux(t *testing.T) {
+	m, _ := NewMultiplexer([][]Event{
+		{EvCycles, EvCompletionCycles, EvInstCompleted},
+		{EvStallRemoteL2, EvStallRemoteL3, EvStallMemory},
+	}, 10)
+	p := New()
+	p.AttachMultiplexer(m)
+	for i := 0; i < 1000; i++ {
+		p.Observe(EvCycles, 10)
+		p.Observe(EvCompletionCycles, 4)
+		p.Observe(EvInstCompleted, 4)
+		p.Observe(EvStallRemoteL2, 2)
+		m.Advance(10)
+	}
+	b := BreakdownFromMux(m)
+	// True remote fraction is 0.2; multiplexed estimate should be close.
+	if f := b.RemoteFraction(); f < 0.15 || f > 0.25 {
+		t.Errorf("multiplexed remote fraction = %.3f, want ~0.2", f)
+	}
+}
+
+func TestSDARSourceForValidation(t *testing.T) {
+	p := New()
+	p.RecordMiss(0x1000, 3) // cache.SrcRemoteL2 == 3
+	s := p.ReadSDAR()
+	if got := s.SDARSourceForValidation(); !got.Remote() {
+		t.Errorf("validation source = %v, want remote", got)
+	}
+}

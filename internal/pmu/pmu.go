@@ -1,0 +1,191 @@
+package pmu
+
+import (
+	"fmt"
+
+	"threadcluster/internal/cache"
+	"threadcluster/internal/memory"
+)
+
+// NumPhysicalCounters is how many programmable HPCs one PMU exposes. The
+// Power5 has six programmable counters (plus two fixed ones); monitoring
+// more logical events than this requires multiplexing.
+const NumPhysicalCounters = 6
+
+// OverflowHandler is invoked synchronously when a programmed counter
+// reaches its overflow threshold — the simulated equivalent of a PMU
+// overflow exception. The handler runs in "interrupt context": it may read
+// the sampling register and reprogram counters, and it returns the number
+// of cycles the interrupt + handling cost, which the simulator charges to
+// the CPU that fired it (this is what makes the Figure 8 overhead curve
+// emerge from the model rather than being asserted).
+type OverflowHandler func(p *PMU) (handlerCycles uint64)
+
+// counterSlot is one physical HPC.
+type counterSlot struct {
+	event      Event
+	value      uint64
+	overflowAt uint64 // 0 = never overflow
+	handler    OverflowHandler
+	programmed bool
+}
+
+// SampledAddr is the content of the continuous-sampling data-address
+// register together with (simulator-internal) provenance used only to
+// evaluate the technique's purity, never by the engine itself.
+type SampledAddr struct {
+	Line  memory.Addr
+	Valid bool
+	// source is ground truth about the miss that last updated the
+	// register. The engine must not look at it; the SDAR purity experiment
+	// (Section 5.2.1 validation) does.
+	source cache.Source
+}
+
+// PMU is the performance monitoring unit of one hardware context.
+//
+// It keeps two views of events:
+//
+//   - exact aggregate counts for every event (the measurement harness —
+//     what the paper's authors read out after a run);
+//   - the constrained programmable-counter interface with overflow
+//     exceptions and a last-L1D-miss sampling register (what the online
+//     engine uses).
+type PMU struct {
+	counts [NumEvents]uint64
+	slots  [NumPhysicalCounters]counterSlot
+	sdar   SampledAddr
+	mux    *Multiplexer // optional; nil when not attached
+
+	// interruptCycles accumulates cycles spent in overflow handlers; the
+	// simulator drains it into the running thread's cost.
+	interruptCycles uint64
+}
+
+// New returns a fresh PMU with no counters programmed.
+func New() *PMU { return &PMU{} }
+
+// Program installs an event on a physical counter slot. overflowAt of zero
+// counts without interrupting. Programming a slot resets its value.
+func (p *PMU) Program(slot int, ev Event, overflowAt uint64, h OverflowHandler) error {
+	if slot < 0 || slot >= NumPhysicalCounters {
+		return fmt.Errorf("pmu: slot %d out of range [0,%d)", slot, NumPhysicalCounters)
+	}
+	if ev < 0 || int(ev) >= NumEvents {
+		return fmt.Errorf("pmu: unknown event %d", int(ev))
+	}
+	p.slots[slot] = counterSlot{event: ev, overflowAt: overflowAt, handler: h, programmed: true}
+	return nil
+}
+
+// Unprogram frees a counter slot.
+func (p *PMU) Unprogram(slot int) {
+	if slot >= 0 && slot < NumPhysicalCounters {
+		p.slots[slot] = counterSlot{}
+	}
+}
+
+// SetOverflowThreshold retunes the overflow period of a programmed slot
+// without resetting its accumulated value. The sharing-detection phase uses
+// this to adapt the temporal sampling rate online (Section 4.3.1).
+func (p *PMU) SetOverflowThreshold(slot int, overflowAt uint64) error {
+	if slot < 0 || slot >= NumPhysicalCounters || !p.slots[slot].programmed {
+		return fmt.Errorf("pmu: slot %d not programmed", slot)
+	}
+	p.slots[slot].overflowAt = overflowAt
+	return nil
+}
+
+// CounterValue reads the current value of a physical counter slot.
+func (p *PMU) CounterValue(slot int) uint64 {
+	if slot < 0 || slot >= NumPhysicalCounters {
+		return 0
+	}
+	return p.slots[slot].value
+}
+
+// Observe records n occurrences of an event. Exact aggregate counts are
+// always maintained; programmed counters and the multiplexer see the event
+// too, and counter overflow fires handlers synchronously.
+func (p *PMU) Observe(ev Event, n uint64) {
+	if n == 0 {
+		return
+	}
+	p.counts[ev] += n
+	if p.mux != nil {
+		p.mux.observe(ev, n)
+	}
+	for i := range p.slots {
+		s := &p.slots[i]
+		if !s.programmed || s.event != ev {
+			continue
+		}
+		s.value += n
+		if s.overflowAt != 0 && s.value >= s.overflowAt {
+			// Wrap, preserving the residue, like a hardware counter
+			// reloaded past its overflow point. A single Observe can
+			// cover at most one overflow (events arrive one retirement
+			// at a time in the simulator's hot path).
+			s.value -= s.overflowAt
+			if s.value >= s.overflowAt {
+				s.value %= s.overflowAt
+			}
+			if s.handler != nil {
+				p.interruptCycles += s.handler(p)
+			}
+		}
+	}
+}
+
+// RecordMiss feeds one completed L1D miss into the PMU: it updates the
+// continuous-sampling register with the miss's line address (regardless of
+// source — that is the Power5 limitation the paper works around), then
+// counts the per-source events. Remote sources additionally count
+// EvRemoteAccess, which is the overflow trigger of the Section 5.2.1
+// composition: because the counting happens *after* the register update,
+// an overflow handler that reads the register immediately will almost
+// always observe the remote access that caused the overflow.
+func (p *PMU) RecordMiss(line memory.Addr, src cache.Source) {
+	p.sdar = SampledAddr{Line: line, Valid: true, source: src}
+	p.Observe(EvL1DMiss, 1)
+	if ev, ok := MissEvent(src); ok {
+		p.Observe(ev, 1)
+	}
+	if src.Remote() {
+		p.Observe(EvRemoteAccess, 1)
+	}
+}
+
+// ReadSDAR returns the continuous-sampling data-address register. The
+// register is not consumed by reading; it keeps its value until the next
+// L1D miss overwrites it.
+func (p *PMU) ReadSDAR() SampledAddr { return p.sdar }
+
+// SDARSourceForValidation exposes the ground-truth source of the sampled
+// miss. It exists only for the sample-purity experiment; the clustering
+// engine never calls it.
+func (s SampledAddr) SDARSourceForValidation() cache.Source { return s.source }
+
+// Count returns the exact aggregate count of an event.
+func (p *PMU) Count(ev Event) uint64 { return p.counts[ev] }
+
+// DrainInterruptCycles returns and clears the cycles spent in overflow
+// handlers since the last drain.
+func (p *PMU) DrainInterruptCycles() uint64 {
+	c := p.interruptCycles
+	p.interruptCycles = 0
+	return c
+}
+
+// AttachMultiplexer routes subsequent events into a multiplexer as well.
+func (p *PMU) AttachMultiplexer(m *Multiplexer) { p.mux = m }
+
+// Reset clears aggregate counts and counter values but keeps programming.
+func (p *PMU) Reset() {
+	p.counts = [NumEvents]uint64{}
+	for i := range p.slots {
+		p.slots[i].value = 0
+	}
+	p.sdar = SampledAddr{}
+	p.interruptCycles = 0
+}

@@ -1,0 +1,226 @@
+package pmu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"threadcluster/internal/cache"
+	"threadcluster/internal/memory"
+)
+
+func TestObserveAggregates(t *testing.T) {
+	p := New()
+	p.Observe(EvCycles, 100)
+	p.Observe(EvCycles, 50)
+	p.Observe(EvInstCompleted, 70)
+	if got := p.Count(EvCycles); got != 150 {
+		t.Errorf("cycles = %d, want 150", got)
+	}
+	if got := p.Count(EvInstCompleted); got != 70 {
+		t.Errorf("insts = %d, want 70", got)
+	}
+	if got := p.Count(EvL1DMiss); got != 0 {
+		t.Errorf("untouched event = %d, want 0", got)
+	}
+}
+
+func TestProgramValidation(t *testing.T) {
+	p := New()
+	if err := p.Program(-1, EvCycles, 0, nil); err == nil {
+		t.Error("negative slot should fail")
+	}
+	if err := p.Program(NumPhysicalCounters, EvCycles, 0, nil); err == nil {
+		t.Error("slot past the end should fail")
+	}
+	if err := p.Program(0, Event(NumEvents), 0, nil); err == nil {
+		t.Error("unknown event should fail")
+	}
+	if err := p.Program(0, EvCycles, 0, nil); err != nil {
+		t.Errorf("valid Program failed: %v", err)
+	}
+}
+
+func TestCounterOverflowFiresHandler(t *testing.T) {
+	p := New()
+	fires := 0
+	err := p.Program(0, EvRemoteAccess, 10, func(p *PMU) uint64 {
+		fires++
+		return 7
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 35; i++ {
+		p.Observe(EvRemoteAccess, 1)
+	}
+	if fires != 3 {
+		t.Errorf("handler fired %d times, want 3 (35 events / threshold 10)", fires)
+	}
+	if got := p.DrainInterruptCycles(); got != 21 {
+		t.Errorf("interrupt cycles = %d, want 21 (3 fires x 7 cycles)", got)
+	}
+	if got := p.DrainInterruptCycles(); got != 0 {
+		t.Errorf("drain should clear: got %d", got)
+	}
+	if got := p.CounterValue(0); got != 5 {
+		t.Errorf("counter value after overflows = %d, want 5", got)
+	}
+}
+
+func TestSetOverflowThreshold(t *testing.T) {
+	p := New()
+	if err := p.SetOverflowThreshold(0, 5); err == nil {
+		t.Error("retuning an unprogrammed slot should fail")
+	}
+	fires := 0
+	_ = p.Program(0, EvRemoteAccess, 100, func(p *PMU) uint64 { fires++; return 0 })
+	p.Observe(EvRemoteAccess, 60)
+	if err := p.SetOverflowThreshold(0, 50); err != nil {
+		t.Fatal(err)
+	}
+	// Value 60 already exceeds the new threshold at next event.
+	p.Observe(EvRemoteAccess, 1)
+	if fires != 1 {
+		t.Errorf("handler fired %d times, want 1 after retuning", fires)
+	}
+}
+
+func TestRecordMissUpdatesSDARAndEvents(t *testing.T) {
+	p := New()
+	l1 := memory.Addr(0x1000)
+	l2 := memory.Addr(0x2000)
+	p.RecordMiss(l1, cache.SrcL2)
+	if s := p.ReadSDAR(); !s.Valid || s.Line != l1 {
+		t.Fatalf("SDAR = %+v, want valid %#x", s, uint64(l1))
+	}
+	if p.Count(EvRemoteAccess) != 0 {
+		t.Error("local miss must not count as remote access")
+	}
+	p.RecordMiss(l2, cache.SrcRemoteL2)
+	if s := p.ReadSDAR(); s.Line != l2 {
+		t.Fatalf("SDAR not overwritten by newer miss")
+	}
+	if p.Count(EvRemoteAccess) != 1 {
+		t.Errorf("remote accesses = %d, want 1", p.Count(EvRemoteAccess))
+	}
+	if p.Count(EvL1DMiss) != 2 {
+		t.Errorf("L1D misses = %d, want 2", p.Count(EvL1DMiss))
+	}
+	if p.Count(EvMissL2) != 1 || p.Count(EvMissRemoteL2) != 1 {
+		t.Error("per-source miss events miscounted")
+	}
+}
+
+// The Section 5.2.1 composition: program the overflow on EvRemoteAccess and
+// read the SDAR from the handler. Because RecordMiss updates the register
+// before counting, the handler must observe the remote line even when local
+// misses interleave.
+func TestSDARCompositionCapturesRemoteLine(t *testing.T) {
+	p := New()
+	var sampled []memory.Addr
+	_ = p.Program(0, EvRemoteAccess, 2, func(p *PMU) uint64 {
+		s := p.ReadSDAR()
+		if s.Valid {
+			sampled = append(sampled, s.Line)
+		}
+		return 0
+	})
+	remote := memory.Addr(0xBEEF00)
+	for i := 0; i < 10; i++ {
+		// Lots of local noise between remote misses.
+		p.RecordMiss(memory.Addr(0x100*uint64(i)), cache.SrcMemory)
+		p.RecordMiss(memory.Addr(0x200*uint64(i)), cache.SrcL2)
+		p.RecordMiss(remote, cache.SrcRemoteL2)
+	}
+	if len(sampled) != 5 {
+		t.Fatalf("sampled %d addresses, want 5 (10 remote / threshold 2)", len(sampled))
+	}
+	for _, a := range sampled {
+		if memory.LineOf(a) != memory.LineOf(remote) {
+			t.Errorf("sampled %#x, want the remote line %#x", uint64(a), uint64(remote))
+		}
+	}
+}
+
+func TestMissEventMapping(t *testing.T) {
+	if _, ok := MissEvent(cache.SrcL1); ok {
+		t.Error("L1 hit should not map to a miss event")
+	}
+	if ev, ok := MissEvent(cache.SrcRemoteL3); !ok || ev != EvMissRemoteL3 {
+		t.Errorf("MissEvent(remote L3) = %v,%v", ev, ok)
+	}
+	if _, ok := StallEvent(cache.SrcL1); ok {
+		t.Error("L1 hit should not map to a stall event")
+	}
+	if ev, ok := StallEvent(cache.SrcMemory); !ok || ev != EvStallMemory {
+		t.Errorf("StallEvent(memory) = %v,%v", ev, ok)
+	}
+}
+
+func TestUnprogramStopsCounting(t *testing.T) {
+	p := New()
+	fires := 0
+	_ = p.Program(2, EvCycles, 5, func(p *PMU) uint64 { fires++; return 0 })
+	p.Observe(EvCycles, 4)
+	p.Unprogram(2)
+	p.Observe(EvCycles, 100)
+	if fires != 0 {
+		t.Errorf("handler fired %d times after unprogram, want 0", fires)
+	}
+	// Aggregate counts still work.
+	if p.Count(EvCycles) != 104 {
+		t.Errorf("aggregate cycles = %d, want 104", p.Count(EvCycles))
+	}
+}
+
+func TestResetClearsCountsKeepsProgramming(t *testing.T) {
+	p := New()
+	fires := 0
+	_ = p.Program(0, EvCycles, 10, func(p *PMU) uint64 { fires++; return 0 })
+	p.Observe(EvCycles, 9)
+	p.Reset()
+	if p.Count(EvCycles) != 0 {
+		t.Error("Reset should clear aggregate counts")
+	}
+	p.Observe(EvCycles, 10)
+	if fires != 1 {
+		t.Errorf("programming should survive Reset; fires = %d, want 1", fires)
+	}
+}
+
+// Property: for any observe sequence and threshold, the number of
+// overflow firings equals total events divided by the threshold, and the
+// residual counter value is total modulo threshold.
+func TestOverflowCountProperty(t *testing.T) {
+	f := func(amounts []uint8, thrRaw uint8) bool {
+		// Keep each increment below the threshold so a lump can cross at
+		// most one overflow boundary (as in the simulator's hot path,
+		// where events arrive one retirement at a time).
+		threshold := uint64(thrRaw%43) + 8
+		p := New()
+		fires := 0
+		_ = p.Program(0, EvCycles, threshold, func(p *PMU) uint64 { fires++; return 0 })
+		var total uint64
+		for _, a := range amounts {
+			n := uint64(a % 8)
+			p.Observe(EvCycles, n)
+			total += n
+		}
+		return uint64(fires) == total/threshold && p.CounterValue(0) == total%threshold
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventStrings(t *testing.T) {
+	if EvCycles.String() != "cycles" {
+		t.Errorf("EvCycles.String() = %q", EvCycles.String())
+	}
+	if EvStallRemoteL2.String() != "stall-remote-l2" {
+		t.Errorf("EvStallRemoteL2.String() = %q", EvStallRemoteL2.String())
+	}
+	if Event(999).String() == "" {
+		t.Error("unknown event should still render")
+	}
+}

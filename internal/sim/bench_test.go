@@ -1,0 +1,40 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"threadcluster/internal/memory"
+	"threadcluster/internal/sched"
+)
+
+// BenchmarkMachineRound measures whole-simulator throughput: one
+// scheduling round of the 8-way machine with 16 sharing threads.
+func BenchmarkMachineRound(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Policy = sched.PolicyRoundRobin
+	cfg.QuantumCycles = 20_000
+	m, err := NewMachine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	arena := memory.NewDefaultArena()
+	shared := []memory.Region{arena.MustAlloc(4096, 0), arena.MustAlloc(4096, 0)}
+	for i := 0; i < 16; i++ {
+		g := &sharer{
+			rng:     rand.New(rand.NewSource(int64(i))),
+			private: arena.MustAlloc(64<<10, 0),
+			shared:  shared[i%2],
+			ratio:   0.3,
+		}
+		if err := m.AddThread(&Thread{ID: sched.ThreadID(i), Gen: g}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	m.RunRounds(10) // warm
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.RunRounds(1)
+	}
+	b.ReportMetric(float64(m.Breakdown().Insts)/float64(b.Elapsed().Seconds())/1e6, "Minsts/s")
+}

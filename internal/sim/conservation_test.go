@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"threadcluster/internal/memory"
+	"threadcluster/internal/pmu"
+	"threadcluster/internal/sched"
+	"threadcluster/internal/topology"
+)
+
+// Conservation laws: everything the machine charges must be accounted for
+// exactly once — per-thread totals, per-CPU PMU totals and the CPI stack
+// must all agree.
+func TestCycleConservation(t *testing.T) {
+	cfg := testConfig(sched.PolicyDefault)
+	cfg.SMTContentionPct = 25 // exercise the SMT path too
+	m, _ := NewMachine(cfg)
+	arena := memory.NewDefaultArena()
+	shared := arena.MustAlloc(4096, 0)
+	for i := 0; i < 12; i++ {
+		g := &sharer{
+			rng:     rand.New(rand.NewSource(int64(i))),
+			private: arena.MustAlloc(32<<10, 0),
+			shared:  shared,
+			ratio:   0.3,
+		}
+		_ = m.AddThread(&Thread{ID: sched.ThreadID(i), Gen: g})
+	}
+	m.RunRounds(50)
+
+	b := m.Breakdown()
+	// 1. Per-thread cycles sum to the machine-wide cycle count.
+	var threadCycles, threadInsts uint64
+	for _, th := range m.Threads() {
+		threadCycles += th.Cycles
+		threadInsts += th.Insts
+	}
+	if threadCycles != b.Cycles {
+		t.Errorf("thread cycles %d != PMU cycles %d", threadCycles, b.Cycles)
+	}
+	if threadInsts != b.Insts {
+		t.Errorf("thread insts %d != PMU insts %d", threadInsts, b.Insts)
+	}
+	// 2. The CPI stack is complete: completion + all stalls == cycles.
+	if got := b.Completion + b.StallTotal(); got != b.Cycles {
+		t.Errorf("CPI stack covers %d of %d cycles", got, b.Cycles)
+	}
+	// 3. Per-source miss counts: every L1 miss has exactly one source.
+	var missSum uint64
+	for _, ev := range []pmu.Event{
+		pmu.EvMissL2, pmu.EvMissL3, pmu.EvMissRemoteL2,
+		pmu.EvMissRemoteL3, pmu.EvMissMemory, pmu.EvMissRemoteMemory,
+	} {
+		for c := 0; c < m.Topology().NumCPUs(); c++ {
+			missSum += m.PMU(topology.CPUID(c)).Count(ev)
+		}
+	}
+	var l1Misses uint64
+	for c := 0; c < m.Topology().NumCPUs(); c++ {
+		l1Misses += m.PMU(topology.CPUID(c)).Count(pmu.EvL1DMiss)
+	}
+	if missSum != l1Misses {
+		t.Errorf("per-source misses %d != L1 misses %d", missSum, l1Misses)
+	}
+	// 4. Remote-access event equals the two remote miss sources.
+	var remote, rl2, rl3 uint64
+	for c := 0; c < m.Topology().NumCPUs(); c++ {
+		p := m.PMU(topology.CPUID(c))
+		remote += p.Count(pmu.EvRemoteAccess)
+		rl2 += p.Count(pmu.EvMissRemoteL2)
+		rl3 += p.Count(pmu.EvMissRemoteL3)
+	}
+	if remote != rl2+rl3 {
+		t.Errorf("remote-access count %d != remote L2+L3 misses %d", remote, rl2+rl3)
+	}
+}

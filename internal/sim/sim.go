@@ -1,0 +1,468 @@
+// Package sim is the execution engine that ties the simulated machine
+// together: software threads — modelled as memory-reference generators —
+// run on hardware contexts in scheduling quanta, each data access flows
+// through the coherent cache hierarchy, and every micro-architectural
+// outcome is fed to the per-CPU performance monitoring units.
+//
+// Time is advanced in quanta. To preserve the coherence interleavings that
+// drive remote cache accesses, each quantum is split into several
+// interleave slices and the hardware contexts take turns running their
+// current thread one slice at a time. That models cross-thread
+// invalidation traffic at a fraction of per-cycle simulation cost.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"threadcluster/internal/cache"
+	"threadcluster/internal/memory"
+	"threadcluster/internal/pmu"
+	"threadcluster/internal/sched"
+	"threadcluster/internal/topology"
+)
+
+// MemRef is one unit of simulated work: some instructions of computation
+// followed by a data access, with optional extra stall cycles and an
+// application-level operation completion marker.
+type MemRef struct {
+	// Addr is the data address accessed.
+	Addr memory.Addr
+	// Write marks the access as a store.
+	Write bool
+	// Insts is the number of instructions retired by the computation
+	// leading up to (and including) the access.
+	Insts uint64
+	// BranchStall is extra stall cycles charged to branch misprediction.
+	BranchStall uint64
+	// OtherStall is extra stall cycles charged to remaining causes.
+	OtherStall uint64
+	// Ops, when nonzero, reports that the thread completed that many
+	// application-level operations (messages, transactions, ...) — the
+	// workload's own performance metric (Figure 7).
+	Ops uint64
+}
+
+// Generator produces a thread's memory-reference stream. Implementations
+// own their randomness so a thread's stream is identical across placement
+// policies.
+type Generator interface {
+	Next() MemRef
+}
+
+// Thread is one software thread.
+type Thread struct {
+	// ID is the scheduler handle.
+	ID sched.ThreadID
+	// Gen produces the thread's access stream.
+	Gen Generator
+	// Partition is the ground-truth application partition (scoreboard,
+	// room, warehouse, database instance) used by the hand-optimized
+	// policy and by cluster-quality validation. The automatic engine never
+	// reads it.
+	Partition int
+
+	// Accumulated per-thread metrics.
+	Cycles uint64
+	Insts  uint64
+	Ops    uint64
+	// RemoteMisses counts this thread's accesses satisfied remotely
+	// (ground truth, for validation plots).
+	RemoteMisses uint64
+}
+
+// Config assembles a machine.
+type Config struct {
+	Topo   topology.Topology
+	Lat    topology.Latencies
+	Caches cache.HierarchyConfig
+	// QuantumCycles is the scheduling quantum (default 100k cycles).
+	QuantumCycles uint64
+	// InterleaveSlices divides each quantum for cross-CPU interleaving
+	// (default 4).
+	InterleaveSlices int
+	// SMTContentionPct is the completion-cycle penalty, in percent, a
+	// hardware context pays when its SMT sibling is also running a thread
+	// in the same round: the two contexts share the core's fetch/issue
+	// bandwidth. 0 disables; 25 means co-running threads retire
+	// instructions 25% slower, charged as EvStallSMT cycles.
+	SMTContentionPct int
+	// Seed drives all machine-level randomness.
+	Seed int64
+	// Policy selects the placement strategy.
+	Policy sched.Policy
+}
+
+// DefaultConfig returns the paper's platform with sensible simulation
+// parameters: OpenPower 720 topology, Figure 1 latencies, Table 1 caches.
+func DefaultConfig() Config {
+	return Config{
+		Topo:             topology.OpenPower720(),
+		Lat:              topology.DefaultLatencies(),
+		Caches:           cache.Power5Config(),
+		QuantumCycles:    100_000,
+		InterleaveSlices: 4,
+		Seed:             1,
+		Policy:           sched.PolicyDefault,
+	}
+}
+
+// TickFunc observes the machine after each completed scheduling round.
+type TickFunc func(m *Machine)
+
+// Machine is the whole simulated system.
+type Machine struct {
+	cfg     Config
+	topo    topology.Topology
+	hier    *cache.Hierarchy
+	pmus    []*pmu.PMU
+	muxes   []*pmu.Multiplexer // optional, per CPU; advanced with time
+	sch     *sched.Scheduler
+	threads map[sched.ThreadID]*Thread
+	order   []sched.ThreadID // insertion order, for deterministic iteration
+
+	clock    uint64 // machine time in cycles
+	rng      *rand.Rand
+	ticks    []TickFunc
+	running  []sched.ThreadID // per CPU; -1 = idle
+	overhead uint64           // cycles burned in PMU overflow handlers
+
+	dispatchSlots uint64 // CPU-quanta elapsed
+	dispatchBusy  uint64 // CPU-quanta with a thread dispatched
+
+	// observer, when set, sees every memory reference before it executes
+	// and returns extra cycles to charge (e.g. a simulated page-protection
+	// fault). Used by software-based sharing detectors.
+	observer AccessObserver
+}
+
+// AccessObserver intercepts memory references. It returns extra stall
+// cycles to charge to the accessing CPU — the cost of whatever software
+// mechanism (page fault, instrumentation) the observer models.
+type AccessObserver func(cpu topology.CPUID, t *Thread, ref MemRef) (extraCycles uint64)
+
+// NewMachine builds the machine.
+func NewMachine(cfg Config) (*Machine, error) {
+	if cfg.QuantumCycles == 0 {
+		cfg.QuantumCycles = 100_000
+	}
+	if cfg.InterleaveSlices <= 0 {
+		cfg.InterleaveSlices = 4
+	}
+	hier, err := cache.NewHierarchy(cfg.Topo, cfg.Lat, cfg.Caches)
+	if err != nil {
+		return nil, err
+	}
+	sch, err := sched.New(cfg.Topo, cfg.Policy, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:     cfg,
+		topo:    cfg.Topo,
+		hier:    hier,
+		sch:     sch,
+		threads: make(map[sched.ThreadID]*Thread),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		running: make([]sched.ThreadID, cfg.Topo.NumCPUs()),
+	}
+	for i := 0; i < cfg.Topo.NumCPUs(); i++ {
+		m.pmus = append(m.pmus, pmu.New())
+		m.muxes = append(m.muxes, nil)
+		m.running[i] = -1
+	}
+	return m, nil
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Topology returns the machine shape.
+func (m *Machine) Topology() topology.Topology { return m.topo }
+
+// Hierarchy exposes the cache system (stats, tests).
+func (m *Machine) Hierarchy() *cache.Hierarchy { return m.hier }
+
+// Scheduler exposes the scheduling layer.
+func (m *Machine) Scheduler() *sched.Scheduler { return m.sch }
+
+// PMU returns the performance monitoring unit of a hardware context.
+func (m *Machine) PMU(cpu topology.CPUID) *pmu.PMU { return m.pmus[cpu] }
+
+// AttachMux wires a multiplexer to a CPU's PMU; the machine advances it as
+// simulated time passes on that CPU.
+func (m *Machine) AttachMux(cpu topology.CPUID, mux *pmu.Multiplexer) {
+	m.muxes[cpu] = mux
+	m.pmus[cpu].AttachMultiplexer(mux)
+}
+
+// Clock returns machine time in cycles.
+func (m *Machine) Clock() uint64 { return m.clock }
+
+// OverheadCycles returns cycles burned in PMU overflow handlers so far.
+func (m *Machine) OverheadCycles() uint64 { return m.overhead }
+
+// AddThread registers and places a thread.
+func (m *Machine) AddThread(t *Thread) error {
+	if t == nil || t.Gen == nil {
+		return fmt.Errorf("sim: thread must have a generator")
+	}
+	if _, ok := m.threads[t.ID]; ok {
+		return fmt.Errorf("sim: thread %d already added", t.ID)
+	}
+	if err := m.sch.AddThread(t.ID); err != nil {
+		return err
+	}
+	m.threads[t.ID] = t
+	m.order = append(m.order, t.ID)
+	return nil
+}
+
+// Thread returns a registered thread.
+func (m *Machine) Thread(id sched.ThreadID) *Thread { return m.threads[id] }
+
+// RemoveThread withdraws a thread from the machine (a connection closing,
+// a worker exiting). It must be called between scheduling rounds — i.e.
+// from an OnTick observer or outside RunRounds — never from inside a
+// generator or PMU handler.
+func (m *Machine) RemoveThread(id sched.ThreadID) error {
+	if _, ok := m.threads[id]; !ok {
+		return fmt.Errorf("sim: unknown thread %d", id)
+	}
+	for _, running := range m.running {
+		if running == id {
+			return fmt.Errorf("sim: thread %d is mid-quantum; remove threads between rounds", id)
+		}
+	}
+	m.sch.RemoveThread(id)
+	delete(m.threads, id)
+	for i, oid := range m.order {
+		if oid == id {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Threads returns all threads in insertion order.
+func (m *Machine) Threads() []*Thread {
+	out := make([]*Thread, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.threads[id])
+	}
+	return out
+}
+
+// RunningThread returns the thread currently executing on the CPU, or nil.
+// PMU overflow handlers use this to attribute samples to the interrupted
+// thread, exactly as a kernel interrupt handler attributes samples to
+// `current`.
+func (m *Machine) RunningThread(cpu topology.CPUID) *Thread {
+	id := m.running[cpu]
+	if id < 0 {
+		return nil
+	}
+	return m.threads[id]
+}
+
+// OnTick registers an observer called after every scheduling round.
+func (m *Machine) OnTick(f TickFunc) { m.ticks = append(m.ticks, f) }
+
+// SetAccessObserver installs (or clears, with nil) the per-reference
+// observer. Only one observer is supported; software sharing detectors
+// use it to model page-protection faults.
+func (m *Machine) SetAccessObserver(o AccessObserver) { m.observer = o }
+
+// RunCycles advances the machine by (at least) the given number of cycles,
+// in whole scheduling rounds.
+func (m *Machine) RunCycles(cycles uint64) {
+	end := m.clock + cycles
+	for m.clock < end {
+		m.runRound()
+	}
+}
+
+// RunRounds advances the machine by n scheduling rounds.
+func (m *Machine) RunRounds(n int) {
+	for i := 0; i < n; i++ {
+		m.runRound()
+	}
+}
+
+// runRound executes one scheduling quantum on every hardware context,
+// interleaved in slices, then performs periodic balancing and fires tick
+// observers.
+func (m *Machine) runRound() {
+	ncpu := m.topo.NumCPUs()
+	// Quantum dispatch: each CPU picks its thread for the round.
+	for c := 0; c < ncpu; c++ {
+		m.dispatchSlots++
+		if id, ok := m.sch.PickNext(topology.CPUID(c)); ok {
+			m.running[c] = id
+			m.dispatchBusy++
+		} else {
+			m.running[c] = -1
+		}
+	}
+	sliceBudget := m.cfg.QuantumCycles / uint64(m.cfg.InterleaveSlices)
+	if sliceBudget == 0 {
+		sliceBudget = 1
+	}
+	for s := 0; s < m.cfg.InterleaveSlices; s++ {
+		for c := 0; c < ncpu; c++ {
+			if m.running[c] < 0 {
+				continue
+			}
+			m.runSlice(topology.CPUID(c), m.threads[m.running[c]], sliceBudget, m.smtBusy(topology.CPUID(c)))
+		}
+	}
+	// Quantum end: requeue and balance.
+	for c := 0; c < ncpu; c++ {
+		if m.running[c] >= 0 {
+			m.sch.Requeue(m.running[c])
+			m.running[c] = -1
+		}
+	}
+	m.sch.ProactiveBalance()
+	m.clock += m.cfg.QuantumCycles
+	for c := 0; c < ncpu; c++ {
+		if m.muxes[c] != nil {
+			m.muxes[c].Advance(m.cfg.QuantumCycles)
+		}
+	}
+	for _, f := range m.ticks {
+		f(m)
+	}
+}
+
+// smtBusy reports whether any SMT sibling of the CPU is running a thread
+// this round.
+func (m *Machine) smtBusy(cpu topology.CPUID) bool {
+	if m.cfg.SMTContentionPct <= 0 {
+		return false
+	}
+	for _, sib := range m.topo.CPUsOfCore(m.topo.CoreOf(cpu)) {
+		if sib != cpu && m.running[sib] >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// runSlice runs one thread on one CPU for (at least) budget cycles.
+func (m *Machine) runSlice(cpu topology.CPUID, t *Thread, budget uint64, smtBusy bool) {
+	p := m.pmus[cpu]
+	var used uint64
+	for used < budget {
+		ref := t.Gen.Next()
+		var observerCycles uint64
+		if m.observer != nil {
+			observerCycles = m.observer(cpu, t, ref)
+		}
+		res := m.hier.Access(cpu, ref.Addr, ref.Write)
+
+		completion := ref.Insts + 1 // the access instruction retires too
+		// An L1 hit is overlapped by the pipeline and causes no stall;
+		// everything slower stalls for its latency minus the overlapped
+		// first cycle.
+		var stall uint64
+		stallEv, hasStall := pmu.StallEvent(res.Source)
+		if hasStall && res.Cycles > 1 {
+			stall = res.Cycles - 1
+		}
+		var smtStall uint64
+		if smtBusy {
+			// The sibling context competes for issue bandwidth: retiring
+			// the same instructions takes extra cycles.
+			smtStall = completion * uint64(m.cfg.SMTContentionPct) / 100
+		}
+		total := completion + stall + smtStall + ref.BranchStall + ref.OtherStall
+		if observerCycles > 0 {
+			total += observerCycles
+			m.overhead += observerCycles
+		}
+
+		p.Observe(pmu.EvCycles, total)
+		p.Observe(pmu.EvInstCompleted, completion)
+		p.Observe(pmu.EvCompletionCycles, completion)
+		if hasStall && stall > 0 {
+			p.Observe(stallEv, stall)
+		}
+		if smtStall > 0 {
+			p.Observe(pmu.EvStallSMT, smtStall)
+		}
+		if ref.BranchStall > 0 {
+			p.Observe(pmu.EvStallBranch, ref.BranchStall)
+		}
+		if ref.OtherStall > 0 {
+			p.Observe(pmu.EvStallOther, ref.OtherStall)
+		}
+		if observerCycles > 0 {
+			p.Observe(pmu.EvStallOther, observerCycles)
+		}
+		if res.L1Miss {
+			// RecordMiss updates the sampling register and may fire the
+			// remote-access overflow handler synchronously.
+			p.RecordMiss(res.Line, res.Source)
+		}
+		if res.Source.Remote() {
+			t.RemoteMisses++
+		}
+
+		// Charge any overflow-handler time to this CPU and account it as
+		// cycles: the detection phase's runtime overhead (Figure 8).
+		if ic := p.DrainInterruptCycles(); ic > 0 {
+			p.Observe(pmu.EvCycles, ic)
+			p.Observe(pmu.EvStallOther, ic)
+			m.overhead += ic
+			total += ic
+		}
+
+		used += total
+		t.Cycles += total
+		t.Insts += completion
+		t.Ops += ref.Ops
+	}
+}
+
+// Utilization returns the fraction of CPU-quanta that had a thread
+// dispatched, since the machine started (1.0 = every hardware context
+// busy every round).
+func (m *Machine) Utilization() float64 {
+	if m.dispatchSlots == 0 {
+		return 0
+	}
+	return float64(m.dispatchBusy) / float64(m.dispatchSlots)
+}
+
+// TotalOps sums application-level operations completed by all threads.
+func (m *Machine) TotalOps() uint64 {
+	var ops uint64
+	for _, t := range m.threads {
+		ops += t.Ops
+	}
+	return ops
+}
+
+// Breakdown aggregates the exact stall breakdown across every CPU.
+func (m *Machine) Breakdown() pmu.Breakdown {
+	var b pmu.Breakdown
+	for _, p := range m.pmus {
+		b.Add(pmu.BreakdownFrom(p))
+	}
+	return b
+}
+
+// ResetMetrics clears PMU counts, per-thread metrics and overhead
+// accounting, keeping caches warm and placement intact. Experiments use it
+// to discard warm-up transients before the measured interval.
+func (m *Machine) ResetMetrics() {
+	for _, p := range m.pmus {
+		p.Reset()
+	}
+	for _, t := range m.threads {
+		t.Cycles, t.Insts, t.Ops, t.RemoteMisses = 0, 0, 0, 0
+	}
+	m.overhead = 0
+}

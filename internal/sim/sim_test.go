@@ -1,0 +1,397 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"threadcluster/internal/memory"
+	"threadcluster/internal/pmu"
+	"threadcluster/internal/sched"
+	"threadcluster/internal/topology"
+)
+
+// stride generates a fixed-stride access pattern over a private region.
+type stride struct {
+	region memory.Region
+	off    uint64
+	step   uint64
+	write  bool
+}
+
+func (s *stride) Next() MemRef {
+	a := s.region.At(s.off)
+	s.off = (s.off + s.step) % s.region.Size
+	return MemRef{Addr: a, Write: s.write, Insts: 10, Ops: 1}
+}
+
+// sharer alternates between a private region and a shared line.
+type sharer struct {
+	rng     *rand.Rand
+	private memory.Region
+	shared  memory.Region
+	ratio   float64 // fraction of accesses to the shared region
+}
+
+func (s *sharer) Next() MemRef {
+	if s.rng.Float64() < s.ratio {
+		off := uint64(s.rng.Intn(int(s.shared.Size/memory.LineSize))) * memory.LineSize
+		return MemRef{Addr: s.shared.At(off), Write: s.rng.Intn(2) == 0, Insts: 10, Ops: 1}
+	}
+	off := uint64(s.rng.Intn(int(s.private.Size/memory.LineSize))) * memory.LineSize
+	return MemRef{Addr: s.private.At(off), Write: false, Insts: 10, Ops: 1}
+}
+
+func testConfig(policy sched.Policy) Config {
+	cfg := DefaultConfig()
+	cfg.Policy = policy
+	cfg.QuantumCycles = 20_000
+	return cfg
+}
+
+func TestNewMachineDefaults(t *testing.T) {
+	m, err := NewMachine(Config{Topo: topology.OpenPower720(), Lat: topology.DefaultLatencies(),
+		Caches: DefaultConfig().Caches})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Config().QuantumCycles == 0 || m.Config().InterleaveSlices == 0 {
+		t.Error("defaults should be filled in")
+	}
+}
+
+func TestAddThreadValidation(t *testing.T) {
+	m, _ := NewMachine(testConfig(sched.PolicyDefault))
+	if err := m.AddThread(nil); err == nil {
+		t.Error("nil thread should fail")
+	}
+	if err := m.AddThread(&Thread{ID: 1}); err == nil {
+		t.Error("thread without generator should fail")
+	}
+	arena := memory.NewDefaultArena()
+	g := &stride{region: arena.MustAlloc(4096, 0), step: memory.LineSize}
+	if err := m.AddThread(&Thread{ID: 1, Gen: g}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddThread(&Thread{ID: 1, Gen: g}); err == nil {
+		t.Error("duplicate thread id should fail")
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	m, _ := NewMachine(testConfig(sched.PolicyDefault))
+	arena := memory.NewDefaultArena()
+	for i := 0; i < 4; i++ {
+		g := &stride{region: arena.MustAlloc(64<<10, 0), step: memory.LineSize}
+		if err := m.AddThread(&Thread{ID: sched.ThreadID(i), Gen: g}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.RunCycles(100_000)
+	if m.Clock() < 100_000 {
+		t.Errorf("clock = %d, want >= 100000", m.Clock())
+	}
+	b := m.Breakdown()
+	if b.Cycles == 0 || b.Insts == 0 {
+		t.Error("running threads should produce cycles and instructions")
+	}
+}
+
+func TestThreadsMakeProgressAndOpsCount(t *testing.T) {
+	m, _ := NewMachine(testConfig(sched.PolicyDefault))
+	arena := memory.NewDefaultArena()
+	for i := 0; i < 8; i++ {
+		g := &stride{region: arena.MustAlloc(8<<10, 0), step: memory.LineSize}
+		_ = m.AddThread(&Thread{ID: sched.ThreadID(i), Gen: g})
+	}
+	m.RunRounds(20)
+	if m.TotalOps() == 0 {
+		t.Fatal("no application ops completed")
+	}
+	for _, th := range m.Threads() {
+		if th.Cycles == 0 {
+			t.Errorf("thread %d never ran", th.ID)
+		}
+	}
+}
+
+func TestPrivateWorkloadHasNoRemoteStalls(t *testing.T) {
+	m, _ := NewMachine(testConfig(sched.PolicyDefault))
+	arena := memory.NewDefaultArena()
+	for i := 0; i < 8; i++ {
+		g := &stride{region: arena.MustAlloc(8<<10, 0), step: memory.LineSize}
+		_ = m.AddThread(&Thread{ID: sched.ThreadID(i), Gen: g})
+	}
+	m.RunRounds(50)
+	b := m.Breakdown()
+	if b.RemoteStalls() != 0 {
+		t.Errorf("private-only workload reported %d remote stall cycles", b.RemoteStalls())
+	}
+	for _, th := range m.Threads() {
+		if th.RemoteMisses != 0 {
+			t.Errorf("thread %d saw %d remote misses on private data", th.ID, th.RemoteMisses)
+		}
+	}
+}
+
+func TestCrossChipSharersProduceRemoteStalls(t *testing.T) {
+	// Round-robin spreads threads across chips; heavy write-sharing on one
+	// region must produce remote stalls.
+	m, _ := NewMachine(testConfig(sched.PolicyRoundRobin))
+	arena := memory.NewDefaultArena()
+	shared := arena.MustAlloc(4096, 0)
+	for i := 0; i < 8; i++ {
+		g := &sharer{
+			rng:     rand.New(rand.NewSource(int64(i))),
+			private: arena.MustAlloc(8<<10, 0),
+			shared:  shared,
+			ratio:   0.5,
+		}
+		_ = m.AddThread(&Thread{ID: sched.ThreadID(i), Gen: g})
+	}
+	m.RunRounds(50)
+	b := m.Breakdown()
+	if b.RemoteStalls() == 0 {
+		t.Fatal("cross-chip write sharing produced no remote stalls")
+	}
+	if b.RemoteFraction() <= 0 {
+		t.Fatal("remote fraction should be positive")
+	}
+}
+
+func TestRunningThreadDuringExecution(t *testing.T) {
+	m, _ := NewMachine(testConfig(sched.PolicyDefault))
+	arena := memory.NewDefaultArena()
+	g := &stride{region: arena.MustAlloc(8<<10, 0), step: memory.LineSize}
+	_ = m.AddThread(&Thread{ID: 42, Gen: g})
+
+	// Program an overflow handler that checks attribution mid-run.
+	sawThread := false
+	for c := 0; c < m.Topology().NumCPUs(); c++ {
+		cpu := topology.CPUID(c)
+		_ = m.PMU(cpu).Program(0, pmu.EvL1DMiss, 5, func(p *pmu.PMU) uint64 {
+			if th := m.RunningThread(cpu); th != nil && th.ID == 42 {
+				sawThread = true
+			}
+			return 0
+		})
+	}
+	m.RunRounds(5)
+	if !sawThread {
+		t.Error("overflow handler never observed the running thread")
+	}
+	if m.RunningThread(0) != nil {
+		t.Error("no thread should be 'running' between rounds")
+	}
+}
+
+func TestOverheadChargedForHandlers(t *testing.T) {
+	m, _ := NewMachine(testConfig(sched.PolicyDefault))
+	arena := memory.NewDefaultArena()
+	// Working set larger than L1 to force misses.
+	g := &stride{region: arena.MustAlloc(256<<10, 0), step: memory.LineSize}
+	_ = m.AddThread(&Thread{ID: 1, Gen: g})
+	_ = m.PMU(0).Program(0, pmu.EvL1DMiss, 1, func(p *pmu.PMU) uint64 { return 500 })
+	m.RunRounds(5)
+	if m.OverheadCycles() == 0 {
+		t.Error("handler cycles should be charged as overhead")
+	}
+	b := m.Breakdown()
+	if b.Stalls[pmu.EvStallOther] == 0 {
+		t.Error("overhead should surface as other-stall cycles")
+	}
+}
+
+func TestTickObserver(t *testing.T) {
+	m, _ := NewMachine(testConfig(sched.PolicyDefault))
+	arena := memory.NewDefaultArena()
+	g := &stride{region: arena.MustAlloc(8<<10, 0), step: memory.LineSize}
+	_ = m.AddThread(&Thread{ID: 1, Gen: g})
+	ticks := 0
+	m.OnTick(func(*Machine) { ticks++ })
+	m.RunRounds(7)
+	if ticks != 7 {
+		t.Errorf("ticks = %d, want 7", ticks)
+	}
+}
+
+func TestResetMetrics(t *testing.T) {
+	m, _ := NewMachine(testConfig(sched.PolicyDefault))
+	arena := memory.NewDefaultArena()
+	g := &stride{region: arena.MustAlloc(8<<10, 0), step: memory.LineSize}
+	_ = m.AddThread(&Thread{ID: 1, Gen: g})
+	m.RunRounds(5)
+	m.ResetMetrics()
+	b := m.Breakdown()
+	if b.Cycles != 0 || m.TotalOps() != 0 || m.OverheadCycles() != 0 {
+		t.Error("ResetMetrics should clear counters")
+	}
+	th := m.Thread(1)
+	if th.Cycles != 0 || th.Ops != 0 {
+		t.Error("ResetMetrics should clear per-thread metrics")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	// 4 threads on 8 CPUs: at most half the dispatch slots can be busy.
+	m, _ := NewMachine(testConfig(sched.PolicyRoundRobin))
+	arena := memory.NewDefaultArena()
+	for i := 0; i < 4; i++ {
+		g := &stride{region: arena.MustAlloc(8<<10, 0), step: memory.LineSize}
+		_ = m.AddThread(&Thread{ID: sched.ThreadID(i), Gen: g})
+	}
+	m.RunRounds(20)
+	if u := m.Utilization(); u != 0.5 {
+		t.Errorf("utilization = %.2f, want 0.50 (4 pinned threads on 8 CPUs)", u)
+	}
+	// 16 threads saturate the machine.
+	m2, _ := NewMachine(testConfig(sched.PolicyRoundRobin))
+	for i := 0; i < 16; i++ {
+		g := &stride{region: arena.MustAlloc(8<<10, 0), step: memory.LineSize}
+		_ = m2.AddThread(&Thread{ID: sched.ThreadID(i), Gen: g})
+	}
+	m2.RunRounds(20)
+	if u := m2.Utilization(); u != 1.0 {
+		t.Errorf("utilization = %.2f, want 1.00", u)
+	}
+}
+
+func TestSchedulingFairness(t *testing.T) {
+	// 16 identical always-runnable threads on 8 CPUs: over many rounds
+	// every thread must receive roughly the same CPU time.
+	m, _ := NewMachine(testConfig(sched.PolicyDefault))
+	arena := memory.NewDefaultArena()
+	for i := 0; i < 16; i++ {
+		g := &stride{region: arena.MustAlloc(8<<10, 0), step: memory.LineSize}
+		_ = m.AddThread(&Thread{ID: sched.ThreadID(i), Gen: g})
+	}
+	m.RunRounds(200)
+	var min, max uint64 = ^uint64(0), 0
+	for _, th := range m.Threads() {
+		if th.Cycles < min {
+			min = th.Cycles
+		}
+		if th.Cycles > max {
+			max = th.Cycles
+		}
+	}
+	if min == 0 {
+		t.Fatal("a thread never ran")
+	}
+	if float64(max)/float64(min) > 1.3 {
+		t.Errorf("unfair scheduling: cycles range %d..%d (ratio %.2f)", min, max, float64(max)/float64(min))
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (uint64, uint64) {
+		m, _ := NewMachine(testConfig(sched.PolicyDefault))
+		arena := memory.NewDefaultArena()
+		shared := arena.MustAlloc(4096, 0)
+		for i := 0; i < 8; i++ {
+			g := &sharer{
+				rng:     rand.New(rand.NewSource(int64(i))),
+				private: arena.MustAlloc(8<<10, 0),
+				shared:  shared,
+				ratio:   0.3,
+			}
+			_ = m.AddThread(&Thread{ID: sched.ThreadID(i), Gen: g})
+		}
+		m.RunRounds(30)
+		b := m.Breakdown()
+		return b.Cycles, b.RemoteStalls()
+	}
+	c1, r1 := run()
+	c2, r2 := run()
+	if c1 != c2 || r1 != r2 {
+		t.Errorf("simulation not deterministic: (%d,%d) vs (%d,%d)", c1, r1, c2, r2)
+	}
+}
+
+func TestSMTContentionChargesSiblings(t *testing.T) {
+	// Two threads: co-running on one core's SMT contexts must cost SMT
+	// stall cycles; the same threads on separate cores must not.
+	run := func(cpuA, cpuB topology.CPUID) (uint64, uint64) {
+		cfg := testConfig(sched.PolicyRoundRobin)
+		cfg.SMTContentionPct = 30
+		m, _ := NewMachine(cfg)
+		arena := memory.NewDefaultArena()
+		for i, id := range []sched.ThreadID{1, 2} {
+			g := &stride{region: arena.MustAlloc(8<<10, 0), step: memory.LineSize}
+			_ = m.AddThread(&Thread{ID: id, Gen: g})
+			_ = i
+		}
+		_ = m.Scheduler().Migrate(1, cpuA)
+		_ = m.Scheduler().Migrate(2, cpuB)
+		m.RunRounds(20)
+		b := m.Breakdown()
+		return b.Stalls[pmu.EvStallSMT], b.Insts
+	}
+	smtSame, _ := run(0, 1)  // SMT siblings of core 0
+	smtApart, _ := run(0, 2) // separate cores
+	if smtSame == 0 {
+		t.Error("co-running SMT siblings should pay contention stalls")
+	}
+	if smtApart != 0 {
+		t.Errorf("threads on separate cores paid %d SMT stall cycles", smtApart)
+	}
+}
+
+func TestSMTContentionDisabledByDefault(t *testing.T) {
+	m, _ := NewMachine(testConfig(sched.PolicyRoundRobin))
+	arena := memory.NewDefaultArena()
+	for _, id := range []sched.ThreadID{1, 2} {
+		g := &stride{region: arena.MustAlloc(8<<10, 0), step: memory.LineSize}
+		_ = m.AddThread(&Thread{ID: id, Gen: g})
+	}
+	_ = m.Scheduler().Migrate(1, 0)
+	_ = m.Scheduler().Migrate(2, 1)
+	m.RunRounds(10)
+	if got := m.Breakdown().Stalls[pmu.EvStallSMT]; got != 0 {
+		t.Errorf("SMT stalls = %d with the model disabled, want 0", got)
+	}
+}
+
+func TestClusteredPlacementReducesRemoteStalls(t *testing.T) {
+	// End-to-end sanity for the whole substrate: two groups of four
+	// threads each share a group region. Scattering the groups across
+	// chips (round-robin interleaves them) must produce more remote
+	// stalls than pinning each group to its own chip via migration.
+	build := func(policy sched.Policy) *Machine {
+		m, _ := NewMachine(testConfig(policy))
+		arena := memory.NewDefaultArena()
+		groups := []memory.Region{arena.MustAlloc(8192, 0), arena.MustAlloc(8192, 0)}
+		for i := 0; i < 8; i++ {
+			g := &sharer{
+				rng:     rand.New(rand.NewSource(int64(i))),
+				private: arena.MustAlloc(8<<10, 0),
+				shared:  groups[i%2], // interleaved so round-robin scatters each group
+				ratio:   0.5,
+			}
+			_ = m.AddThread(&Thread{ID: sched.ThreadID(i), Gen: g, Partition: i % 2})
+		}
+		return m
+	}
+
+	scattered := build(sched.PolicyRoundRobin)
+	scattered.RunRounds(100)
+	sFrac := scattered.Breakdown().RemoteFraction()
+
+	clustered := build(sched.PolicyRoundRobin)
+	// Manually migrate group 0 to chip 0, group 1 to chip 1.
+	for i := 0; i < 8; i++ {
+		chip := i % 2
+		cpu := clustered.Topology().CPUsOfChip(chip)[(i/2)%4]
+		if err := clustered.Scheduler().Migrate(sched.ThreadID(i), cpu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clustered.RunRounds(100)
+	cFrac := clustered.Breakdown().RemoteFraction()
+
+	if sFrac == 0 {
+		t.Fatal("scattered run produced no remote stalls; workload too weak")
+	}
+	if cFrac >= sFrac*0.5 {
+		t.Errorf("clustered placement should cut remote stalls by >2x: scattered=%.4f clustered=%.4f", sFrac, cFrac)
+	}
+}

@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+)
+
+// HeatmapPNG renders rows of 0..255 intensities as a PNG image in the
+// style of the paper's Figure 5: one pixel row band per shMap vector,
+// darker pixels for more frequently accessed entries, and a thin
+// separator line between cluster groups. groupSizes gives the number of
+// rows in each consecutive group (nil = no separators).
+func HeatmapPNG(w io.Writer, rows [][]uint8, groupSizes []int, cellW, cellH int) error {
+	if cellW <= 0 {
+		cellW = 3
+	}
+	if cellH <= 0 {
+		cellH = 6
+	}
+	maxLen := 0
+	for _, r := range rows {
+		if len(r) > maxLen {
+			maxLen = len(r)
+		}
+	}
+	const sep = 2
+	height := len(rows) * cellH
+	for _, g := range groupSizes {
+		_ = g
+		height += sep
+	}
+	if height == 0 || maxLen == 0 {
+		height = 1
+		maxLen = 1
+	}
+	img := image.NewGray(image.Rect(0, 0, maxLen*cellW, height))
+	// White background.
+	for i := range img.Pix {
+		img.Pix[i] = 0xFF
+	}
+
+	groupEnd := -1
+	gi := 0
+	if len(groupSizes) > 0 {
+		groupEnd = groupSizes[0]
+	}
+	y := 0
+	for ri, row := range rows {
+		if groupEnd == ri && gi < len(groupSizes) {
+			// Separator band.
+			for dy := 0; dy < sep; dy++ {
+				for x := 0; x < maxLen*cellW; x++ {
+					img.SetGray(x, y+dy, color.Gray{Y: 0x80})
+				}
+			}
+			y += sep
+			gi++
+			if gi < len(groupSizes) {
+				groupEnd += groupSizes[gi]
+			}
+		}
+		for ci, v := range row {
+			// Darker = hotter (invert intensity).
+			g := color.Gray{Y: 255 - v}
+			for dy := 0; dy < cellH; dy++ {
+				for dx := 0; dx < cellW; dx++ {
+					img.SetGray(ci*cellW+dx, y+dy, g)
+				}
+			}
+		}
+		y += cellH
+	}
+	return png.Encode(w, img)
+}

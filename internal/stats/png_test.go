@@ -1,0 +1,72 @@
+package stats
+
+import (
+	"bytes"
+	"image/png"
+	"testing"
+)
+
+func TestHeatmapPNGDimensionsAndShades(t *testing.T) {
+	rows := [][]uint8{
+		{0, 255, 128},
+		{255, 0, 0},
+		{10, 10, 10},
+	}
+	var buf bytes.Buffer
+	if err := HeatmapPNG(&buf, rows, []int{2, 1}, 4, 5); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := img.Bounds()
+	if b.Dx() != 3*4 {
+		t.Errorf("width = %d, want 12", b.Dx())
+	}
+	if b.Dy() < 3*5 {
+		t.Errorf("height = %d, want >= 15 (3 rows x 5px)", b.Dy())
+	}
+	// Intensity 255 renders darkest; intensity 0 lightest.
+	dark, _, _, _ := img.At(5, 2).RGBA()  // row 0 col 1: value 255
+	light, _, _, _ := img.At(1, 2).RGBA() // row 0 col 0: value 0
+	if dark >= light {
+		t.Errorf("hot cell (%d) should be darker than cold cell (%d)", dark, light)
+	}
+}
+
+func TestHeatmapPNGEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := HeatmapPNG(&buf, nil, nil, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := png.Decode(&buf); err != nil {
+		t.Fatalf("empty heatmap should still be a valid PNG: %v", err)
+	}
+}
+
+func TestHeatmapPNGGroupSeparator(t *testing.T) {
+	// Two one-row groups of all-cold cells: the separator band between
+	// them must contain mid-gray pixels.
+	rows := [][]uint8{{0, 0}, {0, 0}}
+	var buf bytes.Buffer
+	if err := HeatmapPNG(&buf, rows, []int{1, 1}, 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	b := img.Bounds()
+	for y := b.Min.Y; y < b.Max.Y && !found; y++ {
+		r, _, _, _ := img.At(0, y).RGBA()
+		v := r >> 8
+		if v > 0x60 && v < 0xA0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no separator band found between groups")
+	}
+}

@@ -1,0 +1,179 @@
+// Package stats provides the small reporting toolkit the experiment
+// harnesses use: aligned text tables for the paper's tables and bar
+// figures, series for parameter sweeps, and an ASCII gray-scale heat map
+// for the Figure 5 shMap visualization.
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are kept as-is.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddRowf appends a row of formatted values: each argument is rendered
+// with %v, floats with 3 decimals.
+func (t *Table) AddRowf(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.AddRow(row...)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "== %s ==\n", t.Title)
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			w := len(c)
+			if i < len(widths) {
+				w = widths[i]
+			}
+			fmt.Fprintf(&sb, "%-*s", w, c)
+			if i < len(cells)-1 {
+				sb.WriteString("  ")
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// Markdown renders the table as GitHub-flavored Markdown.
+func (t *Table) Markdown() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "### %s\n\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		sb.WriteString("|")
+		for _, c := range cells {
+			sb.WriteString(" ")
+			sb.WriteString(strings.ReplaceAll(c, "|", "\\|"))
+			sb.WriteString(" |")
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// Point is one (x, y) sample of a sweep.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is a labelled sweep result (one line of a figure).
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{X: x, Y: y}) }
+
+// String renders the series as "label: (x,y) (x,y) ...".
+func (s *Series) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s:", s.Label)
+	for _, p := range s.Points {
+		fmt.Fprintf(&sb, " (%g, %.4g)", p.X, p.Y)
+	}
+	return sb.String()
+}
+
+// grayRamp maps intensity 0..255 to ASCII density, darkest last, matching
+// Figure 5's "more frequently accessed entries appear darker".
+const grayRamp = " .:-=+*#%@"
+
+// GrayCell renders one 0..255 intensity as a single character.
+func GrayCell(v uint8) byte {
+	idx := int(v) * (len(grayRamp) - 1) / 255
+	return grayRamp[idx]
+}
+
+// Heatmap renders rows of 0..255 intensities as an ASCII gray-scale
+// picture, one text row per data row, with optional per-row labels.
+func Heatmap(rows [][]uint8, labels []string) string {
+	var sb strings.Builder
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	for i, row := range rows {
+		if labels != nil && i < len(labels) {
+			fmt.Fprintf(&sb, "%-*s |", labelW, labels[i])
+		}
+		for _, v := range row {
+			sb.WriteByte(GrayCell(v))
+		}
+		sb.WriteString("|\n")
+	}
+	return sb.String()
+}
+
+// Pct formats a ratio as a percentage with one decimal.
+func Pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+
+// Ratio guards against division by zero.
+func Ratio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRowf("beta", 2.5)
+	tb.AddRowf("gamma", 42)
+	out := tb.String()
+	if !strings.Contains(out, "== Demo ==") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "2.500") {
+		t.Error("float formatting missing")
+	}
+	if !strings.Contains(out, "42") {
+		t.Error("int row missing")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // title, header, separator, 3 rows
+		t.Errorf("got %d lines, want 6:\n%s", len(lines), out)
+	}
+	// Column alignment: 'value' column starts at the same offset in header
+	// and data rows.
+	hdr := lines[1]
+	row := lines[3]
+	if strings.Index(hdr, "value") != strings.Index(row, "1") {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.AddRow("x")
+	if strings.Contains(tb.String(), "==") {
+		t.Error("untitled table should not render a title banner")
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("a|b", "1")
+	md := tb.Markdown()
+	if !strings.Contains(md, "### Demo") {
+		t.Error("markdown title missing")
+	}
+	if !strings.Contains(md, "| name | value |") {
+		t.Errorf("markdown header wrong:\n%s", md)
+	}
+	if !strings.Contains(md, "| --- | --- |") {
+		t.Error("markdown separator missing")
+	}
+	if !strings.Contains(md, `a\|b`) {
+		t.Error("pipe escaping missing")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Label = "overhead"
+	s.Add(2, 0.01)
+	s.Add(10, 0.05)
+	out := s.String()
+	if !strings.Contains(out, "overhead:") || !strings.Contains(out, "(2, 0.01)") {
+		t.Errorf("series rendering wrong: %s", out)
+	}
+	if len(s.Points) != 2 {
+		t.Errorf("points = %d, want 2", len(s.Points))
+	}
+}
+
+func TestGrayCellRange(t *testing.T) {
+	if GrayCell(0) != ' ' {
+		t.Errorf("GrayCell(0) = %q, want space", GrayCell(0))
+	}
+	if GrayCell(255) != '@' {
+		t.Errorf("GrayCell(255) = %q, want '@'", GrayCell(255))
+	}
+	// Monotone non-decreasing density.
+	ramp := " .:-=+*#%@"
+	prev := 0
+	for v := 0; v <= 255; v++ {
+		idx := strings.IndexByte(ramp, GrayCell(uint8(v)))
+		if idx < prev {
+			t.Fatalf("gray ramp not monotone at %d", v)
+		}
+		prev = idx
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	rows := [][]uint8{{0, 128, 255}, {255, 0, 0}}
+	out := Heatmap(rows, []string{"t0", "t1"})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("heatmap lines = %d, want 2", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "t0 ") && !strings.HasPrefix(lines[0], "t0|") {
+		t.Errorf("label missing: %q", lines[0])
+	}
+	if !strings.Contains(lines[0], "@") {
+		t.Error("saturated cell should render dark")
+	}
+	// No labels is fine too.
+	out = Heatmap(rows, nil)
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 2 {
+		t.Error("unlabelled heatmap broken")
+	}
+}
+
+func TestPctAndRatio(t *testing.T) {
+	if Pct(0.123) != "12.3%" {
+		t.Errorf("Pct = %s", Pct(0.123))
+	}
+	if Ratio(1, 0) != 0 {
+		t.Error("Ratio should guard division by zero")
+	}
+	if Ratio(3, 2) != 1.5 {
+		t.Error("Ratio arithmetic wrong")
+	}
+}

@@ -1,0 +1,34 @@
+package topology_test
+
+import (
+	"fmt"
+
+	"threadcluster/internal/topology"
+)
+
+// Example maps out the paper's evaluation machine.
+func Example() {
+	topo := topology.OpenPower720()
+	fmt.Println(topo)
+	fmt.Println("CPU 5 is on chip", topo.ChipOf(5), "core", topo.CoreOf(5))
+	fmt.Println("CPUs 4 and 5 share a core:", topo.SameCore(4, 5))
+	fmt.Println("CPUs 3 and 4 share a chip:", topo.SameChip(3, 4))
+	// Output:
+	// 2x2x2 SMPxCMPxSMT (8 CPUs)
+	// CPU 5 is on chip 1 core 2
+	// CPUs 4 and 5 share a core: true
+	// CPUs 3 and 4 share a chip: false
+}
+
+// ExampleLatencies shows the Figure 1 cost ladder the whole system is
+// built around.
+func ExampleLatencies() {
+	lat := topology.DefaultLatencies()
+	fmt.Println("on-core sharing:", lat.L1Hit, "cycles")
+	fmt.Println("on-chip sharing:", lat.L2Hit, "cycles")
+	fmt.Println("cross-chip sharing:", lat.RemoteL2, "cycles")
+	// Output:
+	// on-core sharing: 2 cycles
+	// on-chip sharing: 14 cycles
+	// cross-chip sharing: 120 cycles
+}

@@ -1,0 +1,206 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpenPower720Shape(t *testing.T) {
+	topo := OpenPower720()
+	if err := topo.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := topo.NumCPUs(); got != 8 {
+		t.Errorf("NumCPUs = %d, want 8", got)
+	}
+	if got := topo.NumCores(); got != 4 {
+		t.Errorf("NumCores = %d, want 4", got)
+	}
+	if topo.Chips != 2 || topo.CoresPerChip != 2 || topo.ContextsPerCore != 2 {
+		t.Errorf("unexpected shape %+v", topo)
+	}
+}
+
+func TestPower5_32WayShape(t *testing.T) {
+	topo := Power5_32Way()
+	if got := topo.NumCPUs(); got != 32 {
+		t.Errorf("NumCPUs = %d, want 32", got)
+	}
+	if topo.Chips != 8 {
+		t.Errorf("Chips = %d, want 8", topo.Chips)
+	}
+}
+
+func TestCPUIDArithmetic(t *testing.T) {
+	topo := OpenPower720()
+	tests := []struct {
+		cpu     CPUID
+		chip    int
+		core    int
+		context int
+	}{
+		{0, 0, 0, 0},
+		{1, 0, 0, 1},
+		{2, 0, 1, 0},
+		{3, 0, 1, 1},
+		{4, 1, 2, 0},
+		{5, 1, 2, 1},
+		{6, 1, 3, 0},
+		{7, 1, 3, 1},
+	}
+	for _, tc := range tests {
+		if got := topo.ChipOf(tc.cpu); got != tc.chip {
+			t.Errorf("ChipOf(%d) = %d, want %d", tc.cpu, got, tc.chip)
+		}
+		if got := topo.CoreOf(tc.cpu); got != tc.core {
+			t.Errorf("CoreOf(%d) = %d, want %d", tc.cpu, got, tc.core)
+		}
+		if got := topo.ContextOf(tc.cpu); got != tc.context {
+			t.Errorf("ContextOf(%d) = %d, want %d", tc.cpu, got, tc.context)
+		}
+	}
+}
+
+func TestCPUsOfChipAndCore(t *testing.T) {
+	topo := OpenPower720()
+	chip1 := topo.CPUsOfChip(1)
+	want := []CPUID{4, 5, 6, 7}
+	if len(chip1) != len(want) {
+		t.Fatalf("CPUsOfChip(1) = %v, want %v", chip1, want)
+	}
+	for i := range want {
+		if chip1[i] != want[i] {
+			t.Fatalf("CPUsOfChip(1) = %v, want %v", chip1, want)
+		}
+	}
+	core3 := topo.CPUsOfCore(3)
+	if len(core3) != 2 || core3[0] != 6 || core3[1] != 7 {
+		t.Fatalf("CPUsOfCore(3) = %v, want [6 7]", core3)
+	}
+}
+
+func TestSameChipSameCore(t *testing.T) {
+	topo := OpenPower720()
+	if !topo.SameCore(0, 1) {
+		t.Error("CPUs 0 and 1 should share a core")
+	}
+	if topo.SameCore(1, 2) {
+		t.Error("CPUs 1 and 2 should not share a core")
+	}
+	if !topo.SameChip(1, 2) {
+		t.Error("CPUs 1 and 2 should share a chip")
+	}
+	if topo.SameChip(3, 4) {
+		t.Error("CPUs 3 and 4 should not share a chip")
+	}
+}
+
+func TestValidateRejectsBadShapes(t *testing.T) {
+	bad := []Topology{
+		{Chips: 0, CoresPerChip: 1, ContextsPerCore: 1},
+		{Chips: 1, CoresPerChip: 0, ContextsPerCore: 1},
+		{Chips: 1, CoresPerChip: 1, ContextsPerCore: 0},
+		{Chips: -2, CoresPerChip: 2, ContextsPerCore: 2},
+	}
+	for _, topo := range bad {
+		if err := topo.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", topo)
+		}
+	}
+}
+
+func TestDefaultLatenciesLadder(t *testing.T) {
+	lat := DefaultLatencies()
+	if err := lat.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// The paper's key property: any cross-chip access costs at least 120
+	// cycles, far above on-chip sharing.
+	if lat.RemoteL2 < 120 {
+		t.Errorf("RemoteL2 = %d, want >= 120 (Figure 1)", lat.RemoteL2)
+	}
+	if lat.L1Hit > 2 {
+		t.Errorf("L1Hit = %d, want 1-2 cycles (Figure 1)", lat.L1Hit)
+	}
+	if lat.L2Hit < 10 || lat.L2Hit > 20 {
+		t.Errorf("L2Hit = %d, want 10-20 cycles (Figure 1)", lat.L2Hit)
+	}
+}
+
+func TestLatenciesValidateRejectsInversions(t *testing.T) {
+	bad := []Latencies{
+		{L1Hit: 0, L2Hit: 10, L3Hit: 90, RemoteL2: 120, RemoteL3: 160, Memory: 280},
+		{L1Hit: 20, L2Hit: 10, L3Hit: 90, RemoteL2: 120, RemoteL3: 160, Memory: 280},
+		{L1Hit: 2, L2Hit: 10, L3Hit: 5, RemoteL2: 120, RemoteL3: 160, Memory: 280},
+		{L1Hit: 2, L2Hit: 10, L3Hit: 90, RemoteL2: 80, RemoteL3: 160, Memory: 280},
+		{L1Hit: 2, L2Hit: 10, L3Hit: 90, RemoteL2: 120, RemoteL3: 100, Memory: 280},
+		{L1Hit: 2, L2Hit: 10, L3Hit: 90, RemoteL2: 120, RemoteL3: 160, Memory: 100},
+	}
+	for _, lat := range bad {
+		if err := lat.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", lat)
+		}
+	}
+}
+
+// Property: CPU id arithmetic round-trips — reconstructing the id from
+// chip, core-within-chip and context yields the original id, for arbitrary
+// valid topologies.
+func TestCPUIDRoundTrip(t *testing.T) {
+	f := func(chips, cores, ctxs uint8) bool {
+		topo := Topology{
+			Chips:           int(chips%6) + 1,
+			CoresPerChip:    int(cores%6) + 1,
+			ContextsPerCore: int(ctxs%6) + 1,
+		}
+		for id := 0; id < topo.NumCPUs(); id++ {
+			cpu := CPUID(id)
+			chip := topo.ChipOf(cpu)
+			core := topo.CoreOf(cpu)
+			ctx := topo.ContextOf(cpu)
+			rebuilt := (chip*topo.CoresPerChip+(core-chip*topo.CoresPerChip))*topo.ContextsPerCore + ctx
+			if rebuilt != id {
+				return false
+			}
+			if core/topo.CoresPerChip != chip {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every CPU appears in exactly one chip's CPUsOfChip listing.
+func TestChipPartition(t *testing.T) {
+	f := func(chips, cores, ctxs uint8) bool {
+		topo := Topology{
+			Chips:           int(chips%5) + 1,
+			CoresPerChip:    int(cores%5) + 1,
+			ContextsPerCore: int(ctxs%5) + 1,
+		}
+		seen := make(map[CPUID]int)
+		for chip := 0; chip < topo.Chips; chip++ {
+			for _, cpu := range topo.CPUsOfChip(chip) {
+				seen[cpu]++
+				if topo.ChipOf(cpu) != chip {
+					return false
+				}
+			}
+		}
+		if len(seen) != topo.NumCPUs() {
+			return false
+		}
+		for _, n := range seen {
+			if n != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

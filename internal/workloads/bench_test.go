@@ -1,0 +1,70 @@
+package workloads
+
+import (
+	"math/rand"
+	"testing"
+
+	"threadcluster/internal/memory"
+)
+
+func BenchmarkBTreeInsert(b *testing.B) {
+	tr, err := NewBTree(memory.NewDefaultArena())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Insert(uint64(rng.Int63n(1<<40)) + 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBTreeLookup(b *testing.B) {
+	tr, _ := NewBTree(memory.NewDefaultArena())
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100_000; i++ {
+		_, _ = tr.Insert(uint64(rng.Int63n(1<<30)) + 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Lookup(uint64(i%(1<<30)) + 1)
+	}
+}
+
+func BenchmarkSyntheticGeneratorNext(b *testing.B) {
+	spec, err := NewSynthetic(memory.NewDefaultArena(), DefaultSyntheticConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := spec.Threads[0].Gen
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}
+
+func BenchmarkJBBGeneratorNext(b *testing.B) {
+	spec, err := NewJBB(memory.NewDefaultArena(), DefaultJBBConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := spec.Threads[0].Gen
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}
+
+func BenchmarkRubisGeneratorNext(b *testing.B) {
+	spec, err := NewRubis(memory.NewDefaultArena(), DefaultRubisConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := spec.Threads[0].Gen
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}

@@ -1,0 +1,123 @@
+package workloads
+
+import (
+	"testing"
+
+	"threadcluster/internal/memory"
+)
+
+func TestPhaseChangeGeneratorSwitchesBoards(t *testing.T) {
+	arena := memory.NewDefaultArena()
+	cfg := DefaultSyntheticConfig()
+	cfg.SharedRatio = 1.0 // every ref hits the scoreboard: easy to observe
+	spec, err := NewSyntheticWithPhaseChange(arena, cfg, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := spec.Threads[0].Gen.(*syntheticWorker)
+	first := w.scoreboard
+	second := w.secondBoard
+	if first.Overlaps(second) {
+		t.Fatal("phase boards must be distinct regions")
+	}
+	// First 9 refs in the first board; from ref 10 on, the second.
+	for i := 0; i < 9; i++ {
+		ref := w.Next()
+		if !first.Contains(ref.Addr) {
+			t.Fatalf("ref %d at %#x outside first board %v", i, uint64(ref.Addr), first)
+		}
+	}
+	for i := 0; i < 9; i++ {
+		ref := w.Next()
+		if !second.Contains(ref.Addr) {
+			t.Fatalf("post-shift ref %d at %#x outside second board %v", i, uint64(ref.Addr), second)
+		}
+	}
+}
+
+func TestPhaseChangeValidation(t *testing.T) {
+	arena := memory.NewDefaultArena()
+	if _, err := NewSyntheticWithPhaseChange(arena, DefaultSyntheticConfig(), 0); err == nil {
+		t.Error("zero shift point should fail")
+	}
+}
+
+func TestSecondPhaseTruthRegroups(t *testing.T) {
+	cfg := DefaultSyntheticConfig() // 4 boards x 4 threads
+	truth := SecondPhaseTruth(cfg)
+	if len(truth) != 16 {
+		t.Fatalf("truth size = %d, want 16", len(truth))
+	}
+	// Second phase groups by block: threads 0-3 together.
+	if truth[0] != truth[1] || truth[0] != truth[3] {
+		t.Error("threads 0-3 should share a second-phase group")
+	}
+	if truth[3] == truth[4] {
+		t.Error("threads 3 and 4 should be in different second-phase groups")
+	}
+	// And it must differ from the first phase (i % 4).
+	same := 0
+	for i := 0; i < 16; i++ {
+		if truth[i] == i%4 {
+			same++
+		}
+	}
+	if same == 16 {
+		t.Error("second phase must regroup threads, not repeat the first phase")
+	}
+}
+
+func TestNewJBBOnNodes(t *testing.T) {
+	sn := memory.StripedNodes{N: 2, Stripe: 1 << 32}
+	arenas, err := memory.NodeArenas(sn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultJBBConfig()
+	cfg.InitialKeys = 200
+	spec, err := NewJBBOnNodes(arenas, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Threads) != 16 {
+		t.Fatalf("threads = %d, want 16", len(spec.Threads))
+	}
+	// Warehouse i's workers touch node i%2 memory: sample some refs from
+	// each thread and check the tree/meta/heap addresses' homes.
+	for _, th := range spec.Threads {
+		wantNode := th.Partition % 2
+		for i := 0; i < 50; i++ {
+			ref := th.Gen.Next()
+			node := sn.NodeOf(ref.Addr)
+			// Global state comes from arenas[0]; everything else must be
+			// on the warehouse's node.
+			if node != wantNode && node != 0 {
+				t.Fatalf("thread %d (warehouse %d) touched node %d", th.ID, th.Partition, node)
+			}
+		}
+	}
+	if _, err := NewJBBOnNodes(nil, cfg); err == nil {
+		t.Error("no arenas should fail")
+	}
+}
+
+func TestRenumber(t *testing.T) {
+	spec, err := NewSynthetic(memory.NewDefaultArena(), DefaultSyntheticConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Renumber(500)
+	for i, th := range spec.Threads {
+		if int(th.ID) != 500+i {
+			t.Fatalf("thread %d id = %d, want %d", i, th.ID, 500+i)
+		}
+	}
+	hint := spec.PartitionHint()
+	if hint(spec.Threads[0].ID) != spec.Threads[0].Partition {
+		t.Error("partition hint must follow renumbered ids")
+	}
+	truth := spec.Truth()
+	if truth[500] != spec.Threads[0].Partition {
+		t.Error("truth must be keyed by renumbered ids")
+	}
+}

@@ -1,0 +1,181 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"threadcluster/internal/memory"
+	"threadcluster/internal/sched"
+	"threadcluster/internal/sim"
+)
+
+// SyntheticConfig parameterizes the Section 5.3.1 microbenchmark: "a
+// simple multithreaded program in which each worker thread reads and
+// modifies a scoreboard. Each scoreboard is shared by several threads, and
+// there are several scoreboards. Each thread has a private chunk of data
+// to work on which is fairly large so that accessing it often causes data
+// cache misses."
+type SyntheticConfig struct {
+	// Scoreboards is the number of shared scoreboards (= clusters).
+	Scoreboards int
+	// ThreadsPerBoard is the fixed number of threads sharing each board.
+	ThreadsPerBoard int
+	// ScoreboardBytes sizes each scoreboard (small and hot).
+	ScoreboardBytes uint64
+	// PrivateBytes sizes each thread's private chunk (large, so accesses
+	// often miss).
+	PrivateBytes uint64
+	// Align overrides the allocation alignment of scoreboards and private
+	// chunks (0 = cache-line aligned). Page-granularity detection studies
+	// set it to the page size so regions don't coalesce on pages.
+	Align uint64
+	// SharedRatio is the fraction of accesses aimed at the scoreboard.
+	SharedRatio float64
+	// WriteRatio is the fraction of scoreboard accesses that modify it.
+	WriteRatio float64
+	// Seed drives the generators.
+	Seed int64
+}
+
+// DefaultSyntheticConfig sizes the microbenchmark for the 8-way machine:
+// 4 scoreboards of 4 threads each, as in the Figure 5a plot.
+func DefaultSyntheticConfig() SyntheticConfig {
+	return SyntheticConfig{
+		Scoreboards:     4,
+		ThreadsPerBoard: 4,
+		ScoreboardBytes: 16 * memory.LineSize,
+		PrivateBytes:    128 << 10,
+		SharedRatio:     0.4,
+		WriteRatio:      0.5,
+		Seed:            1,
+	}
+}
+
+type syntheticWorker struct {
+	rng        *rand.Rand
+	private    memory.Region
+	scoreboard memory.Region
+	cfg        SyntheticConfig
+
+	// Phase-change support (Section 4.1: "application phase changes are
+	// automatically accounted for by this iterative process"): after
+	// phaseAfterRefs references the worker switches to secondBoard.
+	secondBoard    memory.Region
+	phaseAfterRefs uint64
+	refs           uint64
+}
+
+func (w *syntheticWorker) Next() sim.MemRef {
+	w.refs++
+	if w.phaseAfterRefs > 0 && w.refs == w.phaseAfterRefs {
+		w.scoreboard = w.secondBoard
+	}
+	branch, other := stallNoise(w.rng, 2, 4)
+	if w.rng.Float64() < w.cfg.SharedRatio {
+		// Read-modify the scoreboard: one task completed per touch.
+		return sim.MemRef{
+			Addr:        pick(w.rng, w.scoreboard),
+			Write:       w.rng.Float64() < w.cfg.WriteRatio,
+			Insts:       10,
+			BranchStall: branch,
+			OtherStall:  other,
+			Ops:         1,
+		}
+	}
+	return sim.MemRef{
+		Addr:        pick(w.rng, w.private),
+		Write:       w.rng.Intn(4) == 0,
+		Insts:       10,
+		BranchStall: branch,
+		OtherStall:  other,
+	}
+}
+
+// NewSynthetic builds the scoreboard microbenchmark. Threads are numbered
+// so that consecutive IDs belong to different scoreboards (i % boards),
+// which means naive round-robin placement scatters every sharing group
+// across chips — the worst case the paper engineers.
+func NewSynthetic(arena *memory.Arena, cfg SyntheticConfig) (*Spec, error) {
+	if cfg.Scoreboards <= 0 || cfg.ThreadsPerBoard <= 0 {
+		return nil, fmt.Errorf("workloads: synthetic needs positive scoreboards and threads, got %+v", cfg)
+	}
+	if cfg.ScoreboardBytes < memory.LineSize || cfg.PrivateBytes < memory.LineSize {
+		return nil, fmt.Errorf("workloads: synthetic regions must hold at least one line")
+	}
+	align := cfg.Align
+	if align == 0 {
+		align = memory.LineSize
+	}
+	boards := make([]memory.Region, cfg.Scoreboards)
+	for i := range boards {
+		r, err := arena.Alloc(cfg.ScoreboardBytes, align)
+		if err != nil {
+			return nil, err
+		}
+		boards[i] = r
+	}
+	spec := &Spec{Name: "microbenchmark", NumPartitions: cfg.Scoreboards}
+	total := cfg.Scoreboards * cfg.ThreadsPerBoard
+	for i := 0; i < total; i++ {
+		board := i % cfg.Scoreboards
+		private, err := arena.Alloc(cfg.PrivateBytes, align)
+		if err != nil {
+			return nil, err
+		}
+		w := &syntheticWorker{
+			rng:        rand.New(rand.NewSource(cfg.Seed*7919 + int64(i))),
+			private:    private,
+			scoreboard: boards[board],
+			cfg:        cfg,
+		}
+		spec.Threads = append(spec.Threads, &sim.Thread{
+			ID:        sched.ThreadID(i),
+			Gen:       w,
+			Partition: board,
+		})
+	}
+	return spec, nil
+}
+
+// NewSyntheticWithPhaseChange builds the scoreboard microbenchmark with a
+// mid-run sharing phase change: for the first phaseAfterRefs references,
+// thread i shares scoreboard i % Scoreboards (the interleaved grouping);
+// afterwards it shares scoreboard i / ThreadsPerBoard (a block grouping),
+// so every sharing cluster dissolves and reforms with different members.
+// The Thread.Partition ground truth describes the FIRST phase.
+func NewSyntheticWithPhaseChange(arena *memory.Arena, cfg SyntheticConfig, phaseAfterRefs uint64) (*Spec, error) {
+	spec, err := NewSynthetic(arena, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if phaseAfterRefs == 0 {
+		return nil, fmt.Errorf("workloads: phase change needs a positive reference count")
+	}
+	// Second-phase scoreboards: a disjoint set of boards so the engine
+	// cannot coast on stale placement.
+	boards := make([]memory.Region, cfg.Scoreboards)
+	for i := range boards {
+		r, err := arena.Alloc(cfg.ScoreboardBytes, memory.LineSize)
+		if err != nil {
+			return nil, err
+		}
+		boards[i] = r
+	}
+	for i, th := range spec.Threads {
+		w := th.Gen.(*syntheticWorker)
+		w.secondBoard = boards[(i/cfg.ThreadsPerBoard)%cfg.Scoreboards]
+		w.phaseAfterRefs = phaseAfterRefs
+	}
+	return spec, nil
+}
+
+// SecondPhaseTruth returns the ground-truth partition of the second phase
+// of a NewSyntheticWithPhaseChange workload.
+func SecondPhaseTruth(cfg SyntheticConfig) map[int]int {
+	truth := make(map[int]int)
+	total := cfg.Scoreboards * cfg.ThreadsPerBoard
+	for i := 0; i < total; i++ {
+		truth[i] = (i / cfg.ThreadsPerBoard) % cfg.Scoreboards
+	}
+	return truth
+}

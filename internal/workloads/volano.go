@@ -1,0 +1,181 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"threadcluster/internal/memory"
+	"threadcluster/internal/sched"
+	"threadcluster/internal/sim"
+)
+
+// VolanoConfig parameterizes the VolanoMark-like chat server workload
+// (Section 5.3.2): an instant-messaging server where every client
+// connection is handled by two designated threads for the connection's
+// lifetime, and all connections of a room broadcast into the room's
+// shared state.
+type VolanoConfig struct {
+	// Rooms is the number of chat rooms (paper: 2).
+	Rooms int
+	// ClientsPerRoom is the number of connections per room (paper: 8).
+	ClientsPerRoom int
+	// RoomBufferBytes sizes each room's shared message board.
+	RoomBufferBytes uint64
+	// ConnBufferBytes sizes each connection's private socket/session
+	// buffers, shared only by that connection's thread pair.
+	ConnBufferBytes uint64
+	// GlobalBytes sizes process-wide server state (user registry, room
+	// directory, JVM internals) touched by every thread.
+	GlobalBytes uint64
+	// HeapBytes sizes each thread's private working memory.
+	HeapBytes uint64
+	// Seed drives the generators.
+	Seed int64
+}
+
+// DefaultVolanoConfig is the paper's test case: 2 rooms, 8 clients per
+// room, zero think time.
+func DefaultVolanoConfig() VolanoConfig {
+	return VolanoConfig{
+		Rooms:           2,
+		ClientsPerRoom:  8,
+		RoomBufferBytes: 32 * memory.LineSize,
+		ConnBufferBytes: 8 * memory.LineSize,
+		GlobalBytes:     16 * memory.LineSize,
+		HeapBytes:       96 << 10,
+		Seed:            1,
+	}
+}
+
+// volanoThread models one of the two connection threads. A "reader"
+// drains the room board into its connection buffer (read room, write conn
+// buffer); a "writer" posts the client's messages (read conn buffer,
+// write room board). Both occasionally touch global server state.
+type volanoThread struct {
+	rng    *rand.Rand
+	writer bool
+	room   memory.Region
+	conn   memory.Region
+	global memory.Region
+	heap   memory.Region
+	step   int
+}
+
+func (v *volanoThread) Next() sim.MemRef {
+	v.step++
+	branch, other := stallNoise(v.rng, 3, 6)
+	base := sim.MemRef{Insts: 12, BranchStall: branch, OtherStall: other}
+	switch v.step % 8 {
+	case 0: // message transfer through the room board
+		base.Addr = pickHot(v.rng, v.room, 4, 0.5)
+		base.Write = v.writer
+		base.Ops = 1 // one message handled
+	case 1: // connection buffer (pair-shared)
+		base.Addr = pick(v.rng, v.conn)
+		base.Write = !v.writer
+	case 2: // global server state, mostly reads with occasional updates
+		base.Addr = pick(v.rng, v.global)
+		base.Write = v.rng.Intn(16) == 0
+	default: // heap churn: parsing, formatting, GC-ish traffic
+		base.Addr = pick(v.rng, v.heap)
+		base.Write = v.rng.Intn(3) == 0
+	}
+	return base
+}
+
+// VolanoServer is the chat server's long-lived state: its rooms and
+// global structures. It can mint new connections at runtime, which is how
+// the connection-churn studies model clients joining and leaving (the
+// behaviour that motivated the paper's persistent-connection modification
+// to RUBiS, Section 5.3.4).
+type VolanoServer struct {
+	cfg    VolanoConfig
+	arena  *memory.Arena
+	global memory.Region
+	rooms  []memory.Region
+	spec   *Spec
+	nextID int
+}
+
+// NewVolanoServer allocates the server structures and the initial
+// connections (ClientsPerRoom per room).
+func NewVolanoServer(arena *memory.Arena, cfg VolanoConfig) (*VolanoServer, error) {
+	if cfg.Rooms <= 0 || cfg.ClientsPerRoom <= 0 {
+		return nil, fmt.Errorf("workloads: volano needs positive rooms and clients, got %+v", cfg)
+	}
+	global, err := arena.Alloc(cfg.GlobalBytes, memory.LineSize)
+	if err != nil {
+		return nil, err
+	}
+	s := &VolanoServer{
+		cfg:    cfg,
+		arena:  arena,
+		global: global,
+		spec:   &Spec{Name: "volano", NumPartitions: cfg.Rooms},
+	}
+	s.rooms = make([]memory.Region, cfg.Rooms)
+	for i := range s.rooms {
+		if s.rooms[i], err = arena.Alloc(cfg.RoomBufferBytes, memory.LineSize); err != nil {
+			return nil, err
+		}
+	}
+	for c := 0; c < cfg.ClientsPerRoom; c++ {
+		for r := 0; r < cfg.Rooms; r++ {
+			if _, err := s.NewConnection(r); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s, nil
+}
+
+// Spec returns the workload spec (reflecting the initial connections).
+func (s *VolanoServer) Spec() *Spec { return s.spec }
+
+// NewConnection mints the two designated threads of a fresh client
+// connection in the given room. The threads carry fresh ids; callers add
+// them to a machine themselves when creating connections at runtime.
+func (s *VolanoServer) NewConnection(room int) ([]*sim.Thread, error) {
+	if room < 0 || room >= len(s.rooms) {
+		return nil, fmt.Errorf("workloads: room %d out of range", room)
+	}
+	conn, err := s.arena.Alloc(s.cfg.ConnBufferBytes, memory.LineSize)
+	if err != nil {
+		return nil, err
+	}
+	var pair []*sim.Thread
+	for _, writer := range []bool{false, true} {
+		heap, err := s.arena.Alloc(s.cfg.HeapBytes, memory.LineSize)
+		if err != nil {
+			return nil, err
+		}
+		th := &volanoThread{
+			rng:    rand.New(rand.NewSource(s.cfg.Seed*104729 + int64(s.nextID))),
+			writer: writer,
+			room:   s.rooms[room],
+			conn:   conn,
+			global: s.global,
+			heap:   heap,
+		}
+		thread := &sim.Thread{
+			ID:        sched.ThreadID(s.nextID),
+			Gen:       th,
+			Partition: room,
+		}
+		s.spec.Threads = append(s.spec.Threads, thread)
+		pair = append(pair, thread)
+		s.nextID++
+	}
+	return pair, nil
+}
+
+// NewVolano builds the chat-server workload. Thread IDs interleave rooms
+// so naive placement scatters rooms across chips. The ground-truth
+// partition is the room.
+func NewVolano(arena *memory.Arena, cfg VolanoConfig) (*Spec, error) {
+	s, err := NewVolanoServer(arena, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Spec(), nil
+}
