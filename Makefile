@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench experiments examples clean
+.PHONY: all build vet test test-short test-race bench experiments sweep-smoke examples clean
 
 all: build vet test
 
@@ -22,9 +22,19 @@ test-short:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Race-detector coverage for the concurrent packages.
+test-race:
+	$(GO) test -race ./internal/metrics ./internal/sweep
+
 # Regenerate every table/figure/study of the paper.
 experiments:
 	$(GO) run ./cmd/tcsim -exp all
+
+# Tiny 2x2 sweep grid as a smoke test of the concurrent runner.
+sweep-smoke:
+	$(GO) run ./cmd/tcsim sweep \
+		-workloads microbenchmark,volano -policies default,clustered \
+		-warm 30 -engine 50 -measure 30
 
 examples:
 	$(GO) run ./examples/quickstart

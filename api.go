@@ -22,12 +22,16 @@ package threadcluster
 //	fmt.Println(engine.Report())
 
 import (
+	"context"
+
 	"threadcluster/internal/cache"
 	"threadcluster/internal/clustering"
 	"threadcluster/internal/core"
 	"threadcluster/internal/memory"
+	"threadcluster/internal/metrics"
 	"threadcluster/internal/sched"
 	"threadcluster/internal/sim"
+	"threadcluster/internal/sweep"
 	"threadcluster/internal/topology"
 	"threadcluster/internal/trace"
 	"threadcluster/internal/workloads"
@@ -122,6 +126,12 @@ type (
 	Engine = core.Engine
 	// EngineConfig parameterizes it; the defaults are the paper's values.
 	EngineConfig = core.Config
+	// EngineSnapshot is a structured point-in-time view of the engine
+	// (phase, activation and migration counts, sampling progress, detected
+	// clusters); Engine.Snapshot returns one and Engine.Report renders it.
+	EngineSnapshot = core.EngineSnapshot
+	// ClusterSnapshot is one detected cluster inside an EngineSnapshot.
+	ClusterSnapshot = core.ClusterSnapshot
 	// Cluster is a detected group of sharing threads.
 	Cluster = clustering.Cluster
 	// ShMap is a per-thread sharing signature.
@@ -178,6 +188,52 @@ func DefaultVolanoConfig() VolanoConfig       { return workloads.DefaultVolanoCo
 func DefaultJBBConfig() JBBConfig             { return workloads.DefaultJBBConfig() }
 func DefaultRubisConfig() RubisConfig         { return workloads.DefaultRubisConfig() }
 func DefaultStagedConfig() StagedConfig       { return workloads.DefaultStagedConfig() }
+
+// Metrics. Every machine carries a metrics.Registry; Machine.SnapshotMetrics
+// captures it as an immutable, deterministically ordered Snapshot that can
+// be diffed (Delta), combined across machines (MergeSnapshots) and exported
+// as JSON or CSV.
+type (
+	// MetricsRegistry is a concurrency-safe registry of named counters,
+	// gauges and histograms with labeled series.
+	MetricsRegistry = metrics.Registry
+	// MetricsSnapshot is an immutable point-in-time capture of a registry.
+	MetricsSnapshot = metrics.Snapshot
+	// MetricSample is one series inside a snapshot.
+	MetricSample = metrics.Sample
+	// MetricLabels distinguishes series that share a metric name.
+	MetricLabels = metrics.Labels
+)
+
+// NewMetricsRegistry returns an empty registry, for instrumenting code
+// outside a Machine (machines create their own).
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// MergeSnapshots sums snapshots from independent runs: counters and
+// histogram buckets add, gauges sum.
+func MergeSnapshots(snaps ...MetricsSnapshot) MetricsSnapshot {
+	return metrics.MergeAll(snaps)
+}
+
+// Concurrent sweeps. The sweep helpers fan independent simulations across
+// a worker pool with deterministic per-task seeding: results are identical
+// for any worker count.
+type (
+	// SweepTask is one independent simulation to run on the pool.
+	SweepTask = sweep.Task
+	// SweepResult pairs a task with its outcome.
+	SweepResult = sweep.Result
+)
+
+// RunSweep executes tasks on a pool of the given size (0 = GOMAXPROCS)
+// and returns results in task order.
+func RunSweep(ctx context.Context, tasks []SweepTask, workers int) ([]SweepResult, error) {
+	return sweep.Run(ctx, tasks, workers)
+}
+
+// DeriveSeed decorrelates a per-task seed from a base seed and task index;
+// the mapping is fixed, so sweeps are reproducible run to run.
+func DeriveSeed(base int64, index int) int64 { return sweep.DeriveSeed(base, index) }
 
 // Traces.
 type (

@@ -14,6 +14,15 @@
 // pagevspmu, numa, phase, contention, migration, multiprog, smt, mux,
 // probe, staged, churn. Use -exp all for everything and -markdown for
 // GitHub-flavored tables.
+//
+// The sweep subcommand fans a configuration grid (policy x topology x
+// workload) across a worker pool and emits a metrics table:
+//
+//	tcsim sweep                               # 4 workloads x 2 policies
+//	tcsim sweep -policies default,clustered -workers 4
+//	tcsim sweep -format json -merged          # machine-wide snapshot
+//
+// Per-configuration results are byte-identical for any -workers value.
 package main
 
 import (
@@ -26,6 +35,13 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "sweep" {
+		if err := runSweep(os.Args[2:], os.Stdout, os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "tcsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var (
 		exp      = flag.String("exp", "all", "experiment to run: table1|fig1|fig3|fig5|fig6|fig7|fig8|spatial|scale32|sdar|ablation|pagevspmu|threshold|numa|phase|contention|migration|multiprog|smt|mux|probe|staged|churn|all")
 		workload = flag.String("workload", experiments.Volano, "workload for fig3: microbenchmark|volano|specjbb|rubis")

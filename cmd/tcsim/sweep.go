@@ -1,0 +1,125 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"time"
+
+	"threadcluster/internal/experiments"
+	"threadcluster/internal/sched"
+	"threadcluster/internal/sweep"
+)
+
+// runSweep implements the `tcsim sweep` subcommand: fan a configuration
+// grid (policy x topology x workload) across a worker pool and emit a
+// metrics table. Per-configuration results are byte-identical for any
+// -workers value — seeds are fixed by the grid, not by scheduling — so
+// `-workers 1` is the reference run and higher counts only change
+// wall-clock (reported on stderr to keep stdout comparable).
+func runSweep(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		workloadsFlag = fs.String("workloads", "microbenchmark,volano,specjbb,rubis",
+			"comma-separated workloads")
+		policiesFlag = fs.String("policies", "default,clustered",
+			"comma-separated policies: default|round-robin|hand-optimized|clustered")
+		toposFlag = fs.String("topos", experiments.TopoOpenPower720,
+			"comma-separated topologies: open720|power5-32")
+		workers = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		seed    = fs.Int64("seed", 1, "base seed; per-config seeds derive from it deterministically")
+		warm    = fs.Int("warm", 0, "override warm-up rounds (0 = default)")
+		engine  = fs.Int("engine", 0, "override engine rounds (0 = default)")
+		measure = fs.Int("measure", 0, "override measured rounds (0 = default)")
+		format  = fs.String("format", "table", "output: table|markdown|csv|json")
+		merged  = fs.Bool("merged", false, "also emit the merged machine-wide snapshot (csv/json formats)")
+		timeout = fs.Duration("timeout", 0, "cancel the sweep after this duration (0 = none)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opt := experiments.DefaultOptions()
+	if *warm > 0 {
+		opt.WarmRounds = *warm
+	}
+	if *engine > 0 {
+		opt.EngineRounds = *engine
+	}
+	if *measure > 0 {
+		opt.MeasureRounds = *measure
+	}
+
+	var policies []sched.Policy
+	for _, name := range experiments.SplitList(*policiesFlag) {
+		p, err := experiments.ParsePolicy(name)
+		if err != nil {
+			return err
+		}
+		policies = append(policies, p)
+	}
+	grid := experiments.GridSpec{
+		Workloads: experiments.SplitList(*workloadsFlag),
+		Policies:  policies,
+		Topos:     experiments.SplitList(*toposFlag),
+		BaseSeed:  *seed,
+		Opt:       opt,
+	}
+	if len(grid.Workloads) == 0 || len(grid.Policies) == 0 || len(grid.Topos) == 0 {
+		return fmt.Errorf("sweep: empty grid (need at least one workload, policy and topology)")
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	start := time.Now()
+	cells, results, mergedSnap, err := experiments.RunGrid(ctx, grid, *workers)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	switch *format {
+	case "table":
+		fmt.Fprintln(stdout, experiments.GridTable(cells, results))
+	case "markdown":
+		fmt.Fprintln(stdout, experiments.GridTable(cells, results).Markdown())
+	case "csv":
+		for i, r := range results {
+			fmt.Fprintf(stdout, "# %s seed=%d\n", cells[i].Name(), cells[i].Seed)
+			if err := r.Metrics.WriteCSV(stdout); err != nil {
+				return err
+			}
+		}
+		if *merged {
+			fmt.Fprintln(stdout, "# merged")
+			if err := mergedSnap.WriteCSV(stdout); err != nil {
+				return err
+			}
+		}
+	case "json":
+		if *merged {
+			if err := mergedSnap.WriteJSON(stdout); err != nil {
+				return err
+			}
+			break
+		}
+		for i, r := range results {
+			fmt.Fprintf(stdout, "// %s seed=%d\n", cells[i].Name(), cells[i].Seed)
+			if err := r.Metrics.WriteJSON(stdout); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("sweep: unknown format %q", *format)
+	}
+	fmt.Fprintf(stderr, "sweep: %d configurations on %d workers in %s\n",
+		len(cells), sweep.Workers(*workers), elapsed.Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// sweepArgs keeps the grid tiny so the test stays fast; stdout is the
+// comparison surface, stderr (wall-clock) is discarded.
+func runSweepOut(t *testing.T, extra ...string) string {
+	t.Helper()
+	args := append([]string{
+		"-workloads", "microbenchmark,volano",
+		"-policies", "default,clustered",
+		"-warm", "30", "-engine", "50", "-measure", "30",
+	}, extra...)
+	var out bytes.Buffer
+	if err := runSweep(args, &out, io.Discard); err != nil {
+		t.Fatalf("runSweep %v: %v", args, err)
+	}
+	return out.String()
+}
+
+// TestSweepDeterministicAcrossWorkers is the subcommand-level determinism
+// check: per-configuration output is byte-identical for any -workers value.
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	ref := runSweepOut(t, "-workers", "1", "-format", "csv")
+	for _, w := range []string{"2", "4"} {
+		if got := runSweepOut(t, "-workers", w, "-format", "csv"); got != ref {
+			t.Errorf("-workers=%s output differs from -workers=1", w)
+		}
+	}
+}
+
+func TestSweepTableOutput(t *testing.T) {
+	out := runSweepOut(t, "-format", "table")
+	for _, want := range []string{
+		"Sweep: policy x topology x workload",
+		"microbenchmark/default/open720",
+		"volano/clustered/open720",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSweepJSONMerged(t *testing.T) {
+	out := runSweepOut(t, "-format", "json", "-merged")
+	if !strings.Contains(out, "\"samples\"") {
+		t.Errorf("merged json missing samples array:\n%s", out)
+	}
+}
+
+func TestSweepRejectsUnknowns(t *testing.T) {
+	var out bytes.Buffer
+	if err := runSweep([]string{"-policies", "bogus"}, &out, io.Discard); err == nil {
+		t.Error("unknown policy should error")
+	}
+	if err := runSweep([]string{"-workloads", "bogus"}, &out, io.Discard); err == nil {
+		t.Error("unknown workload should error")
+	}
+	if err := runSweep([]string{"-format", "bogus", "-workloads", "microbenchmark",
+		"-policies", "default", "-warm", "5", "-engine", "5", "-measure", "5"},
+		&out, io.Discard); err == nil {
+		t.Error("unknown format should error")
+	}
+}

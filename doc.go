@@ -23,7 +23,21 @@
 //     the paper's contribution;
 //   - internal/workloads: the scoreboard microbenchmark, VolanoMark,
 //     SPECjbb and RUBiS analogues;
-//   - internal/experiments: one harness per table/figure of the paper.
+//   - internal/metrics: a registry of counters, gauges and histograms
+//     with labeled series; every machine exposes one, and snapshots
+//     diff (Delta), combine across machines (Merge) and export as
+//     byte-stable JSON/CSV;
+//   - internal/sweep: a worker pool that fans N independent machine
+//     configurations across GOMAXPROCS workers with deterministic
+//     per-run seeding — results are identical for any worker count;
+//   - internal/experiments: one harness per table/figure of the paper,
+//     multi-workload harnesses running on the sweep pool.
+//
+// Long simulations are cancellable — Machine.Run and
+// Machine.RunRoundsCtx take a context checked at scheduling-round
+// boundaries — and failures wrap the exported sentinel errors
+// (ErrDuplicateThread, ErrUnknownThread, ErrThreadRunning,
+// ErrBadConfig, ErrAlreadyInstalled) for errors.Is classification.
 //
 // See README.md for a walkthrough, DESIGN.md for the system inventory and
 // EXPERIMENTS.md for paper-vs-measured results. The benchmarks in

@@ -1,0 +1,27 @@
+package threadcluster
+
+// Sentinel errors returned (wrapped) by the library. Classify failures
+// with errors.Is rather than matching message text:
+//
+//	if _, err := machine.AddThread(th); errors.Is(err, threadcluster.ErrDuplicateThread) {
+//		// thread ID already installed on this machine
+//	}
+
+import "threadcluster/internal/errs"
+
+var (
+	// ErrDuplicateThread reports an AddThread with an ID already installed.
+	ErrDuplicateThread = errs.ErrDuplicateThread
+	// ErrUnknownThread reports an operation on a thread ID the scheduler
+	// has never seen (or has already removed).
+	ErrUnknownThread = errs.ErrUnknownThread
+	// ErrThreadRunning reports a RemoveThread of a thread currently on a
+	// CPU; stop it (let its quantum expire) first.
+	ErrThreadRunning = errs.ErrThreadRunning
+	// ErrBadConfig reports an invalid configuration value: a non-power-of-2
+	// cache geometry, an out-of-range CPU, a nil generator, a missing
+	// partition hint for hand-optimized placement, and so on.
+	ErrBadConfig = errs.ErrBadConfig
+	// ErrAlreadyInstalled reports a second Engine.Install on one machine.
+	ErrAlreadyInstalled = errs.ErrAlreadyInstalled
+)

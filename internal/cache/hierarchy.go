@@ -120,6 +120,12 @@ type Hierarchy struct {
 	upgrades          uint64
 	writebacks        uint64 // dirty lines evicted from the last level
 
+	// srcCounts attributes every access to the source that satisfied it,
+	// and srcCycles the latency charged per source — the raw material of
+	// the per-source miss-attribution metrics.
+	srcCounts [NumSources]uint64
+	srcCycles [NumSources]uint64
+
 	// NUMA configuration: nil means uniform memory (the base platform).
 	nodes memory.NodeMap
 }
@@ -180,11 +186,26 @@ func (h *Hierarchy) Upgrades() uint64 { return h.upgrades }
 // (Modified lines evicted from the last-level cache).
 func (h *Hierarchy) Writebacks() uint64 { return h.writebacks }
 
+// SourceCounts returns how many accesses each source satisfied since
+// construction, indexed by Source.
+func (h *Hierarchy) SourceCounts() [NumSources]uint64 { return h.srcCounts }
+
+// SourceCycles returns the total latency cycles charged per source since
+// construction, indexed by Source.
+func (h *Hierarchy) SourceCycles() [NumSources]uint64 { return h.srcCycles }
+
 // Access performs one data access by the given CPU and returns how it was
 // satisfied. Writes invalidate every other cached copy of the line
 // (invalidation-based coherence); reads leave remote copies in Shared
 // state. The returned latency follows the Figure 1 ladder.
 func (h *Hierarchy) Access(cpu topology.CPUID, addr memory.Addr, write bool) AccessResult {
+	res := h.access(cpu, addr, write)
+	h.srcCounts[res.Source]++
+	h.srcCycles[res.Source] += res.Cycles
+	return res
+}
+
+func (h *Hierarchy) access(cpu topology.CPUID, addr memory.Addr, write bool) AccessResult {
 	line := memory.LineOf(addr)
 	core := h.topo.CoreOf(cpu)
 	chip := h.topo.ChipOf(cpu)

@@ -9,6 +9,7 @@ package cache
 import (
 	"fmt"
 
+	"threadcluster/internal/errs"
 	"threadcluster/internal/memory"
 )
 
@@ -55,16 +56,16 @@ func (c Config) Sets() int {
 // Validate reports whether the configuration is internally consistent.
 func (c Config) Validate() error {
 	if c.Ways <= 0 {
-		return fmt.Errorf("cache: ways must be positive, got %d", c.Ways)
+		return fmt.Errorf("cache: ways must be positive, got %d: %w", c.Ways, errs.ErrBadConfig)
 	}
 	if c.SizeBytes < memory.LineSize {
-		return fmt.Errorf("cache: size %d smaller than one line", c.SizeBytes)
+		return fmt.Errorf("cache: size %d smaller than one line: %w", c.SizeBytes, errs.ErrBadConfig)
 	}
 	if c.SizeBytes%memory.LineSize != 0 {
-		return fmt.Errorf("cache: size %d not a multiple of the line size", c.SizeBytes)
+		return fmt.Errorf("cache: size %d not a multiple of the line size: %w", c.SizeBytes, errs.ErrBadConfig)
 	}
 	if c.Sets() == 0 {
-		return fmt.Errorf("cache: %d bytes at %d ways yields zero sets", c.SizeBytes, c.Ways)
+		return fmt.Errorf("cache: %d bytes at %d ways yields zero sets: %w", c.SizeBytes, c.Ways, errs.ErrBadConfig)
 	}
 	return nil
 }

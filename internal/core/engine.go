@@ -28,9 +28,9 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
-	"strings"
 
 	"threadcluster/internal/clustering"
+	"threadcluster/internal/errs"
 	"threadcluster/internal/memory"
 	"threadcluster/internal/pmu"
 	"threadcluster/internal/sched"
@@ -162,9 +162,12 @@ type Engine struct {
 	filters map[int]*clustering.Filter // per process, including 0
 	rng     *rand.Rand
 
-	samplesRead     int
-	samplesAdmitted int
-	clusters        []clustering.Cluster
+	samplesRead        int
+	samplesAdmitted    int
+	cumSamplesRead     uint64 // across all detection phases (metrics)
+	cumSamplesAdmitted uint64
+	clusterings        uint64 // completed clustering passes
+	clusters           []clustering.Cluster
 
 	detectStart     uint64
 	settleUntil     uint64 // monitoring suspended until this clock value
@@ -181,7 +184,7 @@ type Engine struct {
 // New creates an engine for the machine. Call Install to arm it.
 func New(m *sim.Machine, cfg Config) (*Engine, error) {
 	if m == nil {
-		return nil, fmt.Errorf("core: machine is required")
+		return nil, fmt.Errorf("core: machine is required: %w", errs.ErrBadConfig)
 	}
 	if cfg.ShMapEntries <= 0 {
 		cfg.ShMapEntries = clustering.DefaultEntries
@@ -199,7 +202,7 @@ func New(m *sim.Machine, cfg Config) (*Engine, error) {
 		cfg.MonitorWindow = 1_000_000_000
 	}
 	if cfg.PMUSlot < 0 || cfg.PMUSlot >= pmu.NumPhysicalCounters {
-		return nil, fmt.Errorf("core: PMU slot %d out of range", cfg.PMUSlot)
+		return nil, fmt.Errorf("core: PMU slot %d out of range: %w", cfg.PMUSlot, errs.ErrBadConfig)
 	}
 	if cfg.MinClusterSize <= 0 {
 		cfg.MinClusterSize = 2
@@ -223,7 +226,7 @@ func New(m *sim.Machine, cfg Config) (*Engine, error) {
 // engine starts in the monitoring phase with sampling disarmed.
 func (e *Engine) Install() error {
 	if e.installed {
-		return fmt.Errorf("core: engine already installed")
+		return fmt.Errorf("core: engine: %w", errs.ErrAlreadyInstalled)
 	}
 	for c := 0; c < e.m.Topology().NumCPUs(); c++ {
 		cpu := topology.CPUID(c)
@@ -243,6 +246,7 @@ func (e *Engine) Install() error {
 	e.m.OnTick(e.tick)
 	e.windowStart = e.m.Clock()
 	e.snapshotWindowBase()
+	e.registerMetrics()
 	e.installed = true
 	return nil
 }
@@ -281,37 +285,6 @@ func (e *Engine) MigrationsDone() uint64 { return e.migrationsDone }
 // result, before migration.
 func (e *Engine) OnClusters(f func([]clustering.Cluster)) { e.clusterListener = f }
 
-// Report summarizes the engine's state for operators: phase, activation
-// history, sampling progress and the current clustering, with each
-// cluster's chip placement.
-func (e *Engine) Report() string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "thread-clustering engine: phase=%s activations=%d migrations=%d\n",
-		e.phase, e.activations, e.migrationsDone)
-	fmt.Fprintf(&sb, "  window: remote fraction %.2f%% (threshold %.2f%%)\n",
-		100*e.windowRemoteFraction(), 100*e.cfg.ActivationFraction)
-	if e.phase == PhaseDetecting {
-		fmt.Fprintf(&sb, "  detection: %d/%d samples read, %d admitted, filter %d/%d entries claimed\n",
-			e.samplesRead, e.cfg.TargetSamples, e.samplesAdmitted, e.filter.Claimed(), e.filter.Len())
-	}
-	if e.clusters != nil {
-		fmt.Fprintf(&sb, "  clusters (%d):\n", len(e.clusters))
-		for i, c := range e.clusters {
-			if c.Size() < e.cfg.MinClusterSize {
-				continue
-			}
-			chips := make(map[int]int)
-			for _, tk := range c.Members {
-				if chip, ok := e.m.Scheduler().ChipOf(sched.ThreadID(tk)); ok {
-					chips[chip]++
-				}
-			}
-			fmt.Fprintf(&sb, "    #%d: %d threads, chips %v\n", i, c.Size(), chips)
-		}
-	}
-	return sb.String()
-}
-
 // ForceDetection enters the detection phase immediately, regardless of the
 // activation threshold. Experiments that study the detection machinery in
 // isolation (Figures 5 and 8) use it.
@@ -332,6 +305,7 @@ func (e *Engine) sampleHandler(cpu topology.CPUID) pmu.OverflowHandler {
 			return 0
 		}
 		e.samplesRead++
+		e.cumSamplesRead++
 		s := p.ReadSDAR()
 		th := e.m.RunningThread(cpu)
 		if s.Valid && th != nil {
@@ -339,6 +313,7 @@ func (e *Engine) sampleHandler(cpu topology.CPUID) pmu.OverflowHandler {
 			if idx, ok := e.filterFor(th.ID).Admit(key, s.Line); ok {
 				e.shmapFor(key).Increment(idx)
 				e.samplesAdmitted++
+				e.cumSamplesAdmitted++
 			}
 		}
 		// Temporal sampling: constantly readjust N by a small random
@@ -477,6 +452,7 @@ func (e *Engine) finishDetection() {
 	}
 	e.prevClusters = e.clusters
 	e.clusters = e.clusterAll()
+	e.clusterings++
 	if e.prevClusters != nil {
 		// Stability across re-clusterings: the Rand index between the
 		// previous and current partitions, over threads that were in a

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"threadcluster/internal/errs"
+	"threadcluster/internal/sched"
+)
+
+func TestSnapshotTracksPhases(t *testing.T) {
+	m := buildGroupedMachine(t, sched.PolicyClustered, 2, 4, 31)
+	e, err := New(m, testEngineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Install(); err != nil {
+		t.Fatal(err)
+	}
+
+	s := e.Snapshot()
+	if s.Phase != PhaseMonitoring {
+		t.Errorf("initial phase = %v, want monitoring", s.Phase)
+	}
+	if s.Clusters != nil {
+		t.Error("clusters should be nil before the first detection")
+	}
+
+	e.ForceDetection()
+	m.RunRounds(40)
+	s = e.Snapshot()
+	if s.Phase != PhaseDetecting {
+		t.Errorf("phase = %v, want detecting", s.Phase)
+	}
+	if s.SamplesRead == 0 {
+		t.Error("detecting snapshot should show sampling progress")
+	}
+	if s.TargetSamples != testEngineConfig().TargetSamples {
+		t.Errorf("TargetSamples = %d, want %d", s.TargetSamples, testEngineConfig().TargetSamples)
+	}
+
+	for r := 0; r < 4000 && e.Clusters() == nil; r += 20 {
+		m.RunRounds(20)
+	}
+	if e.Clusters() == nil {
+		t.Fatal("detection never finished")
+	}
+	s = e.Snapshot()
+	if s.Activations == 0 {
+		t.Error("activations should count the forced detection")
+	}
+	if len(s.Clusters) == 0 {
+		t.Error("post-detection snapshot should carry clusters")
+	}
+	total := 0
+	for _, c := range s.Clusters {
+		if c.Size != len(c.Members) {
+			t.Errorf("cluster size %d != member count %d", c.Size, len(c.Members))
+		}
+		for i := 1; i < len(c.Members); i++ {
+			if c.Members[i-1] >= c.Members[i] {
+				t.Error("cluster members should be sorted")
+			}
+		}
+		total += c.Size
+	}
+	if total != 8 {
+		t.Errorf("clusters cover %d threads, want 8", total)
+	}
+}
+
+// TestSnapshotIsValueCopy: mutating the machine after Snapshot must not
+// change an already-taken snapshot.
+func TestSnapshotIsValueCopy(t *testing.T) {
+	m := buildGroupedMachine(t, sched.PolicyClustered, 2, 4, 32)
+	e, _ := New(m, testEngineConfig())
+	_ = e.Install()
+	before := e.Snapshot()
+	e.ForceDetection()
+	m.RunRounds(100)
+	if before.Phase != PhaseMonitoring || before.SamplesRead != 0 {
+		t.Error("earlier snapshot mutated by later simulation")
+	}
+}
+
+func TestEngineMetricsOnMachineRegistry(t *testing.T) {
+	m := buildGroupedMachine(t, sched.PolicyClustered, 2, 4, 33)
+	e, _ := New(m, testEngineConfig())
+	_ = e.Install()
+	e.ForceDetection()
+	for r := 0; r < 4000 && e.Clusters() == nil; r += 20 {
+		m.RunRounds(20)
+	}
+	if e.Clusters() == nil {
+		t.Fatal("detection never finished")
+	}
+	s := m.SnapshotMetrics()
+	if got := s.Counter(MetricActivations, nil); got == 0 {
+		t.Errorf("%s = %d, want > 0", MetricActivations, got)
+	}
+	if got := s.Counter(MetricClusterings, nil); got == 0 {
+		t.Errorf("%s = %d, want > 0", MetricClusterings, got)
+	}
+	if got := s.Counter(MetricSamplesRead, nil); got == 0 {
+		t.Errorf("%s = %d, want > 0", MetricSamplesRead, got)
+	}
+	if got := s.Gauge(MetricClusters, nil); got == 0 {
+		t.Errorf("%s = %v, want > 0", MetricClusters, got)
+	}
+}
+
+func TestInstallTwiceIsSentinel(t *testing.T) {
+	m := buildGroupedMachine(t, sched.PolicyClustered, 2, 2, 34)
+	e, _ := New(m, testEngineConfig())
+	if err := e.Install(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Install(); !errors.Is(err, errs.ErrAlreadyInstalled) {
+		t.Errorf("second Install err = %v, want ErrAlreadyInstalled", err)
+	}
+	if _, err := New(nil, DefaultConfig()); !errors.Is(err, errs.ErrBadConfig) {
+		t.Errorf("New(nil) err = %v, want ErrBadConfig", err)
+	}
+}

@@ -1,0 +1,30 @@
+// Package errs defines the sentinel errors shared across the simulator's
+// layers. Internal packages wrap these with %w so callers can classify
+// failures with errors.Is without parsing message strings; the root
+// package re-exports them as part of the public API.
+package errs
+
+import "errors"
+
+var (
+	// ErrDuplicateThread reports an attempt to register a thread ID that
+	// is already installed on the machine or scheduler.
+	ErrDuplicateThread = errors.New("duplicate thread")
+
+	// ErrUnknownThread reports an operation on a thread ID the machine or
+	// scheduler has never seen (or has already removed).
+	ErrUnknownThread = errors.New("unknown thread")
+
+	// ErrThreadRunning reports a structural operation (removal) attempted
+	// while the thread is dispatched mid-quantum.
+	ErrThreadRunning = errors.New("thread is running")
+
+	// ErrBadConfig reports an invalid configuration: an impossible
+	// topology, cache geometry, workload parameterization or engine
+	// setting.
+	ErrBadConfig = errors.New("bad configuration")
+
+	// ErrAlreadyInstalled reports a second Install of a component that
+	// supports only one installation (e.g. the clustering engine).
+	ErrAlreadyInstalled = errors.New("already installed")
+)

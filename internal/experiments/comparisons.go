@@ -1,13 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
 	"threadcluster/internal/memory"
 	"threadcluster/internal/sched"
 	"threadcluster/internal/sim"
 	"threadcluster/internal/stats"
+	"threadcluster/internal/sweep"
 	"threadcluster/internal/topology"
 	"threadcluster/internal/workloads"
 )
@@ -36,19 +37,15 @@ func comparisonPolicies() []sched.Policy {
 }
 
 // Comparison runs Figures 6 and 7's underlying experiment for the given
-// workloads. Workloads run in parallel (each on its own machines).
+// workloads. Workloads run on the sweep worker pool (each on its own
+// machines).
 func Comparison(names []string, opt Options) ([]ComparisonRow, error) {
-	rows := make([]ComparisonRow, len(names))
-	errs := make([]error, len(names))
-	var wg sync.WaitGroup
-	for i, name := range names {
-		wg.Add(1)
-		go func(i int, name string) {
-			defer wg.Done()
+	return sweep.Map(context.Background(), len(names), 0,
+		func(_ context.Context, i int) (ComparisonRow, error) {
+			name := names[i]
 			runs, err := PolicyRuns(name, opt)
 			if err != nil {
-				errs[i] = err
-				return
+				return ComparisonRow{}, err
 			}
 			def := runs[sched.PolicyDefault]
 			row := ComparisonRow{
@@ -61,16 +58,8 @@ func Comparison(names []string, opt Options) ([]ComparisonRow, error) {
 				row.RelativeStalls[pol] = stats.Ratio(float64(r.RemoteStalls), float64(def.RemoteStalls))
 				row.RelativePerf[pol] = stats.Ratio(r.OpsPerMCycle, def.OpsPerMCycle)
 			}
-			rows[i] = row
-		}(i, name)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return rows, nil
+			return row, nil
+		})
 }
 
 // Figure6 reproduces Figure 6: the impact of the scheduling schemes on

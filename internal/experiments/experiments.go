@@ -13,15 +13,17 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
 	"threadcluster/internal/clustering"
 	"threadcluster/internal/core"
 	"threadcluster/internal/memory"
+	"threadcluster/internal/metrics"
 	"threadcluster/internal/pmu"
 	"threadcluster/internal/sched"
 	"threadcluster/internal/sim"
+	"threadcluster/internal/sweep"
 	"threadcluster/internal/topology"
 	"threadcluster/internal/workloads"
 )
@@ -190,6 +192,10 @@ type RunMetrics struct {
 	OpsPerMCycle float64
 	// Engine carries engine statistics when the engine was attached.
 	Engine *EngineStats
+	// Metrics is the machine's structured metrics delta over the measured
+	// interval: per-source cache attribution, scheduler activity, the CPI
+	// stack and (when attached) engine series.
+	Metrics metrics.Snapshot
 }
 
 // EngineStats summarizes the clustering engine's work during a run.
@@ -238,6 +244,7 @@ func RunWorkload(name string, policy sched.Policy, withEngine bool, opt Options)
 	// old one would confound placement effects with workload age.
 	m.RunRounds(opt.WarmRounds + opt.EngineRounds)
 	m.ResetMetrics()
+	base := m.SnapshotMetrics()
 	m.RunRounds(opt.MeasureRounds)
 
 	b := m.Breakdown()
@@ -252,6 +259,7 @@ func RunWorkload(name string, policy sched.Policy, withEngine bool, opt Options)
 	if b.Cycles > 0 {
 		res.OpsPerMCycle = float64(res.Ops) / (float64(b.Cycles) / 1e6)
 	}
+	res.Metrics = m.SnapshotMetrics().Delta(base)
 	if eng != nil {
 		res.Engine = &EngineStats{
 			Activations:     eng.Activations(),
@@ -268,30 +276,26 @@ func RunWorkload(name string, policy sched.Policy, withEngine bool, opt Options)
 
 // PolicyRuns measures one workload under all four placement strategies of
 // Section 5.4 and returns the metrics keyed by policy. The four runs are
-// completely independent machines, so they execute in parallel; each
-// machine's simulation remains single-goroutine and deterministic.
+// completely independent machines, so they execute on the sweep worker
+// pool; each machine's simulation remains single-goroutine and
+// deterministic.
 func PolicyRuns(name string, opt Options) (map[sched.Policy]RunMetrics, error) {
 	policies := []sched.Policy{
 		sched.PolicyDefault, sched.PolicyRoundRobin,
 		sched.PolicyHandOptimized, sched.PolicyClustered,
 	}
-	results := make([]RunMetrics, len(policies))
-	errs := make([]error, len(policies))
-	var wg sync.WaitGroup
-	for i, pol := range policies {
-		wg.Add(1)
-		go func(i int, pol sched.Policy) {
-			defer wg.Done()
+	results, err := sweep.Map(context.Background(), len(policies), 0,
+		func(_ context.Context, i int) (RunMetrics, error) {
+			pol := policies[i]
 			withEngine := pol == sched.PolicyClustered
-			results[i], _, errs[i] = RunWorkload(name, pol, withEngine, opt)
-		}(i, pol)
+			r, _, err := RunWorkload(name, pol, withEngine, opt)
+			return r, err
+		})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
 	out := make(map[sched.Policy]RunMetrics, len(policies))
 	for i, pol := range policies {
-		if errs[i] != nil {
-			return nil, errs[i]
-		}
 		out[pol] = results[i]
 	}
 	return out, nil

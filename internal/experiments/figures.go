@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -13,6 +14,7 @@ import (
 	"threadcluster/internal/sched"
 	"threadcluster/internal/sim"
 	"threadcluster/internal/stats"
+	"threadcluster/internal/sweep"
 	"threadcluster/internal/workloads"
 )
 
@@ -119,39 +121,40 @@ type Figure5Result struct {
 // "to simplify the picture". SPECjbb runs with 4 warehouses as in the
 // paper's footnote 3.
 func Figure5(opt Options) ([]Figure5Result, error) {
-	var out []Figure5Result
-	for _, name := range AllWorkloads() {
-		spec, err := buildFigure5Workload(name, opt.Seed)
-		if err != nil {
-			return nil, err
-		}
-		mcfg := sim.DefaultConfig()
-		mcfg.Topo = opt.Topo
-		mcfg.Policy = sched.PolicyClustered
-		mcfg.QuantumCycles = opt.QuantumCycles
-		mcfg.Seed = opt.Seed
-		m, err := sim.NewMachine(mcfg)
-		if err != nil {
-			return nil, err
-		}
-		if err := spec.Install(m); err != nil {
-			return nil, err
-		}
-		eng, err := core.New(m, ControlledEngineConfig(opt.Seed))
-		if err != nil {
-			return nil, err
-		}
-		if err := eng.Install(); err != nil {
-			return nil, err
-		}
-		m.RunRounds(opt.WarmRounds)
-		snap, err := forceDetectionAndWait(m, eng, 40*opt.EngineRounds)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", name, err)
-		}
-		out = append(out, renderFigure5(name, snap, spec))
-	}
-	return out, nil
+	names := AllWorkloads()
+	return sweep.Map(context.Background(), len(names), 0,
+		func(_ context.Context, i int) (Figure5Result, error) {
+			name := names[i]
+			spec, err := buildFigure5Workload(name, opt.Seed)
+			if err != nil {
+				return Figure5Result{}, err
+			}
+			mcfg := sim.DefaultConfig()
+			mcfg.Topo = opt.Topo
+			mcfg.Policy = sched.PolicyClustered
+			mcfg.QuantumCycles = opt.QuantumCycles
+			mcfg.Seed = opt.Seed
+			m, err := sim.NewMachine(mcfg)
+			if err != nil {
+				return Figure5Result{}, err
+			}
+			if err := spec.Install(m); err != nil {
+				return Figure5Result{}, err
+			}
+			eng, err := core.New(m, ControlledEngineConfig(opt.Seed))
+			if err != nil {
+				return Figure5Result{}, err
+			}
+			if err := eng.Install(); err != nil {
+				return Figure5Result{}, err
+			}
+			m.RunRounds(opt.WarmRounds)
+			snap, err := forceDetectionAndWait(m, eng, 40*opt.EngineRounds)
+			if err != nil {
+				return Figure5Result{}, fmt.Errorf("experiments: %s: %w", name, err)
+			}
+			return renderFigure5(name, snap, spec), nil
+		})
 }
 
 func buildFigure5Workload(name string, seed int64) (*workloads.Spec, error) {

@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"threadcluster/internal/core"
+	"threadcluster/internal/metrics"
+	"threadcluster/internal/pmu"
+	"threadcluster/internal/sched"
+	"threadcluster/internal/sim"
+	"threadcluster/internal/stats"
+	"threadcluster/internal/sweep"
+	"threadcluster/internal/topology"
+)
+
+// Topology names accepted by the sweep grid.
+const (
+	TopoOpenPower720 = "open720"
+	TopoPower5_32    = "power5-32"
+)
+
+// ParseTopo resolves a topology name.
+func ParseTopo(name string) (topology.Topology, error) {
+	switch name {
+	case TopoOpenPower720:
+		return topology.OpenPower720(), nil
+	case TopoPower5_32:
+		return topology.Power5_32Way(), nil
+	}
+	return topology.Topology{}, fmt.Errorf("experiments: unknown topology %q", name)
+}
+
+// ParsePolicy resolves a placement-policy name (the Policy.String forms).
+func ParsePolicy(name string) (sched.Policy, error) {
+	for _, p := range []sched.Policy{
+		sched.PolicyDefault, sched.PolicyRoundRobin,
+		sched.PolicyHandOptimized, sched.PolicyClustered,
+	} {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("experiments: unknown policy %q", name)
+}
+
+// GridSpec enumerates a configuration grid: every combination of
+// topology x workload x policy, each run as one independent machine.
+type GridSpec struct {
+	Workloads []string
+	Policies  []sched.Policy
+	Topos     []string
+	// BaseSeed derives each cell's seed. All policies of the same
+	// (topology, workload) pair share a seed so their workload streams
+	// are identical and policy effects are isolated; distinct pairs get
+	// decorrelated seeds via sweep.DeriveSeed.
+	BaseSeed int64
+	// Opt carries the run lengths; Topo and Seed are overridden per cell.
+	Opt Options
+}
+
+// GridCell is one configuration of the grid.
+type GridCell struct {
+	Workload string
+	Policy   sched.Policy
+	Topo     string
+	Seed     int64
+}
+
+// Name renders the cell as "workload/policy/topo".
+func (c GridCell) Name() string {
+	return c.Workload + "/" + c.Policy.String() + "/" + c.Topo
+}
+
+// Cells expands the grid in deterministic order (topology-major, then
+// workload, then policy).
+func (g GridSpec) Cells() []GridCell {
+	var cells []GridCell
+	for ti, topo := range g.Topos {
+		for wi, wl := range g.Workloads {
+			seed := sweep.DeriveSeed(g.BaseSeed, ti*len(g.Workloads)+wi)
+			for _, pol := range g.Policies {
+				cells = append(cells, GridCell{Workload: wl, Policy: pol, Topo: topo, Seed: seed})
+			}
+		}
+	}
+	return cells
+}
+
+// Tasks compiles the grid into sweep tasks. Each task builds its own
+// machine, measures RunWorkload's interval and returns the run's metrics
+// snapshot; the returned cells parallel the tasks index-wise.
+func (g GridSpec) Tasks() ([]GridCell, []sweep.Task, error) {
+	cells := g.Cells()
+	tasks := make([]sweep.Task, 0, len(cells))
+	for _, cell := range cells {
+		cell := cell
+		topo, err := ParseTopo(cell.Topo)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := BuildWorkload(cell.Workload, cell.Seed); err != nil {
+			return nil, nil, err
+		}
+		tasks = append(tasks, sweep.Task{
+			Name: cell.Name(),
+			Seed: cell.Seed,
+			Run: func(ctx context.Context, seed int64) (metrics.Snapshot, error) {
+				opt := g.Opt
+				opt.Topo = topo
+				opt.Seed = seed
+				r, _, err := RunWorkload(cell.Workload, cell.Policy, cell.Policy == sched.PolicyClustered, opt)
+				if err != nil {
+					return metrics.Snapshot{}, err
+				}
+				return r.Metrics, nil
+			},
+		})
+	}
+	return cells, tasks, nil
+}
+
+// RunGrid executes the grid on the sweep pool and returns per-cell
+// results (in cell order) plus the merged machine-wide snapshot. The
+// per-cell results are byte-identical for any worker count: every cell's
+// seed is fixed by the grid, not by scheduling.
+func RunGrid(ctx context.Context, g GridSpec, workers int) ([]GridCell, []sweep.Result, metrics.Snapshot, error) {
+	cells, tasks, err := g.Tasks()
+	if err != nil {
+		return nil, nil, metrics.Snapshot{}, err
+	}
+	results, err := sweep.Run(ctx, tasks, workers)
+	if err != nil {
+		return nil, nil, metrics.Snapshot{}, err
+	}
+	return cells, results, sweep.Merged(results), nil
+}
+
+// stallName is the label value of one remote stall series.
+func stallName(ev pmu.Event) string { return ev.String() }
+
+// GridTable renders one row per cell: the headline numbers a sweep is
+// usually after, all pulled from the structured snapshots.
+func GridTable(cells []GridCell, results []sweep.Result) *stats.Table {
+	t := stats.NewTable("Sweep: policy x topology x workload",
+		"Config", "Seed", "Cycles(M)", "CPI", "Remote%", "Ops/Mcycle", "Migrations", "Activations")
+	for i, r := range results {
+		cell := cells[i]
+		if r.Err != nil {
+			t.AddRow(cell.Name(), fmt.Sprint(cell.Seed), "error: "+r.Err.Error(), "", "", "", "", "")
+			continue
+		}
+		s := r.Metrics
+		cycles := s.Counter(sim.MetricPMUCycles, nil)
+		insts := s.Counter(sim.MetricPMUInsts, nil)
+		remote := s.Counter(sim.MetricPMUStalls, metrics.Labels{"event": stallName(pmu.EvStallRemoteL2)}) +
+			s.Counter(sim.MetricPMUStalls, metrics.Labels{"event": stallName(pmu.EvStallRemoteL3)})
+		ops := s.Counter(sim.MetricOps, nil)
+		cpi, remPct, opsPerM := 0.0, 0.0, 0.0
+		if insts > 0 {
+			cpi = float64(cycles) / float64(insts)
+		}
+		if cycles > 0 {
+			remPct = 100 * float64(remote) / float64(cycles)
+			opsPerM = float64(ops) / (float64(cycles) / 1e6)
+		}
+		t.AddRow(cell.Name(), fmt.Sprint(cell.Seed),
+			fmt.Sprintf("%.1f", float64(cycles)/1e6),
+			fmt.Sprintf("%.3f", cpi),
+			fmt.Sprintf("%.2f", remPct),
+			fmt.Sprintf("%.1f", opsPerM),
+			fmt.Sprint(s.Counter(sim.MetricSchedMigrations, nil)),
+			fmt.Sprint(s.Counter(core.MetricActivations, nil)))
+	}
+	return t
+}
+
+// SplitList parses a comma-separated flag value, dropping empties.
+func SplitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,270 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+func floatBits(v float64) uint64     { return math.Float64bits(v) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }
+
+// Kind classifies a series.
+type Kind int
+
+const (
+	// KindCounter is a monotonically increasing count.
+	KindCounter Kind = iota
+	// KindGauge is an instantaneous value.
+	KindGauge
+	// KindHistogram is a bucketed distribution.
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// MarshalJSON renders the kind as its string name.
+func (k Kind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// Sample is one series' value at snapshot time.
+type Sample struct {
+	// Name is the metric name.
+	Name string `json:"name"`
+	// Labels is the series' label set (nil for the unlabeled series).
+	Labels Labels `json:"labels,omitempty"`
+	// Kind classifies the sample.
+	Kind Kind `json:"kind"`
+	// Count is the counter value, or the histogram observation count.
+	Count uint64 `json:"count,omitempty"`
+	// Value is the gauge value.
+	Value float64 `json:"value,omitempty"`
+	// Sum is the histogram's sum of observations.
+	Sum uint64 `json:"sum,omitempty"`
+	// Bounds and Buckets carry the histogram shape; Buckets has one extra
+	// trailing element for the overflow (+Inf) bucket.
+	Bounds  []uint64 `json:"bounds,omitempty"`
+	Buckets []uint64 `json:"buckets,omitempty"`
+}
+
+// key is the sample's deterministic sort/match key.
+func (s Sample) key() string { return seriesKey(s.Name, s.Labels) }
+
+// Snapshot is an immutable, deterministically ordered view of a
+// registry's series (sorted by name, then canonical labels).
+type Snapshot struct {
+	Samples []Sample `json:"samples"`
+}
+
+// Snapshot reads every series. Collector functions run at this point;
+// atomic series are loaded. The result is sorted and detached from the
+// registry.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	list := make([]*series, 0, len(r.series))
+	for _, s := range r.series {
+		list = append(list, s)
+	}
+	r.mu.RUnlock()
+
+	samples := make([]Sample, 0, len(list))
+	for _, s := range list {
+		smp := Sample{Name: s.name, Labels: s.labels.clone(), Kind: s.kind}
+		switch {
+		case s.counter != nil:
+			smp.Count = s.counter.Value()
+		case s.cfunc != nil:
+			smp.Count = s.cfunc()
+		case s.gauge != nil:
+			smp.Value = s.gauge.Value()
+		case s.gfunc != nil:
+			smp.Value = s.gfunc()
+		case s.hist != nil:
+			smp.Count = s.hist.Count()
+			smp.Sum = s.hist.Sum()
+			smp.Bounds = s.hist.Bounds()
+			smp.Buckets = s.hist.BucketCounts()
+		}
+		samples = append(samples, smp)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i].key() < samples[j].key() })
+	return Snapshot{Samples: samples}
+}
+
+// Get returns the sample for (name, labels) and whether it exists.
+func (s Snapshot) Get(name string, labels Labels) (Sample, bool) {
+	want := seriesKey(name, labels)
+	i := sort.Search(len(s.Samples), func(i int) bool { return s.Samples[i].key() >= want })
+	if i < len(s.Samples) && s.Samples[i].key() == want {
+		return s.Samples[i], true
+	}
+	return Sample{}, false
+}
+
+// Counter returns the count of a counter sample (0 when absent).
+func (s Snapshot) Counter(name string, labels Labels) uint64 {
+	smp, ok := s.Get(name, labels)
+	if !ok {
+		return 0
+	}
+	return smp.Count
+}
+
+// Gauge returns the value of a gauge sample (0 when absent).
+func (s Snapshot) Gauge(name string, labels Labels) float64 {
+	smp, ok := s.Get(name, labels)
+	if !ok {
+		return 0
+	}
+	return smp.Value
+}
+
+// Delta returns this snapshot minus prev: counters and histograms
+// subtract series-wise (series absent from prev pass through unchanged),
+// gauges keep their current value. Use it to isolate a measured interval
+// from a warm-up prefix.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	prevByKey := make(map[string]Sample, len(prev.Samples))
+	for _, p := range prev.Samples {
+		prevByKey[p.key()] = p
+	}
+	out := Snapshot{Samples: make([]Sample, 0, len(s.Samples))}
+	for _, cur := range s.Samples {
+		d := cur.cloneSample()
+		if p, ok := prevByKey[cur.key()]; ok && p.Kind == cur.Kind {
+			switch cur.Kind {
+			case KindCounter:
+				d.Count = sub(cur.Count, p.Count)
+			case KindHistogram:
+				d.Count = sub(cur.Count, p.Count)
+				d.Sum = sub(cur.Sum, p.Sum)
+				for i := range d.Buckets {
+					if i < len(p.Buckets) {
+						d.Buckets[i] = sub(d.Buckets[i], p.Buckets[i])
+					}
+				}
+			}
+		}
+		out.Samples = append(out.Samples, d)
+	}
+	return out
+}
+
+// Merge returns the series-wise accumulation of the two snapshots:
+// counters, histogram counts and gauge values add (a merged gauge is a
+// total across machines — divide by run count for a mean). Series present
+// in only one snapshot pass through.
+func (s Snapshot) Merge(o Snapshot) Snapshot {
+	byKey := make(map[string]Sample, len(s.Samples))
+	order := make([]string, 0, len(s.Samples)+len(o.Samples))
+	for _, smp := range s.Samples {
+		byKey[smp.key()] = smp.cloneSample()
+		order = append(order, smp.key())
+	}
+	for _, smp := range o.Samples {
+		k := smp.key()
+		acc, ok := byKey[k]
+		if !ok {
+			byKey[k] = smp.cloneSample()
+			order = append(order, k)
+			continue
+		}
+		if acc.Kind != smp.Kind {
+			continue // conflicting kinds: keep the first
+		}
+		switch smp.Kind {
+		case KindCounter:
+			acc.Count += smp.Count
+		case KindGauge:
+			acc.Value += smp.Value
+		case KindHistogram:
+			acc.Count += smp.Count
+			acc.Sum += smp.Sum
+			for i := range smp.Buckets {
+				if i < len(acc.Buckets) {
+					acc.Buckets[i] += smp.Buckets[i]
+				}
+			}
+		}
+		byKey[k] = acc
+	}
+	sort.Strings(order)
+	out := Snapshot{Samples: make([]Sample, 0, len(order))}
+	for _, k := range order {
+		out.Samples = append(out.Samples, byKey[k])
+	}
+	return out
+}
+
+// MergeAll folds a slice of snapshots into one.
+func MergeAll(snaps []Snapshot) Snapshot {
+	var out Snapshot
+	for i, s := range snaps {
+		if i == 0 {
+			out = Snapshot{Samples: append([]Sample(nil), s.Samples...)}
+			continue
+		}
+		out = out.Merge(s)
+	}
+	return out
+}
+
+func (s Sample) cloneSample() Sample {
+	c := s
+	c.Labels = s.Labels.clone()
+	c.Bounds = append([]uint64(nil), s.Bounds...)
+	c.Buckets = append([]uint64(nil), s.Buckets...)
+	return c
+}
+
+func sub(a, b uint64) uint64 {
+	if b > a {
+		return 0
+	}
+	return a - b
+}
+
+// WriteJSON emits the snapshot as indented JSON. Output is byte-stable
+// for equal snapshots: samples are sorted and label maps marshal with
+// sorted keys.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteCSV emits one row per series: name, labels, kind, count, value,
+// sum. Histogram buckets are elided — use JSON for full distributions.
+func (s Snapshot) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"name", "labels", "kind", "count", "value", "sum"}); err != nil {
+		return err
+	}
+	for _, smp := range s.Samples {
+		row := []string{
+			smp.Name,
+			smp.Labels.canonical(),
+			smp.Kind.String(),
+			strconv.FormatUint(smp.Count, 10),
+			strconv.FormatFloat(smp.Value, 'g', -1, 64),
+			strconv.FormatUint(smp.Sum, 10),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

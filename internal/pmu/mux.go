@@ -22,6 +22,7 @@ type Multiplexer struct {
 	activeCyc [NumEvents]uint64 // cycles during which the event was active
 	totalCyc  uint64
 	groupOf   [NumEvents]int // group index + 1; 0 = not monitored
+	rotations uint64         // completed group switches
 }
 
 // NewMultiplexer builds a multiplexer over the given event groups. Each
@@ -77,9 +78,17 @@ func (m *Multiplexer) Advance(cycles uint64) {
 		if m.sliceLeft == 0 {
 			m.active = (m.active + 1) % len(m.groups)
 			m.sliceLeft = m.sliceLen
+			m.rotations++
 		}
 	}
 }
+
+// Rotations returns how many group switches (multiplexing rounds) have
+// completed — the denominator of multiplexing-coverage metrics.
+func (m *Multiplexer) Rotations() uint64 { return m.rotations }
+
+// NumGroups returns how many event groups rotate through the counters.
+func (m *Multiplexer) NumGroups() int { return len(m.groups) }
 
 // Estimate returns the scaled full-run estimate for an event: the observed
 // count divided by the fraction of cycles the event's group was scheduled.
@@ -111,4 +120,5 @@ func (m *Multiplexer) Reset() {
 	m.totalCyc = 0
 	m.active = 0
 	m.sliceLeft = m.sliceLen
+	m.rotations = 0
 }

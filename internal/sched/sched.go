@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"threadcluster/internal/errs"
 	"threadcluster/internal/topology"
 )
 
@@ -110,7 +111,7 @@ func (s *Scheduler) SetPartitionHint(f func(ThreadID) int) { s.partition = f }
 // AddThread places a new thread according to the policy and enqueues it.
 func (s *Scheduler) AddThread(id ThreadID) error {
 	if _, ok := s.cpuOf[id]; ok {
-		return fmt.Errorf("sched: thread %d already added", id)
+		return fmt.Errorf("sched: thread %d: %w", id, errs.ErrDuplicateThread)
 	}
 	var cpu topology.CPUID
 	switch s.policy {
@@ -119,7 +120,7 @@ func (s *Scheduler) AddThread(id ThreadID) error {
 		s.rrNext++
 	case PolicyHandOptimized:
 		if s.partition == nil {
-			return fmt.Errorf("sched: hand-optimized policy requires a partition hint")
+			return fmt.Errorf("sched: hand-optimized policy requires a partition hint: %w", errs.ErrBadConfig)
 		}
 		chip := s.partition(id) % s.topo.Chips
 		if chip < 0 {
@@ -185,10 +186,10 @@ func (s *Scheduler) Requeue(id ThreadID) {
 func (s *Scheduler) Migrate(id ThreadID, cpu topology.CPUID) error {
 	old, ok := s.cpuOf[id]
 	if !ok {
-		return fmt.Errorf("sched: unknown thread %d", id)
+		return fmt.Errorf("sched: thread %d: %w", id, errs.ErrUnknownThread)
 	}
 	if int(cpu) < 0 || int(cpu) >= s.topo.NumCPUs() {
-		return fmt.Errorf("sched: CPU %d out of range", int(cpu))
+		return fmt.Errorf("sched: CPU %d out of range: %w", int(cpu), errs.ErrBadConfig)
 	}
 	if old == cpu {
 		return nil
@@ -239,6 +240,16 @@ func (s *Scheduler) NumThreads() int { return len(s.cpuOf) }
 // QueueLen returns the current length of a CPU's run queue (excluding a
 // thread currently running on it).
 func (s *Scheduler) QueueLen(cpu topology.CPUID) int { return len(s.queues[cpu]) }
+
+// TotalQueued returns how many threads are sitting in run queues right
+// now (dispatched threads excluded) — the machine-wide runqueue depth.
+func (s *Scheduler) TotalQueued() int {
+	total := 0
+	for _, q := range s.queues {
+		total += len(q)
+	}
+	return total
+}
 
 // ChipLoad returns the number of threads assigned to each chip.
 func (s *Scheduler) ChipLoad() []int {

@@ -12,11 +12,14 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"threadcluster/internal/cache"
+	"threadcluster/internal/errs"
 	"threadcluster/internal/memory"
+	"threadcluster/internal/metrics"
 	"threadcluster/internal/pmu"
 	"threadcluster/internal/sched"
 	"threadcluster/internal/topology"
@@ -122,6 +125,7 @@ type Machine struct {
 	order   []sched.ThreadID // insertion order, for deterministic iteration
 
 	clock    uint64 // machine time in cycles
+	rounds   uint64 // completed scheduling rounds
 	rng      *rand.Rand
 	ticks    []TickFunc
 	running  []sched.ThreadID // per CPU; -1 = idle
@@ -129,6 +133,9 @@ type Machine struct {
 
 	dispatchSlots uint64 // CPU-quanta elapsed
 	dispatchBusy  uint64 // CPU-quanta with a thread dispatched
+
+	metrics   *metrics.Registry
+	depthHist *metrics.Histogram // runqueue depth observed each round
 
 	// observer, when set, sees every memory reference before it executes
 	// and returns extra cycles to charge (e.g. a simulated page-protection
@@ -171,6 +178,7 @@ func NewMachine(cfg Config) (*Machine, error) {
 		m.muxes = append(m.muxes, nil)
 		m.running[i] = -1
 	}
+	m.registerMetrics()
 	return m, nil
 }
 
@@ -194,6 +202,7 @@ func (m *Machine) PMU(cpu topology.CPUID) *pmu.PMU { return m.pmus[cpu] }
 func (m *Machine) AttachMux(cpu topology.CPUID, mux *pmu.Multiplexer) {
 	m.muxes[cpu] = mux
 	m.pmus[cpu].AttachMultiplexer(mux)
+	m.registerMuxMetrics(cpu, mux)
 }
 
 // Clock returns machine time in cycles.
@@ -205,10 +214,10 @@ func (m *Machine) OverheadCycles() uint64 { return m.overhead }
 // AddThread registers and places a thread.
 func (m *Machine) AddThread(t *Thread) error {
 	if t == nil || t.Gen == nil {
-		return fmt.Errorf("sim: thread must have a generator")
+		return fmt.Errorf("sim: thread must have a generator: %w", errs.ErrBadConfig)
 	}
 	if _, ok := m.threads[t.ID]; ok {
-		return fmt.Errorf("sim: thread %d already added", t.ID)
+		return fmt.Errorf("sim: thread %d: %w", t.ID, errs.ErrDuplicateThread)
 	}
 	if err := m.sch.AddThread(t.ID); err != nil {
 		return err
@@ -227,11 +236,12 @@ func (m *Machine) Thread(id sched.ThreadID) *Thread { return m.threads[id] }
 // generator or PMU handler.
 func (m *Machine) RemoveThread(id sched.ThreadID) error {
 	if _, ok := m.threads[id]; !ok {
-		return fmt.Errorf("sim: unknown thread %d", id)
+		return fmt.Errorf("sim: thread %d: %w", id, errs.ErrUnknownThread)
 	}
 	for _, running := range m.running {
 		if running == id {
-			return fmt.Errorf("sim: thread %d is mid-quantum; remove threads between rounds", id)
+			return fmt.Errorf("sim: thread %d is mid-quantum; remove threads between rounds: %w",
+				id, errs.ErrThreadRunning)
 		}
 	}
 	m.sch.RemoveThread(id)
@@ -274,20 +284,44 @@ func (m *Machine) OnTick(f TickFunc) { m.ticks = append(m.ticks, f) }
 // use it to model page-protection faults.
 func (m *Machine) SetAccessObserver(o AccessObserver) { m.observer = o }
 
-// RunCycles advances the machine by (at least) the given number of cycles,
-// in whole scheduling rounds.
-func (m *Machine) RunCycles(cycles uint64) {
+// Run advances the machine by (at least) the given number of cycles, in
+// whole scheduling rounds, checking ctx at every round boundary. It
+// returns ctx's error if the context is cancelled before the cycles
+// elapse, leaving the machine in a consistent between-rounds state.
+func (m *Machine) Run(ctx context.Context, cycles uint64) error {
 	end := m.clock + cycles
 	for m.clock < end {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		m.runRound()
 	}
+	return nil
 }
 
-// RunRounds advances the machine by n scheduling rounds.
-func (m *Machine) RunRounds(n int) {
+// RunRoundsCtx advances the machine by n scheduling rounds, checking ctx
+// at every round boundary. It returns ctx's error on cancellation,
+// leaving the machine in a consistent between-rounds state.
+func (m *Machine) RunRoundsCtx(ctx context.Context, n int) error {
 	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		m.runRound()
 	}
+	return nil
+}
+
+// RunCycles advances the machine by (at least) the given number of cycles,
+// in whole scheduling rounds. It is Run with a background context.
+func (m *Machine) RunCycles(cycles uint64) {
+	_ = m.Run(context.Background(), cycles)
+}
+
+// RunRounds advances the machine by n scheduling rounds. It is
+// RunRoundsCtx with a background context.
+func (m *Machine) RunRounds(n int) {
+	_ = m.RunRoundsCtx(context.Background(), n)
 }
 
 // runRound executes one scheduling quantum on every hardware context,
@@ -326,6 +360,8 @@ func (m *Machine) runRound() {
 	}
 	m.sch.ProactiveBalance()
 	m.clock += m.cfg.QuantumCycles
+	m.rounds++
+	m.depthHist.Observe(uint64(m.sch.TotalQueued()))
 	for c := 0; c < ncpu; c++ {
 		if m.muxes[c] != nil {
 			m.muxes[c].Advance(m.cfg.QuantumCycles)

@@ -20,6 +20,7 @@ package workloads
 import (
 	"fmt"
 
+	"threadcluster/internal/errs"
 	"threadcluster/internal/memory"
 )
 
@@ -56,7 +57,7 @@ type btreeNode struct {
 // NewBTree creates an empty tree allocating nodes from the arena.
 func NewBTree(arena *memory.Arena) (*BTree, error) {
 	if arena == nil {
-		return nil, fmt.Errorf("workloads: btree needs an arena")
+		return nil, fmt.Errorf("workloads: btree needs an arena: %w", errs.ErrBadConfig)
 	}
 	t := &BTree{arena: arena}
 	root, err := t.newNode(true)

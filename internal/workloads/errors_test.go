@@ -1,0 +1,49 @@
+package workloads
+
+import (
+	"errors"
+	"testing"
+
+	"threadcluster/internal/errs"
+	"threadcluster/internal/memory"
+)
+
+// TestBadConfigsAreSentinels: invalid workload configurations classify
+// with errors.Is, not just message text.
+func TestBadConfigsAreSentinels(t *testing.T) {
+	arena := memory.NewDefaultArena()
+	cases := []struct {
+		name string
+		err  func() error
+	}{
+		{"synthetic", func() error {
+			_, err := NewSynthetic(arena, SyntheticConfig{})
+			return err
+		}},
+		{"volano", func() error {
+			_, err := NewVolano(arena, VolanoConfig{})
+			return err
+		}},
+		{"jbb", func() error {
+			_, err := NewJBB(arena, JBBConfig{})
+			return err
+		}},
+		{"rubis", func() error {
+			_, err := NewRubis(arena, RubisConfig{})
+			return err
+		}},
+		{"staged", func() error {
+			_, err := NewStaged(arena, StagedConfig{})
+			return err
+		}},
+		{"btree", func() error {
+			_, err := NewBTree(nil)
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		if err := tc.err(); !errors.Is(err, errs.ErrBadConfig) {
+			t.Errorf("%s zero config err = %v, want ErrBadConfig", tc.name, err)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"threadcluster/internal/errs"
 	"threadcluster/internal/memory"
 	"threadcluster/internal/sched"
 	"threadcluster/internal/sim"
@@ -129,10 +130,10 @@ func (w *rubisWorker) transaction() []sim.MemRef {
 // partition is the database instance.
 func NewRubis(arena *memory.Arena, cfg RubisConfig) (*Spec, error) {
 	if cfg.Instances <= 0 || cfg.ClientsPerInstance <= 0 {
-		return nil, fmt.Errorf("workloads: rubis needs positive instances and clients, got %+v", cfg)
+		return nil, fmt.Errorf("workloads: rubis needs positive instances and clients, got %+v: %w", cfg, errs.ErrBadConfig)
 	}
 	if cfg.KeySpace == 0 {
-		return nil, fmt.Errorf("workloads: rubis needs a key space")
+		return nil, fmt.Errorf("workloads: rubis needs a key space: %w", errs.ErrBadConfig)
 	}
 	global, err := arena.Alloc(cfg.GlobalBytes, memory.LineSize)
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"threadcluster/internal/errs"
 	"threadcluster/internal/memory"
 	"threadcluster/internal/sched"
 	"threadcluster/internal/sim"
@@ -137,17 +138,17 @@ func NewJBB(arena *memory.Arena, cfg JBBConfig) (*Spec, error) {
 // first-touch) for the Section 8 NUMA experiments.
 func NewJBBOnNodes(arenas []*memory.Arena, cfg JBBConfig) (*Spec, error) {
 	if len(arenas) == 0 {
-		return nil, fmt.Errorf("workloads: jbb on nodes needs at least one arena")
+		return nil, fmt.Errorf("workloads: jbb on nodes needs at least one arena: %w", errs.ErrBadConfig)
 	}
 	return newJBB(func(wh int) *memory.Arena { return arenas[wh%len(arenas)] }, arenas[0], cfg)
 }
 
 func newJBB(arenaFor func(warehouse int) *memory.Arena, globalArena *memory.Arena, cfg JBBConfig) (*Spec, error) {
 	if cfg.Warehouses <= 0 || cfg.ThreadsPerWarehouse <= 0 {
-		return nil, fmt.Errorf("workloads: jbb needs positive warehouses and threads, got %+v", cfg)
+		return nil, fmt.Errorf("workloads: jbb needs positive warehouses and threads, got %+v: %w", cfg, errs.ErrBadConfig)
 	}
 	if cfg.KeySpace == 0 {
-		return nil, fmt.Errorf("workloads: jbb needs a key space")
+		return nil, fmt.Errorf("workloads: jbb needs a key space: %w", errs.ErrBadConfig)
 	}
 	global, err := globalArena.Alloc(cfg.GlobalBytes, memory.LineSize)
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"threadcluster/internal/errs"
 	"threadcluster/internal/memory"
 	"threadcluster/internal/sched"
 	"threadcluster/internal/sim"
@@ -87,7 +88,7 @@ func (w *stagedWorker) Next() sim.MemRef {
 // every stage; the ground-truth partition is the stage.
 func NewStaged(arena *memory.Arena, cfg StagedConfig) (*Spec, error) {
 	if cfg.Stages <= 0 || cfg.ThreadsPerStage <= 0 {
-		return nil, fmt.Errorf("workloads: staged needs positive stages and threads, got %+v", cfg)
+		return nil, fmt.Errorf("workloads: staged needs positive stages and threads, got %+v: %w", cfg, errs.ErrBadConfig)
 	}
 	// Queues 0..Stages: queue[i] feeds stage i; queue[Stages] is the
 	// output sink.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"threadcluster/internal/errs"
 	"threadcluster/internal/memory"
 	"threadcluster/internal/sched"
 	"threadcluster/internal/sim"
@@ -97,10 +98,10 @@ func (w *syntheticWorker) Next() sim.MemRef {
 // across chips — the worst case the paper engineers.
 func NewSynthetic(arena *memory.Arena, cfg SyntheticConfig) (*Spec, error) {
 	if cfg.Scoreboards <= 0 || cfg.ThreadsPerBoard <= 0 {
-		return nil, fmt.Errorf("workloads: synthetic needs positive scoreboards and threads, got %+v", cfg)
+		return nil, fmt.Errorf("workloads: synthetic needs positive scoreboards and threads, got %+v: %w", cfg, errs.ErrBadConfig)
 	}
 	if cfg.ScoreboardBytes < memory.LineSize || cfg.PrivateBytes < memory.LineSize {
-		return nil, fmt.Errorf("workloads: synthetic regions must hold at least one line")
+		return nil, fmt.Errorf("workloads: synthetic regions must hold at least one line: %w", errs.ErrBadConfig)
 	}
 	align := cfg.Align
 	if align == 0 {
@@ -149,7 +150,7 @@ func NewSyntheticWithPhaseChange(arena *memory.Arena, cfg SyntheticConfig, phase
 		return nil, err
 	}
 	if phaseAfterRefs == 0 {
-		return nil, fmt.Errorf("workloads: phase change needs a positive reference count")
+		return nil, fmt.Errorf("workloads: phase change needs a positive reference count: %w", errs.ErrBadConfig)
 	}
 	// Second-phase scoreboards: a disjoint set of boards so the engine
 	// cannot coast on stale placement.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"threadcluster/internal/errs"
 	"threadcluster/internal/memory"
 	"threadcluster/internal/sched"
 	"threadcluster/internal/sim"
@@ -101,7 +102,7 @@ type VolanoServer struct {
 // connections (ClientsPerRoom per room).
 func NewVolanoServer(arena *memory.Arena, cfg VolanoConfig) (*VolanoServer, error) {
 	if cfg.Rooms <= 0 || cfg.ClientsPerRoom <= 0 {
-		return nil, fmt.Errorf("workloads: volano needs positive rooms and clients, got %+v", cfg)
+		return nil, fmt.Errorf("workloads: volano needs positive rooms and clients, got %+v: %w", cfg, errs.ErrBadConfig)
 	}
 	global, err := arena.Alloc(cfg.GlobalBytes, memory.LineSize)
 	if err != nil {
