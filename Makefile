@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race bench experiments sweep-smoke examples clean
+.PHONY: all build vet test test-short test-race bench bench-compare bench-baseline fuzz-smoke experiments sweep-smoke examples clean
 
 all: build vet test
 
@@ -21,6 +21,25 @@ test-short:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Coherence regression guard: compare the broadcast-vs-directory
+# benchmarks against the committed BENCH_coherence.json baseline. Fails
+# when a benchmark regresses past tolerance or the directory's speedup on
+# the 32-way machine drops below its required minimum.
+bench-compare:
+	$(GO) test -run '^$$' -bench BenchmarkCoherence -benchtime 1s ./internal/cache \
+		| $(GO) run ./cmd/benchcmp -baseline BENCH_coherence.json
+
+# Refresh the committed baseline from this machine.
+bench-baseline:
+	$(GO) test -run '^$$' -bench BenchmarkCoherence -benchtime 1s ./internal/cache \
+		| $(GO) run ./cmd/benchcmp -baseline BENCH_coherence.json -update
+
+# Short fuzzing pass over the coherence differential target and the trace
+# parser (CI runs the same).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzHierarchyAccess -fuzztime 30s ./internal/cache
+	$(GO) test -run '^$$' -fuzz FuzzLoad -fuzztime 15s ./internal/trace
 
 # Race-detector coverage for the concurrent packages.
 test-race:

@@ -113,9 +113,25 @@ func NewArena() *Arena { return memory.NewDefaultArena() }
 type (
 	// CacheConfig sizes one cache level.
 	CacheConfig = cache.Config
-	// HierarchyConfig sizes the three levels.
+	// HierarchyConfig sizes the three levels and selects the coherence
+	// implementation.
 	HierarchyConfig = cache.HierarchyConfig
+	// CoherenceMode selects how the hierarchy resolves cross-chip
+	// coherence: a per-line directory (the default fast path) or
+	// broadcast snooping. Both produce identical simulation results.
+	CoherenceMode = cache.CoherenceMode
 )
+
+// Coherence implementations. CoherenceDirectory is the default and the
+// zero value; CoherenceBroadcast is the reference implementation the
+// directory is differentially tested against.
+const (
+	CoherenceDirectory = cache.CoherenceDirectory
+	CoherenceBroadcast = cache.CoherenceBroadcast
+)
+
+// ParseCoherenceMode parses "directory" or "broadcast".
+func ParseCoherenceMode(s string) (CoherenceMode, error) { return cache.ParseCoherenceMode(s) }
 
 // Power5Caches returns Table 1's cache sizes.
 func Power5Caches() HierarchyConfig { return cache.Power5Config() }

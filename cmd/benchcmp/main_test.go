@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+BenchmarkCoherenceBroadcast32Way-16   	 1000000	       700.0 ns/op	       0 B/op
+BenchmarkCoherenceDirectory32Way-16   	 2000000	       350.0 ns/op	       0 B/op
+PASS
+`
+
+const sampleBaseline = `{
+  "ns_per_op": {
+    "BenchmarkCoherenceBroadcast32Way": 710.0,
+    "BenchmarkCoherenceDirectory32Way": 340.0
+  },
+  "speedups": [
+    {"name": "directory-vs-broadcast-32way",
+     "slow": "BenchmarkCoherenceBroadcast32Way",
+     "fast": "BenchmarkCoherenceDirectory32Way",
+     "min_ratio": 1.5, "recorded_ratio": 2.09}
+  ]
+}`
+
+func writeBaseline(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareOK(t *testing.T) {
+	path := writeBaseline(t, sampleBaseline)
+	var out, errb bytes.Buffer
+	err := run([]string{"-baseline", path}, strings.NewReader(sampleBench), &out, &errb)
+	if err != nil {
+		t.Fatalf("compare failed: %v\nstderr: %s", err, errb.String())
+	}
+	if !strings.Contains(out.String(), "2.00x") {
+		t.Errorf("output missing computed speedup:\n%s", out.String())
+	}
+}
+
+func TestCompareDetectsRegression(t *testing.T) {
+	slow := strings.Replace(sampleBench, "700.0 ns/op", "2000.0 ns/op", 1)
+	path := writeBaseline(t, sampleBaseline)
+	var out, errb bytes.Buffer
+	if err := run([]string{"-baseline", path}, strings.NewReader(slow), &out, &errb); err == nil {
+		t.Fatal("a 2.8x slowdown should fail the comparison")
+	}
+}
+
+func TestCompareDetectsSpeedupBelowMinimum(t *testing.T) {
+	// Directory barely faster than broadcast: ratio 700/650 < 1.5.
+	weak := strings.Replace(sampleBench, "350.0 ns/op", "650.0 ns/op", 1)
+	path := writeBaseline(t, sampleBaseline)
+	var out, errb bytes.Buffer
+	err := run([]string{"-baseline", path, "-tolerance", "2.0"}, strings.NewReader(weak), &out, &errb)
+	if err == nil {
+		t.Fatal("speedup below min_ratio should fail")
+	}
+	if !strings.Contains(errb.String(), "BELOW") && !strings.Contains(errb.String(), "required") {
+		t.Errorf("stderr should name the failed speedup:\n%s", errb.String())
+	}
+}
+
+func TestUpdateRewritesBaseline(t *testing.T) {
+	path := writeBaseline(t, sampleBaseline)
+	var out, errb bytes.Buffer
+	if err := run([]string{"-baseline", path, "-update"}, strings.NewReader(sampleBench), &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "700") || !strings.Contains(string(raw), `"recorded_ratio": 2`) {
+		t.Errorf("updated baseline missing new values:\n%s", raw)
+	}
+}
+
+func TestParseBenchRejectsEmpty(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("no benchmarks here\n")); err == nil {
+		t.Error("empty input should error")
+	}
+}

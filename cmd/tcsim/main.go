@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"os"
 
+	"threadcluster/internal/cache"
 	"threadcluster/internal/experiments"
 	"threadcluster/internal/stats"
 )
@@ -43,12 +44,13 @@ func main() {
 		return
 	}
 	var (
-		exp      = flag.String("exp", "all", "experiment to run: table1|fig1|fig3|fig5|fig6|fig7|fig8|spatial|scale32|sdar|ablation|pagevspmu|threshold|numa|phase|contention|migration|multiprog|smt|mux|probe|staged|churn|all")
-		workload = flag.String("workload", experiments.Volano, "workload for fig3: microbenchmark|volano|specjbb|rubis")
-		seed     = flag.Int64("seed", 1, "simulation seed")
-		warm     = flag.Int("warm", 0, "override warm-up rounds (0 = default)")
-		measure  = flag.Int("measure", 0, "override measured rounds (0 = default)")
-		markdown = flag.Bool("markdown", false, "emit tables as GitHub-flavored Markdown")
+		exp       = flag.String("exp", "all", "experiment to run: table1|fig1|fig3|fig5|fig6|fig7|fig8|spatial|scale32|sdar|ablation|pagevspmu|threshold|numa|phase|contention|migration|multiprog|smt|mux|probe|staged|churn|all")
+		workload  = flag.String("workload", experiments.Volano, "workload for fig3: microbenchmark|volano|specjbb|rubis")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		warm      = flag.Int("warm", 0, "override warm-up rounds (0 = default)")
+		measure   = flag.Int("measure", 0, "override measured rounds (0 = default)")
+		markdown  = flag.Bool("markdown", false, "emit tables as GitHub-flavored Markdown")
+		coherence = flag.String("coherence", "directory", "cache-coherence implementation: directory|broadcast (results are identical; directory is faster)")
 	)
 	flag.Parse()
 
@@ -60,6 +62,12 @@ func main() {
 	if *measure > 0 {
 		opt.MeasureRounds = *measure
 	}
+	mode, err := cache.ParseCoherenceMode(*coherence)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tcsim:", err)
+		os.Exit(2)
+	}
+	opt.Coherence = mode
 
 	if err := run(*exp, *workload, opt, *markdown); err != nil {
 		fmt.Fprintln(os.Stderr, "tcsim:", err)

@@ -6,12 +6,19 @@ import (
 	"threadcluster/internal/experiments"
 )
 
-// fastOptions keeps CLI tests quick.
+// fastOptions keeps CLI tests quick. These tests exercise dispatch and
+// output plumbing, not result shapes, so -short can cut the rounds
+// further without weakening anything.
 func fastOptions() experiments.Options {
 	opt := experiments.DefaultOptions()
 	opt.WarmRounds = 30
 	opt.EngineRounds = 50
 	opt.MeasureRounds = 30
+	if testing.Short() {
+		opt.WarmRounds = 10
+		opt.EngineRounds = 20
+		opt.MeasureRounds = 10
+	}
 	return opt
 }
 

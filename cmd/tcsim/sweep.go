@@ -7,6 +7,7 @@ import (
 	"io"
 	"time"
 
+	"threadcluster/internal/cache"
 	"threadcluster/internal/experiments"
 	"threadcluster/internal/sched"
 	"threadcluster/internal/sweep"
@@ -28,14 +29,15 @@ func runSweep(args []string, stdout, stderr io.Writer) error {
 			"comma-separated policies: default|round-robin|hand-optimized|clustered")
 		toposFlag = fs.String("topos", experiments.TopoOpenPower720,
 			"comma-separated topologies: open720|power5-32")
-		workers = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		seed    = fs.Int64("seed", 1, "base seed; per-config seeds derive from it deterministically")
-		warm    = fs.Int("warm", 0, "override warm-up rounds (0 = default)")
-		engine  = fs.Int("engine", 0, "override engine rounds (0 = default)")
-		measure = fs.Int("measure", 0, "override measured rounds (0 = default)")
-		format  = fs.String("format", "table", "output: table|markdown|csv|json")
-		merged  = fs.Bool("merged", false, "also emit the merged machine-wide snapshot (csv/json formats)")
-		timeout = fs.Duration("timeout", 0, "cancel the sweep after this duration (0 = none)")
+		workers   = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		seed      = fs.Int64("seed", 1, "base seed; per-config seeds derive from it deterministically")
+		warm      = fs.Int("warm", 0, "override warm-up rounds (0 = default)")
+		engine    = fs.Int("engine", 0, "override engine rounds (0 = default)")
+		measure   = fs.Int("measure", 0, "override measured rounds (0 = default)")
+		format    = fs.String("format", "table", "output: table|markdown|csv|json")
+		merged    = fs.Bool("merged", false, "also emit the merged machine-wide snapshot (csv/json formats)")
+		timeout   = fs.Duration("timeout", 0, "cancel the sweep after this duration (0 = none)")
+		coherence = fs.String("coherence", "directory", "cache-coherence implementation: directory|broadcast")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -51,6 +53,11 @@ func runSweep(args []string, stdout, stderr io.Writer) error {
 	if *measure > 0 {
 		opt.MeasureRounds = *measure
 	}
+	mode, err := cache.ParseCoherenceMode(*coherence)
+	if err != nil {
+		return err
+	}
+	opt.Coherence = mode
 
 	var policies []sched.Policy
 	for _, name := range experiments.SplitList(*policiesFlag) {

@@ -11,10 +11,16 @@ import (
 // comparison surface, stderr (wall-clock) is discarded.
 func runSweepOut(t *testing.T, extra ...string) string {
 	t.Helper()
+	warm, engine, measure := "30", "50", "30"
+	if testing.Short() {
+		// The sweep tests check determinism and output formats, not
+		// result shapes; -short shrinks the simulated rounds further.
+		warm, engine, measure = "10", "20", "10"
+	}
 	args := append([]string{
 		"-workloads", "microbenchmark,volano",
 		"-policies", "default,clustered",
-		"-warm", "30", "-engine", "50", "-measure", "30",
+		"-warm", warm, "-engine", engine, "-measure", measure,
 	}, extra...)
 	var out bytes.Buffer
 	if err := runSweep(args, &out, io.Discard); err != nil {

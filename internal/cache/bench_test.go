@@ -61,6 +61,71 @@ func BenchmarkAccessMemoryStream(b *testing.B) {
 	}
 }
 
+// coherenceOps pre-generates a deterministic sharing-heavy access stream:
+// every CPU touches a working set larger than the caches, half the
+// accesses land in a shared region and a third of those are writes, so
+// the stream is dominated by cross-chip snoops, invalidations and
+// inclusion purges — the operations whose cost the coherence
+// implementation decides.
+type coherenceOp struct {
+	cpu   topology.CPUID
+	addr  memory.Addr
+	write bool
+}
+
+func coherenceOps(topo topology.Topology, n int) []coherenceOp {
+	w := newDiffWorkload(topo, 2*topo.NumCPUs(), 96, 1)
+	ops := make([]coherenceOp, n)
+	for i := range ops {
+		cpu, addr, write := w.step()
+		ops[i] = coherenceOp{cpu: cpu, addr: addr, write: write}
+	}
+	return ops
+}
+
+func benchCoherence(b *testing.B, topo topology.Topology, mode CoherenceMode) {
+	// Power5 associativities (Table 1: 4-way L1, 10-way L2, 12-way L3) at
+	// test-scale sizes, so broadcast pays realistic set-scan costs while
+	// the working set still forces misses.
+	cfg := HierarchyConfig{
+		L1:        Config{SizeBytes: 4 << 10, Ways: 4},
+		L2:        Config{SizeBytes: 40 << 10, Ways: 10},
+		L3:        Config{SizeBytes: 192 << 10, Ways: 12},
+		Coherence: mode,
+	}
+	h, err := NewHierarchy(topo, topology.DefaultLatencies(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ops := coherenceOps(topo, 1<<16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op := ops[i&(1<<16-1)]
+		h.Access(op.cpu, op.addr, op.write)
+	}
+}
+
+// The broadcast-vs-directory pairs below are the regression guard: `make
+// bench-compare` compares them against BENCH_coherence.json and requires
+// the directory to stay >= 1.5x faster than broadcast on the 32-way
+// machine (§7.4 topology).
+func BenchmarkCoherenceBroadcast32Way(b *testing.B) {
+	benchCoherence(b, topology.Power5_32Way(), CoherenceBroadcast)
+}
+
+func BenchmarkCoherenceDirectory32Way(b *testing.B) {
+	benchCoherence(b, topology.Power5_32Way(), CoherenceDirectory)
+}
+
+func BenchmarkCoherenceBroadcastOpen720(b *testing.B) {
+	benchCoherence(b, topology.OpenPower720(), CoherenceBroadcast)
+}
+
+func BenchmarkCoherenceDirectoryOpen720(b *testing.B) {
+	benchCoherence(b, topology.OpenPower720(), CoherenceDirectory)
+}
+
 func BenchmarkSetAssocLookup(b *testing.B) {
 	c, err := NewSetAssoc(Power5Config().L2)
 	if err != nil {

@@ -67,6 +67,204 @@ func (r *refModel) access(cpu topology.CPUID, line memory.Addr, write bool) map[
 	return legal
 }
 
+// twin builds one broadcast and one directory hierarchy with otherwise
+// identical configuration.
+func twin(t testing.TB, topo topology.Topology, lat topology.Latencies, cfg HierarchyConfig) (bc, dir *Hierarchy) {
+	t.Helper()
+	cfg.Coherence = CoherenceBroadcast
+	bc, err := NewHierarchy(topo, lat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Coherence = CoherenceDirectory
+	dir, err = NewHierarchy(topo, lat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dir.Coherence() != CoherenceDirectory {
+		t.Fatalf("directory mode not effective on %v", topo)
+	}
+	return bc, dir
+}
+
+// compareCounters fails the test when any observable coherence or
+// attribution counter diverges between the two implementations.
+func compareCounters(t *testing.T, op int, bc, dir *Hierarchy) {
+	t.Helper()
+	if bc.SourceCounts() != dir.SourceCounts() {
+		t.Fatalf("op %d: SourceCounts diverged:\nbroadcast %v\ndirectory %v", op, bc.SourceCounts(), dir.SourceCounts())
+	}
+	if bc.SourceCycles() != dir.SourceCycles() {
+		t.Fatalf("op %d: SourceCycles diverged:\nbroadcast %v\ndirectory %v", op, bc.SourceCycles(), dir.SourceCycles())
+	}
+	if b, d := bc.InvalidationsSent(), dir.InvalidationsSent(); b != d {
+		t.Fatalf("op %d: InvalidationsSent: broadcast %d, directory %d", op, b, d)
+	}
+	if b, d := bc.Upgrades(), dir.Upgrades(); b != d {
+		t.Fatalf("op %d: Upgrades: broadcast %d, directory %d", op, b, d)
+	}
+	if b, d := bc.Writebacks(), dir.Writebacks(); b != d {
+		t.Fatalf("op %d: Writebacks: broadcast %d, directory %d", op, b, d)
+	}
+}
+
+// diffWorkload models software threads with private and shared working
+// sets that occasionally migrate between CPUs — the multi-chip
+// read/write/migration sequences the directory must survive. One instance
+// drives both hierarchies so their access streams are identical.
+type diffWorkload struct {
+	rng     *rand.Rand
+	topo    topology.Topology
+	homes   []topology.CPUID // current CPU of each simulated thread
+	private []int            // disjoint line-range base per thread
+	lines   int              // lines per private range / in the shared range
+}
+
+func newDiffWorkload(topo topology.Topology, threads, lines int, seed int64) *diffWorkload {
+	w := &diffWorkload{
+		rng:   rand.New(rand.NewSource(seed)),
+		topo:  topo,
+		lines: lines,
+	}
+	for i := 0; i < threads; i++ {
+		w.homes = append(w.homes, topology.CPUID(w.rng.Intn(topo.NumCPUs())))
+		w.private = append(w.private, (i+1)*lines)
+	}
+	return w
+}
+
+// step produces the next access: which CPU issues it, the line, and
+// whether it is a write. 2% of steps migrate a thread to a random CPU
+// (often on another chip) instead of accessing memory.
+func (w *diffWorkload) step() (cpu topology.CPUID, addr memory.Addr, write bool) {
+	for {
+		th := w.rng.Intn(len(w.homes))
+		if w.rng.Intn(50) == 0 {
+			w.homes[th] = topology.CPUID(w.rng.Intn(w.topo.NumCPUs()))
+			continue
+		}
+		base := 0 // shared range
+		if w.rng.Intn(2) == 0 {
+			base = w.private[th]
+		}
+		line := base + w.rng.Intn(w.lines)
+		return w.homes[th], memory.Addr(uint64(line) * memory.LineSize), w.rng.Intn(3) == 0
+	}
+}
+
+// TestBroadcastDirectoryEquivalence is the differential harness of the
+// coherence fast path: identical randomized multi-chip
+// read/write/migration sequences replayed through both implementations
+// must yield byte-identical per-access results (source, latency, L1-miss
+// flag) and byte-identical attribution and coherence counters. The
+// directory is only allowed to be faster, never observably different.
+func TestBroadcastDirectoryEquivalence(t *testing.T) {
+	cases := []struct {
+		name string
+		topo topology.Topology
+		lat  topology.Latencies
+		cfg  HierarchyConfig
+		numa bool
+		ops  int
+	}{
+		{name: "open720/small", topo: topology.OpenPower720(), lat: topology.DefaultLatencies(), cfg: SmallConfig(), ops: 150_000},
+		{name: "open720/power5", topo: topology.OpenPower720(), lat: topology.DefaultLatencies(), cfg: Power5Config(), ops: 60_000},
+		{name: "32way/small", topo: topology.Power5_32Way(), lat: topology.DefaultLatencies(), cfg: SmallConfig(), ops: 150_000},
+		{name: "32way/power5", topo: topology.Power5_32Way(), lat: topology.DefaultLatencies(), cfg: Power5Config(), ops: 60_000},
+		{name: "niagara/small", topo: topology.NiagaraLike(), lat: topology.DefaultLatencies(), cfg: SmallConfig(), ops: 60_000},
+		{name: "open720/numa", topo: topology.OpenPower720(), lat: topology.NUMALatencies(), cfg: SmallConfig(), numa: true, ops: 100_000},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			for _, seed := range []int64{1, 42, 1234} {
+				bc, dir := twin(t, tc.topo, tc.lat, tc.cfg)
+				if tc.numa {
+					nodes := memory.InterleavedNodes{N: tc.topo.Chips, Granularity: 4096}
+					bc.SetNUMA(nodes)
+					dir.SetNUMA(nodes)
+				}
+				w := newDiffWorkload(tc.topo, 2*tc.topo.NumCPUs(), 96, seed)
+				ops := tc.ops
+				if testing.Short() {
+					ops /= 10
+				}
+				for i := 0; i < ops; i++ {
+					cpu, addr, write := w.step()
+					rb := bc.Access(cpu, addr, write)
+					rd := dir.Access(cpu, addr, write)
+					if rb != rd {
+						t.Fatalf("seed %d op %d: cpu %d line %#x write=%v:\nbroadcast %+v\ndirectory %+v",
+							seed, i, cpu, uint64(addr), write, rb, rd)
+					}
+					if i%10_000 == 0 {
+						compareCounters(t, i, bc, dir)
+					}
+				}
+				compareCounters(t, ops, bc, dir)
+				if err := dir.CheckDirectory(); err != nil {
+					t.Fatalf("seed %d: directory out of sync after run: %v", seed, err)
+				}
+				if dir.SnoopProbesAvoided() == 0 {
+					t.Errorf("seed %d: directory avoided no probes; workload never exercised coherence", seed)
+				}
+			}
+		})
+	}
+}
+
+// TestDirectoryMatchesScanAfterEveryOp is the per-operation invariant: the
+// directory must agree with a ground-truth scan of all cache contents
+// after every single access, including evictions, spills to the victim L3
+// and inclusion purges.
+func TestDirectoryMatchesScanAfterEveryOp(t *testing.T) {
+	topo := topology.Power5_32Way()
+	cfg := SmallConfig()
+	h, err := NewHierarchy(topo, topology.DefaultLatencies(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := newDiffWorkload(topo, 16, 64, 7)
+	ops := 4000
+	if testing.Short() {
+		ops = 800
+	}
+	for i := 0; i < ops; i++ {
+		cpu, addr, write := w.step()
+		h.Access(cpu, addr, write)
+		if err := h.CheckDirectory(); err != nil {
+			t.Fatalf("op %d (cpu %d line %#x write=%v): %v", i, cpu, uint64(addr), write, err)
+		}
+	}
+	if h.DirectoryLines() == 0 || h.DirectoryPeakLines() < h.DirectoryLines() {
+		t.Errorf("implausible occupancy: lines=%d peak=%d", h.DirectoryLines(), h.DirectoryPeakLines())
+	}
+	h.FlushAll()
+	if h.DirectoryLines() != 0 {
+		t.Errorf("FlushAll left %d directory lines", h.DirectoryLines())
+	}
+	if err := h.CheckDirectory(); err != nil {
+		t.Errorf("after FlushAll: %v", err)
+	}
+}
+
+// TestBroadcastFallbackOnWideMachines: machines beyond the 64-core bitmask
+// width silently run the broadcast protocol.
+func TestBroadcastFallbackOnWideMachines(t *testing.T) {
+	wide := topology.Topology{Chips: 65, CoresPerChip: 1, ContextsPerCore: 1}
+	h, err := NewHierarchy(wide, topology.DefaultLatencies(), SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Coherence() != CoherenceBroadcast {
+		t.Errorf("mode = %v on a 65-chip machine, want broadcast fallback", h.Coherence())
+	}
+	h.Access(0, 0, true)
+	if h.DirectoryLines() != 0 || h.SnoopProbesAvoided() != 0 {
+		t.Error("broadcast fallback should not track directory state")
+	}
+}
+
 func TestHierarchyDifferentialAgainstReference(t *testing.T) {
 	topo := topology.OpenPower720()
 	h, err := NewHierarchy(topo, topology.DefaultLatencies(), SmallConfig())

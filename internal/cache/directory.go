@@ -1,0 +1,466 @@
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"threadcluster/internal/memory"
+)
+
+// CoherenceMode selects how the hierarchy resolves coherence actions that
+// span caches: snoops for a line another chip may hold, invalidations on a
+// write, and downgrades on a remote read.
+type CoherenceMode int
+
+const (
+	// CoherenceDirectory (the default) keeps a per-line sharers directory
+	// — which cores hold the line in L1, which chips hold it in L2/L3 —
+	// so every coherence action touches only the actual holders. Cost is
+	// O(sharers) per action instead of O(cores + chips).
+	CoherenceDirectory CoherenceMode = iota
+	// CoherenceBroadcast resolves every coherence action by linearly
+	// probing all cores' L1s and all chips' L2/L3s, like a bus-snooping
+	// protocol. It is the reference implementation the directory is
+	// differentially tested against.
+	CoherenceBroadcast
+)
+
+func (m CoherenceMode) String() string {
+	switch m {
+	case CoherenceDirectory:
+		return "directory"
+	case CoherenceBroadcast:
+		return "broadcast"
+	}
+	return fmt.Sprintf("CoherenceMode(%d)", int(m))
+}
+
+// ParseCoherenceMode maps a CLI/config string to a mode.
+func ParseCoherenceMode(s string) (CoherenceMode, error) {
+	switch s {
+	case "directory":
+		return CoherenceDirectory, nil
+	case "broadcast":
+		return CoherenceBroadcast, nil
+	}
+	return 0, fmt.Errorf("cache: unknown coherence mode %q (want directory or broadcast)", s)
+}
+
+// NoOwner marks a directory entry with no current write owner.
+const NoOwner = -1
+
+// dirEntry is the directory's view of one cache line. Bitmask width caps
+// the directory at 64 cores and 64 chips; NewHierarchy falls back to
+// broadcast beyond that.
+type dirEntry struct {
+	l1 uint64 // cores holding the line in their L1
+	l2 uint64 // chips holding the line in their L2
+	l3 uint64 // chips holding the line in their victim L3
+	// owner is the core that most recently obtained write ownership of
+	// the line (its L1 copy went Modified), or NoOwner. Diagnostic
+	// metadata: coherence decisions use the presence masks.
+	owner int8
+}
+
+func (e *dirEntry) empty() bool { return e.l1 == 0 && e.l2 == 0 && e.l3 == 0 }
+
+// directory is the sharers directory for one Hierarchy: an open-addressed
+// hash table from line address to dirEntry, with linear probing and
+// backward-shift deletion. A custom table rather than a Go map because the
+// directory sits on the miss path of every access: probes must not hash
+// through runtime map machinery or allocate per line. Entries exist only
+// for lines cached somewhere, so occupancy tracks live cache contents, not
+// the address space.
+type directory struct {
+	keys []uint64   // line address + 1; 0 marks an empty slot
+	ents []dirEntry // parallel to keys
+	mask uint64     // len(keys) - 1
+	n    int        // occupied slots
+	peak int
+}
+
+const dirMinSize = 256
+
+func newDirectory() *directory {
+	return &directory{
+		keys: make([]uint64, dirMinSize),
+		ents: make([]dirEntry, dirMinSize),
+		mask: dirMinSize - 1,
+	}
+}
+
+// dirKey maps a line address to a nonzero table key. Lines are multiples
+// of the line size, so +1 never collides with another line's key.
+func dirKey(line memory.Addr) uint64 { return uint64(line) + 1 }
+
+// slot hashes a key to its home slot (Fibonacci hashing).
+func (d *directory) slot(k uint64) uint64 {
+	return (k * 0x9E3779B97F4A7C15) >> 32 & d.mask
+}
+
+// find returns the entry for the line, or nil. The pointer is valid only
+// until the next insert or delete.
+func (d *directory) find(line memory.Addr) *dirEntry {
+	k := dirKey(line)
+	for i := d.slot(k); ; i = (i + 1) & d.mask {
+		switch d.keys[i] {
+		case k:
+			return &d.ents[i]
+		case 0:
+			return nil
+		}
+	}
+}
+
+// ensure returns the entry for the line, creating it if absent. The
+// pointer is valid only until the next insert or delete.
+func (d *directory) ensure(line memory.Addr) *dirEntry {
+	k := dirKey(line)
+	for i := d.slot(k); ; i = (i + 1) & d.mask {
+		switch d.keys[i] {
+		case k:
+			return &d.ents[i]
+		case 0:
+			// Grow at 50% load: probe chains stay short, and the table is
+			// tiny next to the caches it mirrors.
+			if uint64(d.n)*2 >= uint64(len(d.keys)) {
+				d.grow()
+				return d.ensure(line)
+			}
+			d.keys[i] = k
+			d.ents[i] = dirEntry{owner: NoOwner}
+			d.n++
+			if d.n > d.peak {
+				d.peak = d.n
+			}
+			return &d.ents[i]
+		}
+	}
+}
+
+func (d *directory) grow() {
+	oldKeys, oldEnts := d.keys, d.ents
+	size := uint64(len(oldKeys)) * 2
+	d.keys = make([]uint64, size)
+	d.ents = make([]dirEntry, size)
+	d.mask = size - 1
+	for i, k := range oldKeys {
+		if k == 0 {
+			continue
+		}
+		j := d.slot(k)
+		for d.keys[j] != 0 {
+			j = (j + 1) & d.mask
+		}
+		d.keys[j] = k
+		d.ents[j] = oldEnts[i]
+	}
+}
+
+// drop removes the line's entry if it no longer records any holder,
+// backward-shifting the probe cluster so lookups stay tombstone-free.
+func (d *directory) drop(line memory.Addr) {
+	k := dirKey(line)
+	i := d.slot(k)
+	for d.keys[i] != k {
+		if d.keys[i] == 0 {
+			return
+		}
+		i = (i + 1) & d.mask
+	}
+	if !d.ents[i].empty() {
+		return
+	}
+	d.n--
+	j := i
+	for {
+		j = (j + 1) & d.mask
+		if d.keys[j] == 0 {
+			break
+		}
+		home := d.slot(d.keys[j])
+		// The entry at j may move to i only if its home slot lies
+		// cyclically at or before i (otherwise a lookup starting at home
+		// would stop early at the vacated slot).
+		if (i-home)&d.mask <= (j-home)&d.mask {
+			d.keys[i] = d.keys[j]
+			d.ents[i] = d.ents[j]
+			i = j
+		}
+	}
+	d.keys[i] = 0
+}
+
+// forEach visits every tracked line.
+func (d *directory) forEach(f func(line memory.Addr, e *dirEntry)) {
+	for i, k := range d.keys {
+		if k != 0 {
+			f(memory.Addr(k-1), &d.ents[i])
+		}
+	}
+}
+
+func (d *directory) setL1(line memory.Addr, core int) {
+	d.ensure(line).l1 |= 1 << uint(core)
+}
+
+func (d *directory) clearL1(line memory.Addr, core int) {
+	if e := d.find(line); e != nil {
+		e.l1 &^= 1 << uint(core)
+		if int(e.owner) == core {
+			e.owner = NoOwner
+		}
+		if e.empty() {
+			d.drop(line)
+		}
+	}
+}
+
+func (d *directory) setL2(line memory.Addr, chip int) {
+	d.ensure(line).l2 |= 1 << uint(chip)
+}
+
+func (d *directory) clearL2(line memory.Addr, chip int) {
+	if e := d.find(line); e != nil {
+		e.l2 &^= 1 << uint(chip)
+		if e.empty() {
+			d.drop(line)
+		}
+	}
+}
+
+func (d *directory) setL3(line memory.Addr, chip int) {
+	d.ensure(line).l3 |= 1 << uint(chip)
+}
+
+func (d *directory) clearL3(line memory.Addr, chip int) {
+	if e := d.find(line); e != nil {
+		e.l3 &^= 1 << uint(chip)
+		if e.empty() {
+			d.drop(line)
+		}
+	}
+}
+
+// DirectoryLines returns how many lines the coherence directory currently
+// tracks (0 in broadcast mode) — the directory's occupancy.
+func (h *Hierarchy) DirectoryLines() int {
+	if h.dir == nil {
+		return 0
+	}
+	return h.dir.n
+}
+
+// DirectoryPeakLines returns the largest occupancy the directory reached.
+func (h *Hierarchy) DirectoryPeakLines() int {
+	if h.dir == nil {
+		return 0
+	}
+	return h.dir.peak
+}
+
+// SnoopProbesAvoided returns how many individual cache probes (L1/L2/L3
+// set scans) the directory answered from its presence bits instead of
+// issuing, relative to what the broadcast protocol would have scanned for
+// the same access stream. Always 0 in broadcast mode.
+func (h *Hierarchy) SnoopProbesAvoided() uint64 { return h.probesAvoided }
+
+// Coherence returns the mode the hierarchy is actually running (a
+// directory request on a machine wider than 64 cores or chips falls back
+// to broadcast).
+func (h *Hierarchy) Coherence() CoherenceMode { return h.mode }
+
+// snoopDir answers a cross-chip snoop from the directory: the lowest-index
+// chip other than exceptChip holding the line in L2, else in L3, else
+// memory — exactly the order the broadcast scan resolves in.
+func (h *Hierarchy) snoopDir(line memory.Addr, exceptChip int) (int, Source) {
+	h.probesAvoided += uint64(2 * (len(h.l2) - 1))
+	e := h.dir.find(line)
+	if e == nil {
+		return -1, SrcMemory
+	}
+	if m := e.l2 &^ (1 << uint(exceptChip)); m != 0 {
+		return bits.TrailingZeros64(m), SrcRemoteL2
+	}
+	if m := e.l3 &^ (1 << uint(exceptChip)); m != 0 {
+		return bits.TrailingZeros64(m), SrcRemoteL3
+	}
+	return -1, SrcMemory
+}
+
+// invalidateOthersDir removes every cached copy of the line outside the
+// requesting core's L1 and the requesting chip's L2/L3, visiting only the
+// holders the directory records.
+func (h *Hierarchy) invalidateOthersDir(line memory.Addr, exceptCore, exceptChip int) {
+	broadcastProbes := uint64(len(h.l1) - 1 + 2*(len(h.l2)-1))
+	var probes uint64
+	e := h.dir.find(line)
+	if e == nil {
+		h.probesAvoided += broadcastProbes
+		return
+	}
+	for m := e.l1 &^ (1 << uint(exceptCore)); m != 0; m &= m - 1 {
+		core := bits.TrailingZeros64(m)
+		probes++
+		if h.l1[core].Invalidate(line) != Invalid {
+			h.invalidationsSent++
+		}
+		e.l1 &^= 1 << uint(core)
+		if int(e.owner) == core {
+			e.owner = NoOwner
+		}
+	}
+	for m := e.l2 &^ (1 << uint(exceptChip)); m != 0; m &= m - 1 {
+		chip := bits.TrailingZeros64(m)
+		probes++
+		if h.l2[chip].Invalidate(line) != Invalid {
+			h.invalidationsSent++
+		}
+		e.l2 &^= 1 << uint(chip)
+	}
+	for m := e.l3 &^ (1 << uint(exceptChip)); m != 0; m &= m - 1 {
+		chip := bits.TrailingZeros64(m)
+		probes++
+		if h.l3[chip].Invalidate(line) != Invalid {
+			h.invalidationsSent++
+		}
+		e.l3 &^= 1 << uint(chip)
+	}
+	if e.empty() {
+		h.dir.drop(line)
+	}
+	if broadcastProbes > probes {
+		h.probesAvoided += broadcastProbes - probes
+	}
+}
+
+// downgradeChipDir moves the line to Shared in the given chip's caches,
+// touching only the holders the directory records.
+func (h *Hierarchy) downgradeChipDir(line memory.Addr, chip int) {
+	if chip < 0 {
+		return
+	}
+	broadcastProbes := uint64(2 + h.topo.CoresPerChip)
+	var probes uint64
+	if e := h.dir.find(line); e != nil {
+		bit := uint64(1) << uint(chip)
+		if e.l2&bit != 0 {
+			probes++
+			h.l2[chip].Downgrade(line)
+		}
+		if e.l3&bit != 0 {
+			probes++
+			h.l3[chip].Downgrade(line)
+		}
+		chipCores := e.l1 & h.chipCoreMask(chip)
+		for m := chipCores; m != 0; m &= m - 1 {
+			core := bits.TrailingZeros64(m)
+			probes++
+			h.l1[core].Downgrade(line)
+			if int(e.owner) == core {
+				e.owner = NoOwner
+			}
+		}
+	}
+	if broadcastProbes > probes {
+		h.probesAvoided += broadcastProbes - probes
+	}
+}
+
+// purgeChipL1Dir invalidates the chip's L1 copies of an L2-evicted line
+// (the inclusion purge), visiting only the cores the directory records as
+// holders.
+func (h *Hierarchy) purgeChipL1Dir(line memory.Addr, chip int) {
+	broadcastProbes := uint64(h.topo.CoresPerChip)
+	var probes uint64
+	if e := h.dir.find(line); e != nil {
+		for m := e.l1 & h.chipCoreMask(chip); m != 0; m &= m - 1 {
+			core := bits.TrailingZeros64(m)
+			probes++
+			h.l1[core].Invalidate(line)
+			e.l1 &^= 1 << uint(core)
+			if int(e.owner) == core {
+				e.owner = NoOwner
+			}
+		}
+		if e.empty() {
+			h.dir.drop(line)
+		}
+	}
+	h.probesAvoided += broadcastProbes - probes
+}
+
+// setOwnerDir records write ownership for a line the requesting core just
+// made Modified in its L1.
+func (h *Hierarchy) setOwnerDir(line memory.Addr, core int) {
+	h.dir.ensure(line).owner = int8(core)
+}
+
+// chipCoreMask returns the bitmask of global core ids on the given chip.
+func (h *Hierarchy) chipCoreMask(chip int) uint64 {
+	per := h.topo.CoresPerChip
+	return ((uint64(1) << uint(per)) - 1) << uint(chip*per)
+}
+
+// CheckDirectory verifies the directory against a ground-truth scan of
+// every cache's contents: each presence bit must correspond to a valid
+// line and vice versa, and the owner (when set) must be a recorded L1
+// sharer. Broadcast-mode hierarchies trivially pass. Tests and the fuzz
+// target call it after operations; it is O(total cache capacity).
+func (h *Hierarchy) CheckDirectory() error {
+	if h.dir == nil {
+		return nil
+	}
+	truth := make(map[memory.Addr]*dirEntry)
+	ensure := func(line memory.Addr) *dirEntry {
+		e := truth[line]
+		if e == nil {
+			e = &dirEntry{owner: NoOwner}
+			truth[line] = e
+		}
+		return e
+	}
+	for core, c := range h.l1 {
+		core := core
+		c.ForEachLine(func(line memory.Addr, _ State) {
+			ensure(line).l1 |= 1 << uint(core)
+		})
+	}
+	for chip, c := range h.l2 {
+		chip := chip
+		c.ForEachLine(func(line memory.Addr, _ State) {
+			ensure(line).l2 |= 1 << uint(chip)
+		})
+	}
+	for chip, c := range h.l3 {
+		chip := chip
+		c.ForEachLine(func(line memory.Addr, _ State) {
+			ensure(line).l3 |= 1 << uint(chip)
+		})
+	}
+	if len(truth) != h.dir.n {
+		return fmt.Errorf("cache: directory tracks %d lines, caches hold %d", h.dir.n, len(truth))
+	}
+	var err error
+	h.dir.forEach(func(line memory.Addr, got *dirEntry) {
+		if err != nil {
+			return
+		}
+		want := truth[line]
+		if want == nil {
+			err = fmt.Errorf("cache: directory tracks line %#x that no cache holds", uint64(line))
+			return
+		}
+		if got.l1 != want.l1 || got.l2 != want.l2 || got.l3 != want.l3 {
+			err = fmt.Errorf("cache: line %#x directory {l1:%#x l2:%#x l3:%#x} != scan {l1:%#x l2:%#x l3:%#x}",
+				uint64(line), got.l1, got.l2, got.l3, want.l1, want.l2, want.l3)
+			return
+		}
+		if got.owner != NoOwner && got.l1&(1<<uint(got.owner)) == 0 {
+			err = fmt.Errorf("cache: line %#x owner core %d not an L1 sharer (mask %#x)",
+				uint64(line), got.owner, got.l1)
+			return
+		}
+	})
+	return err
+}

@@ -76,12 +76,20 @@ type AccessResult struct {
 	L1Miss bool
 }
 
-// HierarchyConfig sizes the three cache levels. The zero value is not
-// usable; use Power5Config for the paper's platform (Table 1).
+// HierarchyConfig sizes the three cache levels and selects the coherence
+// implementation. The zero value of the sizing fields is not usable; use
+// Power5Config for the paper's platform (Table 1). The zero Coherence is
+// CoherenceDirectory, so existing configurations get the directory fast
+// path by default.
 type HierarchyConfig struct {
 	L1 Config // per core
 	L2 Config // per chip
 	L3 Config // per chip (victim)
+	// Coherence picks the protocol implementation: CoherenceDirectory
+	// (default, O(sharers) coherence actions) or CoherenceBroadcast
+	// (reference linear scans). Both are observably identical; machines
+	// wider than 64 cores or 64 chips silently run broadcast.
+	Coherence CoherenceMode
 }
 
 // Power5Config returns Table 1's cache sizes: 64 KB 4-way L1 data cache per
@@ -114,6 +122,13 @@ type Hierarchy struct {
 	l1   []*SetAssoc // indexed by global core id
 	l2   []*SetAssoc // indexed by chip
 	l3   []*SetAssoc // indexed by chip
+
+	// mode is the effective coherence implementation; dir is non-nil iff
+	// mode == CoherenceDirectory. probesAvoided counts cache probes the
+	// directory answered from presence bits instead of scanning.
+	mode          CoherenceMode
+	dir           *directory
+	probesAvoided uint64
 
 	// coherence traffic counters
 	invalidationsSent uint64
@@ -157,6 +172,13 @@ func NewHierarchy(topo topology.Topology, lat topology.Latencies, cfg HierarchyC
 		}
 		h.l2 = append(h.l2, l2)
 		h.l3 = append(h.l3, l3)
+	}
+	h.mode = cfg.Coherence
+	if h.mode == CoherenceDirectory && (topo.NumCores() > 64 || topo.Chips > 64) {
+		h.mode = CoherenceBroadcast
+	}
+	if h.mode == CoherenceDirectory {
+		h.dir = newDirectory()
 	}
 	return h, nil
 }
@@ -222,6 +244,9 @@ func (h *Hierarchy) access(cpu topology.CPUID, addr memory.Addr, write bool) Acc
 			h.l1[core].SetState(line, Modified)
 			h.l2[chip].SetState(line, Modified)
 		}
+		if write && h.dir != nil {
+			h.setOwnerDir(line, core)
+		}
 		return AccessResult{Line: line, Source: SrcL1, Cycles: h.lat.L1Hit}
 	}
 
@@ -243,6 +268,9 @@ func (h *Hierarchy) access(cpu topology.CPUID, addr memory.Addr, write bool) Acc
 	// L3 probe (chip-local victim cache: a hit moves the line back to L2).
 	if st := h.l3[chip].Peek(line); st != Invalid {
 		h.l3[chip].Invalidate(line)
+		if h.dir != nil {
+			h.dir.clearL3(line, chip)
+		}
 		newState := st
 		if write {
 			if st == Shared {
@@ -301,8 +329,12 @@ func (h *Hierarchy) SetNUMA(nodes memory.NodeMap) { h.nodes = nodes }
 // snoop looks for the line in any other chip's L2 or L3 and returns the
 // owning chip and the source class, or SrcMemory if no chip holds it.
 // L2s are probed across all chips before L3s, mirroring the point-to-point
-// fabric's preference for the faster source.
+// fabric's preference for the faster source. In directory mode the scan is
+// a presence-bit lookup that resolves to the same chip.
 func (h *Hierarchy) snoop(line memory.Addr, exceptChip int) (int, Source) {
+	if h.dir != nil {
+		return h.snoopDir(line, exceptChip)
+	}
 	for chip := range h.l2 {
 		if chip == exceptChip {
 			continue
@@ -323,8 +355,13 @@ func (h *Hierarchy) snoop(line memory.Addr, exceptChip int) (int, Source) {
 }
 
 // invalidateOthers removes every cached copy of the line outside the
-// requesting core's L1 and the requesting chip's L2/L3.
+// requesting core's L1 and the requesting chip's L2/L3. In directory mode
+// only the recorded holders are visited.
 func (h *Hierarchy) invalidateOthers(line memory.Addr, exceptCore, exceptChip int) {
+	if h.dir != nil {
+		h.invalidateOthersDir(line, exceptCore, exceptChip)
+		return
+	}
 	for core := range h.l1 {
 		if core == exceptCore {
 			continue
@@ -349,6 +386,10 @@ func (h *Hierarchy) invalidateOthers(line memory.Addr, exceptCore, exceptChip in
 // downgradeChip moves the line to Shared in the given chip's caches (and
 // the L1s of its cores), modelling a read snoop hit.
 func (h *Hierarchy) downgradeChip(line memory.Addr, chip int) {
+	if h.dir != nil {
+		h.downgradeChipDir(line, chip)
+		return
+	}
 	if chip < 0 {
 		return
 	}
@@ -362,26 +403,50 @@ func (h *Hierarchy) downgradeChip(line memory.Addr, chip int) {
 // fillL1 inserts the line into a core's L1. L1 evictions are clean drops:
 // the L2 above it is (approximately) inclusive, so the data survives.
 func (h *Hierarchy) fillL1(core, chip int, line memory.Addr, st State) {
-	h.l1[core].Insert(line, st)
+	evicted, _, didEvict := h.l1[core].Insert(line, st)
+	if h.dir != nil {
+		if didEvict {
+			h.dir.clearL1(evicted, core)
+		}
+		h.dir.setL1(line, core)
+		if st == Modified {
+			h.setOwnerDir(line, core)
+		}
+	}
 }
 
 // fillL2 inserts the line into a chip's L2, spilling any eviction into the
 // chip's victim L3 and maintaining L1 inclusion for evicted lines.
 func (h *Hierarchy) fillL2(core, chip int, line memory.Addr, st State) {
 	evicted, evictedState, didEvict := h.l2[chip].Insert(line, st)
+	if h.dir != nil {
+		h.dir.setL2(line, chip)
+	}
 	if !didEvict {
 		return
+	}
+	if h.dir != nil {
+		h.dir.clearL2(evicted, chip)
 	}
 	// Victim L3 receives the evicted line; what the L3 itself evicts
 	// leaves the cache system, and dirty victims go back to memory.
 	if l3Victim, l3State, l3Evict := h.l3[chip].Insert(evicted, evictedState); l3Evict {
-		_ = l3Victim
+		if h.dir != nil {
+			h.dir.clearL3(l3Victim, chip)
+		}
 		if l3State == Modified {
 			h.writebacks++
 		}
 	}
+	if h.dir != nil {
+		h.dir.setL3(evicted, chip)
+	}
 	// Inclusion: an L2 eviction must purge the chip's L1s so a remote
 	// chip's snoop (which only probes L2/L3) can never miss a live copy.
+	if h.dir != nil {
+		h.purgeChipL1Dir(evicted, chip)
+		return
+	}
 	for c := chip * h.topo.CoresPerChip; c < (chip+1)*h.topo.CoresPerChip; c++ {
 		h.l1[c].Invalidate(evicted)
 	}
@@ -402,5 +467,10 @@ func (h *Hierarchy) FlushAll() {
 	for i, c := range h.l3 {
 		nc, _ := NewSetAssoc(cfgOf(c))
 		h.l3[i] = nc
+	}
+	if h.dir != nil {
+		peak := h.dir.peak
+		h.dir = newDirectory()
+		h.dir.peak = peak
 	}
 }

@@ -237,6 +237,19 @@ func (c *SetAssoc) SetState(line memory.Addr, st State) bool {
 	return false
 }
 
+// ForEachLine calls f for every valid line currently cached, in no
+// particular order. The coherence directory's invariant checker uses it to
+// rebuild ground truth from cache contents.
+func (c *SetAssoc) ForEachLine(f func(line memory.Addr, st State)) {
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].state != Invalid {
+				f(set[i].tag, set[i].state)
+			}
+		}
+	}
+}
+
 // Occupancy returns the number of valid lines currently cached.
 func (c *SetAssoc) Occupancy() int {
 	n := 0

@@ -220,6 +220,9 @@ func TestMigrationCoLocatesClustersAndBalancesChips(t *testing.T) {
 func TestClusteringReducesRemoteStalls(t *testing.T) {
 	// The headline effect (Figure 6): with the engine on, remote stalls
 	// drop well below the engine-off run under identical workloads.
+	if testing.Short() {
+		t.Skip("statistical headline test needs full run lengths; covered by the full suite")
+	}
 	runFrac := func(withEngine bool) float64 {
 		m := buildGroupedMachine(t, sched.PolicyClustered, 2, 8, 6)
 		var e *Engine

@@ -87,6 +87,7 @@ func contentionRun(opt Options, placement string, caches cache.HierarchyConfig) 
 	mcfg := sim.DefaultConfig()
 	mcfg.Topo = opt.Topo
 	mcfg.Caches = caches
+	mcfg.Caches.Coherence = opt.Coherence
 	mcfg.Policy = sched.PolicyClustered
 	mcfg.QuantumCycles = opt.QuantumCycles
 	mcfg.Seed = opt.Seed

@@ -16,6 +16,7 @@ import (
 	"context"
 	"fmt"
 
+	"threadcluster/internal/cache"
 	"threadcluster/internal/clustering"
 	"threadcluster/internal/core"
 	"threadcluster/internal/memory"
@@ -58,6 +59,10 @@ type Options struct {
 	EngineRounds int
 	// MeasureRounds is the measured interval.
 	MeasureRounds int
+	// Coherence selects the cache-coherence implementation (zero value:
+	// the directory fast path). Results are identical either way — the
+	// modes are differentially tested — so this is a speed knob.
+	Coherence cache.CoherenceMode
 }
 
 // DefaultOptions returns the scaled defaults used by the CLI and benches.
@@ -221,6 +226,7 @@ func RunWorkload(name string, policy sched.Policy, withEngine bool, opt Options)
 	mcfg.Policy = policy
 	mcfg.QuantumCycles = opt.QuantumCycles
 	mcfg.Seed = opt.Seed
+	mcfg.Caches.Coherence = opt.Coherence
 	m, err := sim.NewMachine(mcfg)
 	if err != nil {
 		return RunMetrics{}, nil, err

@@ -8,11 +8,19 @@ import (
 )
 
 // testOptions shrinks the run lengths; the figure shapes must survive.
+// Under -short the rounds shrink further: the tests that still run in
+// short mode assert loose shape bands, not tight statistics (anything
+// that needs the full lengths skips itself).
 func testOptions() Options {
 	opt := DefaultOptions()
 	opt.WarmRounds = 120
 	opt.EngineRounds = 2200
 	opt.MeasureRounds = 250
+	if testing.Short() {
+		opt.WarmRounds = 60
+		opt.EngineRounds = 600
+		opt.MeasureRounds = 120
+	}
 	return opt
 }
 

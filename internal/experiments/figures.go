@@ -39,7 +39,9 @@ func Table1() *stats.Table {
 // sequences (a hit in each level, a cross-chip transfer, a memory fill).
 func Figure1(opt Options) (*stats.Table, error) {
 	lat := sim.DefaultConfig().Lat
-	h, err := cache.NewHierarchy(opt.Topo, lat, cache.Power5Config())
+	ccfg := cache.Power5Config()
+	ccfg.Coherence = opt.Coherence
+	h, err := cache.NewHierarchy(opt.Topo, lat, ccfg)
 	if err != nil {
 		return nil, err
 	}

@@ -107,9 +107,10 @@ func numaRun(opt Options, policy sched.Policy, withEngine, numaEngine bool) (NUM
 	// Shrink the caches so steady-state capacity misses reach memory and
 	// the memory's home node matters.
 	mcfg.Caches = cache.HierarchyConfig{
-		L1: cache.Config{SizeBytes: 32 << 10, Ways: 4},
-		L2: cache.Config{SizeBytes: 256 << 10, Ways: 8},
-		L3: cache.Config{SizeBytes: 512 << 10, Ways: 8},
+		L1:        cache.Config{SizeBytes: 32 << 10, Ways: 4},
+		L2:        cache.Config{SizeBytes: 256 << 10, Ways: 8},
+		L3:        cache.Config{SizeBytes: 512 << 10, Ways: 8},
+		Coherence: opt.Coherence,
 	}
 	mcfg.Policy = policy
 	mcfg.QuantumCycles = opt.QuantumCycles

@@ -4,14 +4,35 @@ import (
 	"math/rand"
 	"testing"
 
+	"threadcluster/internal/cache"
 	"threadcluster/internal/memory"
 	"threadcluster/internal/sched"
+	"threadcluster/internal/topology"
 )
 
 // BenchmarkMachineRound measures whole-simulator throughput: one
 // scheduling round of the 8-way machine with 16 sharing threads.
 func BenchmarkMachineRound(b *testing.B) {
+	benchMachineRound(b, DefaultConfig())
+}
+
+// The broadcast/directory pair measures what the coherence fast path buys
+// at the whole-machine level on the §7.4 32-way topology.
+func BenchmarkMachineRound32WayBroadcast(b *testing.B) {
 	cfg := DefaultConfig()
+	cfg.Topo = topology.Power5_32Way()
+	cfg.Caches.Coherence = cache.CoherenceBroadcast
+	benchMachineRound(b, cfg)
+}
+
+func BenchmarkMachineRound32WayDirectory(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Topo = topology.Power5_32Way()
+	cfg.Caches.Coherence = cache.CoherenceDirectory
+	benchMachineRound(b, cfg)
+}
+
+func benchMachineRound(b *testing.B, cfg Config) {
 	cfg.Policy = sched.PolicyRoundRobin
 	cfg.QuantumCycles = 20_000
 	m, err := NewMachine(cfg)

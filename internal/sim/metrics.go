@@ -43,6 +43,15 @@ const (
 	MetricCacheUpgrades = "cache_upgrades_total"
 	// MetricCacheWritebacks counts dirty last-level evictions.
 	MetricCacheWritebacks = "cache_writebacks_total"
+	// MetricCacheDirectoryLines is the coherence directory's occupancy:
+	// how many cache lines it currently tracks (0 in broadcast mode).
+	MetricCacheDirectoryLines = "cache_directory_lines"
+	// MetricCacheDirectoryPeak is the directory's peak occupancy.
+	MetricCacheDirectoryPeak = "cache_directory_peak_lines"
+	// MetricCacheSnoopProbesAvoided counts cache probes the directory
+	// answered from presence bits instead of broadcast scanning — the
+	// snoop-savings counter.
+	MetricCacheSnoopProbesAvoided = "cache_snoop_probes_avoided_total"
 
 	// MetricSchedMigrations counts thread migrations.
 	MetricSchedMigrations = "sched_migrations_total"
@@ -106,6 +115,14 @@ func (m *Machine) registerMetrics() {
 	r.RegisterCounterFunc(MetricCacheInvalidations, nil, m.hier.InvalidationsSent)
 	r.RegisterCounterFunc(MetricCacheUpgrades, nil, m.hier.Upgrades)
 	r.RegisterCounterFunc(MetricCacheWritebacks, nil, m.hier.Writebacks)
+	mode := metrics.Labels{"mode": m.hier.Coherence().String()}
+	r.RegisterGaugeFunc(MetricCacheDirectoryLines, mode, func() float64 {
+		return float64(m.hier.DirectoryLines())
+	})
+	r.RegisterGaugeFunc(MetricCacheDirectoryPeak, mode, func() float64 {
+		return float64(m.hier.DirectoryPeakLines())
+	})
+	r.RegisterCounterFunc(MetricCacheSnoopProbesAvoided, mode, m.hier.SnoopProbesAvoided)
 
 	// Scheduler.
 	r.RegisterCounterFunc(MetricSchedMigrations, nil, m.sch.Migrations)
