@@ -2,15 +2,32 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race bench bench-compare bench-baseline fuzz-smoke experiments sweep-smoke examples clean
+.PHONY: all build vet tclint lint test test-short test-race bench bench-compare bench-baseline fuzz-smoke experiments sweep-smoke examples clean
 
-all: build vet test
+all: build lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific analyzers (detrand, wallclock, maporder, errwrap,
+# ctxplumb; see DESIGN.md §6), driven through go vet's vettool protocol
+# so results share vet's per-package build cache.
+tclint:
+	$(GO) build -o bin/tclint ./cmd/tclint
+	$(GO) vet -vettool=$(CURDIR)/bin/tclint ./...
+
+# Full local lint: standard vet, the project analyzers, and staticcheck
+# when installed (CI always runs it; the local toolbox may not have it).
+lint: vet tclint
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./... ; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it — install with:" ; \
+		echo "  go install honnef.co/go/tools/cmd/staticcheck@2023.1.7)" ; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -64,3 +81,4 @@ examples:
 
 clean:
 	$(GO) clean ./...
+	rm -rf bin

@@ -7,6 +7,7 @@
 package threadcluster_test
 
 import (
+	"context"
 	"testing"
 
 	"threadcluster/internal/experiments"
@@ -60,7 +61,7 @@ func BenchmarkFigure3StallBreakdown(b *testing.B) {
 func BenchmarkFigure5ShMaps(b *testing.B) {
 	var purity float64
 	for i := 0; i < b.N; i++ {
-		results, err := experiments.Figure5(benchOptions())
+		results, err := experiments.Figure5(context.Background(), benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -78,7 +79,7 @@ func BenchmarkFigure5ShMaps(b *testing.B) {
 func BenchmarkFigure6RemoteStalls(b *testing.B) {
 	var bestReduction float64
 	for i := 0; i < b.N; i++ {
-		_, rows, err := experiments.Figure6(benchOptions())
+		_, rows, err := experiments.Figure6(context.Background(), benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -97,7 +98,7 @@ func BenchmarkFigure6RemoteStalls(b *testing.B) {
 func BenchmarkFigure7Performance(b *testing.B) {
 	var bestGain float64
 	for i := 0; i < b.N; i++ {
-		_, rows, err := experiments.Figure7(benchOptions())
+		_, rows, err := experiments.Figure7(context.Background(), benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -154,7 +155,7 @@ func BenchmarkScale32Way(b *testing.B) {
 	opt.EngineRounds = 1500
 	var gain float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Scale32(opt)
+		res, err := experiments.Scale32(context.Background(), opt)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -30,7 +31,7 @@ func main() {
 
 	opt := experiments.DefaultOptions()
 	opt.Seed = *seed
-	results, err := experiments.Figure5(opt)
+	results, err := experiments.Figure5(context.Background(), opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "shmapviz:", err)
 		os.Exit(1)

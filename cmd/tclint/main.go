@@ -1,0 +1,93 @@
+// Command tclint runs the project's static-analysis suite: five
+// analyzers (detrand, wallclock, maporder, errwrap, ctxplumb) that
+// enforce the determinism, error-wrapping and context contracts the
+// simulator's differential tests check dynamically. See DESIGN.md §6
+// for the contract each analyzer guards.
+//
+// Two modes:
+//
+//	tclint ./...                        # standalone, like staticcheck
+//	go vet -vettool=$(which tclint) ./...   # unitchecker protocol
+//
+// Standalone mode exits 0 when clean, 1 on diagnostics or failure. The
+// vettool mode follows go vet's per-package .cfg protocol, including
+// the -V=full fingerprint handshake.
+//
+// Suppress a finding with a trailing or preceding comment:
+//
+//	//tclint:allow wallclock -- operator progress output, not simulated time
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"threadcluster/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// go vet's handshake probes with -V=full (build-cache fingerprint)
+	// and -flags (supported flags as JSON) before any real work.
+	for _, a := range args {
+		switch a {
+		case "-V=full", "--V=full":
+			lint.PrintVersion(os.Stdout)
+			return 0
+		case "-flags", "--flags":
+			lint.PrintFlags(os.Stdout)
+			return 0
+		}
+	}
+
+	fs := flag.NewFlagSet("tclint", flag.ContinueOnError)
+	wallclockAllow := fs.String("wallclock.allow", "",
+		"comma-separated package path prefixes where wall-clock time is allowed wholesale")
+	listOnly := fs.Bool("list", false, "list the analyzers and their docs, then exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: tclint [flags] [packages]\n       go vet -vettool=$(which tclint) [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if *wallclockAllow != "" {
+		lint.WallclockAllowlist = strings.Split(*wallclockAllow, ",")
+	}
+
+	analyzers := lint.All()
+	if *listOnly {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	// A single *.cfg argument means go vet is driving us.
+	if rest := fs.Args(); len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return lint.Unitchecker(rest[0], analyzers, os.Stderr)
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := lint.Run(".", patterns, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tclint: %v\n", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "tclint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"threadcluster/internal/lint"
+)
+
+// TestSelfClean is the suite's acceptance gate: tclint must exit clean
+// on the repository that defines it. Any new violation of the
+// determinism/error/context contracts fails this test (and `make lint`)
+// until fixed or annotated with a justified //tclint:allow.
+func TestSelfClean(t *testing.T) {
+	diags, err := lint.Run("../..", []string{"./..."}, lint.All())
+	if err != nil {
+		t.Fatalf("tclint: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+var (
+	buildOnce sync.Once
+	buildDir  string
+	buildErr  error
+)
+
+// buildTclint compiles the tclint binary once per test process.
+func buildTclint(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		buildDir, buildErr = os.MkdirTemp("", "tclint")
+		if buildErr != nil {
+			return
+		}
+		cmd := exec.Command("go", "build", "-o", filepath.Join(buildDir, "tclint"), ".")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildErr = err
+			buildDir = string(out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building tclint: %v\n%s", buildErr, buildDir)
+	}
+	return filepath.Join(buildDir, "tclint")
+}
+
+// TestVersionHandshake checks the -V=full fingerprint protocol go vet
+// uses to identify vettools for its build cache.
+func TestVersionHandshake(t *testing.T) {
+	out, err := exec.Command(buildTclint(t), "-V=full").Output()
+	if err != nil {
+		t.Fatalf("tclint -V=full: %v", err)
+	}
+	got := string(out)
+	if !strings.HasPrefix(got, "tclint version ") {
+		t.Fatalf("tclint -V=full = %q, want a 'tclint version ...' line", got)
+	}
+}
+
+// TestVettoolProtocol drives the binary exactly as `go vet -vettool=`
+// does, against a scratch module that reuses our module path so the
+// scoping rules apply: a clean package passes, a seeded wallclock +
+// detrand violation fails with our diagnostics.
+func TestVettoolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a scratch module and shells out to go vet")
+	}
+	bin := buildTclint(t)
+
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		full := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(full), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module threadcluster\n\ngo 1.22\n")
+	write("internal/clean/clean.go", `package clean
+
+func Add(a, b int) int { return a + b }
+`)
+	write("internal/sim/dirty.go", `package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Jitter() time.Time {
+	_ = rand.Intn(3)
+	return time.Now()
+}
+`)
+
+	vet := func(pkg string) (string, error) {
+		cmd := exec.Command("go", "vet", "-vettool="+bin, pkg)
+		cmd.Dir = dir
+		out, err := cmd.CombinedOutput()
+		return string(out), err
+	}
+
+	if out, err := vet("./internal/clean"); err != nil {
+		t.Fatalf("go vet -vettool on a clean package failed: %v\n%s", err, out)
+	}
+	out, err := vet("./internal/sim")
+	if err == nil {
+		t.Fatalf("go vet -vettool on a dirty package passed; output:\n%s", out)
+	}
+	for _, wantFragment := range []string{
+		"rand.Intn uses the process-global source",
+		"time.Now reads the wall clock",
+	} {
+		if !strings.Contains(out, wantFragment) {
+			t.Errorf("go vet output missing %q; got:\n%s", wantFragment, out)
+		}
+	}
+}
+
+// TestStandaloneOnDirtyModule runs standalone mode against the same
+// scratch-module shape to pin the exit-code contract.
+func TestStandaloneOnDirtyModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a scratch module")
+	}
+	bin := buildTclint(t)
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module threadcluster\n\ngo 1.22\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	src := `package threadcluster
+
+import "math/rand"
+
+func Pick() int { return rand.Intn(5) }
+`
+	if err := os.WriteFile(filepath.Join(dir, "root.go"), []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("tclint on a dirty module exited 0; output:\n%s", out)
+	}
+	if !strings.Contains(string(out), "rand.Intn uses the process-global source") {
+		t.Errorf("missing detrand diagnostic; got:\n%s", out)
+	}
+}

@@ -26,6 +26,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -69,13 +70,13 @@ func main() {
 	}
 	opt.Coherence = mode
 
-	if err := run(*exp, *workload, opt, *markdown); err != nil {
+	if err := run(context.Background(), *exp, *workload, opt, *markdown); err != nil {
 		fmt.Fprintln(os.Stderr, "tcsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp, workload string, opt experiments.Options, markdown bool) error {
+func run(ctx context.Context, exp, workload string, opt experiments.Options, markdown bool) error {
 	emit := func(t *stats.Table) {
 		if markdown {
 			fmt.Println(t.Markdown())
@@ -117,7 +118,7 @@ func run(exp, workload string, opt experiments.Options, markdown bool) error {
 		}
 	}
 	if show("fig5") {
-		results, err := experiments.Figure5(opt)
+		results, err := experiments.Figure5(ctx, opt)
 		if err != nil {
 			return err
 		}
@@ -126,14 +127,14 @@ func run(exp, workload string, opt experiments.Options, markdown bool) error {
 		}
 	}
 	if show("fig6") {
-		t, _, err := experiments.Figure6(opt)
+		t, _, err := experiments.Figure6(ctx, opt)
 		if err != nil {
 			return err
 		}
 		emit(t)
 	}
 	if show("fig7") {
-		t, _, err := experiments.Figure7(opt)
+		t, _, err := experiments.Figure7(ctx, opt)
 		if err != nil {
 			return err
 		}
@@ -154,7 +155,7 @@ func run(exp, workload string, opt experiments.Options, markdown bool) error {
 		emit(t)
 	}
 	if show("scale32") {
-		res, err := experiments.Scale32(opt)
+		res, err := experiments.Scale32(ctx, opt)
 		if err != nil {
 			return err
 		}

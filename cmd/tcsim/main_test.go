@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"testing"
 
 	"threadcluster/internal/experiments"
@@ -23,22 +24,22 @@ func fastOptions() experiments.Options {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("nonsense", experiments.Volano, fastOptions(), false); err == nil {
+	if err := run(context.Background(), "nonsense", experiments.Volano, fastOptions(), false); err == nil {
 		t.Error("unknown experiment should error")
 	}
 }
 
 func TestRunTable1AndFig1(t *testing.T) {
-	if err := run("table1", experiments.Volano, fastOptions(), true); err != nil {
+	if err := run(context.Background(), "table1", experiments.Volano, fastOptions(), true); err != nil {
 		t.Errorf("table1: %v", err)
 	}
-	if err := run("fig1", experiments.Volano, fastOptions(), false); err != nil {
+	if err := run(context.Background(), "fig1", experiments.Volano, fastOptions(), false); err != nil {
 		t.Errorf("fig1: %v", err)
 	}
 }
 
 func TestRunFig3SingleWorkload(t *testing.T) {
-	if err := run("fig3", experiments.Microbenchmark, fastOptions(), false); err != nil {
+	if err := run(context.Background(), "fig3", experiments.Microbenchmark, fastOptions(), false); err != nil {
 		t.Errorf("fig3: %v", err)
 	}
 }

@@ -39,11 +39,11 @@ func comparisonPolicies() []sched.Policy {
 // Comparison runs Figures 6 and 7's underlying experiment for the given
 // workloads. Workloads run on the sweep worker pool (each on its own
 // machines).
-func Comparison(names []string, opt Options) ([]ComparisonRow, error) {
-	return sweep.Map(context.Background(), len(names), 0,
+func Comparison(ctx context.Context, names []string, opt Options) ([]ComparisonRow, error) {
+	return sweep.Map(ctx, len(names), 0,
 		func(_ context.Context, i int) (ComparisonRow, error) {
 			name := names[i]
-			runs, err := PolicyRuns(name, opt)
+			runs, err := PolicyRuns(ctx, name, opt)
 			if err != nil {
 				return ComparisonRow{}, err
 			}
@@ -66,8 +66,8 @@ func Comparison(names []string, opt Options) ([]ComparisonRow, error) {
 // stalls caused by remote cache accesses, relative to default Linux
 // scheduling (1.00). The paper reports reductions of up to 70% from
 // automatic clustering.
-func Figure6(opt Options) (*stats.Table, []ComparisonRow, error) {
-	rows, err := Comparison(ServerWorkloads(), opt)
+func Figure6(ctx context.Context, opt Options) (*stats.Table, []ComparisonRow, error) {
+	rows, err := Comparison(ctx, ServerWorkloads(), opt)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -89,8 +89,8 @@ func Figure6(opt Options) (*stats.Table, []ComparisonRow, error) {
 // larger remote-stall share of CPI than the paper's hardware runs, but the
 // paper's own sanity relation holds — the gain approximately matches the
 // share of cycles recovered from remote-access stalls.
-func Figure7(opt Options) (*stats.Table, []ComparisonRow, error) {
-	rows, err := Comparison(ServerWorkloads(), opt)
+func Figure7(ctx context.Context, opt Options) (*stats.Table, []ComparisonRow, error) {
+	rows, err := Comparison(ctx, ServerWorkloads(), opt)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -125,7 +125,7 @@ type Scale32Result struct {
 // group per chip. The expectation is a larger gain than on the 8-way
 // machine because a scattered thread's sharing partner is on another chip
 // 7 times out of 8 rather than 1 time out of 2.
-func Scale32(opt Options) (Scale32Result, error) {
+func Scale32(ctx context.Context, opt Options) (Scale32Result, error) {
 	big := opt
 	big.Topo = topology.Power5_32Way()
 
@@ -189,7 +189,7 @@ func Scale32(opt Options) (Scale32Result, error) {
 	}
 
 	// The 8-way comparison uses the standard jbb configuration.
-	smallRuns, err := PolicyRuns(JBB, opt)
+	smallRuns, err := PolicyRuns(ctx, JBB, opt)
 	if err != nil {
 		return Scale32Result{}, err
 	}

@@ -285,12 +285,12 @@ func RunWorkload(name string, policy sched.Policy, withEngine bool, opt Options)
 // completely independent machines, so they execute on the sweep worker
 // pool; each machine's simulation remains single-goroutine and
 // deterministic.
-func PolicyRuns(name string, opt Options) (map[sched.Policy]RunMetrics, error) {
+func PolicyRuns(ctx context.Context, name string, opt Options) (map[sched.Policy]RunMetrics, error) {
 	policies := []sched.Policy{
 		sched.PolicyDefault, sched.PolicyRoundRobin,
 		sched.PolicyHandOptimized, sched.PolicyClustered,
 	}
-	results, err := sweep.Map(context.Background(), len(policies), 0,
+	results, err := sweep.Map(ctx, len(policies), 0,
 		func(_ context.Context, i int) (RunMetrics, error) {
 			pol := policies[i]
 			withEngine := pol == sched.PolicyClustered

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -93,7 +94,7 @@ func TestFigure6And7Shapes(t *testing.T) {
 		t.Skip("full comparison sweep is slow")
 	}
 	opt := testOptions()
-	_, rows, err := Figure6(opt)
+	_, rows, err := Figure6(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestFigure5ClustersAreMeaningful(t *testing.T) {
 	if testing.Short() {
 		t.Skip("figure 5 detection runs are slow")
 	}
-	results, err := Figure5(testOptions())
+	results, err := Figure5(context.Background(), testOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -597,7 +598,7 @@ func TestScale32LargerGain(t *testing.T) {
 	if testing.Short() {
 		t.Skip("32-way runs are slow")
 	}
-	res, err := Scale32(testOptions())
+	res, err := Scale32(context.Background(), testOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -122,9 +122,9 @@ type Figure5Result struct {
 // rows grouped by detected cluster, with globally shared entries removed
 // "to simplify the picture". SPECjbb runs with 4 warehouses as in the
 // paper's footnote 3.
-func Figure5(opt Options) ([]Figure5Result, error) {
+func Figure5(ctx context.Context, opt Options) ([]Figure5Result, error) {
 	names := AllWorkloads()
-	return sweep.Map(context.Background(), len(names), 0,
+	return sweep.Map(ctx, len(names), 0,
 		func(_ context.Context, i int) (Figure5Result, error) {
 			name := names[i]
 			spec, err := buildFigure5Workload(name, opt.Seed)
@@ -179,9 +179,15 @@ func renderFigure5(name string, snap *detectionSnapshot, spec *workloads.Spec) F
 	copy(clusters, snap.clusters)
 	clustering.SortBySize(clusters)
 
+	shmapKeys := make([]clustering.ThreadKey, 0, len(shmaps))
+	for tk := range shmaps {
+		shmapKeys = append(shmapKeys, tk)
+	}
+	sort.Slice(shmapKeys, func(i, j int) bool { return shmapKeys[i] < shmapKeys[j] })
 	entries := 0
-	var vecs []*clustering.ShMap
-	for _, m := range shmaps {
+	vecs := make([]*clustering.ShMap, 0, len(shmapKeys))
+	for _, tk := range shmapKeys {
+		m := shmaps[tk]
 		vecs = append(vecs, m)
 		if m.Len() > entries {
 			entries = m.Len()

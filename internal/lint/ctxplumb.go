@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ctxFirstPackages are the packages whose exported blocking functions
+// must take a context.Context as their first parameter: the public API
+// surface callers cancel through.
+var ctxFirstPackages = map[string]bool{
+	ModulePath:                     true,
+	ModulePath + "/internal/sweep": true,
+	ModulePath + "/internal/core":  true,
+}
+
+// CtxPlumb enforces the cancellation contract. Two rules:
+//
+//  1. In the root package, internal/sweep and internal/core, an
+//     exported function or method that can block (channel operations,
+//     select, WaitGroup.Wait, time.Sleep) must take a context.Context
+//     as its first parameter, so a sweep under a deadline can always be
+//     cancelled.
+//  2. Library code (root package + internal/...) never calls
+//     context.Background() or context.TODO(): manufacturing a fresh
+//     root context severs the caller's cancellation chain. Contexts are
+//     plumbed in, not created.
+var CtxPlumb = &Analyzer{
+	Name: "ctxplumb",
+	Doc: "exported blocking funcs in the API surface take ctx first; " +
+		"library code plumbs contexts instead of calling context.Background/TODO",
+	Appropriate: inLibrary,
+	Run:         runCtxPlumb,
+}
+
+func runCtxPlumb(pass *Pass) error {
+	checkSignatures := ctxFirstPackages[pass.PkgPath]
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if checkSignatures && fd.Name.IsExported() && fd.Body != nil {
+				checkBlockingSignature(pass, fd)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || pkgNameOf(pass.TypesInfo, sel) != "context" {
+				return true
+			}
+			if sel.Sel.Name == "Background" || sel.Sel.Name == "TODO" {
+				pass.Reportf(call.Pos(), "context.%s() in library code severs the caller's cancellation chain; accept a ctx parameter and plumb it through", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkBlockingSignature(pass *Pass, fd *ast.FuncDecl) {
+	how := blockingOp(pass, fd.Body)
+	if how == "" {
+		return
+	}
+	params := fd.Type.Params
+	if params != nil && len(params.List) > 0 && isContextType(pass.TypesInfo, params.List[0].Type) {
+		return
+	}
+	// A context parameter in the wrong position is its own offense.
+	if params != nil {
+		for i, field := range params.List {
+			if i > 0 && isContextType(pass.TypesInfo, field.Type) {
+				pass.Reportf(fd.Name.Pos(), "exported %s takes a context.Context but not as its first parameter; ctx comes first by convention", fd.Name.Name)
+				return
+			}
+		}
+	}
+	pass.Reportf(fd.Name.Pos(), "exported %s can block (%s) but takes no context.Context; add ctx as the first parameter so callers can cancel", fd.Name.Name, how)
+}
+
+// blockingOp returns a description of the first construct that can
+// block indefinitely in the node, or "".
+func blockingOp(pass *Pass, root ast.Node) string {
+	var how string
+	ast.Inspect(root, func(n ast.Node) bool {
+		if how != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A goroutine body blocking is the goroutine's business,
+			// not the signature's.
+			return false
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, clause := range n.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				how = "select"
+				return false
+			}
+			// A select with a default clause never blocks in its comm
+			// operations, but the clause bodies still execute.
+			for _, clause := range n.Body.List {
+				cc := clause.(*ast.CommClause)
+				for _, s := range cc.Body {
+					if h := blockingOp(pass, s); h != "" {
+						how = h
+						break
+					}
+				}
+			}
+			return false
+		case *ast.SendStmt:
+			how = "channel send"
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				how = "channel receive"
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if sel.Sel.Name == "Wait" {
+					if selection, ok := pass.TypesInfo.Selections[sel]; ok && selection.Kind() == types.MethodVal {
+						if named, ok := derefType(selection.Recv()).(*types.Named); ok {
+							if pkg := named.Obj().Pkg(); pkg != nil && pkg.Path() == "sync" {
+								how = "sync." + named.Obj().Name() + ".Wait"
+							}
+						}
+					}
+				}
+				if pkgNameOf(pass.TypesInfo, sel) == "time" && sel.Sel.Name == "Sleep" {
+					how = "time.Sleep"
+				}
+			}
+		}
+		return how == ""
+	})
+	return how
+}
+
+func isContextType(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

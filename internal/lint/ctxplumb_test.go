@@ -1,0 +1,20 @@
+package lint_test
+
+import (
+	"testing"
+
+	"threadcluster/internal/lint"
+	"threadcluster/internal/lint/linttest"
+)
+
+// TestCtxPlumb analyzes the golden package as internal/sweep, where the
+// blocking-signature rule is in force.
+func TestCtxPlumb(t *testing.T) {
+	linttest.Run(t, lint.CtxPlumb, "testdata/ctxplumb", lint.ModulePath+"/internal/sweep")
+}
+
+// TestCtxPlumbLibraryScope analyzes a package outside the ctx-first API
+// surface: blocking signatures pass, context.Background still fails.
+func TestCtxPlumbLibraryScope(t *testing.T) {
+	linttest.Run(t, lint.CtxPlumb, "testdata/ctxplumb_lib", lint.ModulePath+"/internal/experiments")
+}

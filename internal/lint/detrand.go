@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// globalRandFuncs are the math/rand (and math/rand/v2) package-level
+// functions that read or reseed the shared global source. Constructors
+// (New, NewSource, NewZipf, NewPCG, NewChaCha8) and types are fine: they
+// are exactly how a deterministic, seed-threaded *rand.Rand is built.
+var globalRandFuncs = map[string]bool{
+	// shared by v1 and v2
+	"Int": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true,
+	"ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true,
+	// v1 only
+	"Seed": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Read": true,
+	// v2 only
+	"N": true, "IntN": true, "Int32": true, "Int32N": true,
+	"Int64": true, "Int64N": true, "Uint": true, "UintN": true,
+	"Uint32N": true, "Uint64N": true,
+}
+
+// DetRand forbids the global math/rand source in library code. Every
+// simulation component derives its randomness from a seeded *rand.Rand
+// threaded down from the engine or sweep seed (see DESIGN.md §6); the
+// global source is shared mutable state that makes two runs with the
+// same seed diverge as soon as goroutine interleaving differs.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc: "forbid the global math/rand source (top-level funcs and rand.Seed) in library code; " +
+		"randomness must come from a seeded *rand.Rand threaded from the engine/sweep seed",
+	Appropriate: inLibrary,
+	Run:         runDetRand,
+}
+
+func runDetRand(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			path := pkgNameOf(pass.TypesInfo, sel)
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			name := sel.Sel.Name
+			if !globalRandFuncs[name] {
+				return true
+			}
+			short := path[strings.LastIndex(path, "/")+1:]
+			if short == "v2" {
+				short = "rand/v2"
+			}
+			if name == "Seed" {
+				pass.Reportf(sel.Pos(), "rand.Seed reseeds the process-global source; seed a private rand.New(rand.NewSource(seed)) instead")
+			} else {
+				pass.Reportf(sel.Pos(), "%s.%s uses the process-global source; use a seeded *rand.Rand threaded from the engine/sweep seed", short, name)
+			}
+			return true
+		})
+	}
+	return nil
+}

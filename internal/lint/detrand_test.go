@@ -1,0 +1,29 @@
+package lint_test
+
+import (
+	"testing"
+
+	"threadcluster/internal/lint"
+	"threadcluster/internal/lint/linttest"
+)
+
+func TestDetRand(t *testing.T) {
+	linttest.Run(t, lint.DetRand, "testdata/detrand", lint.ModulePath+"/internal/workloads")
+}
+
+// TestDetRandScope: the analyzer only covers library code; a cmd/
+// package may use ad hoc randomness (none does today, but the scope is
+// part of the contract).
+func TestDetRandScope(t *testing.T) {
+	for path, want := range map[string]bool{
+		lint.ModulePath:                          true,
+		lint.ModulePath + "/internal/sim":        true,
+		lint.ModulePath + "/cmd/tcsim":           false,
+		lint.ModulePath + "/examples/quickstart": false,
+		"other/module":                           false,
+	} {
+		if got := lint.DetRand.Appropriate(path); got != want {
+			t.Errorf("DetRand.Appropriate(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// knownSentinelMessages mirrors the errors.New texts in internal/errs.
+// Export data carries no function bodies, so the initializer strings of
+// an imported package are invisible to the type checker; this table is
+// the cross-package half of the duplicate-sentinel check. A unit test
+// (TestSentinelTableMatchesErrsPackage) asserts it stays in sync with
+// the real package.
+var knownSentinelMessages = map[string]string{
+	"duplicate thread":  "errs.ErrDuplicateThread",
+	"unknown thread":    "errs.ErrUnknownThread",
+	"thread is running": "errs.ErrThreadRunning",
+	"bad configuration": "errs.ErrBadConfig",
+	"already installed": "errs.ErrAlreadyInstalled",
+}
+
+// KnownSentinelMessages returns a copy of the cross-package sentinel
+// message table (lowercased message -> sentinel name); a test pins it
+// to the real internal/errs declarations.
+func KnownSentinelMessages() map[string]string {
+	out := make(map[string]string, len(knownSentinelMessages))
+	for k, v := range knownSentinelMessages {
+		out[k] = v
+	}
+	return out
+}
+
+// ErrWrap enforces the error-classification contract: sentinel errors
+// travel through fmt.Errorf with %w (never %v/%s, which lose the chain
+// errors.Is follows), and nobody mints a fresh errors.New whose text
+// duplicates an existing sentinel — that creates two errors that look
+// identical but never compare equal.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc: "fmt.Errorf carrying an Err* sentinel must wrap it with %w; " +
+		"errors.New must not duplicate an existing sentinel's message",
+	Appropriate: func(path string) bool {
+		// The sentinel definitions themselves live in internal/errs.
+		return inModule(path) && path != ModulePath+"/internal/errs"
+	},
+	Run: runErrWrap,
+}
+
+func runErrWrap(pass *Pass) error {
+	local := localSentinelMessages(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch pkgNameOf(pass.TypesInfo, sel) {
+			case "fmt":
+				if sel.Sel.Name == "Errorf" {
+					checkErrorf(pass, call)
+				}
+			case "errors":
+				if sel.Sel.Name == "New" {
+					checkErrorsNew(pass, call, local)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkErrorf reports fmt.Errorf calls that pass a sentinel error value
+// without a %w verb in the format string.
+func checkErrorf(pass *Pass, call *ast.CallExpr) {
+	if len(call.Args) < 2 {
+		return
+	}
+	format, ok := stringLiteral(call.Args[0])
+	if !ok || strings.Contains(format, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if name := sentinelName(pass.TypesInfo, arg); name != "" {
+			pass.Reportf(call.Pos(), "fmt.Errorf carries sentinel %s without %%w, so errors.Is(err, %s) fails on the result; wrap it with %%w", name, name)
+			return
+		}
+	}
+}
+
+// checkErrorsNew reports errors.New calls whose message duplicates an
+// existing sentinel (from internal/errs, or declared in this package).
+func checkErrorsNew(pass *Pass, call *ast.CallExpr, local map[string]sentinelDecl) {
+	if len(call.Args) != 1 {
+		return
+	}
+	msg, ok := stringLiteral(call.Args[0])
+	if !ok {
+		return
+	}
+	key := strings.ToLower(strings.TrimSpace(msg))
+	if decl, ok := local[key]; ok && decl.initPos != call.Pos() {
+		pass.Reportf(call.Pos(), "errors.New(%q) duplicates sentinel %s declared in this package; use the sentinel (wrapping with %%w as needed)", msg, decl.name)
+		return
+	}
+	if name, ok := knownSentinelMessages[key]; ok {
+		pass.Reportf(call.Pos(), "errors.New(%q) duplicates %s; use the sentinel (wrapping with %%w as needed) so errors.Is classification keeps working", msg, name)
+	}
+}
+
+type sentinelDecl struct {
+	name    string
+	initPos token.Pos
+}
+
+// localSentinelMessages collects `var ErrX = errors.New("msg")`
+// declarations in the package under analysis, keyed by lowercased
+// message.
+func localSentinelMessages(pass *Pass) map[string]sentinelDecl {
+	out := make(map[string]sentinelDecl)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if !strings.HasPrefix(name.Name, "Err") || i >= len(vs.Values) {
+						continue
+					}
+					call, ok := vs.Values[i].(*ast.CallExpr)
+					if !ok {
+						continue
+					}
+					sel, ok := call.Fun.(*ast.SelectorExpr)
+					if !ok || sel.Sel.Name != "New" || pkgNameOf(pass.TypesInfo, sel) != "errors" || len(call.Args) != 1 {
+						continue
+					}
+					if msg, ok := stringLiteral(call.Args[0]); ok {
+						out[strings.ToLower(strings.TrimSpace(msg))] = sentinelDecl{name: name.Name, initPos: call.Pos()}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// sentinelName reports whether e denotes a package-level Err* variable
+// of type error, returning a display name ("errs.ErrBadConfig") or "".
+func sentinelName(info *types.Info, e ast.Expr) string {
+	var obj types.Object
+	var display string
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj = info.Uses[e]
+		display = e.Name
+	case *ast.SelectorExpr:
+		if pkg := pkgNameOf(info, e); pkg != "" {
+			obj = info.Uses[e.Sel]
+			display = pkg[strings.LastIndex(pkg, "/")+1:] + "." + e.Sel.Name
+		}
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || !strings.HasPrefix(v.Name(), "Err") {
+		return ""
+	}
+	// Package-level (declared in the package scope) and of type error.
+	if v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return ""
+	}
+	if !types.Identical(v.Type(), types.Universe.Lookup("error").Type()) {
+		return ""
+	}
+	return display
+}
+
+func stringLiteral(e ast.Expr) (string, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}

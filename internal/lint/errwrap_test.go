@@ -1,0 +1,45 @@
+package lint_test
+
+import (
+	"testing"
+
+	"threadcluster/internal/errs"
+	"threadcluster/internal/lint"
+	"threadcluster/internal/lint/linttest"
+)
+
+func TestErrWrap(t *testing.T) {
+	linttest.Run(t, lint.ErrWrap, "testdata/errwrap", lint.ModulePath+"/internal/cache")
+}
+
+// TestErrWrapSkipsErrsPackage: the sentinel definitions themselves must
+// not be flagged as duplicating... themselves.
+func TestErrWrapSkipsErrsPackage(t *testing.T) {
+	if lint.ErrWrap.Appropriate(lint.ModulePath + "/internal/errs") {
+		t.Fatal("errwrap must not analyze internal/errs, where the sentinels are defined")
+	}
+}
+
+// TestSentinelTableMatchesErrsPackage pins the analyzer's hardcoded
+// message table (export data carries no initializer strings, so the
+// cross-package check needs one) to the real internal/errs sentinels.
+func TestSentinelTableMatchesErrsPackage(t *testing.T) {
+	real := map[string]string{
+		errs.ErrDuplicateThread.Error():  "errs.ErrDuplicateThread",
+		errs.ErrUnknownThread.Error():    "errs.ErrUnknownThread",
+		errs.ErrThreadRunning.Error():    "errs.ErrThreadRunning",
+		errs.ErrBadConfig.Error():        "errs.ErrBadConfig",
+		errs.ErrAlreadyInstalled.Error(): "errs.ErrAlreadyInstalled",
+	}
+	table := lint.KnownSentinelMessages()
+	for msg, name := range real {
+		if table[msg] != name {
+			t.Errorf("analyzer sentinel table missing or mislabels %q (want %s, got %q)", msg, name, table[msg])
+		}
+	}
+	for msg := range table {
+		if _, ok := real[msg]; !ok {
+			t.Errorf("analyzer sentinel table has stale entry %q; update it to match internal/errs", msg)
+		}
+	}
+}

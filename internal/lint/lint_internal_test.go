@@ -1,0 +1,42 @@
+package lint
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		text  string
+		names []string
+	}{
+		{"//tclint:allow wallclock", []string{"wallclock"}},
+		{"//tclint:allow wallclock -- progress output", []string{"wallclock"}},
+		{"//tclint:allow detrand,maporder -- two at once", []string{"detrand", "maporder"}},
+		{"//tclint:allow detrand maporder", []string{"detrand", "maporder"}},
+		{"//tclint:allow * -- blanket", []string{"*"}},
+		{"//tclint:allow", nil},            // no names, not a suppression
+		{"//tclint:allowed nothing", nil},  // different directive
+		{"// tclint:allow wallclock", nil}, // the directive admits no space, like //go:
+		{"// ordinary comment", nil},
+	}
+	for _, c := range cases {
+		names, ok := parseAllow(c.text)
+		if ok != (len(c.names) > 0) || (ok && !reflect.DeepEqual(names, c.names)) {
+			t.Errorf("parseAllow(%q) = %v, %v; want %v", c.text, names, ok, c.names)
+		}
+	}
+}
+
+// TestAllStable: the suite's composition and order is part of its
+// public face (docs, CI output); pin it.
+func TestAllStable(t *testing.T) {
+	var names []string
+	for _, a := range All() {
+		names = append(names, a.Name)
+	}
+	want := []string{"detrand", "wallclock", "maporder", "errwrap", "ctxplumb"}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("All() = %v, want %v", names, want)
+	}
+}

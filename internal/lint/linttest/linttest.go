@@ -1,0 +1,149 @@
+// Package linttest is a miniature analysistest: it runs one analyzer
+// over a golden package in testdata and diffs the diagnostics against
+// `// want "regexp"` comments. A want comment names every diagnostic
+// expected on its own line:
+//
+//	rand.Seed(1) // want `rand\.Seed`
+//	x := f()     // want "first finding" "second finding"
+//
+// Both double-quoted and backquoted expectation strings are accepted;
+// each is a regular expression matched against the diagnostic message.
+// Lines without a want comment must produce no diagnostics.
+//
+// Golden packages are type-checked with the standard library's source
+// importer, so they may import anything in GOROOT but nothing from the
+// module — sentinel-shaped declarations are made locally instead.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"threadcluster/internal/lint"
+)
+
+// wantRe matches one expectation string: "..." or `...`.
+var wantRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// Run analyzes the golden package in dir as if its import path were
+// asPath (scoping rules key off the path) and reports mismatches
+// against the // want comments through t.
+func Run(t *testing.T, a *lint.Analyzer, dir, asPath string) {
+	t.Helper()
+	diags, wants := analyze(t, a, dir, asPath)
+
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		ok := false
+		for i, w := range wants {
+			if !matched[i] && w.file == filepath.Base(d.Pos.Filename) && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", filepath.Base(d.Pos.Filename), d.Pos.Line, d.Message)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: no diagnostic matched %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+func analyze(t *testing.T, a *lint.Analyzer, dir, asPath string) ([]lint.Diagnostic, []want) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var wants []want
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		full := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, full, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("linttest: %v", err)
+		}
+		files = append(files, f)
+		ws, err := collectWants(fset, f, e.Name())
+		if err != nil {
+			t.Fatalf("linttest: %v", err)
+		}
+		wants = append(wants, ws...)
+	}
+	if len(files) == 0 {
+		t.Fatalf("linttest: no Go files in %s", dir)
+	}
+
+	info := lint.NewTypesInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tpkg, err := conf.Check(asPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("linttest: type-checking %s: %v", dir, err)
+	}
+	pkg := &lint.Package{PkgPath: asPath, Fset: fset, Files: files, Types: tpkg, Info: info}
+	diags, err := lint.RunPackage(pkg, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	return diags, wants
+}
+
+func collectWants(fset *token.FileSet, f *ast.File, base string) ([]want, error) {
+	var wants []want
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, "want ") {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			specs := wantRe.FindAllString(text[len("want "):], -1)
+			if len(specs) == 0 {
+				return nil, fmt.Errorf("%s:%d: malformed want comment %q", base, line, c.Text)
+			}
+			for _, spec := range specs {
+				pat := spec[1 : len(spec)-1]
+				if spec[0] == '"' {
+					pat = strings.ReplaceAll(pat, `\"`, `"`)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", base, line, pat, err)
+				}
+				wants = append(wants, want{file: base, line: line, re: re})
+			}
+		}
+	}
+	return wants, nil
+}

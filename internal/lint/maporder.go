@@ -1,0 +1,220 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags `range` over a map whose loop body has order-dependent
+// effects: appending to a slice declared outside the loop (unless the
+// slice is sorted afterwards in the same block), writing output
+// (fmt.Print*/Fprint*, Write/WriteString/WriteByte/WriteRune methods),
+// or feeding the metrics registry. Go randomizes map iteration order,
+// so each of these makes two identical runs produce different bytes —
+// the exact bug class that would break Snapshot/Delta byte-stability
+// and the sweep runner's worker-count invariance. Building another map,
+// counting, summing or finding a max inside the loop is order-free and
+// is not flagged.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "flag map iteration with order-dependent effects (appends without a following sort, " +
+		"output writes, metrics feeds); collect keys and sort, or iterate a sorted slice",
+	Appropriate: inModule,
+	Run:         runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		inspectStmtLists(f, func(list []ast.Stmt) {
+			for i, stmt := range list {
+				rs, ok := stmt.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				tv, ok := pass.TypesInfo.Types[rs.X]
+				if !ok {
+					continue
+				}
+				if _, ok := tv.Type.Underlying().(*types.Map); !ok {
+					continue
+				}
+				checkMapRange(pass, rs, list[i+1:])
+			}
+		})
+	}
+	return nil
+}
+
+// inspectStmtLists calls fn for every statement list in the file: block
+// bodies, case clauses and select clauses. Every statement is a direct
+// child of exactly one such list, so a RangeStmt's "what happens after
+// the loop" is the tail of its list.
+func inspectStmtLists(f *ast.File, fn func(list []ast.Stmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			fn(n.List)
+		case *ast.CaseClause:
+			fn(n.Body)
+		case *ast.CommClause:
+			fn(n.Body)
+		}
+		return true
+	})
+}
+
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, rest []ast.Stmt) {
+	// Order-dependent appends: `s = append(s, ...)` where s outlives the
+	// loop. Keyed by the slice's object so a later sort redeems it.
+	appends := map[types.Object]token.Pos{}
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass.TypesInfo, call) || i >= len(n.Lhs) {
+					continue
+				}
+				id, ok := n.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[id]
+				}
+				// Only slices that outlive the loop leak iteration order.
+				if obj == nil || withinNode(rs, obj.Pos()) {
+					continue
+				}
+				if _, seen := appends[obj]; !seen {
+					appends[obj] = n.Pos()
+				}
+			}
+		case *ast.CallExpr:
+			if why := orderDependentCall(pass.TypesInfo, n); why != "" {
+				pass.Reportf(n.Pos(), "map iteration order is randomized, so %s inside this loop produces non-deterministic output; iterate a sorted key slice instead", why)
+			}
+		}
+		return true
+	})
+
+	for obj, pos := range appends {
+		if sortedAfter(pass.TypesInfo, rest, obj) {
+			continue
+		}
+		pass.Reportf(pos, "%s is appended to in map-iteration order and never sorted afterwards in this block; sort it (sort.*/slices.Sort*) or iterate sorted keys", obj.Name())
+	}
+}
+
+// orderDependentCall classifies calls whose ordering is observable:
+// output writers and the metrics registry. It returns a short
+// description of the offense, or "".
+func orderDependentCall(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	// fmt.Print*/Fprint* write output directly.
+	if pkgNameOf(info, sel) == "fmt" {
+		switch sel.Sel.Name {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+			return "fmt." + sel.Sel.Name
+		}
+	}
+	// Write/WriteString/... methods on anything (io.Writer, strings.Builder,
+	// bufio.Writer, csv.Writer's Write, ...).
+	switch sel.Sel.Name {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		if selection, ok := info.Selections[sel]; ok && selection.Kind() == types.MethodVal {
+			return "writing through ." + sel.Sel.Name
+		}
+	}
+	// Feeding the metrics registry: any method on a type defined in
+	// internal/metrics (Registry lookups, Counter.Add, Histogram.Observe...).
+	if selection, ok := info.Selections[sel]; ok && selection.Kind() == types.MethodVal {
+		if named, ok := derefType(selection.Recv()).(*types.Named); ok {
+			if pkg := named.Obj().Pkg(); pkg != nil && pkg.Path() == ModulePath+"/internal/metrics" {
+				return "feeding the metrics registry (" + named.Obj().Name() + "." + sel.Sel.Name + ")"
+			}
+		}
+	}
+	return ""
+}
+
+// sortedAfter reports whether any statement in rest sorts obj: a call
+// into package sort or slices whose arguments mention obj (possibly
+// wrapped, as in sort.Sort(byName(list))), or an obj.Sort()-style
+// method call.
+func sortedAfter(info *types.Info, rest []ast.Stmt, obj types.Object) bool {
+	found := false
+	for _, stmt := range rest {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch pkgNameOf(info, sel) {
+			case "sort", "slices":
+				for _, arg := range call.Args {
+					if mentions(info, arg, obj) {
+						found = true
+						return false
+					}
+				}
+			case "":
+				// obj.Sort(...) or similar sorting method on the slice itself.
+				if strings.Contains(sel.Sel.Name, "Sort") && mentions(info, sel.X, obj) {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func mentions(info *types.Info, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+func withinNode(n ast.Node, pos token.Pos) bool {
+	return n.Pos() <= pos && pos < n.End()
+}
+
+func derefType(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}

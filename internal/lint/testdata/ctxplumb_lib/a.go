@@ -1,0 +1,17 @@
+// Package a is ctxplumb's library-scope golden package, analyzed as a
+// package outside the ctx-first API surface (not root, sweep or core):
+// the blocking-signature rule is off, but manufacturing a root context
+// is still forbidden.
+package a
+
+import "context"
+
+// Drain blocks without a ctx, but this package is not part of the
+// ctx-first API surface, so the signature rule does not apply.
+func Drain(ch chan int) int {
+	return <-ch
+}
+
+func makesRoot() context.Context {
+	return context.Background() // want `context\.Background\(\) in library code`
+}

@@ -1,0 +1,36 @@
+// Package a is the detrand golden package: global math/rand usage is
+// forbidden in library code; seeded *rand.Rand values are the only
+// sanctioned randomness.
+package a
+
+import (
+	"math/rand"
+)
+
+func seedGlobal() {
+	rand.Seed(42) // want `rand\.Seed reseeds the process-global source`
+}
+
+func useGlobal() int {
+	n := rand.Intn(10)                 // want `rand\.Intn uses the process-global source`
+	f := rand.Float64()                // want `rand\.Float64 uses the process-global source`
+	p := rand.Perm(4)                  // want `rand\.Perm uses the process-global source`
+	rand.Shuffle(2, func(i, j int) {}) // want `rand\.Shuffle uses the process-global source`
+	return n + int(f) + p[0]
+}
+
+// seeded is the sanctioned pattern: a private source threaded from a seed.
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// methodsOK: methods on a *rand.Rand value named like the globals are fine.
+func methodsOK(rng *rand.Rand) float64 {
+	return rng.Float64()
+}
+
+func suppressed() int {
+	//tclint:allow detrand -- golden test for the suppression path
+	return rand.Intn(3)
+}

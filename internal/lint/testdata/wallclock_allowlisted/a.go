@@ -1,0 +1,14 @@
+// Package a is analyzed with its package on the wallclock allowlist:
+// wall-clock reads are permitted wholesale, so nothing below is
+// flagged.
+package a
+
+import "time"
+
+func progressStamp() time.Time {
+	return time.Now()
+}
+
+func progressElapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}

@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// vetConfig is the JSON configuration `go vet` hands a -vettool for each
+// package unit. The field set mirrors the unitchecker protocol in
+// golang.org/x/tools/go/analysis/unitchecker (which mirrors
+// cmd/go/internal/work's vetConfig).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// PrintVersion implements the `-V=full` handshake `go vet` performs to
+// fingerprint the tool for its build cache: the output must have the
+// form "name version stuff", and ours hashes the executable so edits to
+// tclint invalidate cached vet results.
+func PrintVersion(w io.Writer) {
+	progname := filepath.Base(os.Args[0])
+	id := "devel"
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			id = fmt.Sprintf("%x", sha256.Sum256(data))
+		}
+	}
+	fmt.Fprintf(w, "%s version devel comments-go-here buildID=%s\n", progname, id)
+}
+
+// PrintFlags implements the `-flags` handshake: go vet asks the tool
+// for its supported flags as a JSON array so it can forward matching
+// command-line flags. The shape mirrors x/tools' analysisflags.
+func PrintFlags(w io.Writer) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	flags := []jsonFlag{
+		{Name: "wallclock.allow", Bool: false, Usage: "comma-separated package path prefixes where wall-clock time is allowed wholesale"},
+	}
+	data, err := json.Marshal(flags)
+	if err != nil {
+		panic(err) // static data cannot fail to marshal
+	}
+	fmt.Fprintln(w, string(data))
+}
+
+// Unitchecker runs the analyzers on one vet config file, the per-package
+// protocol `go vet -vettool=...` drives. It returns the process exit
+// code: 0 clean, 1 tool failure, 2 diagnostics found (the same contract
+// as x/tools' unitchecker).
+func Unitchecker(cfgFile string, analyzers []*Analyzer, stderr io.Writer) int {
+	diags, err := runUnit(cfgFile, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "tclint: %v\n", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s: %s\n", d.Pos, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func runUnit(cfgFile string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", cfgFile, err)
+	}
+
+	// The vetx facts file must exist even when empty: go vet feeds it to
+	// this package's dependents. tclint's analyzers are package-local,
+	// so the file carries no content.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	compilerImp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[importPath]; ok {
+			importPath = mapped
+		}
+		return compilerImp.Import(importPath)
+	})
+
+	// go vet hands GoFiles including any _test.go files when vetting
+	// test packages; the determinism contracts only govern shipping
+	// code, so tests are filtered here to match the standalone driver.
+	var files []string
+	for _, f := range cfg.GoFiles {
+		if !strings.HasSuffix(f, "_test.go") {
+			files = append(files, f)
+		}
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	pkg, err := checkPackage(fset, imp, cfg.ImportPath, cfg.Dir, files)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return RunPackage(pkg, analyzers)
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// WallclockAllowlist holds package import-path prefixes exempt from the
+// wallclock analyzer (set with tclint's -wallclock.allow flag). Wall
+// time is permitted there wholesale — meant for cmd/ progress output,
+// never for internal/ simulation packages. Individual deliberate uses
+// elsewhere take a `//tclint:allow wallclock -- reason` comment instead.
+var WallclockAllowlist []string
+
+// wallclockFuncs are the time functions that read the wall clock.
+var wallclockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// Wallclock forbids reading the wall clock in the simulator. Simulated
+// time is cycle counts; any result, metric or AccessResult derived from
+// time.Now varies run to run and breaks the byte-identical contract the
+// sweep runner and the coherence differential harness depend on. Wall
+// time is legitimate only for operator-facing progress output (cmd/,
+// annotated) and benchmarks (_test.go files are not checked).
+var Wallclock = &Analyzer{
+	Name: "wallclock",
+	Doc: "forbid time.Now/time.Since/time.Until outside annotated progress output; " +
+		"simulated time is cycle counts and wall time breaks run-to-run determinism",
+	Appropriate: func(path string) bool {
+		if !inModule(path) {
+			return false
+		}
+		for _, prefix := range WallclockAllowlist {
+			if path == prefix || strings.HasPrefix(path, prefix+"/") {
+				return false
+			}
+		}
+		return true
+	},
+	Run: runWallclock,
+}
+
+func runWallclock(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if pkgNameOf(pass.TypesInfo, sel) != "time" || !wallclockFuncs[sel.Sel.Name] {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "time.%s reads the wall clock, which breaks run-to-run determinism; use simulated cycles, or annotate operator-facing timing with //tclint:allow wallclock -- reason", sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+package lint_test
+
+import (
+	"testing"
+
+	"threadcluster/internal/lint"
+	"threadcluster/internal/lint/linttest"
+)
+
+func TestWallclock(t *testing.T) {
+	linttest.Run(t, lint.Wallclock, "testdata/wallclock", lint.ModulePath+"/internal/sim")
+}
+
+// TestWallclockAllowlist runs a package full of wall-clock reads with
+// its import path on the allowlist: everything passes.
+func TestWallclockAllowlist(t *testing.T) {
+	path := lint.ModulePath + "/cmd/progress"
+	lint.WallclockAllowlist = []string{path}
+	defer func() { lint.WallclockAllowlist = nil }()
+	linttest.Run(t, lint.Wallclock, "testdata/wallclock_allowlisted", path)
+}
+
+// TestWallclockAllowlistPrefix: allowlist entries cover subpackages.
+func TestWallclockAllowlistPrefix(t *testing.T) {
+	lint.WallclockAllowlist = []string{lint.ModulePath + "/cmd"}
+	defer func() { lint.WallclockAllowlist = nil }()
+	if lint.Wallclock.Appropriate(lint.ModulePath + "/cmd/tcsim") {
+		t.Errorf("cmd/tcsim should be exempt under a %s/cmd allowlist entry", lint.ModulePath)
+	}
+	if !lint.Wallclock.Appropriate(lint.ModulePath + "/internal/sim") {
+		t.Errorf("internal/sim must stay covered regardless of the cmd allowlist")
+	}
+}

@@ -73,9 +73,14 @@ type Snapshot struct {
 // registry.
 func (r *Registry) Snapshot() Snapshot {
 	r.mu.RLock()
-	list := make([]*series, 0, len(r.series))
-	for _, s := range r.series {
-		list = append(list, s)
+	keys := make([]string, 0, len(r.series))
+	for k := range r.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	list := make([]*series, 0, len(keys))
+	for _, k := range keys {
+		list = append(list, r.series[k])
 	}
 	r.mu.RUnlock()
 

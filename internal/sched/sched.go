@@ -9,6 +9,7 @@ package sched
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"threadcluster/internal/errs"
 	"threadcluster/internal/topology"
@@ -225,12 +226,16 @@ func (s *Scheduler) ChipOf(id ThreadID) (int, bool) {
 	return s.topo.ChipOf(cpu), true
 }
 
-// Threads returns every managed thread id (order unspecified).
+// Threads returns every managed thread id in ascending order. The order
+// matters: the clustering engine iterates this slice when computing
+// filler placements, so it must not leak map iteration order into
+// migration decisions.
 func (s *Scheduler) Threads() []ThreadID {
 	ids := make([]ThreadID, 0, len(s.cpuOf))
 	for id := range s.cpuOf {
 		ids = append(ids, id)
 	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
 

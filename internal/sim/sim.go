@@ -315,12 +315,14 @@ func (m *Machine) RunRoundsCtx(ctx context.Context, n int) error {
 // RunCycles advances the machine by (at least) the given number of cycles,
 // in whole scheduling rounds. It is Run with a background context.
 func (m *Machine) RunCycles(cycles uint64) {
+	//tclint:allow ctxplumb -- documented non-cancellable convenience wrapper; Run is the ctx-aware API
 	_ = m.Run(context.Background(), cycles)
 }
 
 // RunRounds advances the machine by n scheduling rounds. It is
 // RunRoundsCtx with a background context.
 func (m *Machine) RunRounds(n int) {
+	//tclint:allow ctxplumb -- documented non-cancellable convenience wrapper; RunRoundsCtx is the ctx-aware API
 	_ = m.RunRoundsCtx(context.Background(), n)
 }
 
