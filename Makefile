@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet tclint lint test test-short test-race bench bench-compare bench-baseline fuzz-smoke experiments sweep-smoke examples clean
+.PHONY: all build vet tclint lint test test-short test-race bench bench-compare bench-baseline bench-smoke fuzz-smoke experiments sweep-smoke examples clean
 
 all: build lint test
 
@@ -39,18 +39,34 @@ test-short:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Coherence regression guard: compare the broadcast-vs-directory
-# benchmarks against the committed BENCH_coherence.json baseline. Fails
-# when a benchmark regresses past tolerance or the directory's speedup on
-# the 32-way machine drops below its required minimum.
+# Benchmark regression guards: compare the broadcast-vs-directory
+# coherence benchmarks against BENCH_coherence.json, and the seq-vs-
+# parallel engine benchmarks against BENCH_sim.json. Fails when a
+# benchmark regresses past tolerance or a speedup pair drops below its
+# required minimum; the parallel-engine speedup gate only applies on
+# hosts with at least min_cores cores (benchcmp skips it below that).
 bench-compare:
 	$(GO) test -run '^$$' -bench BenchmarkCoherence -benchtime 1s ./internal/cache \
 		| $(GO) run ./cmd/benchcmp -baseline BENCH_coherence.json
+	$(GO) test -run '^$$' -bench 'BenchmarkMachineRound32Way(Seq|Parallel)' -benchtime 2s ./internal/sim \
+		| $(GO) run ./cmd/benchcmp -baseline BENCH_sim.json
 
-# Refresh the committed baseline from this machine.
+# Refresh the committed baselines from this machine.
 bench-baseline:
 	$(GO) test -run '^$$' -bench BenchmarkCoherence -benchtime 1s ./internal/cache \
 		| $(GO) run ./cmd/benchcmp -baseline BENCH_coherence.json -update
+	$(GO) test -run '^$$' -bench 'BenchmarkMachineRound32Way(Seq|Parallel)' -benchtime 2s ./internal/sim \
+		| $(GO) run ./cmd/benchcmp -baseline BENCH_sim.json -update
+
+# Report-only benchmark smoke: runs the guarded benchmarks through
+# benchcmp -report, which prints every comparison against the committed
+# baselines but never fails. Suitable for CI runners whose shared-tenancy
+# timing noise makes the bench-compare gates unreliable.
+bench-smoke:
+	$(GO) test -run '^$$' -bench BenchmarkCoherence -benchtime 1s ./internal/cache \
+		| $(GO) run ./cmd/benchcmp -baseline BENCH_coherence.json -report
+	$(GO) test -run '^$$' -bench 'BenchmarkMachineRound32Way(Seq|Parallel)' -benchtime 2s ./internal/sim \
+		| $(GO) run ./cmd/benchcmp -baseline BENCH_sim.json -report
 
 # Short fuzzing pass over the coherence differential target and the trace
 # parser (CI runs the same).
@@ -58,9 +74,12 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzHierarchyAccess -fuzztime 30s ./internal/cache
 	$(GO) test -run '^$$' -fuzz FuzzLoad -fuzztime 15s ./internal/trace
 
-# Race-detector coverage for the concurrent packages.
+# Race-detector coverage for the concurrent packages, including the
+# chip-parallel engine differential (seq vs parallel byte-identity under
+# every GOMAXPROCS level).
 test-race:
 	$(GO) test -race ./internal/metrics ./internal/sweep
+	$(GO) test -race -run 'TestEngine|TestRunSlice' ./internal/sim
 
 # Regenerate every table/figure/study of the paper.
 experiments:

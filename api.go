@@ -18,7 +18,7 @@ package threadcluster
 //	engine, _ := threadcluster.NewEngine(machine, threadcluster.DefaultEngineConfig())
 //	_ = engine.Install()
 //
-//	machine.RunRounds(3000)
+//	_ = machine.RunRoundsCtx(context.Background(), 3000)
 //	fmt.Println(engine.Report())
 
 import (

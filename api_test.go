@@ -1,6 +1,7 @@
 package threadcluster_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -40,7 +41,7 @@ func Example() {
 		panic(err)
 	}
 
-	machine.RunRounds(3000)
+	machine.RunRoundsCtx(context.Background(), 3000)
 	big := 0
 	for _, c := range engine.Clusters() {
 		if c.Size() >= 4 {
@@ -71,7 +72,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if err := spec.Install(machine); err != nil {
 		t.Fatal(err)
 	}
-	machine.RunRounds(10)
+	machine.RunRoundsCtx(context.Background(), 10)
 	if machine.TotalOps() == 0 {
 		t.Error("workload made no progress through the public API")
 	}

@@ -47,7 +47,7 @@ func BenchmarkFigure1Latencies(b *testing.B) {
 func BenchmarkFigure3StallBreakdown(b *testing.B) {
 	var remote float64
 	for i := 0; i < b.N; i++ {
-		_, bd, err := experiments.Figure3(experiments.Volano, benchOptions())
+		_, bd, err := experiments.Figure3(context.Background(), experiments.Volano, benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -117,7 +117,7 @@ func BenchmarkFigure7Performance(b *testing.B) {
 func BenchmarkFigure8SamplingOverhead(b *testing.B) {
 	var overheadAt10 float64
 	for i := 0; i < b.N; i++ {
-		points, _, err := experiments.Figure8(benchOptions())
+		points, _, err := experiments.Figure8(context.Background(), benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -135,7 +135,7 @@ func BenchmarkFigure8SamplingOverhead(b *testing.B) {
 func BenchmarkSpatialSensitivity(b *testing.B) {
 	var purity float64
 	for i := 0; i < b.N; i++ {
-		points, _, err := experiments.SpatialSensitivity(benchOptions())
+		points, _, err := experiments.SpatialSensitivity(context.Background(), benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -169,7 +169,7 @@ func BenchmarkScale32Way(b *testing.B) {
 func BenchmarkSDARPurity(b *testing.B) {
 	var purity float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.SDARPurity(benchOptions())
+		res, err := experiments.SDARPurity(context.Background(), benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -183,7 +183,7 @@ func BenchmarkSDARPurity(b *testing.B) {
 func BenchmarkPageVsPMU(b *testing.B) {
 	var multiple float64
 	for i := 0; i < b.N; i++ {
-		rows, _, err := experiments.PageVsPMU(benchOptions())
+		rows, _, err := experiments.PageVsPMU(context.Background(), benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -208,7 +208,7 @@ func BenchmarkPageVsPMU(b *testing.B) {
 func BenchmarkNUMAExtension(b *testing.B) {
 	var gain float64
 	for i := 0; i < b.N; i++ {
-		res, _, err := experiments.NUMA(benchOptions())
+		res, _, err := experiments.NUMA(context.Background(), benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -224,7 +224,7 @@ func BenchmarkNUMAExtension(b *testing.B) {
 func BenchmarkClusteringAblation(b *testing.B) {
 	var purity float64
 	for i := 0; i < b.N; i++ {
-		rows, _, err := experiments.Ablation(benchOptions())
+		rows, _, err := experiments.Ablation(context.Background(), benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}

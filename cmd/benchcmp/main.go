@@ -20,6 +20,7 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"runtime"
 	"sort"
 	"strconv"
 )
@@ -42,6 +43,13 @@ type Speedup struct {
 	Fast          string  `json:"fast"`
 	MinRatio      float64 `json:"min_ratio"`
 	RecordedRatio float64 `json:"recorded_ratio"`
+	// MinCores, when non-zero, gates MinRatio enforcement on host
+	// parallelism: the ratio is only required when the host has at least
+	// this many CPU cores. Pairs whose speedup comes from running on
+	// multiple cores (the chip-parallel engine) cannot be expected to hold
+	// on a one-core CI runner; below the floor the ratio is reported but
+	// not enforced.
+	MinCores int `json:"min_cores,omitempty"`
 }
 
 // benchLine matches e.g. "BenchmarkFoo-16   1234   56.7 ns/op   0 B/op".
@@ -76,6 +84,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	baselinePath := fs.String("baseline", "BENCH_coherence.json", "baseline JSON file")
 	tolerance := fs.Float64("tolerance", 0.5, "allowed fractional slowdown vs baseline ns/op (0.5 = 50%)")
 	update := fs.Bool("update", false, "rewrite the baseline from this run instead of comparing")
+	report := fs.Bool("report", false, "report-only mode: print every comparison but never fail")
+	cores := fs.Int("cores", runtime.NumCPU(), "host core count used for min_cores gating (overridable for tests)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -148,7 +158,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		}
 		ratio := slow / fast
 		status := "ok"
-		if ratio < s.MinRatio {
+		switch {
+		case s.MinCores > 0 && *cores < s.MinCores:
+			status = fmt.Sprintf("skipped (host has %d cores, gate needs >= %d)", *cores, s.MinCores)
+		case ratio < s.MinRatio:
 			status = "BELOW MINIMUM"
 			failures = append(failures, fmt.Sprintf("speedup %s: %.2fx < required %.2fx (baseline recorded %.2fx)",
 				s.Name, ratio, s.MinRatio, s.RecordedRatio))
@@ -159,6 +172,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if len(failures) > 0 {
 		for _, f := range failures {
 			fmt.Fprintln(stderr, "benchcmp:", f)
+		}
+		if *report {
+			fmt.Fprintf(stdout, "benchcmp: report mode, ignoring %d failure(s)\n", len(failures))
+			return nil
 		}
 		return fmt.Errorf("benchcmp: %d failure(s)", len(failures))
 	}

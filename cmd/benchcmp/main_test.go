@@ -91,3 +91,61 @@ func TestParseBenchRejectsEmpty(t *testing.T) {
 		t.Error("empty input should error")
 	}
 }
+
+const gatedBaseline = `{
+  "ns_per_op": {
+    "BenchmarkCoherenceBroadcast32Way": 710.0,
+    "BenchmarkCoherenceDirectory32Way": 340.0
+  },
+  "speedups": [
+    {"name": "parallel-vs-seq",
+     "slow": "BenchmarkCoherenceBroadcast32Way",
+     "fast": "BenchmarkCoherenceDirectory32Way",
+     "min_ratio": 99.0, "recorded_ratio": 2.0, "min_cores": 4}
+  ]
+}`
+
+func TestMinCoresGatesSpeedup(t *testing.T) {
+	path := writeBaseline(t, gatedBaseline)
+	// Host below the core floor: the impossible 99x requirement is skipped.
+	var out, errb bytes.Buffer
+	if err := run([]string{"-baseline", path, "-cores", "2"}, strings.NewReader(sampleBench), &out, &errb); err != nil {
+		t.Fatalf("gated speedup should be skipped on a 2-core host: %v\nstderr: %s", err, errb.String())
+	}
+	if !strings.Contains(out.String(), "skipped") {
+		t.Errorf("output should say the gate was skipped:\n%s", out.String())
+	}
+	// Host at the floor: the requirement applies and fails.
+	out.Reset()
+	errb.Reset()
+	if err := run([]string{"-baseline", path, "-cores", "4"}, strings.NewReader(sampleBench), &out, &errb); err == nil {
+		t.Fatal("99x requirement should fail on a 4-core host")
+	}
+}
+
+func TestReportModeNeverFails(t *testing.T) {
+	slow := strings.Replace(sampleBench, "700.0 ns/op", "2000.0 ns/op", 1)
+	path := writeBaseline(t, sampleBaseline)
+	var out, errb bytes.Buffer
+	if err := run([]string{"-baseline", path, "-report"}, strings.NewReader(slow), &out, &errb); err != nil {
+		t.Fatalf("report mode must not fail: %v", err)
+	}
+	if !strings.Contains(out.String(), "report mode") {
+		t.Errorf("output should note report mode:\n%s", out.String())
+	}
+}
+
+func TestUpdatePreservesMinCores(t *testing.T) {
+	path := writeBaseline(t, gatedBaseline)
+	var out, errb bytes.Buffer
+	if err := run([]string{"-baseline", path, "-update"}, strings.NewReader(sampleBench), &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"min_cores": 4`) {
+		t.Errorf("update must keep the min_cores gate:\n%s", raw)
+	}
+}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -54,7 +55,7 @@ func main() {
 		opt.MeasureRounds = *rounds
 	}
 	withEngine := pol == sched.PolicyClustered
-	res, _, err := experiments.RunWorkload(*workload, pol, withEngine, opt)
+	res, _, err := experiments.RunWorkload(context.Background(), *workload, pol, withEngine, opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stallbreak:", err)
 		os.Exit(1)

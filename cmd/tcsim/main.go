@@ -33,6 +33,7 @@ import (
 
 	"threadcluster/internal/cache"
 	"threadcluster/internal/experiments"
+	"threadcluster/internal/sim"
 	"threadcluster/internal/stats"
 )
 
@@ -52,6 +53,9 @@ func main() {
 		measure   = flag.Int("measure", 0, "override measured rounds (0 = default)")
 		markdown  = flag.Bool("markdown", false, "emit tables as GitHub-flavored Markdown")
 		coherence = flag.String("coherence", "directory", "cache-coherence implementation: directory|broadcast (results are identical; directory is faster)")
+		engine    = flag.String("engine", "parallel", "execution engine for eligible multi-chip rounds: seq|parallel (results are byte-identical)")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof   = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -69,9 +73,26 @@ func main() {
 		os.Exit(2)
 	}
 	opt.Coherence = mode
-
-	if err := run(context.Background(), *exp, *workload, opt, *markdown); err != nil {
+	eng, err := sim.ParseEngine(*engine)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tcsim:", err)
+		os.Exit(2)
+	}
+	opt.Engine = eng
+
+	stopCPU, err := startCPUProfile(*cpuprof)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	runErr := run(context.Background(), *exp, *workload, opt, *markdown)
+	stopCPU()
+	if err := writeMemProfile(*memprof); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "tcsim:", runErr)
 		os.Exit(1)
 	}
 }
@@ -110,7 +131,7 @@ func run(ctx context.Context, exp, workload string, opt experiments.Options, mar
 			names = experiments.AllWorkloads()
 		}
 		for _, n := range names {
-			t, _, err := experiments.Figure3(n, opt)
+			t, _, err := experiments.Figure3(ctx, n, opt)
 			if err != nil {
 				return err
 			}
@@ -141,14 +162,14 @@ func run(ctx context.Context, exp, workload string, opt experiments.Options, mar
 		emit(t)
 	}
 	if show("fig8") {
-		_, t, err := experiments.Figure8(opt)
+		_, t, err := experiments.Figure8(ctx, opt)
 		if err != nil {
 			return err
 		}
 		emit(t)
 	}
 	if show("spatial") {
-		_, t, err := experiments.SpatialSensitivity(opt)
+		_, t, err := experiments.SpatialSensitivity(ctx, opt)
 		if err != nil {
 			return err
 		}
@@ -162,42 +183,42 @@ func run(ctx context.Context, exp, workload string, opt experiments.Options, mar
 		emit(res.Table())
 	}
 	if show("sdar") {
-		res, err := experiments.SDARPurity(opt)
+		res, err := experiments.SDARPurity(ctx, opt)
 		if err != nil {
 			return err
 		}
 		emit(res.Table())
 	}
 	if show("ablation") {
-		_, t, err := experiments.Ablation(opt)
+		_, t, err := experiments.Ablation(ctx, opt)
 		if err != nil {
 			return err
 		}
 		emit(t)
 	}
 	if show("threshold") {
-		_, t, err := experiments.ThresholdSensitivity(opt)
+		_, t, err := experiments.ThresholdSensitivity(ctx, opt)
 		if err != nil {
 			return err
 		}
 		emit(t)
 	}
 	if show("pagevspmu") {
-		_, t, err := experiments.PageVsPMU(opt)
+		_, t, err := experiments.PageVsPMU(ctx, opt)
 		if err != nil {
 			return err
 		}
 		emit(t)
 	}
 	if show("numa") {
-		_, t, err := experiments.NUMA(opt)
+		_, t, err := experiments.NUMA(ctx, opt)
 		if err != nil {
 			return err
 		}
 		emit(t)
 	}
 	if show("phase") {
-		res, err := experiments.PhaseChange(opt)
+		res, err := experiments.PhaseChange(ctx, opt)
 		if err != nil {
 			return err
 		}
@@ -206,56 +227,56 @@ func run(ctx context.Context, exp, workload string, opt experiments.Options, mar
 		fmt.Println()
 	}
 	if show("contention") {
-		_, t, err := experiments.Contention(opt)
+		_, t, err := experiments.Contention(ctx, opt)
 		if err != nil {
 			return err
 		}
 		emit(t)
 	}
 	if show("migration") {
-		res, err := experiments.MigrationCost(opt)
+		res, err := experiments.MigrationCost(ctx, opt)
 		if err != nil {
 			return err
 		}
 		emit(res.Table())
 	}
 	if show("multiprog") {
-		_, t, err := experiments.Multiprogrammed(opt)
+		_, t, err := experiments.Multiprogrammed(ctx, opt)
 		if err != nil {
 			return err
 		}
 		emit(t)
 	}
 	if show("smt") {
-		_, t, err := experiments.SMTPlacement(opt)
+		_, t, err := experiments.SMTPlacement(ctx, opt)
 		if err != nil {
 			return err
 		}
 		emit(t)
 	}
 	if show("mux") {
-		_, t, err := experiments.MuxValidation(opt)
+		_, t, err := experiments.MuxValidation(ctx, opt)
 		if err != nil {
 			return err
 		}
 		emit(t)
 	}
 	if show("probe") {
-		_, t, err := experiments.CacheProbe(opt)
+		_, t, err := experiments.CacheProbe(ctx, opt)
 		if err != nil {
 			return err
 		}
 		emit(t)
 	}
 	if show("staged") {
-		_, t, err := experiments.Staged(opt)
+		_, t, err := experiments.Staged(ctx, opt)
 		if err != nil {
 			return err
 		}
 		emit(t)
 	}
 	if show("churn") {
-		_, t, err := experiments.Churn(opt)
+		_, t, err := experiments.Churn(ctx, opt)
 		if err != nil {
 			return err
 		}

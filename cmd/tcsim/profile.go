@@ -1,0 +1,48 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// startCPUProfile begins a CPU profile to the given path (no-op for "")
+// and returns the stop function. Used by both the experiment runner and
+// the sweep subcommand, so simulator hot paths (the chip-parallel engine,
+// the access fast path) can be profiled straight from the CLI.
+func startCPUProfile(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("tcsim: create cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("tcsim: start cpu profile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// writeMemProfile dumps an allocation profile to the given path (no-op
+// for ""), after a final GC so the numbers reflect live state.
+func writeMemProfile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("tcsim: create mem profile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("tcsim: write mem profile: %w", err)
+	}
+	return nil
+}

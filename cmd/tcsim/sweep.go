@@ -10,6 +10,7 @@ import (
 	"threadcluster/internal/cache"
 	"threadcluster/internal/experiments"
 	"threadcluster/internal/sched"
+	"threadcluster/internal/sim"
 	"threadcluster/internal/sweep"
 )
 
@@ -38,10 +39,22 @@ func runSweep(args []string, stdout, stderr io.Writer) error {
 		merged    = fs.Bool("merged", false, "also emit the merged machine-wide snapshot (csv/json formats)")
 		timeout   = fs.Duration("timeout", 0, "cancel the sweep after this duration (0 = none)")
 		coherence = fs.String("coherence", "directory", "cache-coherence implementation: directory|broadcast")
+		// -engine was taken by clustering-engine rounds long before the
+		// execution engine existed, hence -simengine here (plain tcsim
+		// spells it -engine).
+		simengine = fs.String("simengine", "parallel", "execution engine for eligible multi-chip rounds: seq|parallel (results are byte-identical)")
+		cpuprof   = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof   = fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	stopCPU, err := startCPUProfile(*cpuprof)
+	if err != nil {
+		return err
+	}
+	defer stopCPU()
 
 	opt := experiments.DefaultOptions()
 	if *warm > 0 {
@@ -58,6 +71,11 @@ func runSweep(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	opt.Coherence = mode
+	eng, err := sim.ParseEngine(*simengine)
+	if err != nil {
+		return err
+	}
+	opt.Engine = eng
 
 	var policies []sched.Policy
 	for _, name := range experiments.SplitList(*policiesFlag) {
@@ -128,5 +146,5 @@ func runSweep(args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stderr, "sweep: %d configurations on %d workers in %s\n",
 		len(cells), sweep.Workers(*workers), elapsed.Round(time.Millisecond))
-	return nil
+	return writeMemProfile(*memprof)
 }

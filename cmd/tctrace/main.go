@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -75,7 +76,7 @@ func record(args []string) error {
 	if err := spec.Install(m); err != nil {
 		return err
 	}
-	m.RunRounds(*rounds)
+	m.RunRoundsCtx(context.Background(), *rounds)
 
 	f, err := os.Create(*out)
 	if err != nil {
@@ -165,7 +166,7 @@ func replay(args []string) error {
 				return err
 			}
 		}
-		m.RunRounds(*rounds)
+		m.RunRoundsCtx(context.Background(), *rounds)
 		b := m.Breakdown()
 		ipc := 0.0
 		if b.CPI() > 0 {

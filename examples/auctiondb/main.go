@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -42,15 +43,15 @@ func main() {
 	fmt.Printf("auction database: %d instances, %d connection threads\n\n",
 		spec.NumPartitions, len(spec.Threads))
 
-	machine.RunRounds(200)
+	machine.RunRoundsCtx(context.Background(), 200)
 	machine.ResetMetrics()
-	machine.RunRounds(300)
+	machine.RunRoundsCtx(context.Background(), 300)
 	before := machine.Breakdown()
 	opsBefore := machine.TotalOps()
 
-	machine.RunRounds(2600) // engine detects, clusters, migrates
+	machine.RunRoundsCtx(context.Background(), 2600) // engine detects, clusters, migrates
 	machine.ResetMetrics()
-	machine.RunRounds(300)
+	machine.RunRoundsCtx(context.Background(), 300)
 	after := machine.Breakdown()
 	opsAfter := machine.TotalOps()
 

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,7 +29,7 @@ func main() {
 		sched.PolicyDefault, sched.PolicyRoundRobin,
 		sched.PolicyHandOptimized, sched.PolicyClustered,
 	} {
-		res, _, err := experiments.RunWorkload(experiments.Volano, pol, pol == sched.PolicyClustered, opt)
+		res, _, err := experiments.RunWorkload(context.Background(), experiments.Volano, pol, pol == sched.PolicyClustered, opt)
 		if err != nil {
 			log.Fatal(err)
 		}

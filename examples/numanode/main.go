@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,7 +18,7 @@ func main() {
 	fmt.Println("Section 8 NUMA extension: 4 chips, per-chip memory, node-bound warehouses")
 	fmt.Println("(warehouse-to-node homes deliberately reversed so NUMA-blind placement misses)")
 	fmt.Println()
-	res, table, err := experiments.NUMA(experiments.DefaultOptions())
+	res, table, err := experiments.NUMA(context.Background(), experiments.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -44,9 +45,9 @@ func main() {
 		spec.Name, len(spec.Threads), spec.NumPartitions)
 
 	// 3. Baseline interval: no engine yet.
-	machine.RunRounds(300)
+	machine.RunRoundsCtx(context.Background(), 300)
 	machine.ResetMetrics()
-	machine.RunRounds(300)
+	machine.RunRoundsCtx(context.Background(), 300)
 	before := machine.Breakdown()
 	fmt.Printf("before clustering: remote-access stalls = %s of cycles, IPC = %.3f\n",
 		stats.Pct(before.RemoteFraction()), 1/before.CPI())
@@ -60,11 +61,11 @@ func main() {
 	if err := engine.Install(); err != nil {
 		log.Fatal(err)
 	}
-	machine.RunRounds(2600) // let it activate, sample, cluster, migrate
+	machine.RunRoundsCtx(context.Background(), 2600) // let it activate, sample, cluster, migrate
 
 	// 5. Measure again.
 	machine.ResetMetrics()
-	machine.RunRounds(300)
+	machine.RunRoundsCtx(context.Background(), 300)
 	after := machine.Breakdown()
 	fmt.Printf("after  clustering: remote-access stalls = %s of cycles, IPC = %.3f\n",
 		stats.Pct(after.RemoteFraction()), 1/after.CPI())

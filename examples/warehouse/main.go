@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -60,9 +61,9 @@ func main() {
 		log.Fatal(err)
 	}
 
-	machine.RunRounds(200)
+	machine.RunRoundsCtx(context.Background(), 200)
 	machine.ResetMetrics()
-	machine.RunRounds(300)
+	machine.RunRoundsCtx(context.Background(), 300)
 	before := machine.Breakdown()
 	fmt.Println("stall breakdown before clustering (the Figure 3 view):")
 	fmt.Printf("  completion %s, dcache-remote %s, dcache-local %s, memory %s\n\n",
@@ -71,9 +72,9 @@ func main() {
 		stats.Pct(before.Fraction(pmu.EvStallL2)+before.Fraction(pmu.EvStallL3)),
 		stats.Pct(before.Fraction(pmu.EvStallMemory)))
 
-	machine.RunRounds(2600)
+	machine.RunRoundsCtx(context.Background(), 2600)
 	machine.ResetMetrics()
-	machine.RunRounds(300)
+	machine.RunRoundsCtx(context.Background(), 300)
 	after := machine.Breakdown()
 
 	fmt.Printf("engine detected %d cluster(s) after %d activation(s):\n",

@@ -1,0 +1,81 @@
+package cache
+
+import (
+	"testing"
+
+	"threadcluster/internal/topology"
+)
+
+// TestAccessZeroAlloc pins the allocation-free hot path: once the
+// directory tables have grown to the workload's working set, a
+// sharing-heavy mixed access stream must not allocate at all — neither in
+// SetAssoc, nor in the lane access path, nor in the barrier drain that
+// Hierarchy.Access runs inline. Table growth and mailbox capacity are
+// amortized startup costs, which the warm-up pass pays.
+func TestAccessZeroAlloc(t *testing.T) {
+	for _, mode := range []CoherenceMode{CoherenceDirectory, CoherenceBroadcast} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			topo := topology.Power5_32Way()
+			h, err := NewHierarchy(topo, topology.DefaultLatencies(), SmallConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mode == CoherenceBroadcast {
+				cfg := SmallConfig()
+				cfg.Coherence = CoherenceBroadcast
+				if h, err = NewHierarchy(topo, topology.DefaultLatencies(), cfg); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ops := coherenceOps(topo, 1<<14)
+			// Warm-up: one full pass sizes every table and mailbox.
+			for _, op := range ops {
+				h.Access(op.cpu, op.addr, op.write)
+			}
+			i := 0
+			avg := testing.AllocsPerRun(len(ops), func() {
+				op := ops[i%len(ops)]
+				h.Access(op.cpu, op.addr, op.write)
+				i++
+			})
+			if avg != 0 {
+				t.Fatalf("%s Access allocates %v allocs/op, want 0", mode, avg)
+			}
+		})
+	}
+}
+
+// TestSliceBarrierZeroAlloc drives a deferred multi-chip slice directly
+// through the lanes — the exact path the chip-parallel engine runs — and
+// requires the whole slice + barrier cycle to stay allocation-free after
+// warm-up.
+func TestSliceBarrierZeroAlloc(t *testing.T) {
+	topo := topology.Power5_32Way()
+	h, err := NewHierarchy(topo, topology.DefaultLatencies(), SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := coherenceOps(topo, 1<<14)
+	slice := func() {
+		// 64 accesses per chip per slice, round-robined over the stream.
+		for chip := 0; chip < topo.Chips; chip++ {
+			l := h.Lane(chip)
+			for k := 0; k < 64; k++ {
+				op := ops[(chip*64+k)%len(ops)]
+				cpu := topology.CPUID((int(op.cpu) + chip) % topo.NumCPUs())
+				if h.topo.ChipOf(cpu) != chip {
+					cpu = topology.CPUID(chip * topo.CoresPerChip * topo.ContextsPerCore)
+				}
+				l.Access(cpu, op.addr, op.write)
+			}
+		}
+		h.SliceBarrier()
+	}
+	for i := 0; i < 50; i++ {
+		slice()
+	}
+	if avg := testing.AllocsPerRun(200, slice); avg != 0 {
+		t.Fatalf("deferred slice allocates %v allocs/run, want 0", avg)
+	}
+}

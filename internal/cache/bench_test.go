@@ -20,6 +20,7 @@ func BenchmarkAccessL1Hit(b *testing.B) {
 	h := benchHierarchy(b)
 	addr := memory.Addr(0x10000)
 	h.Access(0, addr, false)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h.Access(0, addr, false)
@@ -33,6 +34,7 @@ func BenchmarkAccessL2Hit(b *testing.B) {
 		addrs[i] = memory.Addr(0x100000 + i*memory.LineSize)
 		h.Access(0, addrs[i], false) // fill L2 via core 0
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		// Alternate cores on one chip so L1 misses but L2 hits.
@@ -43,6 +45,7 @@ func BenchmarkAccessL2Hit(b *testing.B) {
 func BenchmarkAccessCrossChipPingPong(b *testing.B) {
 	h := benchHierarchy(b)
 	addr := memory.Addr(0x200000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cpu := topology.CPUID(0)
@@ -55,9 +58,33 @@ func BenchmarkAccessCrossChipPingPong(b *testing.B) {
 
 func BenchmarkAccessMemoryStream(b *testing.B) {
 	h := benchHierarchy(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h.Access(0, memory.Addr(uint64(i)*memory.LineSize), false)
+	}
+}
+
+// BenchmarkHierarchyAccess is the canonical hot-path number: a
+// sharing-heavy mixed stream (the coherence differential workload) through
+// the default directory hierarchy on the 32-way machine. The allocation
+// column must read 0 — TestAccessZeroAlloc enforces the same property as a
+// test.
+func BenchmarkHierarchyAccess(b *testing.B) {
+	topo := topology.Power5_32Way()
+	h, err := NewHierarchy(topo, topology.DefaultLatencies(), SmallConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ops := coherenceOps(topo, 1<<16)
+	for _, op := range ops {
+		h.Access(op.cpu, op.addr, op.write) // warm: size tables and mailboxes
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op := ops[i&(1<<16-1)]
+		h.Access(op.cpu, op.addr, op.write)
 	}
 }
 

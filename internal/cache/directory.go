@@ -2,7 +2,6 @@ package cache
 
 import (
 	"fmt"
-	"math/bits"
 
 	"threadcluster/internal/memory"
 )
@@ -13,10 +12,13 @@ import (
 type CoherenceMode int
 
 const (
-	// CoherenceDirectory (the default) keeps a per-line sharers directory
-	// — which cores hold the line in L1, which chips hold it in L2/L3 —
-	// so every coherence action touches only the actual holders. Cost is
-	// O(sharers) per action instead of O(cores + chips).
+	// CoherenceDirectory (the default) keeps per-line sharer state — which
+	// cores hold the line in L1, which chips hold it in L2/L3 — so every
+	// coherence action touches only the actual holders. Cost is O(sharers)
+	// per action instead of O(cores + chips). The state is sharded by chip
+	// (each chip owns the L1/owner records of its own cores) plus one
+	// machine-wide chip-presence table, which is what makes the deferred
+	// Lane execution model race-free.
 	CoherenceDirectory CoherenceMode = iota
 	// CoherenceBroadcast resolves every coherence action by linearly
 	// probing all cores' L1s and all chips' L2/L3s, like a bus-snooping
@@ -46,355 +48,206 @@ func ParseCoherenceMode(s string) (CoherenceMode, error) {
 	return 0, fmt.Errorf("cache: unknown coherence mode %q (want directory or broadcast)", s)
 }
 
-// NoOwner marks a directory entry with no current write owner.
+// NoOwner marks a shard entry with no current write owner.
 const NoOwner = -1
 
-// dirEntry is the directory's view of one cache line. Bitmask width caps
-// the directory at 64 cores and 64 chips; NewHierarchy falls back to
-// broadcast beyond that.
-type dirEntry struct {
-	l1 uint64 // cores holding the line in their L1
+// presEntry is the machine-wide presence record of one cache line: which
+// chips hold it in their L2 and which in their victim L3. Bitmask width
+// caps the directory at 64 chips (and shardEntry at 64 cores);
+// NewHierarchy falls back to broadcast beyond that.
+//
+// During a deferred slice the presence table is frozen — chip lanes only
+// read it — and every mutation queues as a mailbox op applied at the
+// slice barrier in canonical chip order.
+type presEntry struct {
 	l2 uint64 // chips holding the line in their L2
 	l3 uint64 // chips holding the line in their victim L3
+}
+
+func (e *presEntry) empty() bool { return e.l2 == 0 && e.l3 == 0 }
+
+// shardEntry is one chip's private view of a line: which of the chip's
+// cores hold it in their L1, and which core (if any) most recently took
+// write ownership. Core bits are global core ids, but only this chip's
+// bits can be set. A chip mutates its own shard immediately during a
+// slice; other chips' shards are touched only at the slice barrier.
+type shardEntry struct {
+	l1 uint64 // this chip's cores holding the line in their L1
 	// owner is the core that most recently obtained write ownership of
 	// the line (its L1 copy went Modified), or NoOwner. Diagnostic
 	// metadata: coherence decisions use the presence masks.
 	owner int8
 }
 
-func (e *dirEntry) empty() bool { return e.l1 == 0 && e.l2 == 0 && e.l3 == 0 }
+func (e *shardEntry) empty() bool { return e.l1 == 0 }
 
-// directory is the sharers directory for one Hierarchy: an open-addressed
-// hash table from line address to dirEntry, with linear probing and
-// backward-shift deletion. A custom table rather than a Go map because the
-// directory sits on the miss path of every access: probes must not hash
-// through runtime map machinery or allocate per line. Entries exist only
-// for lines cached somewhere, so occupancy tracks live cache contents, not
-// the address space.
-type directory struct {
-	keys []uint64   // line address + 1; 0 marks an empty slot
-	ents []dirEntry // parallel to keys
-	mask uint64     // len(keys) - 1
-	n    int        // occupied slots
+// lineTable is an open-addressed hash table from line address to a
+// per-line entry, with linear probing and backward-shift deletion. A
+// custom table rather than a Go map because it sits on the miss path of
+// every access: probes must not hash through runtime map machinery or
+// allocate per line. Entries exist only for lines cached somewhere, so
+// occupancy tracks live cache contents, not the address space.
+type lineTable[E any] struct {
+	keys []uint64 // line address + 1; 0 marks an empty slot
+	ents []E      // parallel to keys
+	mask uint64   // len(keys) - 1
+	n    int      // occupied slots
 	peak int
 }
 
-const dirMinSize = 256
+const lineTableMinSize = 256
 
-func newDirectory() *directory {
-	return &directory{
-		keys: make([]uint64, dirMinSize),
-		ents: make([]dirEntry, dirMinSize),
-		mask: dirMinSize - 1,
-	}
+func (t *lineTable[E]) init() {
+	t.keys = make([]uint64, lineTableMinSize)
+	t.ents = make([]E, lineTableMinSize)
+	t.mask = lineTableMinSize - 1
+	t.n = 0
 }
 
-// dirKey maps a line address to a nonzero table key. Lines are multiples
+// lineKey maps a line address to a nonzero table key. Lines are multiples
 // of the line size, so +1 never collides with another line's key.
-func dirKey(line memory.Addr) uint64 { return uint64(line) + 1 }
+func lineKey(line memory.Addr) uint64 { return uint64(line) + 1 }
 
 // slot hashes a key to its home slot (Fibonacci hashing).
-func (d *directory) slot(k uint64) uint64 {
-	return (k * 0x9E3779B97F4A7C15) >> 32 & d.mask
+func (t *lineTable[E]) slot(k uint64) uint64 {
+	return (k * 0x9E3779B97F4A7C15) >> 32 & t.mask
 }
 
 // find returns the entry for the line, or nil. The pointer is valid only
 // until the next insert or delete.
-func (d *directory) find(line memory.Addr) *dirEntry {
-	k := dirKey(line)
-	for i := d.slot(k); ; i = (i + 1) & d.mask {
-		switch d.keys[i] {
+func (t *lineTable[E]) find(line memory.Addr) *E {
+	k := lineKey(line)
+	for i := t.slot(k); ; i = (i + 1) & t.mask {
+		switch t.keys[i] {
 		case k:
-			return &d.ents[i]
+			return &t.ents[i]
 		case 0:
 			return nil
 		}
 	}
 }
 
-// ensure returns the entry for the line, creating it if absent. The
-// pointer is valid only until the next insert or delete.
-func (d *directory) ensure(line memory.Addr) *dirEntry {
-	k := dirKey(line)
-	for i := d.slot(k); ; i = (i + 1) & d.mask {
-		switch d.keys[i] {
+// ensure returns the entry for the line, creating a zero entry if absent.
+// The pointer is valid only until the next insert or delete.
+func (t *lineTable[E]) ensure(line memory.Addr) *E {
+	k := lineKey(line)
+	for i := t.slot(k); ; i = (i + 1) & t.mask {
+		switch t.keys[i] {
 		case k:
-			return &d.ents[i]
+			return &t.ents[i]
 		case 0:
 			// Grow at 50% load: probe chains stay short, and the table is
 			// tiny next to the caches it mirrors.
-			if uint64(d.n)*2 >= uint64(len(d.keys)) {
-				d.grow()
-				return d.ensure(line)
+			if uint64(t.n)*2 >= uint64(len(t.keys)) {
+				t.grow()
+				return t.ensure(line)
 			}
-			d.keys[i] = k
-			d.ents[i] = dirEntry{owner: NoOwner}
-			d.n++
-			if d.n > d.peak {
-				d.peak = d.n
+			t.keys[i] = k
+			var zero E
+			t.ents[i] = zero
+			t.n++
+			if t.n > t.peak {
+				t.peak = t.n
 			}
-			return &d.ents[i]
+			return &t.ents[i]
 		}
 	}
 }
 
-func (d *directory) grow() {
-	oldKeys, oldEnts := d.keys, d.ents
+func (t *lineTable[E]) grow() {
+	oldKeys, oldEnts := t.keys, t.ents
 	size := uint64(len(oldKeys)) * 2
-	d.keys = make([]uint64, size)
-	d.ents = make([]dirEntry, size)
-	d.mask = size - 1
+	t.keys = make([]uint64, size)
+	t.ents = make([]E, size)
+	t.mask = size - 1
 	for i, k := range oldKeys {
 		if k == 0 {
 			continue
 		}
-		j := d.slot(k)
-		for d.keys[j] != 0 {
-			j = (j + 1) & d.mask
+		j := t.slot(k)
+		for t.keys[j] != 0 {
+			j = (j + 1) & t.mask
 		}
-		d.keys[j] = k
-		d.ents[j] = oldEnts[i]
+		t.keys[j] = k
+		t.ents[j] = oldEnts[i]
 	}
 }
 
-// drop removes the line's entry if it no longer records any holder,
-// backward-shifting the probe cluster so lookups stay tombstone-free.
-func (d *directory) drop(line memory.Addr) {
-	k := dirKey(line)
-	i := d.slot(k)
-	for d.keys[i] != k {
-		if d.keys[i] == 0 {
+// drop removes the line's entry, backward-shifting the probe cluster so
+// lookups stay tombstone-free. Callers drop an entry once it records no
+// holder. Dropping an absent line is a no-op.
+func (t *lineTable[E]) drop(line memory.Addr) {
+	k := lineKey(line)
+	i := t.slot(k)
+	for t.keys[i] != k {
+		if t.keys[i] == 0 {
 			return
 		}
-		i = (i + 1) & d.mask
+		i = (i + 1) & t.mask
 	}
-	if !d.ents[i].empty() {
-		return
-	}
-	d.n--
+	t.n--
 	j := i
 	for {
-		j = (j + 1) & d.mask
-		if d.keys[j] == 0 {
+		j = (j + 1) & t.mask
+		if t.keys[j] == 0 {
 			break
 		}
-		home := d.slot(d.keys[j])
+		home := t.slot(t.keys[j])
 		// The entry at j may move to i only if its home slot lies
 		// cyclically at or before i (otherwise a lookup starting at home
 		// would stop early at the vacated slot).
-		if (i-home)&d.mask <= (j-home)&d.mask {
-			d.keys[i] = d.keys[j]
-			d.ents[i] = d.ents[j]
+		if (i-home)&t.mask <= (j-home)&t.mask {
+			t.keys[i] = t.keys[j]
+			t.ents[i] = t.ents[j]
 			i = j
 		}
 	}
-	d.keys[i] = 0
+	t.keys[i] = 0
 }
 
 // forEach visits every tracked line.
-func (d *directory) forEach(f func(line memory.Addr, e *dirEntry)) {
-	for i, k := range d.keys {
+func (t *lineTable[E]) forEach(f func(line memory.Addr, e *E)) {
+	for i, k := range t.keys {
 		if k != 0 {
-			f(memory.Addr(k-1), &d.ents[i])
-		}
-	}
-}
-
-func (d *directory) setL1(line memory.Addr, core int) {
-	d.ensure(line).l1 |= 1 << uint(core)
-}
-
-func (d *directory) clearL1(line memory.Addr, core int) {
-	if e := d.find(line); e != nil {
-		e.l1 &^= 1 << uint(core)
-		if int(e.owner) == core {
-			e.owner = NoOwner
-		}
-		if e.empty() {
-			d.drop(line)
-		}
-	}
-}
-
-func (d *directory) setL2(line memory.Addr, chip int) {
-	d.ensure(line).l2 |= 1 << uint(chip)
-}
-
-func (d *directory) clearL2(line memory.Addr, chip int) {
-	if e := d.find(line); e != nil {
-		e.l2 &^= 1 << uint(chip)
-		if e.empty() {
-			d.drop(line)
-		}
-	}
-}
-
-func (d *directory) setL3(line memory.Addr, chip int) {
-	d.ensure(line).l3 |= 1 << uint(chip)
-}
-
-func (d *directory) clearL3(line memory.Addr, chip int) {
-	if e := d.find(line); e != nil {
-		e.l3 &^= 1 << uint(chip)
-		if e.empty() {
-			d.drop(line)
+			f(memory.Addr(k-1), &t.ents[i])
 		}
 	}
 }
 
 // DirectoryLines returns how many lines the coherence directory currently
-// tracks (0 in broadcast mode) — the directory's occupancy.
+// tracks (0 in broadcast mode) — the presence table's occupancy. L2/L3
+// inclusion of the L1s means every cached line appears here.
 func (h *Hierarchy) DirectoryLines() int {
-	if h.dir == nil {
+	if h.mode != CoherenceDirectory {
 		return 0
 	}
-	return h.dir.n
+	return h.pres.n
 }
 
 // DirectoryPeakLines returns the largest occupancy the directory reached.
 func (h *Hierarchy) DirectoryPeakLines() int {
-	if h.dir == nil {
+	if h.mode != CoherenceDirectory {
 		return 0
 	}
-	return h.dir.peak
+	return h.pres.peak
 }
 
 // SnoopProbesAvoided returns how many individual cache probes (L1/L2/L3
 // set scans) the directory answered from its presence bits instead of
 // issuing, relative to what the broadcast protocol would have scanned for
 // the same access stream. Always 0 in broadcast mode.
-func (h *Hierarchy) SnoopProbesAvoided() uint64 { return h.probesAvoided }
+func (h *Hierarchy) SnoopProbesAvoided() uint64 {
+	s := h.probesAvoided
+	for i := range h.lanes {
+		s += h.lanes[i].probesAvoided
+	}
+	return s
+}
 
 // Coherence returns the mode the hierarchy is actually running (a
 // directory request on a machine wider than 64 cores or chips falls back
 // to broadcast).
 func (h *Hierarchy) Coherence() CoherenceMode { return h.mode }
-
-// snoopDir answers a cross-chip snoop from the directory: the lowest-index
-// chip other than exceptChip holding the line in L2, else in L3, else
-// memory — exactly the order the broadcast scan resolves in.
-func (h *Hierarchy) snoopDir(line memory.Addr, exceptChip int) (int, Source) {
-	h.probesAvoided += uint64(2 * (len(h.l2) - 1))
-	e := h.dir.find(line)
-	if e == nil {
-		return -1, SrcMemory
-	}
-	if m := e.l2 &^ (1 << uint(exceptChip)); m != 0 {
-		return bits.TrailingZeros64(m), SrcRemoteL2
-	}
-	if m := e.l3 &^ (1 << uint(exceptChip)); m != 0 {
-		return bits.TrailingZeros64(m), SrcRemoteL3
-	}
-	return -1, SrcMemory
-}
-
-// invalidateOthersDir removes every cached copy of the line outside the
-// requesting core's L1 and the requesting chip's L2/L3, visiting only the
-// holders the directory records.
-func (h *Hierarchy) invalidateOthersDir(line memory.Addr, exceptCore, exceptChip int) {
-	broadcastProbes := uint64(len(h.l1) - 1 + 2*(len(h.l2)-1))
-	var probes uint64
-	e := h.dir.find(line)
-	if e == nil {
-		h.probesAvoided += broadcastProbes
-		return
-	}
-	for m := e.l1 &^ (1 << uint(exceptCore)); m != 0; m &= m - 1 {
-		core := bits.TrailingZeros64(m)
-		probes++
-		if h.l1[core].Invalidate(line) != Invalid {
-			h.invalidationsSent++
-		}
-		e.l1 &^= 1 << uint(core)
-		if int(e.owner) == core {
-			e.owner = NoOwner
-		}
-	}
-	for m := e.l2 &^ (1 << uint(exceptChip)); m != 0; m &= m - 1 {
-		chip := bits.TrailingZeros64(m)
-		probes++
-		if h.l2[chip].Invalidate(line) != Invalid {
-			h.invalidationsSent++
-		}
-		e.l2 &^= 1 << uint(chip)
-	}
-	for m := e.l3 &^ (1 << uint(exceptChip)); m != 0; m &= m - 1 {
-		chip := bits.TrailingZeros64(m)
-		probes++
-		if h.l3[chip].Invalidate(line) != Invalid {
-			h.invalidationsSent++
-		}
-		e.l3 &^= 1 << uint(chip)
-	}
-	if e.empty() {
-		h.dir.drop(line)
-	}
-	if broadcastProbes > probes {
-		h.probesAvoided += broadcastProbes - probes
-	}
-}
-
-// downgradeChipDir moves the line to Shared in the given chip's caches,
-// touching only the holders the directory records.
-func (h *Hierarchy) downgradeChipDir(line memory.Addr, chip int) {
-	if chip < 0 {
-		return
-	}
-	broadcastProbes := uint64(2 + h.topo.CoresPerChip)
-	var probes uint64
-	if e := h.dir.find(line); e != nil {
-		bit := uint64(1) << uint(chip)
-		if e.l2&bit != 0 {
-			probes++
-			h.l2[chip].Downgrade(line)
-		}
-		if e.l3&bit != 0 {
-			probes++
-			h.l3[chip].Downgrade(line)
-		}
-		chipCores := e.l1 & h.chipCoreMask(chip)
-		for m := chipCores; m != 0; m &= m - 1 {
-			core := bits.TrailingZeros64(m)
-			probes++
-			h.l1[core].Downgrade(line)
-			if int(e.owner) == core {
-				e.owner = NoOwner
-			}
-		}
-	}
-	if broadcastProbes > probes {
-		h.probesAvoided += broadcastProbes - probes
-	}
-}
-
-// purgeChipL1Dir invalidates the chip's L1 copies of an L2-evicted line
-// (the inclusion purge), visiting only the cores the directory records as
-// holders.
-func (h *Hierarchy) purgeChipL1Dir(line memory.Addr, chip int) {
-	broadcastProbes := uint64(h.topo.CoresPerChip)
-	var probes uint64
-	if e := h.dir.find(line); e != nil {
-		for m := e.l1 & h.chipCoreMask(chip); m != 0; m &= m - 1 {
-			core := bits.TrailingZeros64(m)
-			probes++
-			h.l1[core].Invalidate(line)
-			e.l1 &^= 1 << uint(core)
-			if int(e.owner) == core {
-				e.owner = NoOwner
-			}
-		}
-		if e.empty() {
-			h.dir.drop(line)
-		}
-	}
-	h.probesAvoided += broadcastProbes - probes
-}
-
-// setOwnerDir records write ownership for a line the requesting core just
-// made Modified in its L1.
-func (h *Hierarchy) setOwnerDir(line memory.Addr, core int) {
-	h.dir.ensure(line).owner = int8(core)
-}
 
 // chipCoreMask returns the bitmask of global core ids on the given chip.
 func (h *Hierarchy) chipCoreMask(chip int) uint64 {
@@ -402,20 +255,25 @@ func (h *Hierarchy) chipCoreMask(chip int) uint64 {
 	return ((uint64(1) << uint(per)) - 1) << uint(chip*per)
 }
 
-// CheckDirectory verifies the directory against a ground-truth scan of
-// every cache's contents: each presence bit must correspond to a valid
-// line and vice versa, and the owner (when set) must be a recorded L1
-// sharer. Broadcast-mode hierarchies trivially pass. Tests and the fuzz
-// target call it after operations; it is O(total cache capacity).
+// CheckDirectory verifies the sharded directory against a ground-truth
+// scan of every cache's contents: each chip shard's L1 masks and the
+// machine-wide presence table must correspond exactly to valid lines and
+// vice versa, and each shard's owner (when set) must be a recorded L1
+// sharer on that chip. Broadcast-mode hierarchies trivially pass. Tests
+// and the fuzz target call it between accesses (i.e. at barrier
+// boundaries); it is O(total cache capacity).
 func (h *Hierarchy) CheckDirectory() error {
-	if h.dir == nil {
+	if h.mode != CoherenceDirectory {
 		return nil
 	}
-	truth := make(map[memory.Addr]*dirEntry)
-	ensure := func(line memory.Addr) *dirEntry {
+	type truthEntry struct {
+		l1, l2, l3 uint64
+	}
+	truth := make(map[memory.Addr]*truthEntry)
+	ensure := func(line memory.Addr) *truthEntry {
 		e := truth[line]
 		if e == nil {
-			e = &dirEntry{owner: NoOwner}
+			e = &truthEntry{}
 			truth[line] = e
 		}
 		return e
@@ -438,29 +296,81 @@ func (h *Hierarchy) CheckDirectory() error {
 			ensure(line).l3 |= 1 << uint(chip)
 		})
 	}
-	if len(truth) != h.dir.n {
-		return fmt.Errorf("cache: directory tracks %d lines, caches hold %d", h.dir.n, len(truth))
-	}
 	var err error
-	h.dir.forEach(func(line memory.Addr, got *dirEntry) {
+	h.pres.forEach(func(line memory.Addr, got *presEntry) {
 		if err != nil {
 			return
 		}
 		want := truth[line]
 		if want == nil {
-			err = fmt.Errorf("cache: directory tracks line %#x that no cache holds", uint64(line))
+			err = fmt.Errorf("cache: presence table tracks line %#x {l2:%#x l3:%#x} that no cache holds",
+				uint64(line), got.l2, got.l3)
 			return
 		}
-		if got.l1 != want.l1 || got.l2 != want.l2 || got.l3 != want.l3 {
-			err = fmt.Errorf("cache: line %#x directory {l1:%#x l2:%#x l3:%#x} != scan {l1:%#x l2:%#x l3:%#x}",
-				uint64(line), got.l1, got.l2, got.l3, want.l1, want.l2, want.l3)
-			return
-		}
-		if got.owner != NoOwner && got.l1&(1<<uint(got.owner)) == 0 {
-			err = fmt.Errorf("cache: line %#x owner core %d not an L1 sharer (mask %#x)",
-				uint64(line), got.owner, got.l1)
-			return
+		if got.l2 != want.l2 || got.l3 != want.l3 {
+			err = fmt.Errorf("cache: line %#x presence {l2:%#x l3:%#x} != scan {l2:%#x l3:%#x l1:%#x}",
+				uint64(line), got.l2, got.l3, want.l2, want.l3, want.l1)
 		}
 	})
-	return err
+	if err != nil {
+		return err
+	}
+	for line, want := range truth {
+		if h.pres.find(line) == nil {
+			return fmt.Errorf("cache: caches hold line %#x {l1:%#x l2:%#x l3:%#x} the presence table does not track",
+				uint64(line), want.l1, want.l2, want.l3)
+		}
+	}
+	if len(truth) != h.pres.n {
+		return fmt.Errorf("cache: presence table tracks %d lines, caches hold %d", h.pres.n, len(truth))
+	}
+	for chip := range h.lanes {
+		sh := &h.lanes[chip].shard
+		mask := h.chipCoreMask(chip)
+		shardLines := 0
+		sh.forEach(func(line memory.Addr, got *shardEntry) {
+			if err != nil {
+				return
+			}
+			shardLines++
+			var want uint64
+			if t := truth[line]; t != nil {
+				want = t.l1 & mask
+			}
+			if got.l1 != want {
+				err = fmt.Errorf("cache: line %#x chip %d shard l1 %#x != scan %#x",
+					uint64(line), chip, got.l1, want)
+				return
+			}
+			if got.owner != NoOwner && got.l1&(1<<uint(got.owner)) == 0 {
+				err = fmt.Errorf("cache: line %#x owner core %d not an L1 sharer on chip %d (mask %#x)",
+					uint64(line), got.owner, chip, got.l1)
+			}
+		})
+		if err != nil {
+			return err
+		}
+		wantLines := 0
+		for _, t := range truth {
+			if t.l1&mask != 0 {
+				wantLines++
+			}
+		}
+		if shardLines != wantLines {
+			return fmt.Errorf("cache: chip %d shard tracks %d lines, its L1s hold %d", chip, shardLines, wantLines)
+		}
+	}
+	// mailboxes must be empty between barriers.
+	for chip := range h.lanes {
+		if len(h.lanes[chip].ops) != 0 {
+			return fmt.Errorf("cache: chip %d lane has %d unapplied coherence ops", chip, len(h.lanes[chip].ops))
+		}
+	}
+	return nil
+}
+
+// holderChips returns the chips holding the line in L2 or L3 per the
+// presence table, excluding except.
+func holderChips(e *presEntry, except int) uint64 {
+	return (e.l2 | e.l3) &^ (1 << uint(except))
 }

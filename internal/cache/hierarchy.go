@@ -86,9 +86,10 @@ type HierarchyConfig struct {
 	L2 Config // per chip
 	L3 Config // per chip (victim)
 	// Coherence picks the protocol implementation: CoherenceDirectory
-	// (default, O(sharers) coherence actions) or CoherenceBroadcast
-	// (reference linear scans). Both are observably identical; machines
-	// wider than 64 cores or 64 chips silently run broadcast.
+	// (default, O(sharers) coherence actions, supports deferred
+	// slice-barrier execution via Lane) or CoherenceBroadcast (reference
+	// linear scans). Access-for-access the two are observably identical;
+	// machines wider than 64 cores or 64 chips silently run broadcast.
 	Coherence CoherenceMode
 }
 
@@ -114,8 +115,14 @@ func SmallConfig() HierarchyConfig {
 
 // Hierarchy is the machine-wide cache system: one L1 per core, one L2 and
 // one victim L3 per chip, kept coherent with an invalidation protocol.
-// All methods are single-threaded by design; the simulator serializes
-// accesses the way a cycle-interleaved machine serializes its buses.
+//
+// Access and every query method are single-threaded, the way a
+// cycle-interleaved machine serializes its buses. In directory mode the
+// hierarchy additionally supports the deferred slice-barrier model (see
+// lane.go): distinct chips' Lanes may be driven from distinct goroutines
+// between SliceBarrier calls, which is what the chip-parallel simulator
+// engine uses. Query methods (counters, occupancy, CheckDirectory) are
+// only meaningful at barrier boundaries.
 type Hierarchy struct {
 	topo topology.Topology
 	lat  topology.Latencies
@@ -123,21 +130,27 @@ type Hierarchy struct {
 	l2   []*SetAssoc // indexed by chip
 	l3   []*SetAssoc // indexed by chip
 
-	// mode is the effective coherence implementation; dir is non-nil iff
-	// mode == CoherenceDirectory. probesAvoided counts cache probes the
-	// directory answered from presence bits instead of scanning.
+	// mode is the effective coherence implementation. In directory mode
+	// pres is the machine-wide chip-presence table (written only at
+	// barriers) and lanes holds one access port + directory shard per
+	// chip; both are unused in broadcast mode. probesAvoided counts cache
+	// probes the directory answered from presence bits instead of
+	// scanning (barrier-side shard; lanes carry the rest).
 	mode          CoherenceMode
-	dir           *directory
+	pres          lineTable[presEntry]
+	lanes         []Lane
 	probesAvoided uint64
 
-	// coherence traffic counters
+	// coherence traffic counters (base shard: broadcast mode and
+	// barrier-applied actions; Lane carries chip-local shards).
 	invalidationsSent uint64
 	upgrades          uint64
 	writebacks        uint64 // dirty lines evicted from the last level
 
 	// srcCounts attributes every access to the source that satisfied it,
 	// and srcCycles the latency charged per source — the raw material of
-	// the per-source miss-attribution metrics.
+	// the per-source miss-attribution metrics. Base shard; Lane carries
+	// the chip-local shards.
 	srcCounts [NumSources]uint64
 	srcCycles [NumSources]uint64
 
@@ -178,7 +191,13 @@ func NewHierarchy(topo topology.Topology, lat topology.Latencies, cfg HierarchyC
 		h.mode = CoherenceBroadcast
 	}
 	if h.mode == CoherenceDirectory {
-		h.dir = newDirectory()
+		h.pres.init()
+		h.lanes = make([]Lane, topo.Chips)
+		for chip := range h.lanes {
+			h.lanes[chip].h = h
+			h.lanes[chip].chip = chip
+			h.lanes[chip].shard.init()
+		}
 	}
 	return h, nil
 }
@@ -199,34 +218,83 @@ func (h *Hierarchy) L2(chip int) *SetAssoc { return h.l2[chip] }
 func (h *Hierarchy) L3(chip int) *SetAssoc { return h.l3[chip] }
 
 // InvalidationsSent returns how many line invalidations coherence issued.
-func (h *Hierarchy) InvalidationsSent() uint64 { return h.invalidationsSent }
+func (h *Hierarchy) InvalidationsSent() uint64 {
+	s := h.invalidationsSent
+	for i := range h.lanes {
+		s += h.lanes[i].invalidationsSent
+	}
+	return s
+}
 
 // Upgrades returns how many Shared->Modified write upgrades occurred.
-func (h *Hierarchy) Upgrades() uint64 { return h.upgrades }
+func (h *Hierarchy) Upgrades() uint64 {
+	s := h.upgrades
+	for i := range h.lanes {
+		s += h.lanes[i].upgrades
+	}
+	return s
+}
 
 // Writebacks returns how many dirty lines were written back to memory
 // (Modified lines evicted from the last-level cache).
-func (h *Hierarchy) Writebacks() uint64 { return h.writebacks }
+func (h *Hierarchy) Writebacks() uint64 {
+	s := h.writebacks
+	for i := range h.lanes {
+		s += h.lanes[i].writebacks
+	}
+	return s
+}
 
 // SourceCounts returns how many accesses each source satisfied since
 // construction, indexed by Source.
-func (h *Hierarchy) SourceCounts() [NumSources]uint64 { return h.srcCounts }
+func (h *Hierarchy) SourceCounts() [NumSources]uint64 {
+	s := h.srcCounts
+	for i := range h.lanes {
+		for src, n := range h.lanes[i].srcCounts {
+			s[src] += n
+		}
+	}
+	return s
+}
 
 // SourceCycles returns the total latency cycles charged per source since
 // construction, indexed by Source.
-func (h *Hierarchy) SourceCycles() [NumSources]uint64 { return h.srcCycles }
+func (h *Hierarchy) SourceCycles() [NumSources]uint64 {
+	s := h.srcCycles
+	for i := range h.lanes {
+		for src, n := range h.lanes[i].srcCycles {
+			s[src] += n
+		}
+	}
+	return s
+}
 
 // Access performs one data access by the given CPU and returns how it was
 // satisfied. Writes invalidate every other cached copy of the line
 // (invalidation-based coherence); reads leave remote copies in Shared
 // state. The returned latency follows the Figure 1 ladder.
+//
+// In directory mode this is the degenerate case of the deferred model:
+// one lane access followed by an immediate barrier, so every coherence
+// effect is visible before the next access, exactly like the broadcast
+// reference protocol.
 func (h *Hierarchy) Access(cpu topology.CPUID, addr memory.Addr, write bool) AccessResult {
+	if h.mode == CoherenceDirectory {
+		l := &h.lanes[h.topo.ChipOf(cpu)]
+		res := l.access(cpu, addr, write)
+		l.srcCounts[res.Source]++
+		l.srcCycles[res.Source] += res.Cycles
+		h.applyLane(l)
+		return res
+	}
 	res := h.access(cpu, addr, write)
 	h.srcCounts[res.Source]++
 	h.srcCycles[res.Source] += res.Cycles
 	return res
 }
 
+// access is the broadcast reference implementation: every coherence
+// action linearly probes all cores' L1s and all chips' L2/L3s.
 func (h *Hierarchy) access(cpu topology.CPUID, addr memory.Addr, write bool) AccessResult {
 	line := memory.LineOf(addr)
 	core := h.topo.CoreOf(cpu)
@@ -244,9 +312,6 @@ func (h *Hierarchy) access(cpu topology.CPUID, addr memory.Addr, write bool) Acc
 			h.l1[core].SetState(line, Modified)
 			h.l2[chip].SetState(line, Modified)
 		}
-		if write && h.dir != nil {
-			h.setOwnerDir(line, core)
-		}
 		return AccessResult{Line: line, Source: SrcL1, Cycles: h.lat.L1Hit}
 	}
 
@@ -261,16 +326,13 @@ func (h *Hierarchy) access(cpu topology.CPUID, addr memory.Addr, write bool) Acc
 			newState = Modified
 			h.l2[chip].SetState(line, Modified)
 		}
-		h.fillL1(core, chip, line, newState)
+		h.fillL1(core, line, newState)
 		return AccessResult{Line: line, Source: SrcL2, Cycles: h.lat.L2Hit, L1Miss: true}
 	}
 
 	// L3 probe (chip-local victim cache: a hit moves the line back to L2).
 	if st := h.l3[chip].Peek(line); st != Invalid {
 		h.l3[chip].Invalidate(line)
-		if h.dir != nil {
-			h.dir.clearL3(line, chip)
-		}
 		newState := st
 		if write {
 			if st == Shared {
@@ -279,8 +341,8 @@ func (h *Hierarchy) access(cpu topology.CPUID, addr memory.Addr, write bool) Acc
 			}
 			newState = Modified
 		}
-		h.fillL2(core, chip, line, newState)
-		h.fillL1(core, chip, line, newState)
+		h.fillL2(chip, line, newState)
+		h.fillL1(core, line, newState)
 		return AccessResult{Line: line, Source: SrcL3, Cycles: h.lat.L3Hit, L1Miss: true}
 	}
 
@@ -297,8 +359,8 @@ func (h *Hierarchy) access(cpu topology.CPUID, addr memory.Addr, write bool) Acc
 			h.downgradeChip(line, remoteChip)
 			newState = Shared
 		}
-		h.fillL2(core, chip, line, newState)
-		h.fillL1(core, chip, line, newState)
+		h.fillL2(chip, line, newState)
+		h.fillL1(core, line, newState)
 		lat := h.lat.RemoteL2
 		if remoteSrc == SrcRemoteL3 {
 			lat = h.lat.RemoteL3
@@ -312,8 +374,8 @@ func (h *Hierarchy) access(cpu topology.CPUID, addr memory.Addr, write bool) Acc
 	if write {
 		st = Modified
 	}
-	h.fillL2(core, chip, line, st)
-	h.fillL1(core, chip, line, st)
+	h.fillL2(chip, line, st)
+	h.fillL1(core, line, st)
 	src, lat := SrcMemory, h.lat.Memory
 	if h.nodes != nil && h.lat.RemoteMemory != 0 && h.nodes.NodeOf(line)%h.topo.Chips != chip {
 		src, lat = SrcRemoteMemory, h.lat.RemoteMemory
@@ -329,12 +391,8 @@ func (h *Hierarchy) SetNUMA(nodes memory.NodeMap) { h.nodes = nodes }
 // snoop looks for the line in any other chip's L2 or L3 and returns the
 // owning chip and the source class, or SrcMemory if no chip holds it.
 // L2s are probed across all chips before L3s, mirroring the point-to-point
-// fabric's preference for the faster source. In directory mode the scan is
-// a presence-bit lookup that resolves to the same chip.
+// fabric's preference for the faster source.
 func (h *Hierarchy) snoop(line memory.Addr, exceptChip int) (int, Source) {
-	if h.dir != nil {
-		return h.snoopDir(line, exceptChip)
-	}
 	for chip := range h.l2 {
 		if chip == exceptChip {
 			continue
@@ -355,13 +413,8 @@ func (h *Hierarchy) snoop(line memory.Addr, exceptChip int) (int, Source) {
 }
 
 // invalidateOthers removes every cached copy of the line outside the
-// requesting core's L1 and the requesting chip's L2/L3. In directory mode
-// only the recorded holders are visited.
+// requesting core's L1 and the requesting chip's L2/L3.
 func (h *Hierarchy) invalidateOthers(line memory.Addr, exceptCore, exceptChip int) {
-	if h.dir != nil {
-		h.invalidateOthersDir(line, exceptCore, exceptChip)
-		return
-	}
 	for core := range h.l1 {
 		if core == exceptCore {
 			continue
@@ -386,10 +439,6 @@ func (h *Hierarchy) invalidateOthers(line memory.Addr, exceptCore, exceptChip in
 // downgradeChip moves the line to Shared in the given chip's caches (and
 // the L1s of its cores), modelling a read snoop hit.
 func (h *Hierarchy) downgradeChip(line memory.Addr, chip int) {
-	if h.dir != nil {
-		h.downgradeChipDir(line, chip)
-		return
-	}
 	if chip < 0 {
 		return
 	}
@@ -402,51 +451,26 @@ func (h *Hierarchy) downgradeChip(line memory.Addr, chip int) {
 
 // fillL1 inserts the line into a core's L1. L1 evictions are clean drops:
 // the L2 above it is (approximately) inclusive, so the data survives.
-func (h *Hierarchy) fillL1(core, chip int, line memory.Addr, st State) {
-	evicted, _, didEvict := h.l1[core].Insert(line, st)
-	if h.dir != nil {
-		if didEvict {
-			h.dir.clearL1(evicted, core)
-		}
-		h.dir.setL1(line, core)
-		if st == Modified {
-			h.setOwnerDir(line, core)
-		}
-	}
+func (h *Hierarchy) fillL1(core int, line memory.Addr, st State) {
+	h.l1[core].Insert(line, st)
 }
 
 // fillL2 inserts the line into a chip's L2, spilling any eviction into the
 // chip's victim L3 and maintaining L1 inclusion for evicted lines.
-func (h *Hierarchy) fillL2(core, chip int, line memory.Addr, st State) {
+func (h *Hierarchy) fillL2(chip int, line memory.Addr, st State) {
 	evicted, evictedState, didEvict := h.l2[chip].Insert(line, st)
-	if h.dir != nil {
-		h.dir.setL2(line, chip)
-	}
 	if !didEvict {
 		return
 	}
-	if h.dir != nil {
-		h.dir.clearL2(evicted, chip)
-	}
 	// Victim L3 receives the evicted line; what the L3 itself evicts
 	// leaves the cache system, and dirty victims go back to memory.
-	if l3Victim, l3State, l3Evict := h.l3[chip].Insert(evicted, evictedState); l3Evict {
-		if h.dir != nil {
-			h.dir.clearL3(l3Victim, chip)
-		}
+	if _, l3State, l3Evict := h.l3[chip].Insert(evicted, evictedState); l3Evict {
 		if l3State == Modified {
 			h.writebacks++
 		}
 	}
-	if h.dir != nil {
-		h.dir.setL3(evicted, chip)
-	}
 	// Inclusion: an L2 eviction must purge the chip's L1s so a remote
 	// chip's snoop (which only probes L2/L3) can never miss a live copy.
-	if h.dir != nil {
-		h.purgeChipL1Dir(evicted, chip)
-		return
-	}
 	for c := chip * h.topo.CoresPerChip; c < (chip+1)*h.topo.CoresPerChip; c++ {
 		h.l1[c].Invalidate(evicted)
 	}
@@ -468,9 +492,13 @@ func (h *Hierarchy) FlushAll() {
 		nc, _ := NewSetAssoc(cfgOf(c))
 		h.l3[i] = nc
 	}
-	if h.dir != nil {
-		peak := h.dir.peak
-		h.dir = newDirectory()
-		h.dir.peak = peak
+	if h.mode == CoherenceDirectory {
+		peak := h.pres.peak
+		h.pres.init()
+		h.pres.peak = peak
+		for chip := range h.lanes {
+			h.lanes[chip].shard.init()
+			h.lanes[chip].ops = h.lanes[chip].ops[:0]
+		}
 	}
 }

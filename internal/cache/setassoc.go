@@ -93,6 +93,13 @@ type SetAssoc struct {
 	sets  [][]way
 	stamp uint64
 	stats Stats
+	// setMask is len(sets)-1 when the set count is a power of two, which
+	// turns the per-probe modulo into a mask (the hot-path case: every
+	// Power5 L1 and all of SmallConfig). Zero set counts are rejected by
+	// Validate, so setMask == 0 only for the 1-set degenerate cache,
+	// where the mask is trivially correct too.
+	setMask uint64
+	pow2    bool
 }
 
 // NewSetAssoc builds a cache from the configuration.
@@ -106,7 +113,12 @@ func NewSetAssoc(cfg Config) (*SetAssoc, error) {
 	for i := range sets {
 		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
 	}
-	return &SetAssoc{cfg: cfg, sets: sets}, nil
+	c := &SetAssoc{cfg: cfg, sets: sets}
+	if n&(n-1) == 0 {
+		c.setMask = uint64(n) - 1
+		c.pow2 = true
+	}
+	return c, nil
 }
 
 // Config returns the cache's configuration.
@@ -116,6 +128,12 @@ func (c *SetAssoc) Config() Config { return c.cfg }
 func (c *SetAssoc) Stats() Stats { return c.stats }
 
 func (c *SetAssoc) setOf(line memory.Addr) []way {
+	if c.pow2 {
+		return c.sets[memory.LineIndex(line)&c.setMask]
+	}
+	// A non-power-of-two set count (e.g. the Power5 L2's 1638 sets) must
+	// keep the modulo: any faster reduction would change the set mapping
+	// and with it every byte of downstream results.
 	return c.sets[memory.LineIndex(line)%uint64(len(c.sets))]
 }
 

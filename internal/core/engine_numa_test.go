@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -70,7 +71,7 @@ func TestNUMASamplingFeedsShMaps(t *testing.T) {
 		t.Fatal(err)
 	}
 	e.ForceDetection()
-	m.RunRounds(100)
+	m.RunRoundsCtx(context.Background(), 100)
 	if e.SamplesRead() == 0 {
 		t.Fatal("NUMA engine read no samples")
 	}
@@ -92,7 +93,7 @@ func TestNUMAPreferredChipFollowsDataHome(t *testing.T) {
 		t.Fatal(err)
 	}
 	for r := 0; r < 4000 && e.MigrationsDone() == 0; r += 20 {
-		m.RunRounds(20)
+		m.RunRoundsCtx(context.Background(), 20)
 	}
 	if e.MigrationsDone() == 0 {
 		t.Fatalf("engine never migrated (samples %d)", e.SamplesRead())
@@ -160,7 +161,7 @@ func TestPerProcessFiltersIsolateProcesses(t *testing.T) {
 		t.Fatal(err)
 	}
 	for r := 0; r < 4000 && e.Clusters() == nil; r += 20 {
-		m.RunRounds(20)
+		m.RunRoundsCtx(context.Background(), 20)
 	}
 	if e.Clusters() == nil {
 		t.Fatalf("detection never completed (samples %d)", e.SamplesRead())
@@ -206,7 +207,7 @@ func TestStabilityAcrossReclusterings(t *testing.T) {
 	for round := 0; round < 2; round++ {
 		e.ForceDetection()
 		for r := 0; r < 4000 && e.Phase() == PhaseDetecting; r += 20 {
-			m.RunRounds(20)
+			m.RunRoundsCtx(context.Background(), 20)
 		}
 		if e.Phase() == PhaseDetecting {
 			t.Fatalf("detection %d never finished", round)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -125,7 +126,7 @@ func TestMonitoringDoesNotActivateOnPrivateWork(t *testing.T) {
 	if err := e.Install(); err != nil {
 		t.Fatal(err)
 	}
-	m.RunRounds(100)
+	m.RunRoundsCtx(context.Background(), 100)
 	if e.Activations() != 0 {
 		t.Errorf("engine activated %d times on a private workload", e.Activations())
 	}
@@ -141,7 +142,7 @@ func TestActivationOnSharingWorkload(t *testing.T) {
 		t.Fatal(err)
 	}
 	for r := 0; r < 400 && e.Activations() == 0; r += 10 {
-		m.RunRounds(10)
+		m.RunRoundsCtx(context.Background(), 10)
 	}
 	if e.Activations() == 0 {
 		t.Fatalf("engine never activated; remote fraction = %.4f", m.Breakdown().RemoteFraction())
@@ -156,7 +157,7 @@ func TestFullCycleClustersMatchGroundTruth(t *testing.T) {
 		t.Fatal(err)
 	}
 	for r := 0; r < 3000 && e.Clusters() == nil; r += 20 {
-		m.RunRounds(20)
+		m.RunRoundsCtx(context.Background(), 20)
 	}
 	clusters := e.Clusters()
 	if clusters == nil {
@@ -187,7 +188,7 @@ func TestMigrationCoLocatesClustersAndBalancesChips(t *testing.T) {
 	e, _ := New(m, testEngineConfig())
 	_ = e.Install()
 	for r := 0; r < 3000 && e.MigrationsDone() == 0; r += 20 {
-		m.RunRounds(20)
+		m.RunRoundsCtx(context.Background(), 20)
 	}
 	if e.MigrationsDone() == 0 {
 		t.Fatal("no migration happened")
@@ -233,13 +234,13 @@ func TestClusteringReducesRemoteStalls(t *testing.T) {
 			}
 		}
 		// Warm up / let the engine do its work.
-		m.RunRounds(1500)
+		m.RunRoundsCtx(context.Background(), 1500)
 		if withEngine && e.MigrationsDone() == 0 {
 			t.Fatalf("engine made no migrations (phase %v, samples %d)", e.Phase(), e.SamplesRead())
 		}
 		// Measure a clean interval.
 		m.ResetMetrics()
-		m.RunRounds(500)
+		m.RunRoundsCtx(context.Background(), 500)
 		return m.Breakdown().RemoteFraction()
 	}
 	off := runFrac(false)
@@ -276,7 +277,7 @@ func TestDetectionCollectsSamplesAndCostsCycles(t *testing.T) {
 	e, _ := New(m, cfg)
 	_ = e.Install()
 	e.ForceDetection()
-	m.RunRounds(200)
+	m.RunRoundsCtx(context.Background(), 200)
 	if e.SamplesRead() == 0 {
 		t.Fatal("no samples read during detection")
 	}
@@ -299,7 +300,7 @@ func TestDetectionEndsAndRecordsTrackingTime(t *testing.T) {
 	_ = e.Install()
 	e.ForceDetection()
 	for r := 0; r < 2000 && e.Phase() == PhaseDetecting; r += 10 {
-		m.RunRounds(10)
+		m.RunRoundsCtx(context.Background(), 10)
 	}
 	if e.Phase() != PhaseMonitoring {
 		t.Fatalf("detection never finished (samples=%d)", e.SamplesRead())
@@ -325,7 +326,7 @@ func TestSamplingRateControlsTrackingTimeAndOverhead(t *testing.T) {
 		_ = e.Install()
 		e.ForceDetection()
 		for r := 0; r < 5000 && e.Phase() == PhaseDetecting; r += 10 {
-			m.RunRounds(10)
+			m.RunRoundsCtx(context.Background(), 10)
 		}
 		if e.Phase() == PhaseDetecting {
 			t.Fatalf("interval %d: detection did not finish", interval)
@@ -358,7 +359,7 @@ func TestGlobalSharingGroupIsIgnored(t *testing.T) {
 		t.Fatal(err)
 	}
 	for r := 0; r < 6000 && e.Activations() < 2; r += 20 {
-		m.RunRounds(20)
+		m.RunRoundsCtx(context.Background(), 20)
 	}
 	if e.Clusters() == nil {
 		t.Fatalf("first detection never completed (samples %d)", e.SamplesRead())
@@ -434,7 +435,7 @@ func TestMonitoringOverheadNegligible(t *testing.T) {
 	if err := e.Install(); err != nil {
 		t.Fatal(err)
 	}
-	m.RunRounds(300)
+	m.RunRoundsCtx(context.Background(), 300)
 	if e.Phase() != PhaseMonitoring {
 		t.Fatalf("phase = %v, want monitoring", e.Phase())
 	}
@@ -443,7 +444,7 @@ func TestMonitoringOverheadNegligible(t *testing.T) {
 	}
 	// Throughput must equal an engine-less run exactly (same seed).
 	m2 := buildGroupedMachine(t, sched.PolicyClustered, 2, 4, 23)
-	m2.RunRounds(300)
+	m2.RunRoundsCtx(context.Background(), 300)
 	if m.TotalOps() != m2.TotalOps() {
 		t.Errorf("monitoring changed throughput: %d vs %d ops", m.TotalOps(), m2.TotalOps())
 	}
@@ -459,9 +460,9 @@ func TestEngineWithNoThreads(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Must idle gracefully: no activation, no panic.
-	m.RunRounds(50)
+	m.RunRoundsCtx(context.Background(), 50)
 	e.ForceDetection()
-	m.RunRounds(50)
+	m.RunRoundsCtx(context.Background(), 50)
 	if e.SamplesRead() != 0 {
 		t.Error("no threads should mean no samples")
 	}
@@ -476,13 +477,13 @@ func TestReport(t *testing.T) {
 		t.Errorf("report missing phase: %s", r)
 	}
 	e.ForceDetection()
-	m.RunRounds(40)
+	m.RunRoundsCtx(context.Background(), 40)
 	r = e.Report()
 	if !strings.Contains(r, "detection:") {
 		t.Errorf("detecting report missing sampling line: %s", r)
 	}
 	for r := 0; r < 4000 && e.Clusters() == nil; r += 20 {
-		m.RunRounds(20)
+		m.RunRoundsCtx(context.Background(), 20)
 	}
 	if e.Clusters() == nil {
 		t.Fatal("detection never finished")
@@ -517,7 +518,7 @@ func TestNiagaraSingleChipStaysIdle(t *testing.T) {
 	}
 	e, _ := New(m, testEngineConfig())
 	_ = e.Install()
-	m.RunRounds(200)
+	m.RunRoundsCtx(context.Background(), 200)
 	if e.Activations() != 0 {
 		t.Errorf("engine activated %d times on a single-chip machine", e.Activations())
 	}

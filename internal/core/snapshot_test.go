@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -27,7 +28,7 @@ func TestSnapshotTracksPhases(t *testing.T) {
 	}
 
 	e.ForceDetection()
-	m.RunRounds(40)
+	m.RunRoundsCtx(context.Background(), 40)
 	s = e.Snapshot()
 	if s.Phase != PhaseDetecting {
 		t.Errorf("phase = %v, want detecting", s.Phase)
@@ -40,7 +41,7 @@ func TestSnapshotTracksPhases(t *testing.T) {
 	}
 
 	for r := 0; r < 4000 && e.Clusters() == nil; r += 20 {
-		m.RunRounds(20)
+		m.RunRoundsCtx(context.Background(), 20)
 	}
 	if e.Clusters() == nil {
 		t.Fatal("detection never finished")
@@ -77,7 +78,7 @@ func TestSnapshotIsValueCopy(t *testing.T) {
 	_ = e.Install()
 	before := e.Snapshot()
 	e.ForceDetection()
-	m.RunRounds(100)
+	m.RunRoundsCtx(context.Background(), 100)
 	if before.Phase != PhaseMonitoring || before.SamplesRead != 0 {
 		t.Error("earlier snapshot mutated by later simulation")
 	}
@@ -89,7 +90,7 @@ func TestEngineMetricsOnMachineRegistry(t *testing.T) {
 	_ = e.Install()
 	e.ForceDetection()
 	for r := 0; r < 4000 && e.Clusters() == nil; r += 20 {
-		m.RunRounds(20)
+		m.RunRoundsCtx(context.Background(), 20)
 	}
 	if e.Clusters() == nil {
 		t.Fatal("detection never finished")

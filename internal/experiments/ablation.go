@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -26,8 +27,8 @@ type AblationRow struct {
 // K-means and agglomerative hierarchical clustering, and the dot-product
 // similarity metric against cosine and Jaccard, on the shMaps captured
 // from one SPECjbb detection phase.
-func Ablation(opt Options) ([]AblationRow, *stats.Table, error) {
-	shmaps, truth, spec, err := detectedShMaps(JBB, opt)
+func Ablation(ctx context.Context, opt Options) ([]AblationRow, *stats.Table, error) {
+	shmaps, truth, spec, err := detectedShMaps(ctx, JBB, opt)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -97,8 +98,8 @@ type ThresholdPoint struct {
 // Section 8 leaves open. The expected shape: a wide plateau of correct
 // clusterings between "too low" (everything merges) and "too high"
 // (everything is a singleton).
-func ThresholdSensitivity(opt Options) ([]ThresholdPoint, *stats.Table, error) {
-	shmaps, truth, _, err := detectedShMaps(JBB, opt)
+func ThresholdSensitivity(ctx context.Context, opt Options) ([]ThresholdPoint, *stats.Table, error) {
+	shmaps, truth, _, err := detectedShMaps(ctx, JBB, opt)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"threadcluster/internal/memory"
@@ -45,6 +46,10 @@ func gcd(a, b uint64) uint64 {
 	return a
 }
 
+// Confined marks the generator parallel-safe: the chase walks private
+// per-generator state over an immutable Region.
+func (g *chaseGen) Confined() {}
+
 func (g *chaseGen) Next() sim.MemRef {
 	g.pos = (g.pos + g.stride) % g.lines
 	return sim.MemRef{Addr: g.region.At(g.pos * memory.LineSize), Insts: 0}
@@ -55,7 +60,7 @@ func (g *chaseGen) Next() sim.MemRef {
 // real hardware, and the methodology behind Figure 1's numbers. The
 // cliffs must land at the configured cache capacities (64KB L1, 2MB L2,
 // 36MB L3) and the plateau heights at the configured latencies.
-func CacheProbe(opt Options) ([]ProbePoint, *stats.Table, error) {
+func CacheProbe(ctx context.Context, opt Options) ([]ProbePoint, *stats.Table, error) {
 	sizes := []struct {
 		bytes uint64
 		level string
@@ -72,7 +77,7 @@ func CacheProbe(opt Options) ([]ProbePoint, *stats.Table, error) {
 	t := stats.NewTable("Latency vs working-set size (pointer chase, one thread)",
 		"Working set", "Cycles/access", "Expected level")
 	for _, sz := range sizes {
-		p, err := probeOne(opt, sz.bytes)
+		p, err := probeOne(ctx, opt, sz.bytes)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -83,8 +88,9 @@ func CacheProbe(opt Options) ([]ProbePoint, *stats.Table, error) {
 	return points, t, nil
 }
 
-func probeOne(opt Options, bytes uint64) (ProbePoint, error) {
+func probeOne(ctx context.Context, opt Options, bytes uint64) (ProbePoint, error) {
 	mcfg := sim.DefaultConfig()
+	mcfg.Engine = opt.Engine
 	mcfg.Topo = opt.Topo
 	mcfg.Policy = sched.PolicyRoundRobin // one thread, pinned to CPU 0
 	mcfg.QuantumCycles = opt.QuantumCycles
@@ -103,11 +109,15 @@ func probeOne(opt Options, bytes uint64) (ProbePoint, error) {
 	// their cold pass.
 	lines := bytes / memory.LineSize
 	warmRounds := int(2*lines*300/mcfg.QuantumCycles) + opt.WarmRounds
-	m.RunRounds(warmRounds)
+	if err := m.RunRoundsCtx(ctx, warmRounds); err != nil {
+		return ProbePoint{}, err
+	}
 	m.ResetMetrics()
 	// Measure at least one further full walk.
 	measureRounds := int(lines*300/mcfg.QuantumCycles) + opt.MeasureRounds
-	m.RunRounds(measureRounds)
+	if err := m.RunRoundsCtx(ctx, measureRounds); err != nil {
+		return ProbePoint{}, err
+	}
 	th := m.Thread(1)
 	if th.Insts == 0 {
 		return ProbePoint{}, fmt.Errorf("probe thread never ran")

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"threadcluster/internal/core"
@@ -31,7 +32,7 @@ type ChurnPoint struct {
 // connections at increasing rates and measures the residual remote-stall
 // share the engine cannot eliminate. Persistent connections (no churn)
 // are the baseline the paper's configuration creates.
-func Churn(opt Options) ([]ChurnPoint, *stats.Table, error) {
+func Churn(ctx context.Context, opt Options) ([]ChurnPoint, *stats.Table, error) {
 	configs := []struct {
 		label string
 		every int
@@ -44,7 +45,7 @@ func Churn(opt Options) ([]ChurnPoint, *stats.Table, error) {
 	t := stats.NewTable("Connection churn: why Section 5.3.4 uses persistent connections",
 		"Connections", "Residual remote stalls", "Detections")
 	for _, c := range configs {
-		p, err := churnRun(opt, c.every)
+		p, err := churnRun(ctx, opt, c.every)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -55,7 +56,7 @@ func Churn(opt Options) ([]ChurnPoint, *stats.Table, error) {
 	return points, t, nil
 }
 
-func churnRun(opt Options, replaceEvery int) (ChurnPoint, error) {
+func churnRun(ctx context.Context, opt Options, replaceEvery int) (ChurnPoint, error) {
 	arena := memory.NewDefaultArena()
 	vcfg := workloads.DefaultVolanoConfig()
 	vcfg.Seed = opt.Seed
@@ -64,6 +65,7 @@ func churnRun(opt Options, replaceEvery int) (ChurnPoint, error) {
 		return ChurnPoint{}, err
 	}
 	mcfg := sim.DefaultConfig()
+	mcfg.Engine = opt.Engine
 	mcfg.Topo = opt.Topo
 	mcfg.Policy = sched.PolicyClustered
 	mcfg.QuantumCycles = opt.QuantumCycles
@@ -129,9 +131,13 @@ func churnRun(opt Options, replaceEvery int) (ChurnPoint, error) {
 		}()
 	}
 
-	m.RunRounds(opt.WarmRounds + opt.EngineRounds)
+	if err := m.RunRoundsCtx(ctx, opt.WarmRounds+opt.EngineRounds); err != nil {
+		return ChurnPoint{}, err
+	}
 	m.ResetMetrics()
-	m.RunRounds(opt.MeasureRounds)
+	if err := m.RunRoundsCtx(ctx, opt.MeasureRounds); err != nil {
+		return ChurnPoint{}, err
+	}
 	return ChurnPoint{
 		ReplaceEveryRounds: replaceEvery,
 		RemoteFraction:     m.Breakdown().RemoteFraction(),

@@ -41,7 +41,7 @@ func comparisonPolicies() []sched.Policy {
 // machines).
 func Comparison(ctx context.Context, names []string, opt Options) ([]ComparisonRow, error) {
 	return sweep.Map(ctx, len(names), 0,
-		func(_ context.Context, i int) (ComparisonRow, error) {
+		func(ctx context.Context, i int) (ComparisonRow, error) {
 			name := names[i]
 			runs, err := PolicyRuns(ctx, name, opt)
 			if err != nil {
@@ -140,6 +140,7 @@ func Scale32(ctx context.Context, opt Options) (Scale32Result, error) {
 			return nil, nil, err
 		}
 		mcfg := sim.DefaultConfig()
+		mcfg.Engine = opt.Engine
 		mcfg.Topo = big.Topo
 		mcfg.Policy = policy
 		mcfg.QuantumCycles = big.QuantumCycles
@@ -154,7 +155,7 @@ func Scale32(ctx context.Context, opt Options) (Scale32Result, error) {
 		return m, spec, nil
 	}
 
-	measure := func(policy sched.Policy, withEngine bool) (float64, error) {
+	measure := func(ctx context.Context, policy sched.Policy, withEngine bool) (float64, error) {
 		m, _, err := buildBig(policy)
 		if err != nil {
 			return 0, err
@@ -168,22 +169,26 @@ func Scale32(ctx context.Context, opt Options) (Scale32Result, error) {
 				return 0, err
 			}
 		}
-		m.RunRounds(big.WarmRounds + big.EngineRounds)
+		if err := m.RunRoundsCtx(ctx, big.WarmRounds+big.EngineRounds); err != nil {
+			return 0, err
+		}
 		m.ResetMetrics()
-		m.RunRounds(big.MeasureRounds)
+		if err := m.RunRoundsCtx(ctx, big.MeasureRounds); err != nil {
+			return 0, err
+		}
 		b := m.Breakdown()
 		return stats.Ratio(float64(m.TotalOps()), float64(b.Cycles)/1e6), nil
 	}
 
-	defPerf, err := measure(sched.PolicyDefault, false)
+	defPerf, err := measure(ctx, sched.PolicyDefault, false)
 	if err != nil {
 		return Scale32Result{}, err
 	}
-	hoPerf, err := measure(sched.PolicyHandOptimized, false)
+	hoPerf, err := measure(ctx, sched.PolicyHandOptimized, false)
 	if err != nil {
 		return Scale32Result{}, err
 	}
-	clPerf, err := measure(sched.PolicyClustered, true)
+	clPerf, err := measure(ctx, sched.PolicyClustered, true)
 	if err != nil {
 		return Scale32Result{}, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"threadcluster/internal/cache"
@@ -35,7 +36,7 @@ type ContentionRow struct {
 // assign the cluster's threads to each chip") avoids that. The paper also
 // notes the big 36MB victim L3 absorbs most contention; shrinking it
 // makes the effect bite, so both cache configurations are measured.
-func Contention(opt Options) ([]ContentionRow, *stats.Table, error) {
+func Contention(ctx context.Context, opt Options) ([]ContentionRow, *stats.Table, error) {
 	var rows []ContentionRow
 	for _, l3 := range []struct {
 		name string
@@ -49,7 +50,7 @@ func Contention(opt Options) ([]ContentionRow, *stats.Table, error) {
 		}()},
 	} {
 		for _, placement := range []string{"packed on one chip", "engine (balanced)"} {
-			row, err := contentionRun(opt, placement, l3.cfg)
+			row, err := contentionRun(ctx, opt, placement, l3.cfg)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -67,7 +68,7 @@ func Contention(opt Options) ([]ContentionRow, *stats.Table, error) {
 	return rows, t, nil
 }
 
-func contentionRun(opt Options, placement string, caches cache.HierarchyConfig) (ContentionRow, error) {
+func contentionRun(ctx context.Context, opt Options, placement string, caches cache.HierarchyConfig) (ContentionRow, error) {
 	arena := memory.NewDefaultArena()
 	// ONE sharing group of 16 threads, each with a 384KB private set:
 	// the aggregate footprint (6MB) dwarfs one chip's 2MB L2.
@@ -85,6 +86,7 @@ func contentionRun(opt Options, placement string, caches cache.HierarchyConfig) 
 		return ContentionRow{}, err
 	}
 	mcfg := sim.DefaultConfig()
+	mcfg.Engine = opt.Engine
 	mcfg.Topo = opt.Topo
 	mcfg.Caches = caches
 	mcfg.Caches.Coherence = opt.Coherence
@@ -120,9 +122,13 @@ func contentionRun(opt Options, placement string, caches cache.HierarchyConfig) 
 		}
 	}
 
-	m.RunRounds(opt.WarmRounds + opt.EngineRounds)
+	if err := m.RunRoundsCtx(ctx, opt.WarmRounds+opt.EngineRounds); err != nil {
+		return ContentionRow{}, err
+	}
 	m.ResetMetrics()
-	m.RunRounds(opt.MeasureRounds)
+	if err := m.RunRoundsCtx(ctx, opt.MeasureRounds); err != nil {
+		return ContentionRow{}, err
+	}
 	b := m.Breakdown()
 	local := b.Fraction(pmu.EvStallL2) + b.Fraction(pmu.EvStallL3) + b.Fraction(pmu.EvStallMemory)
 	row := ContentionRow{
@@ -160,7 +166,7 @@ type MigrationCostResult struct {
 // location". The experiment scatters sharing groups, then migrates them
 // into clusters at a known instant and watches the windowed remote-stall
 // fraction spike and decay.
-func MigrationCost(opt Options) (MigrationCostResult, error) {
+func MigrationCost(ctx context.Context, opt Options) (MigrationCostResult, error) {
 	arena := memory.NewDefaultArena()
 	wcfg := workloads.DefaultSyntheticConfig()
 	wcfg.Seed = opt.Seed
@@ -169,6 +175,7 @@ func MigrationCost(opt Options) (MigrationCostResult, error) {
 		return MigrationCostResult{}, err
 	}
 	mcfg := sim.DefaultConfig()
+	mcfg.Engine = opt.Engine
 	mcfg.Topo = opt.Topo
 	mcfg.Policy = sched.PolicyRoundRobin // scatter, no balancing interference
 	mcfg.QuantumCycles = opt.QuantumCycles
@@ -193,10 +200,14 @@ func MigrationCost(opt Options) (MigrationCostResult, error) {
 	}
 
 	// Scattered steady state.
-	m.RunRounds(opt.WarmRounds)
+	if err := m.RunRoundsCtx(ctx, opt.WarmRounds); err != nil {
+		return MigrationCostResult{}, err
+	}
 	observe(0)
 	for i := 0; i < 5; i++ {
-		m.RunRounds(window)
+		if err := m.RunRoundsCtx(ctx, window); err != nil {
+			return MigrationCostResult{}, err
+		}
 		res.SteadyBefore = observe(float64((i + 1) * window))
 	}
 
@@ -214,7 +225,9 @@ func MigrationCost(opt Options) (MigrationCostResult, error) {
 	// Post-migration transient.
 	fracs := make([]float64, 0, 30)
 	for i := 0; i < 30; i++ {
-		m.RunRounds(window)
+		if err := m.RunRoundsCtx(ctx, window); err != nil {
+			return MigrationCostResult{}, err
+		}
 		fracs = append(fracs, observe(float64((6+i)*window)))
 	}
 	res.FirstWindowAfter = fracs[0]

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"threadcluster/internal/clustering"
@@ -39,12 +40,13 @@ type PhaseChangeResult struct {
 // the microbenchmark's threads switch scoreboards mid-run, dissolving
 // every detected cluster; the engine must notice the returning remote
 // stalls, re-enter detection, and migrate the new clusters together.
-func PhaseChange(opt Options) (PhaseChangeResult, error) {
+func PhaseChange(ctx context.Context, opt Options) (PhaseChangeResult, error) {
 	arena := memory.NewDefaultArena()
 	wcfg := workloads.DefaultSyntheticConfig()
 	wcfg.Seed = opt.Seed
 
 	mcfg := sim.DefaultConfig()
+	mcfg.Engine = opt.Engine
 	mcfg.Topo = opt.Topo
 	mcfg.Policy = sched.PolicyClustered
 	mcfg.QuantumCycles = opt.QuantumCycles
@@ -80,7 +82,9 @@ func PhaseChange(opt Options) (PhaseChangeResult, error) {
 	shifted := false
 	shiftRound := -1
 	for round := 0; round < totalRounds; round += window {
-		m.RunRounds(window)
+		if err := m.RunRoundsCtx(ctx, window); err != nil {
+			return res, err
+		}
 		b := m.Breakdown()
 		frac := stats.Ratio(float64(b.RemoteStalls()-lastRemote), float64(b.Cycles-lastCycles))
 		lastCycles, lastRemote = b.Cycles, b.RemoteStalls()

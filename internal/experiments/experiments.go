@@ -60,9 +60,16 @@ type Options struct {
 	// MeasureRounds is the measured interval.
 	MeasureRounds int
 	// Coherence selects the cache-coherence implementation (zero value:
-	// the directory fast path). Results are identical either way — the
-	// modes are differentially tested — so this is a speed knob.
+	// the directory fast path). Per-access results are differentially
+	// tested to be identical; note that multi-chip directory machines
+	// additionally run the deferred slice-barrier execution model, so
+	// switching to broadcast can shift multi-chip numbers (it forces the
+	// serial immediate-coherence loop).
 	Coherence cache.CoherenceMode
+	// Engine selects the execution engine driving eligible rounds (zero
+	// value: chip-parallel). Both engines are differentially tested to be
+	// byte-identical; this is purely a speed/debugging knob.
+	Engine sim.Engine
 }
 
 // DefaultOptions returns the scaled defaults used by the CLI and benches.
@@ -132,7 +139,7 @@ type detectionSnapshot struct {
 // the resulting clusters and shMaps. Using the OnClusters hook (fired at
 // clustering time) avoids racing with a subsequent re-activation that
 // would reset the shMaps.
-func forceDetectionAndWait(m *sim.Machine, eng *core.Engine, maxRounds int) (*detectionSnapshot, error) {
+func forceDetectionAndWait(ctx context.Context, m *sim.Machine, eng *core.Engine, maxRounds int) (*detectionSnapshot, error) {
 	var snap *detectionSnapshot
 	eng.OnClusters(func(clusters []clustering.Cluster) {
 		if snap != nil {
@@ -149,7 +156,9 @@ func forceDetectionAndWait(m *sim.Machine, eng *core.Engine, maxRounds int) (*de
 	})
 	eng.ForceDetection()
 	for r := 0; r < maxRounds && snap == nil; r += 20 {
-		m.RunRounds(20)
+		if err := m.RunRoundsCtx(ctx, 20); err != nil {
+			return nil, err
+		}
 	}
 	if snap == nil {
 		return nil, fmt.Errorf("experiments: detection did not complete within %d rounds", maxRounds)
@@ -216,12 +225,13 @@ type EngineStats struct {
 
 // RunWorkload measures one workload under one policy, optionally with the
 // clustering engine attached (policy should then be PolicyClustered).
-func RunWorkload(name string, policy sched.Policy, withEngine bool, opt Options) (RunMetrics, *sim.Machine, error) {
+func RunWorkload(ctx context.Context, name string, policy sched.Policy, withEngine bool, opt Options) (RunMetrics, *sim.Machine, error) {
 	spec, err := BuildWorkload(name, opt.Seed)
 	if err != nil {
 		return RunMetrics{}, nil, err
 	}
 	mcfg := sim.DefaultConfig()
+	mcfg.Engine = opt.Engine
 	mcfg.Topo = opt.Topo
 	mcfg.Policy = policy
 	mcfg.QuantumCycles = opt.QuantumCycles
@@ -248,10 +258,14 @@ func RunWorkload(name string, policy sched.Policy, withEngine bool, opt Options)
 	// windows are time-aligned: the workloads' data structures grow as
 	// they run (B-trees gain nodes), and comparing a young run against an
 	// old one would confound placement effects with workload age.
-	m.RunRounds(opt.WarmRounds + opt.EngineRounds)
+	if err := m.RunRoundsCtx(ctx, opt.WarmRounds+opt.EngineRounds); err != nil {
+		return RunMetrics{}, nil, err
+	}
 	m.ResetMetrics()
 	base := m.SnapshotMetrics()
-	m.RunRounds(opt.MeasureRounds)
+	if err := m.RunRoundsCtx(ctx, opt.MeasureRounds); err != nil {
+		return RunMetrics{}, nil, err
+	}
 
 	b := m.Breakdown()
 	res := RunMetrics{
@@ -291,10 +305,10 @@ func PolicyRuns(ctx context.Context, name string, opt Options) (map[sched.Policy
 		sched.PolicyHandOptimized, sched.PolicyClustered,
 	}
 	results, err := sweep.Map(ctx, len(policies), 0,
-		func(_ context.Context, i int) (RunMetrics, error) {
+		func(ctx context.Context, i int) (RunMetrics, error) {
 			pol := policies[i]
 			withEngine := pol == sched.PolicyClustered
-			r, _, err := RunWorkload(name, pol, withEngine, opt)
+			r, _, err := RunWorkload(ctx, name, pol, withEngine, opt)
 			return r, err
 		})
 	if err != nil {

@@ -67,7 +67,7 @@ func TestFigure1LatenciesMeasuredMatchConfigured(t *testing.T) {
 }
 
 func TestFigure3VolanoBreakdown(t *testing.T) {
-	tbl, b, err := Figure3(Volano, testOptions())
+	tbl, b, err := Figure3(context.Background(), Volano, testOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +163,7 @@ func TestFigure8TradeoffShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("figure 8 sweep is slow")
 	}
-	points, tbl, err := Figure8(testOptions())
+	points, tbl, err := Figure8(context.Background(), testOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +196,7 @@ func TestSpatialSensitivityInvariance(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spatial sweep is slow")
 	}
-	points, _, err := SpatialSensitivity(testOptions())
+	points, _, err := SpatialSensitivity(context.Background(), testOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +219,7 @@ func TestSpatialSensitivityInvariance(t *testing.T) {
 }
 
 func TestSDARPurityNearPerfect(t *testing.T) {
-	res, err := SDARPurity(testOptions())
+	res, err := SDARPurity(context.Background(), testOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +237,7 @@ func TestAblationAlgorithmsAgree(t *testing.T) {
 	if testing.Short() {
 		t.Skip("ablation detection run is slow")
 	}
-	rows, tbl, err := Ablation(testOptions())
+	rows, tbl, err := Ablation(context.Background(), testOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,7 +258,7 @@ func TestPageVsPMUDetection(t *testing.T) {
 	if testing.Short() {
 		t.Skip("detector comparison is slow")
 	}
-	rows, tbl, err := PageVsPMU(testOptions())
+	rows, tbl, err := PageVsPMU(context.Background(), testOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,7 +295,7 @@ func TestChurnDegradesClustering(t *testing.T) {
 	if testing.Short() {
 		t.Skip("churn sweep is slow")
 	}
-	points, _, err := Churn(testOptions())
+	points, _, err := Churn(context.Background(), testOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -318,7 +318,7 @@ func TestStagedPipelineCut(t *testing.T) {
 	if testing.Short() {
 		t.Skip("staged study is slow")
 	}
-	res, _, err := Staged(testOptions())
+	res, _, err := Staged(context.Background(), testOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -341,7 +341,7 @@ func TestCacheProbeStaircase(t *testing.T) {
 	if testing.Short() {
 		t.Skip("latency sweep walks large working sets")
 	}
-	points, _, err := CacheProbe(testOptions())
+	points, _, err := CacheProbe(context.Background(), testOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -367,7 +367,7 @@ func TestCacheProbeStaircase(t *testing.T) {
 }
 
 func TestMuxValidationTracksExactBreakdown(t *testing.T) {
-	res, tbl, err := MuxValidation(testOptions())
+	res, tbl, err := MuxValidation(context.Background(), testOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -385,7 +385,7 @@ func TestSMTPlacementAblation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-seed sweep is slow")
 	}
-	rows, _, err := SMTPlacement(testOptions())
+	rows, _, err := SMTPlacement(context.Background(), testOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -407,7 +407,7 @@ func TestThresholdSensitivityPlateau(t *testing.T) {
 	if testing.Short() {
 		t.Skip("threshold sweep needs a detection run")
 	}
-	points, _, err := ThresholdSensitivity(testOptions())
+	points, _, err := ThresholdSensitivity(context.Background(), testOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -443,7 +443,7 @@ func TestMultiprogrammed(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multiprogrammed study is slow")
 	}
-	res, tbl, err := Multiprogrammed(testOptions())
+	res, tbl, err := Multiprogrammed(context.Background(), testOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -470,7 +470,7 @@ func TestContentionStudy(t *testing.T) {
 	if testing.Short() {
 		t.Skip("contention study is slow")
 	}
-	rows, _, err := Contention(testOptions())
+	rows, _, err := Contention(context.Background(), testOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -516,7 +516,7 @@ func TestMigrationCostTransient(t *testing.T) {
 	if testing.Short() {
 		t.Skip("migration study is slow")
 	}
-	res, err := MigrationCost(testOptions())
+	res, err := MigrationCost(context.Background(), testOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -542,7 +542,7 @@ func TestPhaseChangeAdaptation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("phase-change run is slow")
 	}
-	res, err := PhaseChange(testOptions())
+	res, err := PhaseChange(context.Background(), testOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -568,7 +568,7 @@ func TestNUMAExtension(t *testing.T) {
 	if testing.Short() {
 		t.Skip("NUMA study is slow")
 	}
-	res, tbl, err := NUMA(testOptions())
+	res, tbl, err := NUMA(context.Background(), testOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -82,8 +82,8 @@ func Figure1(opt Options) (*stats.Table, error) {
 // Figure3 reproduces the Figure 3 stall breakdown: the CPI stack of one
 // workload under default scheduling, with data-cache stalls attributed to
 // the source that satisfied each miss.
-func Figure3(workload string, opt Options) (*stats.Table, pmu.Breakdown, error) {
-	res, _, err := RunWorkload(workload, sched.PolicyDefault, false, opt)
+func Figure3(ctx context.Context, workload string, opt Options) (*stats.Table, pmu.Breakdown, error) {
+	res, _, err := RunWorkload(ctx, workload, sched.PolicyDefault, false, opt)
 	if err != nil {
 		return nil, pmu.Breakdown{}, err
 	}
@@ -125,13 +125,14 @@ type Figure5Result struct {
 func Figure5(ctx context.Context, opt Options) ([]Figure5Result, error) {
 	names := AllWorkloads()
 	return sweep.Map(ctx, len(names), 0,
-		func(_ context.Context, i int) (Figure5Result, error) {
+		func(ctx context.Context, i int) (Figure5Result, error) {
 			name := names[i]
 			spec, err := buildFigure5Workload(name, opt.Seed)
 			if err != nil {
 				return Figure5Result{}, err
 			}
 			mcfg := sim.DefaultConfig()
+			mcfg.Engine = opt.Engine
 			mcfg.Topo = opt.Topo
 			mcfg.Policy = sched.PolicyClustered
 			mcfg.QuantumCycles = opt.QuantumCycles
@@ -150,8 +151,10 @@ func Figure5(ctx context.Context, opt Options) ([]Figure5Result, error) {
 			if err := eng.Install(); err != nil {
 				return Figure5Result{}, err
 			}
-			m.RunRounds(opt.WarmRounds)
-			snap, err := forceDetectionAndWait(m, eng, 40*opt.EngineRounds)
+			if err := m.RunRoundsCtx(ctx, opt.WarmRounds); err != nil {
+				return Figure5Result{}, err
+			}
+			snap, err := forceDetectionAndWait(ctx, m, eng, 40*opt.EngineRounds)
 			if err != nil {
 				return Figure5Result{}, fmt.Errorf("experiments: %s: %w", name, err)
 			}

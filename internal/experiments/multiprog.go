@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"threadcluster/internal/core"
@@ -36,7 +37,7 @@ type MultiprogResult struct {
 
 // Multiprogrammed runs the two-process study under default placement and
 // under the engine with per-process shMap filters.
-func Multiprogrammed(opt Options) (MultiprogResult, *stats.Table, error) {
+func Multiprogrammed(ctx context.Context, opt Options) (MultiprogResult, *stats.Table, error) {
 	var res MultiprogResult
 
 	run := func(withEngine bool) (float64, [2]uint64, *core.Engine, error) {
@@ -60,9 +61,13 @@ func Multiprogrammed(opt Options) (MultiprogResult, *stats.Table, error) {
 				return 0, [2]uint64{}, nil, err
 			}
 		}
-		m.RunRounds(opt.WarmRounds + opt.EngineRounds)
+		if err := m.RunRoundsCtx(ctx, opt.WarmRounds+opt.EngineRounds); err != nil {
+			return 0, [2]uint64{}, nil, err
+		}
 		m.ResetMetrics()
-		m.RunRounds(opt.MeasureRounds)
+		if err := m.RunRoundsCtx(ctx, opt.MeasureRounds); err != nil {
+			return 0, [2]uint64{}, nil, err
+		}
 		var ops [2]uint64
 		for _, spec := range specs {
 			for _, th := range spec.Threads {
@@ -131,6 +136,7 @@ func buildMultiprog(opt Options, withEngine bool) (*sim.Machine, []*workloads.Sp
 		policy = sched.PolicyClustered
 	}
 	mcfg := sim.DefaultConfig()
+	mcfg.Engine = opt.Engine
 	mcfg.Topo = opt.Topo
 	mcfg.Policy = policy
 	mcfg.QuantumCycles = opt.QuantumCycles

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"threadcluster/internal/pmu"
@@ -36,12 +37,13 @@ type MuxValidationRow struct {
 // events) on every CPU and compares the scaled estimates with exact
 // counts — the estimates must track within a few percentage points for
 // the figure (and the engine's activation rule) to be trustworthy.
-func MuxValidation(opt Options) (MuxValidationResult, *stats.Table, error) {
+func MuxValidation(ctx context.Context, opt Options) (MuxValidationResult, *stats.Table, error) {
 	spec, err := BuildWorkload(Volano, opt.Seed)
 	if err != nil {
 		return MuxValidationResult{}, nil, err
 	}
 	mcfg := sim.DefaultConfig()
+	mcfg.Engine = opt.Engine
 	mcfg.Topo = opt.Topo
 	mcfg.Policy = sched.PolicyDefault
 	mcfg.QuantumCycles = opt.QuantumCycles
@@ -71,12 +73,17 @@ func MuxValidation(opt Options) (MuxValidationResult, *stats.Table, error) {
 		m.AttachMux(topology.CPUID(c), mux)
 	}
 
-	m.RunRounds(opt.WarmRounds)
+	if err := m.RunRoundsCtx(ctx, opt.WarmRounds); err != nil {
+		return MuxValidationResult{}, nil, err
+	}
 	m.ResetMetrics()
 	for c := range muxes {
 		muxes[c].Reset()
 	}
-	m.RunRounds(opt.MeasureRounds * 3) // longer window: estimates need samples
+	// Longer window: estimates need samples.
+	if err := m.RunRoundsCtx(ctx, opt.MeasureRounds*3); err != nil {
+		return MuxValidationResult{}, nil, err
+	}
 
 	exact := m.Breakdown()
 	var est pmu.Breakdown

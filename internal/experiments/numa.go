@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"threadcluster/internal/cache"
@@ -49,16 +50,16 @@ const numaStripe = 1 << 32
 // placement, the base (NUMA-blind) clustering engine, and the engine
 // with the Section 8 extension (remote-memory sampling + data-affinity
 // aware cluster placement).
-func NUMA(opt Options) (NUMAResult, *stats.Table, error) {
+func NUMA(ctx context.Context, opt Options) (NUMAResult, *stats.Table, error) {
 	var res NUMAResult
 	var err error
-	if res.Default, err = numaRun(opt, sched.PolicyDefault, false, false); err != nil {
+	if res.Default, err = numaRun(ctx, opt, sched.PolicyDefault, false, false); err != nil {
 		return res, nil, err
 	}
-	if res.Clustered, err = numaRun(opt, sched.PolicyClustered, true, false); err != nil {
+	if res.Clustered, err = numaRun(ctx, opt, sched.PolicyClustered, true, false); err != nil {
 		return res, nil, err
 	}
-	if res.NUMAEngine, err = numaRun(opt, sched.PolicyClustered, true, true); err != nil {
+	if res.NUMAEngine, err = numaRun(ctx, opt, sched.PolicyClustered, true, true); err != nil {
 		return res, nil, err
 	}
 
@@ -73,7 +74,7 @@ func NUMA(opt Options) (NUMAResult, *stats.Table, error) {
 	return res, t, nil
 }
 
-func numaRun(opt Options, policy sched.Policy, withEngine, numaEngine bool) (NUMARow, error) {
+func numaRun(ctx context.Context, opt Options, policy sched.Policy, withEngine, numaEngine bool) (NUMARow, error) {
 	topo := numaTopo()
 	nodes := memory.StripedNodes{N: topo.Chips, Stripe: numaStripe}
 	arenas, err := memory.NodeArenas(nodes)
@@ -102,6 +103,7 @@ func numaRun(opt Options, policy sched.Policy, withEngine, numaEngine bool) (NUM
 	}
 
 	mcfg := sim.DefaultConfig()
+	mcfg.Engine = opt.Engine
 	mcfg.Topo = topo
 	mcfg.Lat = topology.NUMALatencies()
 	// Shrink the caches so steady-state capacity misses reach memory and
@@ -143,9 +145,13 @@ func numaRun(opt Options, policy sched.Policy, withEngine, numaEngine bool) (NUM
 		}
 	}
 
-	m.RunRounds(opt.WarmRounds + opt.EngineRounds)
+	if err := m.RunRoundsCtx(ctx, opt.WarmRounds+opt.EngineRounds); err != nil {
+		return rowErr(err)
+	}
 	m.ResetMetrics()
-	m.RunRounds(opt.MeasureRounds)
+	if err := m.RunRoundsCtx(ctx, opt.MeasureRounds); err != nil {
+		return rowErr(err)
+	}
 	b := m.Breakdown()
 	row := NUMARow{
 		Config:               name,

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"threadcluster/internal/clustering"
@@ -35,14 +36,14 @@ type DetectorComparison struct {
 // cleanly separates sharing groups at a fraction of the overhead, while
 // the page path suffers false sharing — sub-page structures coalesce and
 // a shared allocator interleaves unrelated objects on the same pages.
-func PageVsPMU(opt Options) ([]DetectorComparison, *stats.Table, error) {
+func PageVsPMU(ctx context.Context, opt Options) ([]DetectorComparison, *stats.Table, error) {
 	var rows []DetectorComparison
 	for _, workload := range []string{Microbenchmark, JBB} {
-		pmuRow, err := pmuDetectorRow(workload, opt)
+		pmuRow, err := pmuDetectorRow(ctx, workload, opt)
 		if err != nil {
 			return nil, nil, err
 		}
-		pageRow, err := pageDetectorRow(workload, opt)
+		pageRow, err := pageDetectorRow(ctx, workload, opt)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -60,7 +61,7 @@ func PageVsPMU(opt Options) ([]DetectorComparison, *stats.Table, error) {
 	return rows, t, nil
 }
 
-func pmuDetectorRow(workload string, opt Options) (DetectorComparison, error) {
+func pmuDetectorRow(ctx context.Context, workload string, opt Options) (DetectorComparison, error) {
 	spec, err := BuildWorkload(workload, opt.Seed)
 	if err != nil {
 		return DetectorComparison{}, err
@@ -79,9 +80,11 @@ func pmuDetectorRow(workload string, opt Options) (DetectorComparison, error) {
 	if err := eng.Install(); err != nil {
 		return DetectorComparison{}, err
 	}
-	m.RunRounds(opt.WarmRounds)
+	if err := m.RunRoundsCtx(ctx, opt.WarmRounds); err != nil {
+		return DetectorComparison{}, err
+	}
 	m.ResetMetrics()
-	snap, err := forceDetectionAndWait(m, eng, 40*opt.EngineRounds)
+	snap, err := forceDetectionAndWait(ctx, m, eng, 40*opt.EngineRounds)
 	if err != nil {
 		return DetectorComparison{}, fmt.Errorf("pmu path on %s: %w", workload, err)
 	}
@@ -96,7 +99,7 @@ func pmuDetectorRow(workload string, opt Options) (DetectorComparison, error) {
 	}, nil
 }
 
-func pageDetectorRow(workload string, opt Options) (DetectorComparison, error) {
+func pageDetectorRow(ctx context.Context, workload string, opt Options) (DetectorComparison, error) {
 	spec, err := BuildWorkload(workload, opt.Seed)
 	if err != nil {
 		return DetectorComparison{}, err
@@ -112,12 +115,16 @@ func pageDetectorRow(workload string, opt Options) (DetectorComparison, error) {
 	if err != nil {
 		return DetectorComparison{}, err
 	}
-	m.RunRounds(opt.WarmRounds)
+	if err := m.RunRoundsCtx(ctx, opt.WarmRounds); err != nil {
+		return DetectorComparison{}, err
+	}
 	m.ResetMetrics()
 	det.Install(m)
 	// Give the page path the same wall-clock budget the PMU path's
 	// detection typically needs in these configurations.
-	m.RunRounds(opt.EngineRounds)
+	if err := m.RunRoundsCtx(ctx, opt.EngineRounds); err != nil {
+		return DetectorComparison{}, err
+	}
 	det.Stop(m)
 
 	clusters := det.Cluster(pagedetect.DefaultClusterConfig())
@@ -137,6 +144,7 @@ func pageDetectorRow(workload string, opt Options) (DetectorComparison, error) {
 // sharing to work with.
 func newScatterMachine(opt Options) (*sim.Machine, error) {
 	mcfg := sim.DefaultConfig()
+	mcfg.Engine = opt.Engine
 	mcfg.Topo = opt.Topo
 	mcfg.Policy = sched.PolicyRoundRobin
 	mcfg.QuantumCycles = opt.QuantumCycles

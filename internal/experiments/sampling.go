@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"threadcluster/internal/clustering"
@@ -31,13 +32,13 @@ type Figure8Point struct {
 // function of the temporal sampling rate, for SPECjbb. The paper sweeps
 // capture rates of 2, 5, 10, 20 and 50 percent (N = 50, 20, 10, 5, 2) and
 // finds ~10% to be the balance point.
-func Figure8(opt Options) ([]Figure8Point, *stats.Table, error) {
+func Figure8(ctx context.Context, opt Options) ([]Figure8Point, *stats.Table, error) {
 	intervals := []uint64{50, 20, 10, 5, 2}
 	var points []Figure8Point
 	t := stats.NewTable("Figure 8: sampling-rate trade-off (SPECjbb detection phase)",
 		"Capture rate", "Overhead", "Tracking cycles")
 	for _, n := range intervals {
-		p, err := figure8Point(n, opt)
+		p, err := figure8Point(ctx, n, opt)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -51,12 +52,13 @@ func Figure8(opt Options) ([]Figure8Point, *stats.Table, error) {
 	return points, t, nil
 }
 
-func figure8Point(interval uint64, opt Options) (Figure8Point, error) {
+func figure8Point(ctx context.Context, interval uint64, opt Options) (Figure8Point, error) {
 	spec, err := BuildWorkload(JBB, opt.Seed)
 	if err != nil {
 		return Figure8Point{}, err
 	}
 	mcfg := sim.DefaultConfig()
+	mcfg.Engine = opt.Engine
 	mcfg.Topo = opt.Topo
 	mcfg.Policy = sched.PolicyClustered
 	mcfg.QuantumCycles = opt.QuantumCycles
@@ -78,11 +80,15 @@ func figure8Point(interval uint64, opt Options) (Figure8Point, error) {
 	if err := eng.Install(); err != nil {
 		return Figure8Point{}, err
 	}
-	m.RunRounds(opt.WarmRounds)
+	if err := m.RunRoundsCtx(ctx, opt.WarmRounds); err != nil {
+		return Figure8Point{}, err
+	}
 	m.ResetMetrics()
 	eng.ForceDetection()
 	for r := 0; r < 200*opt.EngineRounds && eng.Phase() == core.PhaseDetecting; r += 20 {
-		m.RunRounds(20)
+		if err := m.RunRoundsCtx(ctx, 20); err != nil {
+			return Figure8Point{}, err
+		}
 	}
 	if eng.Phase() == core.PhaseDetecting {
 		return Figure8Point{}, fmt.Errorf("experiments: detection at interval %d never finished", interval)
@@ -107,13 +113,13 @@ type SpatialPoint struct {
 // SpatialSensitivity reproduces Section 6.4: varying the shMap size (128,
 // 256, 512 entries) must leave cluster identification essentially
 // unchanged.
-func SpatialSensitivity(opt Options) ([]SpatialPoint, *stats.Table, error) {
+func SpatialSensitivity(ctx context.Context, opt Options) ([]SpatialPoint, *stats.Table, error) {
 	sizes := []int{128, 256, 512}
 	var points []SpatialPoint
 	t := stats.NewTable("Section 6.4: spatial sampling sensitivity (SPECjbb)",
 		"shMap entries", "clusters", ">=2-thread clusters", "purity", "rand index")
 	for _, n := range sizes {
-		p, err := spatialPoint(n, opt)
+		p, err := spatialPoint(ctx, n, opt)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -123,12 +129,13 @@ func SpatialSensitivity(opt Options) ([]SpatialPoint, *stats.Table, error) {
 	return points, t, nil
 }
 
-func spatialPoint(entries int, opt Options) (SpatialPoint, error) {
+func spatialPoint(ctx context.Context, entries int, opt Options) (SpatialPoint, error) {
 	spec, err := BuildWorkload(JBB, opt.Seed)
 	if err != nil {
 		return SpatialPoint{}, err
 	}
 	mcfg := sim.DefaultConfig()
+	mcfg.Engine = opt.Engine
 	mcfg.Topo = opt.Topo
 	mcfg.Policy = sched.PolicyClustered
 	mcfg.QuantumCycles = opt.QuantumCycles
@@ -150,8 +157,10 @@ func spatialPoint(entries int, opt Options) (SpatialPoint, error) {
 	if err := eng.Install(); err != nil {
 		return SpatialPoint{}, err
 	}
-	m.RunRounds(opt.WarmRounds)
-	snap, err := forceDetectionAndWait(m, eng, 40*opt.EngineRounds)
+	if err := m.RunRoundsCtx(ctx, opt.WarmRounds); err != nil {
+		return SpatialPoint{}, err
+	}
+	snap, err := forceDetectionAndWait(ctx, m, eng, 40*opt.EngineRounds)
 	if err != nil {
 		return SpatialPoint{}, fmt.Errorf("experiments: %d entries: %w", entries, err)
 	}
@@ -193,12 +202,13 @@ type SDARPurityResult struct {
 // handler, and measure what fraction of the sampled addresses were truly
 // remote accesses. The synthetic microbenchmark supplies plenty of local
 // misses (large private chunks) to stress the technique.
-func SDARPurity(opt Options) (SDARPurityResult, error) {
+func SDARPurity(ctx context.Context, opt Options) (SDARPurityResult, error) {
 	spec, err := BuildWorkload(Microbenchmark, opt.Seed)
 	if err != nil {
 		return SDARPurityResult{}, err
 	}
 	mcfg := sim.DefaultConfig()
+	mcfg.Engine = opt.Engine
 	mcfg.Topo = opt.Topo
 	mcfg.Policy = sched.PolicyRoundRobin // scatter sharers: plenty of remote traffic
 	mcfg.QuantumCycles = opt.QuantumCycles
@@ -229,7 +239,9 @@ func SDARPurity(opt Options) (SDARPurityResult, error) {
 			return SDARPurityResult{}, err
 		}
 	}
-	m.RunRounds(opt.WarmRounds + opt.MeasureRounds)
+	if err := m.RunRoundsCtx(ctx, opt.WarmRounds+opt.MeasureRounds); err != nil {
+		return SDARPurityResult{}, err
+	}
 	res.Purity = stats.Ratio(float64(res.TrulyRemote), float64(res.SamplesRead))
 	return res, nil
 }
@@ -244,12 +256,13 @@ func (r SDARPurityResult) Table() *stats.Table {
 
 // detectedShMaps runs one engine detection on a workload and returns the
 // shMaps, ground truth and spec — shared setup for the ablation study.
-func detectedShMaps(name string, opt Options) (map[clustering.ThreadKey]*clustering.ShMap, map[clustering.ThreadKey]int, *workloads.Spec, error) {
+func detectedShMaps(ctx context.Context, name string, opt Options) (map[clustering.ThreadKey]*clustering.ShMap, map[clustering.ThreadKey]int, *workloads.Spec, error) {
 	spec, err := BuildWorkload(name, opt.Seed)
 	if err != nil {
 		return nil, nil, nil, err
 	}
 	mcfg := sim.DefaultConfig()
+	mcfg.Engine = opt.Engine
 	mcfg.Topo = opt.Topo
 	mcfg.Policy = sched.PolicyClustered
 	mcfg.QuantumCycles = opt.QuantumCycles
@@ -268,8 +281,10 @@ func detectedShMaps(name string, opt Options) (map[clustering.ThreadKey]*cluster
 	if err := eng.Install(); err != nil {
 		return nil, nil, nil, err
 	}
-	m.RunRounds(opt.WarmRounds)
-	snap, err := forceDetectionAndWait(m, eng, 40*opt.EngineRounds)
+	if err := m.RunRoundsCtx(ctx, opt.WarmRounds); err != nil {
+		return nil, nil, nil, err
+	}
+	snap, err := forceDetectionAndWait(ctx, m, eng, 40*opt.EngineRounds)
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("experiments: %s: %w", name, err)
 	}

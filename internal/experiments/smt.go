@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"threadcluster/internal/memory"
@@ -35,12 +36,12 @@ type SMTRow struct {
 // idle. Both placements co-locate each sharing pair on one chip — only
 // the within-chip rule differs — and the sweep averages several seeds
 // because the random rule's outcome is by construction a lottery.
-func SMTPlacement(opt Options) ([]SMTRow, *stats.Table, error) {
+func SMTPlacement(ctx context.Context, opt Options) ([]SMTRow, *stats.Table, error) {
 	const seeds = 6
 	rows := []SMTRow{{Placement: "random (paper §4.5)"}, {Placement: "cores-first (SMT-aware)"}}
 	for s := int64(0); s < seeds; s++ {
 		for i, spread := range []bool{false, true} {
-			r, err := smtRun(opt, opt.Seed+s, spread)
+			r, err := smtRun(ctx, opt, opt.Seed+s, spread)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -58,7 +59,7 @@ func SMTPlacement(opt Options) ([]SMTRow, *stats.Table, error) {
 	return rows, t, nil
 }
 
-func smtRun(opt Options, seed int64, spread bool) (SMTRow, error) {
+func smtRun(ctx context.Context, opt Options, seed int64, spread bool) (SMTRow, error) {
 	arena := memory.NewDefaultArena()
 	// Two sharing pairs: 4 threads on the 8-context machine.
 	wcfg := workloads.SyntheticConfig{
@@ -75,6 +76,7 @@ func smtRun(opt Options, seed int64, spread bool) (SMTRow, error) {
 		return SMTRow{}, err
 	}
 	mcfg := sim.DefaultConfig()
+	mcfg.Engine = opt.Engine
 	mcfg.Topo = opt.Topo
 	mcfg.Policy = sched.PolicyRoundRobin // static: the experiment places manually
 	mcfg.QuantumCycles = opt.QuantumCycles
@@ -109,9 +111,13 @@ func smtRun(opt Options, seed int64, spread bool) (SMTRow, error) {
 		}
 	}
 
-	m.RunRounds(opt.WarmRounds)
+	if err := m.RunRoundsCtx(ctx, opt.WarmRounds); err != nil {
+		return SMTRow{}, err
+	}
 	m.ResetMetrics()
-	m.RunRounds(opt.MeasureRounds)
+	if err := m.RunRoundsCtx(ctx, opt.MeasureRounds); err != nil {
+		return SMTRow{}, err
+	}
 	b := m.Breakdown()
 	row := SMTRow{
 		SMTStallFraction: b.Fraction(pmu.EvStallSMT),

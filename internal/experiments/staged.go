@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -36,7 +37,7 @@ type StagedResult struct {
 // the pipeline on one chip, back half on the other. The study checks that
 // the clustering engine, built around disjoint sharing groups, still
 // reduces cross-chip traffic on chain-structured sharing.
-func Staged(opt Options) (StagedResult, *stats.Table, error) {
+func Staged(ctx context.Context, opt Options) (StagedResult, *stats.Table, error) {
 	run := func(withEngine bool) (float64, uint64, *sim.Machine, *workloads.Spec, error) {
 		arena := memory.NewDefaultArena()
 		wcfg := workloads.DefaultStagedConfig()
@@ -46,6 +47,7 @@ func Staged(opt Options) (StagedResult, *stats.Table, error) {
 			return 0, 0, nil, nil, err
 		}
 		mcfg := sim.DefaultConfig()
+		mcfg.Engine = opt.Engine
 		mcfg.Topo = opt.Topo
 		mcfg.Policy = sched.PolicyDefault
 		if withEngine {
@@ -69,9 +71,13 @@ func Staged(opt Options) (StagedResult, *stats.Table, error) {
 				return 0, 0, nil, nil, err
 			}
 		}
-		m.RunRounds(opt.WarmRounds + opt.EngineRounds)
+		if err := m.RunRoundsCtx(ctx, opt.WarmRounds+opt.EngineRounds); err != nil {
+			return 0, 0, nil, nil, err
+		}
 		m.ResetMetrics()
-		m.RunRounds(opt.MeasureRounds)
+		if err := m.RunRoundsCtx(ctx, opt.MeasureRounds); err != nil {
+			return 0, 0, nil, nil, err
+		}
 		return m.Breakdown().RemoteFraction(), m.TotalOps(), m, spec, nil
 	}
 

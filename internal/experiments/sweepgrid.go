@@ -110,7 +110,7 @@ func (g GridSpec) Tasks() ([]GridCell, []sweep.Task, error) {
 				opt := g.Opt
 				opt.Topo = topo
 				opt.Seed = seed
-				r, _, err := RunWorkload(cell.Workload, cell.Policy, cell.Policy == sched.PolicyClustered, opt)
+				r, _, err := RunWorkload(ctx, cell.Workload, cell.Policy, cell.Policy == sched.PolicyClustered, opt)
 				if err != nil {
 					return metrics.Snapshot{}, err
 				}

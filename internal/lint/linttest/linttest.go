@@ -11,8 +11,11 @@
 // Lines without a want comment must produce no diagnostics.
 //
 // Golden packages are type-checked with the standard library's source
-// importer, so they may import anything in GOROOT but nothing from the
-// module — sentinel-shaped declarations are made locally instead.
+// importer plus a module-aware fallback: imports under the module path
+// are parsed and type-checked from the real package directories at the
+// repository root. Analyzer heuristics keyed to module types (the
+// maporder metrics-registry rule) can therefore be exercised against
+// the genuine article; everything else may still be declared locally.
 package linttest
 
 import (
@@ -99,7 +102,7 @@ func analyze(t *testing.T, a *lint.Analyzer, dir, asPath string) ([]lint.Diagnos
 	}
 
 	info := lint.NewTypesInfo()
-	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	conf := types.Config{Importer: newModuleImporter(t, fset)}
 	tpkg, err := conf.Check(asPath, fset, files, info)
 	if err != nil {
 		t.Fatalf("linttest: type-checking %s: %v", dir, err)
@@ -116,6 +119,90 @@ func analyze(t *testing.T, a *lint.Analyzer, dir, asPath string) ([]lint.Diagnos
 		return wants[i].line < wants[j].line
 	})
 	return diags, wants
+}
+
+// moduleImporter resolves imports under the module path by parsing and
+// type-checking the real package directory at the repository root
+// (memoized per run); everything else falls through to the standard
+// source importer. Test files are skipped, matching how go vet hands
+// packages to the analyzers.
+type moduleImporter struct {
+	t    *testing.T
+	fset *token.FileSet
+	std  types.Importer
+	root string
+	pkgs map[string]*types.Package
+}
+
+func newModuleImporter(t *testing.T, fset *token.FileSet) *moduleImporter {
+	return &moduleImporter{
+		t:    t,
+		fset: fset,
+		std:  importer.ForCompiler(fset, "source", nil),
+		pkgs: map[string]*types.Package{},
+	}
+}
+
+func (im *moduleImporter) Import(path string) (*types.Package, error) {
+	if path != lint.ModulePath && !strings.HasPrefix(path, lint.ModulePath+"/") {
+		return im.std.Import(path)
+	}
+	if pkg, ok := im.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if im.root == "" {
+		root, err := moduleRoot()
+		if err != nil {
+			return nil, err
+		}
+		im.root = root
+	}
+	dir := filepath.Join(im.root, filepath.FromSlash(strings.TrimPrefix(path, lint.ModulePath)))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("linttest: module import %s: %v", path, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(im.fset, filepath.Join(dir, name), nil, 0)
+		if err != nil {
+			return nil, fmt.Errorf("linttest: module import %s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("linttest: module import %s: no Go files in %s", path, dir)
+	}
+	conf := types.Config{Importer: im}
+	pkg, err := conf.Check(path, im.fset, files, nil)
+	if err != nil {
+		return nil, fmt.Errorf("linttest: module import %s: %v", path, err)
+	}
+	im.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// moduleRoot walks up from the working directory (the package dir of the
+// running test) to the directory holding go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("linttest: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
 }
 
 func collectWants(fset *token.FileSet, f *ast.File, base string) ([]want, error) {

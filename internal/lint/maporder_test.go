@@ -10,3 +10,11 @@ import (
 func TestMapOrder(t *testing.T) {
 	linttest.Run(t, lint.MapOrder, "testdata/maporder", lint.ModulePath+"/internal/experiments")
 }
+
+// TestMapOrderModuleImport exercises the metrics-registry heuristic
+// against the real internal/metrics package (resolved through the
+// module-aware importer) rather than local stand-ins: receivers must be
+// recognized by their defining package path, not their name.
+func TestMapOrderModuleImport(t *testing.T) {
+	linttest.Run(t, lint.MapOrder, "testdata/maporder_module", lint.ModulePath+"/internal/experiments")
+}

@@ -1,0 +1,66 @@
+// Package maporder_module is maporder golden coverage for the
+// metrics-registry heuristic against the real module package: ranging
+// over a map and feeding a genuine metrics.Registry (or a metric handed
+// out by one) leaks the randomized iteration order into series creation
+// and update order. The fmt/Write paths have their own goldens in
+// testdata/maporder; this package pins down the module-import path.
+package maporder_module
+
+import (
+	"sort"
+
+	"threadcluster/internal/metrics"
+)
+
+func registryInsideRange(reg *metrics.Registry, perChip map[int]uint64) {
+	for chip, n := range perChip {
+		_ = chip
+		reg.Counter("coherence_ops", nil).Add(n) // want `feeding the metrics registry \(Registry\.Counter\)` `feeding the metrics registry \(Counter\.Add\)`
+	}
+}
+
+func metricValueInsideRange(reg *metrics.Registry, perChip map[int]uint64) {
+	c := reg.Counter("coherence_ops", nil)
+	for _, n := range perChip {
+		c.Add(n) // want `feeding the metrics registry \(Counter\.Add\)`
+	}
+}
+
+func histogramInsideRange(h *metrics.Histogram, lat map[string]uint64) {
+	for _, v := range lat {
+		h.Observe(v) // want `feeding the metrics registry \(Histogram\.Observe\)`
+	}
+}
+
+// Sorting the keys first and feeding the registry from the sorted slice
+// is the documented fix — no diagnostics.
+func registryAfterSort(reg *metrics.Registry, perChip map[int]uint64) {
+	chips := make([]int, 0, len(perChip))
+	for chip := range perChip {
+		chips = append(chips, chip)
+	}
+	sort.Ints(chips)
+	for _, chip := range chips {
+		reg.Counter("coherence_ops", nil).Add(perChip[chip])
+	}
+}
+
+// Reading a metric inside a map range is still a method on a metrics
+// type, so the heuristic flags it: reads don't mutate the registry, but
+// the analyzer deliberately stays coarse rather than model value flow.
+func readInsideRange(c *metrics.Counter, perChip map[int]uint64) uint64 {
+	var total uint64
+	for range perChip {
+		total += c.Value() // want `feeding the metrics registry \(Counter\.Value\)`
+	}
+	return total
+}
+
+// Order-free work over the same map stays silent.
+func sumInsideRange(perChip map[int]uint64) uint64 {
+	var total uint64
+	for _, n := range perChip {
+		total += n
+	}
+	return total
+}

@@ -1,6 +1,7 @@
 package pagedetect
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -135,7 +136,7 @@ func TestSweepRearmsPages(t *testing.T) {
 		t.Fatal(err)
 	}
 	d.Install(m)
-	m.RunRounds(10)
+	m.RunRoundsCtx(context.Background(), 10)
 	if d.Sweeps() == 0 {
 		t.Error("sweeps should have run")
 	}
@@ -157,13 +158,13 @@ func TestOverheadChargedToMachine(t *testing.T) {
 	spec, _ := workloads.NewSynthetic(arena, workloads.DefaultSyntheticConfig())
 	_ = spec.Install(m)
 	d.Install(m)
-	m.RunRounds(20)
+	m.RunRoundsCtx(context.Background(), 20)
 	if m.OverheadCycles() == 0 {
 		t.Error("page faults should cost machine cycles")
 	}
 	d.Stop(m)
 	base := d.Faults()
-	m.RunRounds(5)
+	m.RunRoundsCtx(context.Background(), 5)
 	if d.Faults() != base {
 		t.Error("stopped detector must not observe")
 	}
@@ -190,7 +191,7 @@ func TestDetectorClustersPageSegregatedData(t *testing.T) {
 	}
 	_ = spec.Install(m)
 	d.Install(m)
-	m.RunRounds(500)
+	m.RunRoundsCtx(context.Background(), 500)
 
 	clusters := d.Cluster(DefaultClusterConfig())
 	truth := make(map[clustering.ThreadKey]int)
@@ -233,7 +234,7 @@ func TestDetectorConfusedByAllocatorInterleaving(t *testing.T) {
 	}
 	_ = spec.Install(m)
 	d.Install(m)
-	m.RunRounds(500)
+	m.RunRoundsCtx(context.Background(), 500)
 
 	clusters := d.Cluster(DefaultClusterConfig())
 	truth := make(map[clustering.ThreadKey]int)
@@ -262,7 +263,7 @@ func TestDetectorFailsOnSubPageStructures(t *testing.T) {
 	spec, _ := workloads.NewSynthetic(arena, workloads.DefaultSyntheticConfig())
 	_ = spec.Install(m)
 	d.Install(m)
-	m.RunRounds(400)
+	m.RunRoundsCtx(context.Background(), 400)
 
 	clusters := d.Cluster(DefaultClusterConfig())
 	truth := make(map[clustering.ThreadKey]int)

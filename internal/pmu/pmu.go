@@ -137,6 +137,45 @@ func (p *PMU) Observe(ev Event, n uint64) {
 	}
 }
 
+// Batch accumulates per-event deltas so a hot loop can make one
+// ObserveBatch call per slice instead of several Observe calls per
+// reference. Index by Event.
+type Batch [NumEvents]uint64
+
+// Add records n occurrences of an event into the batch.
+func (b *Batch) Add(ev Event, n uint64) { b[ev] += n }
+
+// ObserveBatch feeds every nonzero event of the batch through Observe and
+// zeroes the batch. Because Observe is additive — aggregate counts,
+// multiplexer accumulation and handler-less counter values all sum — a
+// batched flush is count-equivalent to per-reference Observe calls for
+// every consumer except overflow *handlers*, whose firing points within
+// the batch are not reconstructed. Callers must therefore keep the
+// per-reference path whenever HasArmedHandler reports true.
+func (p *PMU) ObserveBatch(b *Batch) {
+	for ev := range b {
+		if b[ev] != 0 {
+			p.Observe(Event(ev), b[ev])
+			b[ev] = 0
+		}
+	}
+}
+
+// HasArmedHandler reports whether any programmed counter can currently
+// fire an overflow handler (a handler installed with a nonzero overflow
+// threshold). Armed-but-silent programming (handler with overflowAt 0,
+// how the clustering engine parks its detection hooks between phases)
+// does not count: it cannot fire.
+func (p *PMU) HasArmedHandler() bool {
+	for i := range p.slots {
+		s := &p.slots[i]
+		if s.programmed && s.handler != nil && s.overflowAt != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // RecordMiss feeds one completed L1D miss into the PMU: it updates the
 // continuous-sampling register with the miss's line address (regardless of
 // source — that is the Power5 limitation the paper works around), then

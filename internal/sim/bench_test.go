@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -52,10 +53,42 @@ func benchMachineRound(b *testing.B, cfg Config) {
 			b.Fatal(err)
 		}
 	}
-	m.RunRounds(10) // warm
+	runBenchRounds(b, m)
+}
+
+func runBenchRounds(b *testing.B, m *Machine) {
+	b.Helper()
+	ctx := context.Background()
+	if err := m.RunRoundsCtx(ctx, 10); err != nil { // warm
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m.RunRounds(1)
+		if err := m.RunRoundsCtx(ctx, 1); err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(float64(m.Breakdown().Insts)/float64(b.Elapsed().Seconds())/1e6, "Minsts/s")
+}
+
+// benchEngineMachine builds the 32-way machine with the confined
+// differential workload, so rounds are eligible for the deferred
+// chip-parallel model under either engine.
+func benchEngineMachine(b *testing.B, engine Engine) *Machine {
+	b.Helper()
+	sc := diffTopo{name: "power5-32way", topo: topology.Power5_32Way()}
+	return buildDiffMachine(b, sc, engine, 1)
+}
+
+// The seq/parallel pair is the tentpole's speedup guard: `make
+// bench-compare` checks the parallel engine against BENCH_sim.json and —
+// on hosts with enough cores (min_cores in the baseline) — requires the
+// committed speedup ratio to hold.
+func BenchmarkMachineRound32WaySeq(b *testing.B) {
+	runBenchRounds(b, benchEngineMachine(b, EngineSeq))
+}
+
+func BenchmarkMachineRound32WayParallel(b *testing.B) {
+	runBenchRounds(b, benchEngineMachine(b, EngineParallel))
 }

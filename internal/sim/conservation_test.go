@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -28,7 +29,7 @@ func TestCycleConservation(t *testing.T) {
 		}
 		_ = m.AddThread(&Thread{ID: sched.ThreadID(i), Gen: g})
 	}
-	m.RunRounds(50)
+	m.RunRoundsCtx(context.Background(), 50)
 
 	b := m.Breakdown()
 	// 1. Per-thread cycles sum to the machine-wide cycle count.

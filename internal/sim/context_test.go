@@ -57,18 +57,6 @@ func TestRunRoundsCtxStopsAtRoundBoundary(t *testing.T) {
 	}
 }
 
-func TestRunWrappersStillRun(t *testing.T) {
-	m := newLoadedMachine(t, 4)
-	m.RunRounds(5)
-	if m.Rounds() != 5 {
-		t.Errorf("rounds = %d, want 5", m.Rounds())
-	}
-	m.RunCycles(50_000)
-	if m.Clock() < 50_000 {
-		t.Errorf("clock = %d, want >= 50000", m.Clock())
-	}
-}
-
 func TestSentinelErrors(t *testing.T) {
 	m := newLoadedMachine(t, 2)
 	arena := memory.NewDefaultArena()
@@ -87,7 +75,7 @@ func TestSentinelErrors(t *testing.T) {
 
 func TestMachineMetricsSnapshot(t *testing.T) {
 	m := newLoadedMachine(t, 4)
-	m.RunRounds(10)
+	m.RunRoundsCtx(context.Background(), 10)
 	s := m.SnapshotMetrics()
 	if got := s.Counter(MetricRounds, nil); got != 10 {
 		t.Errorf("%s = %d, want 10", MetricRounds, got)

@@ -72,6 +72,10 @@ type Thread struct {
 	// RemoteMisses counts this thread's accesses satisfied remotely
 	// (ground truth, for validation plots).
 	RemoteMisses uint64
+
+	// confined caches whether Gen implements ConfinedGenerator; computed
+	// once at AddThread (swapping Gen afterwards is not supported).
+	confined bool
 }
 
 // Config assembles a machine.
@@ -94,6 +98,10 @@ type Config struct {
 	Seed int64
 	// Policy selects the placement strategy.
 	Policy sched.Policy
+	// Engine picks the round driver: EngineParallel (zero value; eligible
+	// rounds run chip-parallel) or EngineSeq. Both produce byte-identical
+	// results — see the Engine type.
+	Engine Engine
 }
 
 // DefaultConfig returns the paper's platform with sensible simulation
@@ -122,6 +130,7 @@ type Machine struct {
 	muxes   []*pmu.Multiplexer // optional, per CPU; advanced with time
 	sch     *sched.Scheduler
 	threads map[sched.ThreadID]*Thread
+	byID    []*Thread        // dense thread lookup for the dispatch path
 	order   []sched.ThreadID // insertion order, for deterministic iteration
 
 	clock    uint64 // machine time in cycles
@@ -141,6 +150,17 @@ type Machine struct {
 	// and returns extra cycles to charge (e.g. a simulated page-protection
 	// fault). Used by software-based sharing detectors.
 	observer AccessObserver
+
+	// parallelRounds counts rounds the chip-parallel driver executed.
+	// Deliberately not a metric: metrics snapshots must be identical
+	// across engines, and this is the one number that is not. Tests use
+	// it to prove the parallel driver actually ran.
+	parallelRounds uint64
+
+	// capture, when non-nil, records every AccessResult per CPU (set by
+	// the engine differential tests; a chip worker appends only to its
+	// own CPUs' logs, so capture is race-free under the parallel driver).
+	capture [][]cache.AccessResult
 }
 
 // AccessObserver intercepts memory references. It returns extra stall
@@ -216,19 +236,32 @@ func (m *Machine) AddThread(t *Thread) error {
 	if t == nil || t.Gen == nil {
 		return fmt.Errorf("sim: thread must have a generator: %w", errs.ErrBadConfig)
 	}
+	if t.ID < 0 {
+		return fmt.Errorf("sim: thread id %d must be non-negative: %w", t.ID, errs.ErrBadConfig)
+	}
 	if _, ok := m.threads[t.ID]; ok {
 		return fmt.Errorf("sim: thread %d: %w", t.ID, errs.ErrDuplicateThread)
 	}
 	if err := m.sch.AddThread(t.ID); err != nil {
 		return err
 	}
+	_, t.confined = t.Gen.(ConfinedGenerator)
 	m.threads[t.ID] = t
+	for int(t.ID) >= len(m.byID) {
+		m.byID = append(m.byID, nil)
+	}
+	m.byID[t.ID] = t
 	m.order = append(m.order, t.ID)
 	return nil
 }
 
 // Thread returns a registered thread.
-func (m *Machine) Thread(id sched.ThreadID) *Thread { return m.threads[id] }
+func (m *Machine) Thread(id sched.ThreadID) *Thread {
+	if id < 0 || int(id) >= len(m.byID) {
+		return nil
+	}
+	return m.byID[id]
+}
 
 // RemoveThread withdraws a thread from the machine (a connection closing,
 // a worker exiting). It must be called between scheduling rounds — i.e.
@@ -246,6 +279,7 @@ func (m *Machine) RemoveThread(id sched.ThreadID) error {
 	}
 	m.sch.RemoveThread(id)
 	delete(m.threads, id)
+	m.byID[id] = nil
 	for i, oid := range m.order {
 		if oid == id {
 			m.order = append(m.order[:i], m.order[i+1:]...)
@@ -273,7 +307,7 @@ func (m *Machine) RunningThread(cpu topology.CPUID) *Thread {
 	if id < 0 {
 		return nil
 	}
-	return m.threads[id]
+	return m.byID[id]
 }
 
 // OnTick registers an observer called after every scheduling round.
@@ -313,17 +347,25 @@ func (m *Machine) RunRoundsCtx(ctx context.Context, n int) error {
 }
 
 // RunCycles advances the machine by (at least) the given number of cycles,
-// in whole scheduling rounds. It is Run with a background context.
+// in whole scheduling rounds, without a cancellation point.
+//
+// Deprecated: Use Run, which checks a context at every round boundary.
 func (m *Machine) RunCycles(cycles uint64) {
-	//tclint:allow ctxplumb -- documented non-cancellable convenience wrapper; Run is the ctx-aware API
-	_ = m.Run(context.Background(), cycles)
+	end := m.clock + cycles
+	for m.clock < end {
+		m.runRound()
+	}
 }
 
-// RunRounds advances the machine by n scheduling rounds. It is
-// RunRoundsCtx with a background context.
+// RunRounds advances the machine by n scheduling rounds, without a
+// cancellation point.
+//
+// Deprecated: Use RunRoundsCtx, which checks a context at every round
+// boundary.
 func (m *Machine) RunRounds(n int) {
-	//tclint:allow ctxplumb -- documented non-cancellable convenience wrapper; RunRoundsCtx is the ctx-aware API
-	_ = m.RunRoundsCtx(context.Background(), n)
+	for i := 0; i < n; i++ {
+		m.runRound()
+	}
 }
 
 // runRound executes one scheduling quantum on every hardware context,
@@ -345,13 +387,22 @@ func (m *Machine) runRound() {
 	if sliceBudget == 0 {
 		sliceBudget = 1
 	}
-	for s := 0; s < m.cfg.InterleaveSlices; s++ {
-		for c := 0; c < ncpu; c++ {
-			if m.running[c] < 0 {
-				continue
+	switch {
+	case !m.deferredRound():
+		// Serial immediate-coherence loop: every coherence effect is
+		// visible to the very next access, machine-wide.
+		for s := 0; s < m.cfg.InterleaveSlices; s++ {
+			for c := 0; c < ncpu; c++ {
+				if m.running[c] < 0 {
+					continue
+				}
+				m.runSlice(topology.CPUID(c), m.byID[m.running[c]], sliceBudget, m.smtBusy(topology.CPUID(c)), nil)
 			}
-			m.runSlice(topology.CPUID(c), m.threads[m.running[c]], sliceBudget, m.smtBusy(topology.CPUID(c)))
 		}
+	case m.cfg.Engine == EngineParallel:
+		m.runSlicesParallel(sliceBudget)
+	default:
+		m.runSlicesDeferred(sliceBudget)
 	}
 	// Quantum end: requeue and balance.
 	for c := 0; c < ncpu; c++ {
@@ -389,8 +440,23 @@ func (m *Machine) smtBusy(cpu topology.CPUID) bool {
 }
 
 // runSlice runs one thread on one CPU for (at least) budget cycles.
-func (m *Machine) runSlice(cpu topology.CPUID, t *Thread, budget uint64, smtBusy bool) {
+//
+// lane, when non-nil, routes accesses through the CPU's chip lane under
+// deferred coherence (the caller owns the slice barrier); nil uses the
+// hierarchy's immediate-coherence Access.
+//
+// This is the simulator's hot loop and must not allocate: PMU deltas
+// accumulate in a stack batch flushed once per slice (whenever no armed
+// overflow handler needs the per-reference Observe timing), the lane/
+// hierarchy fast paths are allocation-free, and the loop introduces no
+// closures or interface conversions of its own.
+func (m *Machine) runSlice(cpu topology.CPUID, t *Thread, budget uint64, smtBusy bool, lane *cache.Lane) {
 	p := m.pmus[cpu]
+	// Batched observation is count-equivalent to per-reference Observe
+	// calls except for the firing points of armed overflow handlers (and
+	// an observer may arm one mid-slice), so those keep the exact path.
+	batched := m.observer == nil && !p.HasArmedHandler()
+	var batch pmu.Batch
 	var used uint64
 	for used < budget {
 		ref := t.Gen.Next()
@@ -398,7 +464,12 @@ func (m *Machine) runSlice(cpu topology.CPUID, t *Thread, budget uint64, smtBusy
 		if m.observer != nil {
 			observerCycles = m.observer(cpu, t, ref)
 		}
-		res := m.hier.Access(cpu, ref.Addr, ref.Write)
+		var res cache.AccessResult
+		if lane != nil {
+			res = lane.Access(cpu, ref.Addr, ref.Write)
+		} else {
+			res = m.hier.Access(cpu, ref.Addr, ref.Write)
+		}
 
 		completion := ref.Insts + 1 // the access instruction retires too
 		// An L1 hit is overlapped by the pipeline and causes no stall;
@@ -421,27 +492,43 @@ func (m *Machine) runSlice(cpu topology.CPUID, t *Thread, budget uint64, smtBusy
 			m.overhead += observerCycles
 		}
 
-		p.Observe(pmu.EvCycles, total)
-		p.Observe(pmu.EvInstCompleted, completion)
-		p.Observe(pmu.EvCompletionCycles, completion)
-		if hasStall && stall > 0 {
-			p.Observe(stallEv, stall)
-		}
-		if smtStall > 0 {
-			p.Observe(pmu.EvStallSMT, smtStall)
-		}
-		if ref.BranchStall > 0 {
-			p.Observe(pmu.EvStallBranch, ref.BranchStall)
-		}
-		if ref.OtherStall > 0 {
-			p.Observe(pmu.EvStallOther, ref.OtherStall)
-		}
-		if observerCycles > 0 {
-			p.Observe(pmu.EvStallOther, observerCycles)
+		if batched {
+			batch.Add(pmu.EvCycles, total)
+			batch.Add(pmu.EvInstCompleted, completion)
+			batch.Add(pmu.EvCompletionCycles, completion)
+			if hasStall && stall > 0 {
+				batch.Add(stallEv, stall)
+			}
+			if smtStall > 0 {
+				batch.Add(pmu.EvStallSMT, smtStall)
+			}
+			batch.Add(pmu.EvStallBranch, ref.BranchStall)
+			batch.Add(pmu.EvStallOther, ref.OtherStall)
+		} else {
+			p.Observe(pmu.EvCycles, total)
+			p.Observe(pmu.EvInstCompleted, completion)
+			p.Observe(pmu.EvCompletionCycles, completion)
+			if hasStall && stall > 0 {
+				p.Observe(stallEv, stall)
+			}
+			if smtStall > 0 {
+				p.Observe(pmu.EvStallSMT, smtStall)
+			}
+			if ref.BranchStall > 0 {
+				p.Observe(pmu.EvStallBranch, ref.BranchStall)
+			}
+			if ref.OtherStall > 0 {
+				p.Observe(pmu.EvStallOther, ref.OtherStall)
+			}
+			if observerCycles > 0 {
+				p.Observe(pmu.EvStallOther, observerCycles)
+			}
 		}
 		if res.L1Miss {
 			// RecordMiss updates the sampling register and may fire the
-			// remote-access overflow handler synchronously.
+			// remote-access overflow handler synchronously. It stays
+			// per-reference even when batching: the sampling register
+			// must always hold the *last* miss.
 			p.RecordMiss(res.Line, res.Source)
 		}
 		if res.Source.Remote() {
@@ -449,18 +536,27 @@ func (m *Machine) runSlice(cpu topology.CPUID, t *Thread, budget uint64, smtBusy
 		}
 
 		// Charge any overflow-handler time to this CPU and account it as
-		// cycles: the detection phase's runtime overhead (Figure 8).
-		if ic := p.DrainInterruptCycles(); ic > 0 {
-			p.Observe(pmu.EvCycles, ic)
-			p.Observe(pmu.EvStallOther, ic)
-			m.overhead += ic
-			total += ic
+		// cycles: the detection phase's runtime overhead (Figure 8). With
+		// no armed handler (the batched case) there is nothing to drain.
+		if !batched {
+			if ic := p.DrainInterruptCycles(); ic > 0 {
+				p.Observe(pmu.EvCycles, ic)
+				p.Observe(pmu.EvStallOther, ic)
+				m.overhead += ic
+				total += ic
+			}
 		}
 
+		if m.capture != nil {
+			m.capture[cpu] = append(m.capture[cpu], res)
+		}
 		used += total
 		t.Cycles += total
 		t.Insts += completion
 		t.Ops += ref.Ops
+	}
+	if batched {
+		p.ObserveBatch(&batch)
 	}
 }
 

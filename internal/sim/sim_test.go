@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -86,7 +87,7 @@ func TestClockAdvances(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	m.RunCycles(100_000)
+	m.Run(context.Background(), 100_000)
 	if m.Clock() < 100_000 {
 		t.Errorf("clock = %d, want >= 100000", m.Clock())
 	}
@@ -103,7 +104,7 @@ func TestThreadsMakeProgressAndOpsCount(t *testing.T) {
 		g := &stride{region: arena.MustAlloc(8<<10, 0), step: memory.LineSize}
 		_ = m.AddThread(&Thread{ID: sched.ThreadID(i), Gen: g})
 	}
-	m.RunRounds(20)
+	m.RunRoundsCtx(context.Background(), 20)
 	if m.TotalOps() == 0 {
 		t.Fatal("no application ops completed")
 	}
@@ -121,7 +122,7 @@ func TestPrivateWorkloadHasNoRemoteStalls(t *testing.T) {
 		g := &stride{region: arena.MustAlloc(8<<10, 0), step: memory.LineSize}
 		_ = m.AddThread(&Thread{ID: sched.ThreadID(i), Gen: g})
 	}
-	m.RunRounds(50)
+	m.RunRoundsCtx(context.Background(), 50)
 	b := m.Breakdown()
 	if b.RemoteStalls() != 0 {
 		t.Errorf("private-only workload reported %d remote stall cycles", b.RemoteStalls())
@@ -148,7 +149,7 @@ func TestCrossChipSharersProduceRemoteStalls(t *testing.T) {
 		}
 		_ = m.AddThread(&Thread{ID: sched.ThreadID(i), Gen: g})
 	}
-	m.RunRounds(50)
+	m.RunRoundsCtx(context.Background(), 50)
 	b := m.Breakdown()
 	if b.RemoteStalls() == 0 {
 		t.Fatal("cross-chip write sharing produced no remote stalls")
@@ -175,7 +176,7 @@ func TestRunningThreadDuringExecution(t *testing.T) {
 			return 0
 		})
 	}
-	m.RunRounds(5)
+	m.RunRoundsCtx(context.Background(), 5)
 	if !sawThread {
 		t.Error("overflow handler never observed the running thread")
 	}
@@ -191,7 +192,7 @@ func TestOverheadChargedForHandlers(t *testing.T) {
 	g := &stride{region: arena.MustAlloc(256<<10, 0), step: memory.LineSize}
 	_ = m.AddThread(&Thread{ID: 1, Gen: g})
 	_ = m.PMU(0).Program(0, pmu.EvL1DMiss, 1, func(p *pmu.PMU) uint64 { return 500 })
-	m.RunRounds(5)
+	m.RunRoundsCtx(context.Background(), 5)
 	if m.OverheadCycles() == 0 {
 		t.Error("handler cycles should be charged as overhead")
 	}
@@ -208,7 +209,7 @@ func TestTickObserver(t *testing.T) {
 	_ = m.AddThread(&Thread{ID: 1, Gen: g})
 	ticks := 0
 	m.OnTick(func(*Machine) { ticks++ })
-	m.RunRounds(7)
+	m.RunRoundsCtx(context.Background(), 7)
 	if ticks != 7 {
 		t.Errorf("ticks = %d, want 7", ticks)
 	}
@@ -219,7 +220,7 @@ func TestResetMetrics(t *testing.T) {
 	arena := memory.NewDefaultArena()
 	g := &stride{region: arena.MustAlloc(8<<10, 0), step: memory.LineSize}
 	_ = m.AddThread(&Thread{ID: 1, Gen: g})
-	m.RunRounds(5)
+	m.RunRoundsCtx(context.Background(), 5)
 	m.ResetMetrics()
 	b := m.Breakdown()
 	if b.Cycles != 0 || m.TotalOps() != 0 || m.OverheadCycles() != 0 {
@@ -239,7 +240,7 @@ func TestUtilization(t *testing.T) {
 		g := &stride{region: arena.MustAlloc(8<<10, 0), step: memory.LineSize}
 		_ = m.AddThread(&Thread{ID: sched.ThreadID(i), Gen: g})
 	}
-	m.RunRounds(20)
+	m.RunRoundsCtx(context.Background(), 20)
 	if u := m.Utilization(); u != 0.5 {
 		t.Errorf("utilization = %.2f, want 0.50 (4 pinned threads on 8 CPUs)", u)
 	}
@@ -249,7 +250,7 @@ func TestUtilization(t *testing.T) {
 		g := &stride{region: arena.MustAlloc(8<<10, 0), step: memory.LineSize}
 		_ = m2.AddThread(&Thread{ID: sched.ThreadID(i), Gen: g})
 	}
-	m2.RunRounds(20)
+	m2.RunRoundsCtx(context.Background(), 20)
 	if u := m2.Utilization(); u != 1.0 {
 		t.Errorf("utilization = %.2f, want 1.00", u)
 	}
@@ -264,7 +265,7 @@ func TestSchedulingFairness(t *testing.T) {
 		g := &stride{region: arena.MustAlloc(8<<10, 0), step: memory.LineSize}
 		_ = m.AddThread(&Thread{ID: sched.ThreadID(i), Gen: g})
 	}
-	m.RunRounds(200)
+	m.RunRoundsCtx(context.Background(), 200)
 	var min, max uint64 = ^uint64(0), 0
 	for _, th := range m.Threads() {
 		if th.Cycles < min {
@@ -296,7 +297,7 @@ func TestDeterminism(t *testing.T) {
 			}
 			_ = m.AddThread(&Thread{ID: sched.ThreadID(i), Gen: g})
 		}
-		m.RunRounds(30)
+		m.RunRoundsCtx(context.Background(), 30)
 		b := m.Breakdown()
 		return b.Cycles, b.RemoteStalls()
 	}
@@ -322,7 +323,7 @@ func TestSMTContentionChargesSiblings(t *testing.T) {
 		}
 		_ = m.Scheduler().Migrate(1, cpuA)
 		_ = m.Scheduler().Migrate(2, cpuB)
-		m.RunRounds(20)
+		m.RunRoundsCtx(context.Background(), 20)
 		b := m.Breakdown()
 		return b.Stalls[pmu.EvStallSMT], b.Insts
 	}
@@ -345,7 +346,7 @@ func TestSMTContentionDisabledByDefault(t *testing.T) {
 	}
 	_ = m.Scheduler().Migrate(1, 0)
 	_ = m.Scheduler().Migrate(2, 1)
-	m.RunRounds(10)
+	m.RunRoundsCtx(context.Background(), 10)
 	if got := m.Breakdown().Stalls[pmu.EvStallSMT]; got != 0 {
 		t.Errorf("SMT stalls = %d with the model disabled, want 0", got)
 	}
@@ -373,7 +374,7 @@ func TestClusteredPlacementReducesRemoteStalls(t *testing.T) {
 	}
 
 	scattered := build(sched.PolicyRoundRobin)
-	scattered.RunRounds(100)
+	scattered.RunRoundsCtx(context.Background(), 100)
 	sFrac := scattered.Breakdown().RemoteFraction()
 
 	clustered := build(sched.PolicyRoundRobin)
@@ -385,7 +386,7 @@ func TestClusteredPlacementReducesRemoteStalls(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	clustered.RunRounds(100)
+	clustered.RunRoundsCtx(context.Background(), 100)
 	cFrac := clustered.Breakdown().RemoteFraction()
 
 	if sFrac == 0 {

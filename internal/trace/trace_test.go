@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -176,7 +177,7 @@ func TestRecorderCapturesAndCaps(t *testing.T) {
 	if err := spec.Install(m); err != nil {
 		t.Fatal(err)
 	}
-	m.RunRounds(20)
+	m.RunRoundsCtx(context.Background(), 20)
 	if rec.Captured() == 0 {
 		t.Fatal("nothing captured")
 	}
@@ -215,7 +216,7 @@ func TestRecordedTraceReplaysFaithfully(t *testing.T) {
 	if err := spec.Install(m1); err != nil {
 		t.Fatal(err)
 	}
-	m1.RunRounds(100)
+	m1.RunRoundsCtx(context.Background(), 100)
 	f1 := m1.Breakdown().RemoteFraction()
 
 	var buf bytes.Buffer
@@ -236,7 +237,7 @@ func TestRecordedTraceReplaysFaithfully(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	m2.RunRounds(100)
+	m2.RunRoundsCtx(context.Background(), 100)
 	f2 := m2.Breakdown().RemoteFraction()
 	if f1 <= 0 {
 		t.Fatal("capture run produced no sharing")

@@ -61,6 +61,10 @@ type stagedWorker struct {
 	step     int
 }
 
+// Confined marks the generator parallel-safe: a stage worker owns its
+// RNG and step counter and reads only immutable Region descriptors.
+func (w *stagedWorker) Confined() {}
+
 func (w *stagedWorker) Next() sim.MemRef {
 	w.step++
 	branch, other := stallNoise(w.rng, 2, 4)

@@ -66,6 +66,10 @@ type syntheticWorker struct {
 	refs           uint64
 }
 
+// Confined marks the generator parallel-safe: a worker owns its RNG and
+// phase state and reads only immutable Region descriptors.
+func (w *syntheticWorker) Confined() {}
+
 func (w *syntheticWorker) Next() sim.MemRef {
 	w.refs++
 	if w.phaseAfterRefs > 0 && w.refs == w.phaseAfterRefs {

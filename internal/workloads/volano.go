@@ -62,6 +62,10 @@ type volanoThread struct {
 	step   int
 }
 
+// Confined marks the generator parallel-safe: a connection thread owns
+// its RNG and step counter and reads only immutable Region descriptors.
+func (v *volanoThread) Confined() {}
+
 func (v *volanoThread) Next() sim.MemRef {
 	v.step++
 	branch, other := stallNoise(v.rng, 3, 6)

@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"context"
 	"testing"
 
 	"threadcluster/internal/memory"
@@ -116,7 +117,7 @@ func TestVolanoServerNewConnection(t *testing.T) {
 func TestMachineRemoveThreadLifecycle(t *testing.T) {
 	spec, _ := NewVolano(memory.NewDefaultArena(), DefaultVolanoConfig())
 	m := buildMachine(t, spec, sched.PolicyDefault)
-	m.RunRounds(5)
+	m.RunRoundsCtx(context.Background(), 5)
 	id := spec.Threads[0].ID
 	if err := m.RemoveThread(id); err != nil {
 		t.Fatal(err)
@@ -127,7 +128,7 @@ func TestMachineRemoveThreadLifecycle(t *testing.T) {
 	if err := m.RemoveThread(id); err == nil {
 		t.Error("double removal should fail")
 	}
-	m.RunRounds(5) // machine keeps running without the thread
+	m.RunRoundsCtx(context.Background(), 5) // machine keeps running without the thread
 	if err := m.Scheduler().CheckInvariants(); err != nil {
 		t.Error(err)
 	}
@@ -153,7 +154,7 @@ func TestJBBShapeAndTreeIntegrity(t *testing.T) {
 	// Both warehouses' workers share trees; drive some transactions and
 	// verify the shared tree stays structurally sound.
 	m := buildMachine(t, spec, sched.PolicyDefault)
-	m.RunRounds(30)
+	m.RunRoundsCtx(context.Background(), 30)
 	worker := spec.Threads[0].Gen.(*traceGenerator)
 	_ = worker
 	// Reach into a worker's tree via a fresh transaction trace.
@@ -315,9 +316,9 @@ func TestWorkloadsShowSharingSignal(t *testing.T) {
 				t.Fatal(err)
 			}
 			rr := buildMachine(t, specRR, sched.PolicyRoundRobin)
-			rr.RunRounds(150)
+			rr.RunRoundsCtx(context.Background(), 150)
 			rr.ResetMetrics()
-			rr.RunRounds(150)
+			rr.RunRoundsCtx(context.Background(), 150)
 			rrFrac := rr.Breakdown().RemoteFraction()
 			if rrFrac <= 0.005 {
 				t.Fatalf("round-robin remote fraction = %.4f; workload has no sharing signal", rrFrac)
@@ -328,9 +329,9 @@ func TestWorkloadsShowSharingSignal(t *testing.T) {
 				t.Fatal(err)
 			}
 			ho := buildMachine(t, specHO, sched.PolicyHandOptimized)
-			ho.RunRounds(150)
+			ho.RunRoundsCtx(context.Background(), 150)
 			ho.ResetMetrics()
-			ho.RunRounds(150)
+			ho.RunRoundsCtx(context.Background(), 150)
 			hoFrac := ho.Breakdown().RemoteFraction()
 			if hoFrac >= rrFrac {
 				t.Errorf("hand-optimized (%.4f) should beat round-robin (%.4f)", hoFrac, rrFrac)
@@ -350,7 +351,7 @@ func TestWorkloadDeterminism(t *testing.T) {
 			t.Fatal(err)
 		}
 		m := buildMachine(t, spec, sched.PolicyRoundRobin)
-		m.RunRounds(50)
+		m.RunRoundsCtx(context.Background(), 50)
 		return m.Breakdown().Cycles ^ m.TotalOps()
 	}
 	if run() != run() {
