@@ -21,8 +21,16 @@
 //	tcsim sweep                               # 4 workloads x 2 policies
 //	tcsim sweep -policies default,clustered -workers 4
 //	tcsim sweep -format json -merged          # machine-wide snapshot
+//	tcsim sweep -digest                       # canonical payload digest only
 //
 // Per-configuration results are byte-identical for any -workers value.
+//
+// The submit subcommand runs the same grid on a tcsimd job server and
+// prints the canonical result payload, byte-identical to the offline
+// sweep of the same spec (compare with `tcsim sweep -digest`):
+//
+//	tcsim submit -addr http://127.0.0.1:8321 -policies default,clustered
+//	tcsim submit -spec job.json -events       # stream NDJSON progress
 package main
 
 import (
@@ -38,12 +46,21 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "sweep" {
-		if err := runSweep(os.Args[2:], os.Stdout, os.Stderr); err != nil {
-			fmt.Fprintln(os.Stderr, "tcsim:", err)
-			os.Exit(1)
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "sweep":
+			if err := runSweep(os.Args[2:], os.Stdout, os.Stderr); err != nil {
+				fmt.Fprintln(os.Stderr, "tcsim:", err)
+				os.Exit(1)
+			}
+			return
+		case "submit":
+			if err := runSubmit(os.Args[2:], os.Stdout, os.Stderr); err != nil {
+				fmt.Fprintln(os.Stderr, "tcsim:", err)
+				os.Exit(1)
+			}
+			return
 		}
-		return
 	}
 	var (
 		exp       = flag.String("exp", "all", "experiment to run: table1|fig1|fig3|fig5|fig6|fig7|fig8|spatial|scale32|sdar|ablation|pagevspmu|threshold|numa|phase|contention|migration|multiprog|smt|mux|probe|staged|churn|all")

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"threadcluster/internal/server"
+)
+
+// startJobServer boots an in-process job server behind httptest for the
+// submit subcommand to talk to.
+func startJobServer(t *testing.T) string {
+	t.Helper()
+	s, err := server.New(server.Options{
+		Clock: server.NewFakeClock(time.Unix(1_700_000_000, 0).UTC()),
+	})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	if err := s.Start(ctx); err != nil {
+		t.Fatalf("server.Start: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		sctx, scancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer scancel()
+		_ = s.Shutdown(sctx)
+	})
+	return ts.URL
+}
+
+// TestSubmitMatchesOfflineSweepDigest is the CLI-level differential
+// check the CI server-smoke job scripts: `tcsim submit -digest` against
+// a live server equals `tcsim sweep -digest` computed offline.
+func TestSubmitMatchesOfflineSweepDigest(t *testing.T) {
+	addr := startJobServer(t)
+	grid := []string{
+		"-workloads", "microbenchmark,volano",
+		"-policies", "default,clustered",
+		"-warm", "10", "-engine", "20", "-measure", "10",
+		"-seed", "5",
+	}
+
+	var offline bytes.Buffer
+	if err := runSweep(append([]string{"-digest"}, grid...), &offline, io.Discard); err != nil {
+		t.Fatalf("runSweep -digest: %v", err)
+	}
+
+	var remote bytes.Buffer
+	args := append([]string{"-addr", addr, "-id", "cli", "-digest"}, grid...)
+	if err := runSubmit(args, &remote, io.Discard); err != nil {
+		t.Fatalf("runSubmit: %v", err)
+	}
+
+	off, rem := strings.TrimSpace(offline.String()), strings.TrimSpace(remote.String())
+	if off == "" || !strings.HasPrefix(off, "sha256:") {
+		t.Fatalf("offline digest %q is not a sha256 digest", off)
+	}
+	if rem != off {
+		t.Fatalf("server digest %q != offline digest %q", rem, off)
+	}
+}
+
+// TestSubmitPrintsPayload checks the default mode: the canonical payload
+// lands on stdout and embeds its digest.
+func TestSubmitPrintsPayload(t *testing.T) {
+	addr := startJobServer(t)
+	args := []string{
+		"-addr", addr, "-id", "pay",
+		"-workloads", "microbenchmark",
+		"-policies", "default",
+		"-warm", "2", "-engine", "4", "-measure", "4",
+	}
+	var out bytes.Buffer
+	if err := runSubmit(args, &out, io.Discard); err != nil {
+		t.Fatalf("runSubmit: %v", err)
+	}
+	for _, want := range []string{`"tasks"`, `"merged"`, `"digest": "sha256:`} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("payload output lacks %s:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestSubmitReportsServerErrors maps a rejected spec onto a CLI error.
+func TestSubmitReportsServerErrors(t *testing.T) {
+	addr := startJobServer(t)
+	args := []string{"-addr", addr, "-workloads", "no-such-workload"}
+	err := runSubmit(args, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "bad_config") {
+		t.Fatalf("runSubmit with bad workload = %v, want bad_config error", err)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"threadcluster/internal/cache"
 	"threadcluster/internal/experiments"
 	"threadcluster/internal/sched"
+	"threadcluster/internal/server"
 	"threadcluster/internal/sim"
 	"threadcluster/internal/sweep"
 )
@@ -37,6 +38,7 @@ func runSweep(args []string, stdout, stderr io.Writer) error {
 		measure   = fs.Int("measure", 0, "override measured rounds (0 = default)")
 		format    = fs.String("format", "table", "output: table|markdown|csv|json")
 		merged    = fs.Bool("merged", false, "also emit the merged machine-wide snapshot (csv/json formats)")
+		digest    = fs.Bool("digest", false, "print only the canonical result-payload digest (matches a tcsimd job's digest for the same grid)")
 		timeout   = fs.Duration("timeout", 0, "cancel the sweep after this duration (0 = none)")
 		coherence = fs.String("coherence", "directory", "cache-coherence implementation: directory|broadcast")
 		// -engine was taken by clustering-engine rounds long before the
@@ -103,12 +105,23 @@ func runSweep(args []string, stdout, stderr io.Writer) error {
 		defer cancel()
 	}
 
-	start := time.Now() //tclint:allow wallclock -- operator-facing progress timing, never enters results
+	start := time.Now()
 	cells, results, mergedSnap, err := experiments.RunGrid(ctx, grid, *workers)
 	if err != nil {
 		return err
 	}
-	elapsed := time.Since(start) //tclint:allow wallclock -- pairs with the start stamp above
+	elapsed := time.Since(start)
+
+	if *digest {
+		d, err := server.Digest(cells, results, mergedSnap)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, d)
+		fmt.Fprintf(stderr, "sweep: %d configurations on %d workers in %s\n",
+			len(cells), sweep.Workers(*workers), elapsed.Round(time.Millisecond))
+		return writeMemProfile(*memprof)
+	}
 
 	switch *format {
 	case "table":

@@ -1,0 +1,243 @@
+// Package client is a thin typed client for the tcsimd job service
+// (internal/server). It speaks the /v1 JSON API, maps the structured
+// error bodies back onto the errs sentinels the server classified them
+// from — errors.Is works identically on both sides of the wire — and
+// streams NDJSON progress events. Every method is ctx-first and does no
+// retrying of its own: overload rejections carry the server's
+// Retry-After hint (APIError.RetryAfterSeconds) for the caller's policy.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"threadcluster/internal/errs"
+	"threadcluster/internal/server"
+)
+
+// Client talks to one tcsimd base URL, e.g. "http://127.0.0.1:8321".
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New builds a client for base. hc may be nil for http.DefaultClient;
+// pass a client without timeouts when streaming events (the stream stays
+// open for the whole job — bound it with ctx instead).
+func New(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// APIError is a non-2xx response: the HTTP status, the server's stable
+// error code and message, and the Retry-After hint on overload. Unwrap
+// yields the errs sentinel matching the code, so
+// errors.Is(err, errs.ErrOverloaded) works across the wire.
+type APIError struct {
+	Status            int
+	Code              string
+	Message           string
+	RetryAfterSeconds int
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: server returned %d %s: %s", e.Status, e.Code, e.Message)
+}
+
+// codeSentinels inverts the server's error classification.
+var codeSentinels = map[string]error{
+	"bad_config":    errs.ErrBadConfig,
+	"job_not_found": errs.ErrJobNotFound,
+	"job_exists":    errs.ErrJobExists,
+	"job_final":     errs.ErrJobFinal,
+	"job_not_done":  errs.ErrJobNotDone,
+	"overloaded":    errs.ErrOverloaded,
+	"unavailable":   errs.ErrUnavailable,
+}
+
+// Unwrap maps the wire code back onto its errs sentinel.
+func (e *APIError) Unwrap() error { return codeSentinels[e.Code] }
+
+// do issues one request and decodes an error body on non-2xx.
+func (c *Client) do(ctx context.Context, method, path string, body any) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return nil, fmt.Errorf("client: encoding request: %w", err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, fmt.Errorf("client: building request: %w", err)
+	}
+	if rd != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		return resp, nil
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	apiErr := &APIError{Status: resp.StatusCode, Code: "internal", Message: string(data)}
+	var eb server.ErrorBody
+	if err := json.Unmarshal(data, &eb); err == nil && eb.Error.Code != "" {
+		apiErr.Code = eb.Error.Code
+		apiErr.Message = eb.Error.Message
+		apiErr.RetryAfterSeconds = eb.Error.RetryAfterSeconds
+	}
+	return nil, apiErr
+}
+
+// decode runs a request and unmarshals the response body into out.
+func (c *Client) decode(ctx context.Context, method, path string, body, out any) error {
+	resp, err := c.do(ctx, method, path, body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decoding %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+// Submit admits spec and returns the queued job's status.
+func (c *Client) Submit(ctx context.Context, spec server.JobSpec) (server.JobStatus, error) {
+	var st server.JobStatus
+	err := c.decode(ctx, http.MethodPost, "/v1/jobs", spec, &st)
+	return st, err
+}
+
+// Status fetches one job's status.
+func (c *Client) Status(ctx context.Context, id string) (server.JobStatus, error) {
+	var st server.JobStatus
+	err := c.decode(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Jobs lists every job the server knows, in admission order.
+func (c *Client) Jobs(ctx context.Context) ([]server.JobStatus, error) {
+	var out []server.JobStatus
+	err := c.decode(ctx, http.MethodGet, "/v1/jobs", nil, &out)
+	return out, err
+}
+
+// Cancel cancels a queued or running job.
+func (c *Client) Cancel(ctx context.Context, id string) (server.JobStatus, error) {
+	var st server.JobStatus
+	err := c.decode(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Result fetches a done job's canonical payload bytes — byte-identical
+// across replicas and across offline `tcsim sweep` runs of the same spec.
+func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("client: reading result: %w", err)
+	}
+	return data, nil
+}
+
+// ResultPayload fetches and decodes a done job's result.
+func (c *Client) ResultPayload(ctx context.Context, id string) (server.ResultPayload, error) {
+	data, err := c.Result(ctx, id)
+	if err != nil {
+		return server.ResultPayload{}, err
+	}
+	var p server.ResultPayload
+	if err := json.Unmarshal(data, &p); err != nil {
+		return server.ResultPayload{}, fmt.Errorf("client: decoding result payload: %w", err)
+	}
+	return p, nil
+}
+
+// Events streams the job's NDJSON progress events to fn, replaying
+// retained history first, until the stream's terminal event, ctx
+// cancellation, or an fn error.
+func (c *Client) Events(ctx context.Context, id string, fn func(server.Event) error) error {
+	resp, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		var ev server.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return fmt.Errorf("client: parsing event line %q: %w", sc.Text(), err)
+		}
+		if err := fn(ev); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		// Surface ctx cancellation as such rather than as a transport error.
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return ctxErr
+		}
+		return fmt.Errorf("client: reading event stream: %w", err)
+	}
+	return nil
+}
+
+// Wait follows the job's event stream to its end and returns the final
+// status. A job drained away by a server shutdown is still queued on the
+// server (and spooled); Wait reports that as ErrUnavailable.
+func (c *Client) Wait(ctx context.Context, id string) (server.JobStatus, error) {
+	if err := c.Events(ctx, id, func(server.Event) error { return nil }); err != nil {
+		return server.JobStatus{}, err
+	}
+	st, err := c.Status(ctx, id)
+	if err != nil {
+		return server.JobStatus{}, err
+	}
+	if !st.State.Final() {
+		return st, fmt.Errorf("client: %w: job %q drained before completing", errs.ErrUnavailable, id)
+	}
+	return st, nil
+}
+
+// Metrics fetches the raw Prometheus exposition.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", fmt.Errorf("client: reading metrics: %w", err)
+	}
+	return string(data), nil
+}
+
+// Ready probes /readyz: nil when the server admits jobs.
+func (c *Client) Ready(ctx context.Context) error {
+	resp, err := c.do(ctx, http.MethodGet, "/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}

@@ -1,0 +1,88 @@
+package errs
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strconv"
+	"testing"
+)
+
+// TestSentinelsComplete parses this package's source and asserts that
+// Sentinels() lists exactly the declared `var ErrX = errors.New(...)`
+// sentinels, in declaration order with matching messages. This is the
+// guard that lets the errwrap analyzer (and the server's error-code
+// table) derive from Sentinels() instead of hand-maintaining a copy.
+func TestSentinelsComplete(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "errors.go", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type decl struct{ name, msg string }
+	var declared []decl
+	ast.Inspect(f, func(n ast.Node) bool {
+		gd, ok := n.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			return true
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if i >= len(vs.Values) {
+					continue
+				}
+				call, ok := vs.Values[i].(*ast.CallExpr)
+				if !ok || len(call.Args) != 1 {
+					continue
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "New" {
+					continue
+				}
+				lit, ok := call.Args[0].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					continue
+				}
+				msg, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					t.Fatalf("unquoting %s: %v", lit.Value, err)
+				}
+				declared = append(declared, decl{name.Name, msg})
+			}
+		}
+		return true
+	})
+	if len(declared) == 0 {
+		t.Fatal("parsed no sentinel declarations from errors.go")
+	}
+
+	got := Sentinels()
+	if len(got) != len(declared) {
+		t.Fatalf("Sentinels() lists %d sentinels, errors.go declares %d — update Sentinels()", len(got), len(declared))
+	}
+	for i, d := range declared {
+		if got[i].Name != d.name {
+			t.Errorf("Sentinels()[%d].Name = %q, declaration order says %q", i, got[i].Name, d.name)
+		}
+		if got[i].Err == nil || got[i].Err.Error() != d.msg {
+			t.Errorf("Sentinels()[%d] (%s) message = %q, declared %q", i, d.name, got[i].Err, d.msg)
+		}
+	}
+}
+
+// TestSentinelMessagesDistinct: the errwrap analyzer keys its duplicate
+// check on the message text, so two sentinels must never share one.
+func TestSentinelMessagesDistinct(t *testing.T) {
+	seen := map[string]string{}
+	for _, s := range Sentinels() {
+		if prev, ok := seen[s.Err.Error()]; ok {
+			t.Errorf("%s and %s share message %q", prev, s.Name, s.Err)
+		}
+		seen[s.Err.Error()] = s.Name
+	}
+}

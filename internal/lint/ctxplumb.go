@@ -9,18 +9,22 @@ import (
 // must take a context.Context as their first parameter: the public API
 // surface callers cancel through.
 var ctxFirstPackages = map[string]bool{
-	ModulePath:                     true,
-	ModulePath + "/internal/sweep": true,
-	ModulePath + "/internal/core":  true,
+	ModulePath:                           true,
+	ModulePath + "/internal/sweep":       true,
+	ModulePath + "/internal/core":        true,
+	ModulePath + "/internal/server":      true,
+	ModulePath + "/internal/client":      true,
+	ModulePath + "/internal/experiments": true,
 }
 
 // CtxPlumb enforces the cancellation contract. Two rules:
 //
-//  1. In the root package, internal/sweep and internal/core, an
-//     exported function or method that can block (channel operations,
-//     select, WaitGroup.Wait, time.Sleep) must take a context.Context
-//     as its first parameter, so a sweep under a deadline can always be
-//     cancelled.
+//  1. In the ctxFirstPackages set (the root package, internal/sweep,
+//     internal/core, internal/server, internal/client and
+//     internal/experiments), an exported function or method that can
+//     block (channel operations, select, WaitGroup.Wait, time.Sleep)
+//     must take a context.Context as its first parameter, so a sweep or
+//     job under a deadline can always be cancelled.
 //  2. Library code (root package + internal/...) never calls
 //     context.Background() or context.TODO(): manufacturing a fresh
 //     root context severs the caller's cancellation chain. Contexts are

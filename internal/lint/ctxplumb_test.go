@@ -14,7 +14,8 @@ func TestCtxPlumb(t *testing.T) {
 }
 
 // TestCtxPlumbLibraryScope analyzes a package outside the ctx-first API
-// surface: blocking signatures pass, context.Background still fails.
+// surface (internal/stats renders tables, nothing cancellable): blocking
+// signatures pass, context.Background still fails.
 func TestCtxPlumbLibraryScope(t *testing.T) {
-	linttest.Run(t, lint.CtxPlumb, "testdata/ctxplumb_lib", lint.ModulePath+"/internal/experiments")
+	linttest.Run(t, lint.CtxPlumb, "testdata/ctxplumb_lib", lint.ModulePath+"/internal/stats")
 }

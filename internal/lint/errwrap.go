@@ -6,21 +6,25 @@ import (
 	"go/types"
 	"strconv"
 	"strings"
+
+	"threadcluster/internal/errs"
 )
 
-// knownSentinelMessages mirrors the errors.New texts in internal/errs.
+// knownSentinelMessages holds the errors.New texts of internal/errs.
 // Export data carries no function bodies, so the initializer strings of
 // an imported package are invisible to the type checker; this table is
-// the cross-package half of the duplicate-sentinel check. A unit test
-// (TestSentinelTableMatchesErrsPackage) asserts it stays in sync with
-// the real package.
-var knownSentinelMessages = map[string]string{
-	"duplicate thread":  "errs.ErrDuplicateThread",
-	"unknown thread":    "errs.ErrUnknownThread",
-	"thread is running": "errs.ErrThreadRunning",
-	"bad configuration": "errs.ErrBadConfig",
-	"already installed": "errs.ErrAlreadyInstalled",
-}
+// the cross-package half of the duplicate-sentinel check. It is built at
+// tool init from errs.Sentinels() — the linter links against the real
+// package, so a sentinel added to internal/errs is in the table the next
+// time tclint compiles, with no manual sync step. (Completeness of
+// Sentinels() itself is pinned by internal/errs's AST-parsing test.)
+var knownSentinelMessages = func() map[string]string {
+	out := make(map[string]string)
+	for _, s := range errs.Sentinels() {
+		out[strings.ToLower(s.Err.Error())] = "errs." + s.Name
+	}
+	return out
+}()
 
 // KnownSentinelMessages returns a copy of the cross-package sentinel
 // message table (lowercased message -> sentinel name); a test pins it

@@ -20,26 +20,21 @@ func TestErrWrapSkipsErrsPackage(t *testing.T) {
 	}
 }
 
-// TestSentinelTableMatchesErrsPackage pins the analyzer's hardcoded
-// message table (export data carries no initializer strings, so the
-// cross-package check needs one) to the real internal/errs sentinels.
-func TestSentinelTableMatchesErrsPackage(t *testing.T) {
-	real := map[string]string{
-		errs.ErrDuplicateThread.Error():  "errs.ErrDuplicateThread",
-		errs.ErrUnknownThread.Error():    "errs.ErrUnknownThread",
-		errs.ErrThreadRunning.Error():    "errs.ErrThreadRunning",
-		errs.ErrBadConfig.Error():        "errs.ErrBadConfig",
-		errs.ErrAlreadyInstalled.Error(): "errs.ErrAlreadyInstalled",
-	}
+// TestSentinelTableDerivedFromErrs: the analyzer's cross-package message
+// table is generated at init from errs.Sentinels(), so it must contain
+// exactly one entry per sentinel with the canonical display name. (The
+// old hand-maintained table needed a sync test against each message;
+// completeness of Sentinels() itself is pinned inside internal/errs by
+// an AST-parsing test.)
+func TestSentinelTableDerivedFromErrs(t *testing.T) {
 	table := lint.KnownSentinelMessages()
-	for msg, name := range real {
-		if table[msg] != name {
-			t.Errorf("analyzer sentinel table missing or mislabels %q (want %s, got %q)", msg, name, table[msg])
-		}
+	sentinels := errs.Sentinels()
+	if len(table) != len(sentinels) {
+		t.Errorf("table has %d entries, errs.Sentinels() has %d", len(table), len(sentinels))
 	}
-	for msg := range table {
-		if _, ok := real[msg]; !ok {
-			t.Errorf("analyzer sentinel table has stale entry %q; update it to match internal/errs", msg)
+	for _, s := range sentinels {
+		if got := table[s.Err.Error()]; got != "errs."+s.Name {
+			t.Errorf("table[%q] = %q, want %q", s.Err, got, "errs."+s.Name)
 		}
 	}
 }

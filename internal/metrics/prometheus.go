@@ -1,0 +1,231 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): one `# TYPE` line per metric family followed by
+// its samples, histograms expanded into cumulative `_bucket{le=...}`
+// series plus `_sum` and `_count`. Metric names are sanitized to the
+// Prometheus charset ([a-zA-Z0-9_:], leading digits prefixed with '_')
+// and label values are escaped per the format's rules, so any registry —
+// the simulator's or the server's — scrapes cleanly.
+//
+// Output is byte-stable for equal snapshots: samples are already in the
+// snapshot's deterministic order, and families are emitted in first-seen
+// (therefore sorted) order. That makes the endpoint diffable, the same
+// property the JSON and CSV exports have.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	typed := make(map[string]bool)
+	for _, smp := range s.Samples {
+		name := promName(smp.Name)
+		if !typed[name] {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, promType(smp.Kind)); err != nil {
+				return err
+			}
+			typed[name] = true
+		}
+		if err := writePromSample(w, name, smp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePrometheus takes a snapshot of the registry and renders it; the
+// offline equivalent of scraping GET /metrics.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.Snapshot().WritePrometheus(w)
+}
+
+func writePromSample(w io.Writer, name string, smp Sample) error {
+	switch smp.Kind {
+	case KindCounter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", name, promLabels(smp.Labels, "", 0), smp.Count)
+		return err
+	case KindGauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", name, promLabels(smp.Labels, "", 0), promFloat(smp.Value))
+		return err
+	case KindHistogram:
+		// Exposition buckets are cumulative; the snapshot's are per-bucket.
+		var cum uint64
+		for i, b := range smp.Bounds {
+			if i < len(smp.Buckets) {
+				cum += smp.Buckets[i]
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, promLabels(smp.Labels, "le", float64(b)), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, promLabelsInf(smp.Labels), smp.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", name, promLabels(smp.Labels, "", 0), smp.Sum); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, promLabels(smp.Labels, "", 0), smp.Count)
+		return err
+	}
+	return nil
+}
+
+// promType maps a metrics.Kind to its exposition-format type name.
+func promType(k Kind) string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// promName maps an arbitrary series name onto the Prometheus metric-name
+// charset. The registry's own names are already snake_case; this guards
+// against future names with dots or dashes rather than rewriting them.
+func promName(name string) string {
+	var sb strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			sb.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				sb.WriteByte('_')
+			}
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	if sb.Len() == 0 {
+		return "_"
+	}
+	return sb.String()
+}
+
+// promLabels renders a label set, optionally with one extra (le) pair
+// appended; extraKey == "" means no extra. Keys come out sorted because
+// Labels.canonical sorts, which keeps the exposition byte-stable.
+func promLabels(l Labels, extraKey string, extraVal float64) string {
+	if len(l) == 0 && extraKey == "" {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	first := true
+	for _, kv := range labelPairs(l) {
+		if !first {
+			sb.WriteByte(',')
+		}
+		first = false
+		sb.WriteString(promName(kv[0]))
+		sb.WriteString(`="`)
+		sb.WriteString(promEscape(kv[1]))
+		sb.WriteByte('"')
+	}
+	if extraKey != "" {
+		if !first {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(extraKey)
+		sb.WriteString(`="`)
+		sb.WriteString(promFloat(extraVal))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// promLabelsInf is promLabels with le="+Inf" (which promFloat cannot
+// produce from a float argument).
+func promLabelsInf(l Labels) string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	first := true
+	for _, kv := range labelPairs(l) {
+		if !first {
+			sb.WriteByte(',')
+		}
+		first = false
+		sb.WriteString(promName(kv[0]))
+		sb.WriteString(`="`)
+		sb.WriteString(promEscape(kv[1]))
+		sb.WriteByte('"')
+	}
+	if !first {
+		sb.WriteByte(',')
+	}
+	sb.WriteString(`le="+Inf"}`)
+	return sb.String()
+}
+
+// labelPairs returns the label set as [key, value] pairs in the same
+// sorted-key order Labels.canonical uses, without round-tripping through
+// the canonical string (label values may legally contain ',' or '=').
+func labelPairs(l Labels) [][2]string {
+	if len(l) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([][2]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, [2]string{k, l[k]})
+	}
+	return out
+}
+
+// promEscape escapes a label value per the exposition format: backslash,
+// double-quote and newline.
+func promEscape(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// promFloat renders a float the way Prometheus expects (shortest
+// round-trip representation; integral values without an exponent).
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promSampleRx matches one exposition sample line: a valid metric name,
+// an optional well-formed label block, and a numeric value.
+var promSampleRx = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_:][a-zA-Z0-9_:]*="(\\.|[^"\\])*"(,[a-zA-Z_:][a-zA-Z0-9_:]*="(\\.|[^"\\])*")*\})? (NaN|[-+]?[0-9.eE+-]+|\+Inf|-Inf)$`)
+
+// promTypeRx matches a `# TYPE` comment line.
+var promTypeRx = regexp.MustCompile(`^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram|summary|untyped)$`)
+
+// CheckPrometheusText validates text line-by-line against the exposition
+// format grammar (sample lines, `# TYPE`/`# HELP` comments, blanks). The
+// exposition tests and the server's /metrics test share this check.
+func CheckPrometheusText(text string) error {
+	for i, line := range strings.Split(text, "\n") {
+		switch {
+		case line == "":
+		case strings.HasPrefix(line, "# HELP "):
+		case strings.HasPrefix(line, "#"):
+			if !promTypeRx.MatchString(line) {
+				return fmt.Errorf("metrics: exposition line %d is not a valid comment: %q", i+1, line)
+			}
+		default:
+			if !promSampleRx.MatchString(line) {
+				return fmt.Errorf("metrics: exposition line %d is not a valid sample: %q", i+1, line)
+			}
+		}
+	}
+	return nil
+}

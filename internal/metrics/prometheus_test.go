@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheusExact(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("jobs_total", Labels{"state": "done"}).Add(3)
+	r.Counter("jobs_total", Labels{"state": "failed"}).Add(1)
+	r.Gauge("queue_depth", nil).Set(2.5)
+	h := r.Histogram("latency_ms", Labels{"route": "submit"}, []uint64{1, 5, 10})
+	h.Observe(0)
+	h.Observe(4)
+	h.Observe(7)
+	h.Observe(100)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		`# TYPE jobs_total counter`,
+		`jobs_total{state="done"} 3`,
+		`jobs_total{state="failed"} 1`,
+		`# TYPE latency_ms histogram`,
+		`latency_ms_bucket{route="submit",le="1"} 1`,
+		`latency_ms_bucket{route="submit",le="5"} 2`,
+		`latency_ms_bucket{route="submit",le="10"} 3`,
+		`latency_ms_bucket{route="submit",le="+Inf"} 4`,
+		`latency_ms_sum{route="submit"} 111`,
+		`latency_ms_count{route="submit"} 4`,
+		`# TYPE queue_depth gauge`,
+		`queue_depth 2.5`,
+	}, "\n") + "\n"
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestWritePrometheusParses validates every emitted line against the
+// text-format grammar, the same check the server's /metrics test reuses.
+func TestWritePrometheusParses(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", nil).Add(7)
+	r.Counter("b_total", Labels{"quote": `say "hi"`, "path": `C:\tmp`, "nl": "a\nb"}).Inc()
+	r.Gauge("odd.name-with-1digits", Labels{"k": "v"}).Set(1)
+	r.Histogram("h", nil, []uint64{2}).Observe(3)
+	r.RegisterGaugeFunc("fn_gauge", nil, func() float64 { return 42 })
+	r.RegisterCounterFunc("fn_counter", nil, func() uint64 { return 9 })
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckPrometheusText(buf.String()); err != nil {
+		t.Fatalf("%v\nfull output:\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "odd_name_with_1digits") {
+		t.Errorf("name not sanitized:\n%s", buf.String())
+	}
+}
+
+func TestWritePrometheusHistogramCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("d", nil, []uint64{1, 2, 3})
+	for _, v := range []uint64{0, 1, 2, 2, 3, 9} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wantCounts := map[string]uint64{`le="1"`: 2, `le="2"`: 4, `le="3"`: 5, `le="+Inf"`: 6}
+	for le, want := range wantCounts {
+		found := false
+		for _, line := range strings.Split(buf.String(), "\n") {
+			if strings.HasPrefix(line, "d_bucket{"+le+"}") {
+				found = true
+				f := strings.Fields(line)
+				got, err := strconv.ParseUint(f[len(f)-1], 10, 64)
+				if err != nil || got != want {
+					t.Errorf("%s: got %q, want %d", le, line, want)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("missing bucket %s in:\n%s", le, buf.String())
+		}
+	}
+}

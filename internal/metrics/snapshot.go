@@ -3,6 +3,7 @@ package metrics
 import (
 	"encoding/csv"
 	"encoding/json"
+	"fmt"
 	"io"
 	"math"
 	"sort"
@@ -38,6 +39,27 @@ func (k Kind) String() string {
 
 // MarshalJSON renders the kind as its string name.
 func (k Kind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// UnmarshalJSON parses the string name back into a Kind, so snapshots
+// round-trip through their JSON wire form (e.g. the job-server result
+// payloads internal/client decodes).
+func (k *Kind) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return fmt.Errorf("metrics: parsing kind: %w", err)
+	}
+	switch name {
+	case "counter":
+		*k = KindCounter
+	case "gauge":
+		*k = KindGauge
+	case "histogram":
+		*k = KindHistogram
+	default:
+		return fmt.Errorf("metrics: unknown kind %q", name)
+	}
+	return nil
+}
 
 // Sample is one series' value at snapshot time.
 type Sample struct {

@@ -1,0 +1,169 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"threadcluster/internal/metrics"
+)
+
+// Event types emitted on a job's NDJSON stream, in lifecycle order:
+// queued, running, one task event per grid cell as it completes, then
+// exactly one terminal event (done, failed, canceled, or shutdown when
+// the server drains out from under the stream).
+const (
+	EventQueued   = "queued"
+	EventRunning  = "running"
+	EventTask     = "task"
+	EventDone     = "done"
+	EventFailed   = "failed"
+	EventCanceled = "canceled"
+	EventShutdown = "shutdown"
+)
+
+// Event is one line of a job's progress stream. Timestamps come from the
+// server Clock and are operational only: nothing on this stream is part
+// of the deterministic result payload, and task events may arrive in any
+// completion order under a concurrent sweep pool (the payload re-orders
+// results into grid order).
+type Event struct {
+	// Seq numbers events per job from 0; gaps mean the ring dropped
+	// events before this subscriber attached (see Dropped).
+	Seq int `json:"seq"`
+	// Time is the server's wall-clock timestamp for the event.
+	Time time.Time `json:"time"`
+	// Type is one of the Event* constants.
+	Type string `json:"type"`
+	// Job is the owning job's ID.
+	Job string `json:"job"`
+
+	// Task names the completed grid cell on task events.
+	Task string `json:"task,omitempty"`
+	// TasksDone / TasksTotal track progress on task and terminal events.
+	TasksDone  int `json:"tasks_done,omitempty"`
+	TasksTotal int `json:"tasks_total,omitempty"`
+	// Cycles, Insts and Ops are the completed cell's headline metric
+	// deltas (that task's snapshot counters).
+	Cycles uint64 `json:"cycles,omitempty"`
+	Insts  uint64 `json:"insts,omitempty"`
+	Ops    uint64 `json:"ops,omitempty"`
+	// Error carries the cause on failed/canceled events.
+	Error string `json:"error,omitempty"`
+	// Digest is the result payload digest on done events.
+	Digest string `json:"digest,omitempty"`
+}
+
+// eventLog is a per-job bounded event history plus broadcast: appends
+// retain the last cap events (older ones are dropped and counted), and
+// every append wakes all blocked subscribers by closing the current
+// update channel. A subscriber replays whatever is retained from the
+// earliest event on, then follows live; after close it drains and ends.
+type eventLog struct {
+	mu       sync.Mutex
+	capacity int
+	events   []Event // events[i].Seq == firstSeq+i
+	firstSeq int
+	nextSeq  int
+	dropped  int
+	closed   bool
+	updated  chan struct{}
+
+	droppedTotal *metrics.Counter // server-wide drop counter (may be nil)
+}
+
+func newEventLog(capacity int, droppedTotal *metrics.Counter) *eventLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &eventLog{
+		capacity:     capacity,
+		updated:      make(chan struct{}),
+		droppedTotal: droppedTotal,
+	}
+}
+
+// append stamps ev with the next sequence number and publishes it. After
+// close, appends are dropped silently (the terminal event is final).
+func (l *eventLog) append(ev Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	ev.Seq = l.nextSeq
+	l.nextSeq++
+	l.events = append(l.events, ev)
+	if len(l.events) > l.capacity {
+		over := len(l.events) - l.capacity
+		l.events = append([]Event(nil), l.events[over:]...)
+		l.firstSeq += over
+		l.dropped += over
+		if l.droppedTotal != nil {
+			l.droppedTotal.Add(uint64(over))
+		}
+	}
+	close(l.updated)
+	l.updated = make(chan struct{})
+}
+
+// closeLog marks the stream complete and wakes subscribers so they can
+// drain and finish. Idempotent.
+func (l *eventLog) closeLog() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.closed = true
+	close(l.updated)
+	l.updated = make(chan struct{})
+}
+
+// snapshotFrom returns the retained events with Seq >= cursor, the
+// channel that will signal the next append, and whether the log is
+// closed.
+func (l *eventLog) snapshotFrom(cursor int) ([]Event, <-chan struct{}, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	start := cursor - l.firstSeq
+	if start < 0 {
+		start = 0 // events before firstSeq were dropped; resume at the oldest retained
+	}
+	var out []Event
+	if start < len(l.events) {
+		out = append(out, l.events[start:]...)
+	}
+	return out, l.updated, l.closed
+}
+
+// subscribe streams events to fn from the earliest retained event until
+// the log closes, ctx is cancelled, or fn errors. fn runs without the
+// log lock held.
+func (l *eventLog) subscribe(ctx context.Context, fn func(Event) error) error {
+	cursor := 0
+	for {
+		evs, updated, closed := l.snapshotFrom(cursor)
+		for _, ev := range evs {
+			if err := fn(ev); err != nil {
+				return err
+			}
+			cursor = ev.Seq + 1
+		}
+		if closed {
+			return nil
+		}
+		select {
+		case <-updated:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// Dropped reports how many early events the ring discarded.
+func (l *eventLog) Dropped() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}

@@ -1,0 +1,127 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func logEvent(i int) Event {
+	return Event{Type: EventTask, Job: "j", Task: fmt.Sprintf("t%d", i)}
+}
+
+func TestEventLogReplay(t *testing.T) {
+	l := newEventLog(16, nil)
+	for i := 0; i < 3; i++ {
+		l.append(logEvent(i))
+	}
+	l.closeLog()
+	var got []Event
+	if err := l.subscribe(context.Background(), func(ev Event) error {
+		got = append(got, ev)
+		return nil
+	}); err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("replayed %d events, want 3", len(got))
+	}
+	for i, ev := range got {
+		if ev.Seq != i || ev.Task != fmt.Sprintf("t%d", i) {
+			t.Fatalf("event %d = %+v, want seq %d task t%d", i, ev, i, i)
+		}
+	}
+}
+
+func TestEventLogOverflowKeepsTail(t *testing.T) {
+	l := newEventLog(4, nil)
+	for i := 0; i < 10; i++ {
+		l.append(logEvent(i))
+	}
+	l.closeLog()
+	var got []Event
+	if err := l.subscribe(context.Background(), func(ev Event) error {
+		got = append(got, ev)
+		return nil
+	}); err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("retained %d events, want 4", len(got))
+	}
+	if got[0].Seq != 6 || got[3].Seq != 9 {
+		t.Fatalf("retained seqs %d..%d, want 6..9", got[0].Seq, got[3].Seq)
+	}
+	if l.Dropped() != 6 {
+		t.Fatalf("Dropped() = %d, want 6", l.Dropped())
+	}
+}
+
+func TestEventLogLiveFollow(t *testing.T) {
+	l := newEventLog(16, nil)
+	l.append(logEvent(0))
+
+	got := make(chan Event, 16)
+	done := make(chan error, 1)
+	go func() {
+		done <- l.subscribe(context.Background(), func(ev Event) error {
+			got <- ev
+			return nil
+		})
+	}()
+	read := func() Event {
+		select {
+		case ev := <-got:
+			return ev
+		case <-time.After(10 * time.Second):
+			t.Fatal("timed out waiting for event")
+			return Event{}
+		}
+	}
+	if ev := read(); ev.Seq != 0 {
+		t.Fatalf("first event seq %d, want 0 (replay)", ev.Seq)
+	}
+	l.append(logEvent(1))
+	if ev := read(); ev.Seq != 1 {
+		t.Fatalf("live event seq %d, want 1", ev.Seq)
+	}
+	l.closeLog()
+	if err := <-done; err != nil {
+		t.Fatalf("subscribe after close: %v", err)
+	}
+}
+
+func TestEventLogSubscribeHonorsContext(t *testing.T) {
+	l := newEventLog(16, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- l.subscribe(ctx, func(Event) error { return nil })
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("subscribe err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("subscriber did not unblock on ctx cancel")
+	}
+}
+
+func TestEventLogCallbackErrorStops(t *testing.T) {
+	l := newEventLog(16, nil)
+	l.append(logEvent(0))
+	l.append(logEvent(1))
+	boom := errors.New("boom")
+	n := 0
+	err := l.subscribe(context.Background(), func(Event) error {
+		n++
+		return boom
+	})
+	if !errors.Is(err, boom) || n != 1 {
+		t.Fatalf("subscribe = (%v, %d calls), want boom after 1 call", err, n)
+	}
+}

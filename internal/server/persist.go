@@ -1,0 +1,92 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"threadcluster/internal/errs"
+)
+
+// Spool format: one JSON JobSpec per file, named
+// "<zero-padded seq>-<job id>.json" so lexical directory order is
+// admission order. The files are plain specs — replayable by hand with
+// `tcsim submit -spec file.json` as well as by a restarting server —
+// and because a job's result is a pure function of its spec, a re-run
+// after restart produces the byte-identical payload the original
+// admission would have.
+
+// spool persists queued-but-unstarted jobs (in admission order) to
+// Options.SpoolDir. A nil SpoolDir drops them (the jobs were never
+// started; their specs are the client's to resubmit).
+func (s *Server) spool(queued []*job) error {
+	if s.opt.SpoolDir == "" || len(queued) == 0 {
+		return nil
+	}
+	if err := os.MkdirAll(s.opt.SpoolDir, 0o777); err != nil {
+		return fmt.Errorf("server: creating spool dir: %w", err)
+	}
+	for i, j := range queued {
+		data, err := json.MarshalIndent(j.spec, "", "  ")
+		if err != nil {
+			return fmt.Errorf("server: spooling job %q: %w", j.spec.ID, err)
+		}
+		name := fmt.Sprintf("%08d-%s.json", i, j.spec.ID)
+		if err := os.WriteFile(filepath.Join(s.opt.SpoolDir, name), append(data, '\n'), 0o666); err != nil {
+			return fmt.Errorf("server: spooling job %q: %w", j.spec.ID, err)
+		}
+		s.mJobsSpooled.Inc()
+	}
+	return nil
+}
+
+// loadSpool re-admits every spec file found in SpoolDir, in lexical
+// (= original admission) order, deleting each file once its job is back
+// in the queue. Specs that no longer fit (queue depth, token pool)
+// remain on disk for the next start; specs that fail to parse or
+// validate are left in place and reported.
+func (s *Server) loadSpool() error {
+	if s.opt.SpoolDir == "" {
+		return nil
+	}
+	entries, err := os.ReadDir(s.opt.SpoolDir)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("server: reading spool dir: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		path := filepath.Join(s.opt.SpoolDir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("server: reading spooled spec %s: %w", name, err)
+		}
+		var spec JobSpec
+		if err := json.Unmarshal(data, &spec); err != nil {
+			return fmt.Errorf("server: parsing spooled spec %s: %w", name, err)
+		}
+		if _, err := s.Submit(s.baseCtx, spec); err != nil {
+			if errors.Is(err, errs.ErrOverloaded) {
+				return nil // no room this start; the rest stays spooled
+			}
+			return fmt.Errorf("server: re-admitting spooled spec %s: %w", name, err)
+		}
+		s.mJobsReadmitted.Inc()
+		if err := os.Remove(path); err != nil {
+			return fmt.Errorf("server: removing spooled spec %s: %w", name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+
+	"threadcluster/internal/experiments"
+	"threadcluster/internal/metrics"
+	"threadcluster/internal/sweep"
+)
+
+// TaskResult is one grid cell's outcome inside a result payload.
+type TaskResult struct {
+	// Name is the cell ("workload/policy/topo"); Seed its derived seed.
+	Name string `json:"name"`
+	Seed int64  `json:"seed"`
+	// Metrics is the cell's full snapshot (absent on error).
+	Metrics metrics.Snapshot `json:"metrics"`
+	// Error is the cell's failure, if any.
+	Error string `json:"error,omitempty"`
+}
+
+// ResultPayload is a completed job's result: per-cell results in grid
+// order, the merged machine-wide snapshot, and a content digest. The
+// marshaled payload is byte-identical for any server concurrency, queue
+// depth, arrival order or per-job worker count — results are keyed to
+// grid positions, snapshots are deterministically ordered, and nothing
+// wall-clock-derived is present — so `tcsim submit` against a loaded
+// server and `tcsim sweep` offline produce the same bytes for the same
+// spec.
+type ResultPayload struct {
+	// Tasks lists every grid cell in grid (not completion) order.
+	Tasks []TaskResult `json:"tasks"`
+	// Merged is the fold of all successful cells' snapshots.
+	Merged metrics.Snapshot `json:"merged"`
+	// Digest is "sha256:<hex>" over the payload with Digest itself blank.
+	Digest string `json:"digest"`
+}
+
+// BuildResultPayload assembles and digests the canonical payload from a
+// grid run's cells and results (the shapes experiments.RunGrid returns).
+func BuildResultPayload(cells []experiments.GridCell, results []sweep.Result, merged metrics.Snapshot) (ResultPayload, error) {
+	p := ResultPayload{
+		Tasks:  make([]TaskResult, 0, len(results)),
+		Merged: merged,
+	}
+	for i, r := range results {
+		tr := TaskResult{Name: r.Name, Seed: r.Seed, Metrics: r.Metrics}
+		if i < len(cells) && tr.Name == "" {
+			tr.Name = cells[i].Name()
+		}
+		if r.Err != nil {
+			tr.Error = r.Err.Error()
+		}
+		p.Tasks = append(p.Tasks, tr)
+	}
+	digest, err := payloadDigest(p)
+	if err != nil {
+		return ResultPayload{}, err
+	}
+	p.Digest = digest
+	return p, nil
+}
+
+// Digest computes the payload digest for a grid run without building the
+// full payload value: the offline `tcsim sweep -digest` path.
+func Digest(cells []experiments.GridCell, results []sweep.Result, merged metrics.Snapshot) (string, error) {
+	p, err := BuildResultPayload(cells, results, merged)
+	if err != nil {
+		return "", err
+	}
+	return p.Digest, nil
+}
+
+// payloadDigest hashes the canonical JSON encoding of p with the Digest
+// field blanked. json.Marshal is deterministic here: struct fields have
+// a fixed order and metrics label maps marshal with sorted keys.
+func payloadDigest(p ResultPayload) (string, error) {
+	p.Digest = ""
+	data, err := json.Marshal(p)
+	if err != nil {
+		return "", fmt.Errorf("server: digesting payload: %w", err)
+	}
+	return fmt.Sprintf("sha256:%x", sha256.Sum256(data)), nil
+}
+
+// Marshal renders the payload as the exact bytes the result endpoint
+// serves (indented JSON with a trailing newline).
+func (p ResultPayload) Marshal() ([]byte, error) {
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("server: marshaling payload: %w", err)
+	}
+	return append(data, '\n'), nil
+}

@@ -1,0 +1,85 @@
+#!/usr/bin/env sh
+# server_smoke.sh: end-to-end smoke test of the tcsimd job service.
+#
+# Builds tcsimd and tcsim, starts the daemon on an ephemeral port,
+# submits a sweep grid, and checks the two contracts the service makes:
+#
+#   1. Determinism across the wire: the job's result digest equals the
+#      digest `tcsim sweep -digest` computes offline for the same grid.
+#   2. Observability: /metrics serves Prometheus text with the server
+#      series alongside the sim series of the completed job.
+#
+# Used by `make server-smoke` and the CI server-smoke job.
+set -eu
+
+GO=${GO:-go}
+WORK=$(mktemp -d)
+PID=""
+cleanup() {
+    [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+echo "server-smoke: building tcsimd and tcsim"
+$GO build -o "$WORK/tcsimd" ./cmd/tcsimd
+$GO build -o "$WORK/tcsim" ./cmd/tcsim
+
+"$WORK/tcsimd" -addr 127.0.0.1:0 -job-workers 2 >"$WORK/stdout" 2>"$WORK/stderr" &
+PID=$!
+
+ADDR=""
+i=0
+while [ $i -lt 100 ]; do
+    ADDR=$(sed -n 's/^tcsimd: listening on //p' "$WORK/stdout")
+    [ -n "$ADDR" ] && break
+    if ! kill -0 "$PID" 2>/dev/null; then
+        echo "server-smoke: tcsimd exited early" >&2
+        cat "$WORK/stderr" >&2
+        exit 1
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$ADDR" ]; then
+    echo "server-smoke: tcsimd never printed its listen banner" >&2
+    cat "$WORK/stderr" >&2
+    exit 1
+fi
+echo "server-smoke: daemon up at $ADDR"
+
+GRID="-workloads microbenchmark,volano -policies default,clustered -warm 10 -engine 20 -measure 10 -seed 5"
+
+# shellcheck disable=SC2086 # word-splitting the grid flags is the point
+OFFLINE=$("$WORK/tcsim" sweep -digest $GRID 2>/dev/null)
+# shellcheck disable=SC2086
+REMOTE=$("$WORK/tcsim" submit -addr "$ADDR" -digest $GRID 2>/dev/null)
+
+if [ "$OFFLINE" != "$REMOTE" ]; then
+    echo "server-smoke: DIGEST MISMATCH: offline=$OFFLINE server=$REMOTE" >&2
+    exit 1
+fi
+echo "server-smoke: digests match: $REMOTE"
+
+fetch() {
+    if command -v curl >/dev/null 2>&1; then
+        curl -fsS "$1"
+    else
+        wget -qO- "$1"
+    fi
+}
+
+METRICS=$(fetch "$ADDR/metrics")
+for series in server_jobs_admitted_total server_queue_depth server_http_request_ms_bucket sim_ops_total; do
+    if ! printf '%s\n' "$METRICS" | grep -q "^$series"; then
+        echo "server-smoke: /metrics lacks $series" >&2
+        printf '%s\n' "$METRICS" >&2
+        exit 1
+    fi
+done
+echo "server-smoke: /metrics carries server and sim series"
+
+kill "$PID"
+wait "$PID" 2>/dev/null || true
+PID=""
+echo "server-smoke: ok"
