@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet tclint lint test test-short test-race bench bench-compare bench-baseline bench-smoke fuzz-smoke experiments sweep-smoke server-smoke examples clean
+.PHONY: all build vet tclint lint test test-short test-race bench bench-compare bench-baseline bench-smoke fuzz-smoke experiments sweep-smoke server-smoke snapshot-smoke examples clean
 
 all: build lint test
 
@@ -13,7 +13,7 @@ vet:
 	$(GO) vet ./...
 
 # Project-specific analyzers (detrand, wallclock, maporder, errwrap,
-# ctxplumb; see DESIGN.md §6), driven through go vet's vettool protocol
+# ctxplumb, nodeprecated; see DESIGN.md §6), driven through go vet's vettool protocol
 # so results share vet's per-package build cache. The cmd/ tree is
 # allowlisted for wall-clock reads wholesale: operator-facing progress
 # timing and the tcsimd system clock live there, never in internal/.
@@ -70,18 +70,20 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkMachineRound32Way(Seq|Parallel)' -benchtime 2s ./internal/sim \
 		| $(GO) run ./cmd/benchcmp -baseline BENCH_sim.json -report
 
-# Short fuzzing pass over the coherence differential target and the trace
-# parser (CI runs the same).
+# Short fuzzing pass over the coherence differential target, the trace
+# parser and the snapshot decoder (CI runs the same).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzHierarchyAccess -fuzztime 30s ./internal/cache
 	$(GO) test -run '^$$' -fuzz FuzzLoad -fuzztime 15s ./internal/trace
+	$(GO) test -run '^$$' -fuzz FuzzSnapshotDecode -fuzztime 15s ./internal/sim
 
 # Race-detector coverage for the concurrent packages, including the
 # chip-parallel engine differential (seq vs parallel byte-identity under
-# every GOMAXPROCS level) and the job server + client under load.
+# every GOMAXPROCS level), the snapshot N+M differential and the job
+# server + client under load.
 test-race:
 	$(GO) test -race ./internal/metrics ./internal/sweep
-	$(GO) test -race -run 'TestEngine|TestRunSlice' ./internal/sim
+	$(GO) test -race -run 'TestEngine|TestRunSlice|TestSnapshot' ./internal/sim
 	$(GO) test -race ./internal/server ./internal/client
 
 # End-to-end smoke of the tcsimd job service: boot the daemon, submit a
@@ -89,6 +91,13 @@ test-race:
 # scrape /metrics.
 server-smoke:
 	sh ./scripts/server_smoke.sh
+
+# End-to-end smoke of snapshot/restore and checkpoint/resume: a split
+# `tcsim snapshot` run must be byte-identical to an unbroken one, and a
+# tcsimd job cut down mid-run must resume from its checkpoint to the
+# offline sweep digest.
+snapshot-smoke:
+	sh ./scripts/snapshot_smoke.sh
 
 # Regenerate every table/figure/study of the paper.
 experiments:

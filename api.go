@@ -5,21 +5,38 @@ package threadcluster
 // install workloads and attach the thread-clustering engine without
 // importing internal paths.
 //
-// A minimal session:
+// A minimal session — build, run, snapshot, restore, resume:
 //
 //	mcfg := threadcluster.DefaultMachineConfig()
 //	mcfg.Policy = threadcluster.PolicyClustered
+//	install := func(m *threadcluster.Machine) error {
+//		arena := threadcluster.NewArena()
+//		spec, err := threadcluster.NewSyntheticWorkload(arena, threadcluster.DefaultSyntheticConfig())
+//		if err != nil {
+//			return err
+//		}
+//		if err := spec.Install(m); err != nil {
+//			return err
+//		}
+//		engine, err := threadcluster.NewEngine(m, threadcluster.DefaultEngineConfig())
+//		if err != nil {
+//			return err
+//		}
+//		return engine.Install()
+//	}
+//
 //	machine, _ := threadcluster.NewMachine(mcfg)
+//	_ = install(machine)
+//	_ = machine.RunRoundsCtx(context.Background(), 1500)
 //
-//	arena := threadcluster.NewArena()
-//	spec, _ := threadcluster.NewSyntheticWorkload(arena, threadcluster.DefaultSyntheticConfig())
-//	_ = spec.Install(machine)
+//	snap, _ := machine.Snapshot(context.Background())
+//	raw := snap.Encode() // canonical bytes; persist anywhere
 //
-//	engine, _ := threadcluster.NewEngine(machine, threadcluster.DefaultEngineConfig())
-//	_ = engine.Install()
-//
-//	_ = machine.RunRoundsCtx(context.Background(), 3000)
-//	fmt.Println(engine.Report())
+//	decoded, _ := threadcluster.DecodeSnapshot(raw)
+//	resumed, _ := threadcluster.RestoreMachine(mcfg, decoded, install)
+//	_ = resumed.RunRoundsCtx(context.Background(), 1500)
+//	// resumed is now byte-identical to a machine that ran 3000 rounds
+//	// uninterrupted: same metrics, same PMU counts, same snapshot digest.
 
 import (
 	"context"
@@ -59,6 +76,36 @@ func NewMachine(cfg MachineConfig) (*Machine, error) { return sim.NewMachine(cfg
 // DefaultMachineConfig returns the paper's evaluation platform: the
 // OpenPower 720 topology, Figure 1 latencies and Table 1 caches.
 func DefaultMachineConfig() MachineConfig { return sim.DefaultConfig() }
+
+// Snapshot & restore.
+type (
+	// MachineSnapshot is a versioned, deterministic serialization of a
+	// machine's complete mutable state — caches and coherence directory,
+	// PMUs, scheduler, RNG streams, per-thread generator cursors, and
+	// every registered state provider (e.g. the clustering engine).
+	// Machine.Snapshot captures one; Encode/Digest render it canonically.
+	MachineSnapshot = sim.MachineSnapshot
+	// MachineStateProvider lets a component attached to a machine ride
+	// along in snapshots as an opaque named section (see
+	// Machine.RegisterStateProvider).
+	MachineStateProvider = sim.StateProvider
+)
+
+// SnapshotVersion is the current MachineSnapshot encoding version.
+const SnapshotVersion = sim.SnapshotVersion
+
+// DecodeSnapshot parses a canonical encoding produced by
+// MachineSnapshot.Encode, rejecting corrupt or mismatched input.
+func DecodeSnapshot(b []byte) (*MachineSnapshot, error) { return sim.DecodeSnapshot(b) }
+
+// RestoreMachine rebuilds a machine from its configuration and a
+// snapshot. install must recreate the snapshotted machine's composition
+// exactly — same threads in the same order, same engine and monitoring
+// setup — because generators and handlers are live closures a snapshot
+// cannot carry; the snapshot then overlays all mutable state.
+func RestoreMachine(cfg MachineConfig, snap *MachineSnapshot, install func(*Machine) error) (*Machine, error) {
+	return sim.RestoreMachine(cfg, snap, install)
+}
 
 // Topology and placement.
 type (

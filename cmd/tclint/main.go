@@ -1,8 +1,9 @@
-// Command tclint runs the project's static-analysis suite: five
-// analyzers (detrand, wallclock, maporder, errwrap, ctxplumb) that
-// enforce the determinism, error-wrapping and context contracts the
-// simulator's differential tests check dynamically. See DESIGN.md §6
-// for the contract each analyzer guards.
+// Command tclint runs the project's static-analysis suite: six
+// analyzers (detrand, wallclock, maporder, errwrap, ctxplumb,
+// nodeprecated) that enforce the determinism, error-wrapping, context
+// and deprecation-hygiene contracts the simulator's differential tests
+// check dynamically. See DESIGN.md §6 for the contract each analyzer
+// guards.
 //
 // Two modes:
 //

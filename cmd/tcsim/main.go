@@ -31,6 +31,13 @@
 //
 //	tcsim submit -addr http://127.0.0.1:8321 -policies default,clustered
 //	tcsim submit -spec job.json -events       # stream NDJSON progress
+//
+// The snapshot subcommand persists a machine's complete state after N
+// rounds and resumes it later; split runs produce byte-identical
+// snapshots to unbroken ones:
+//
+//	tcsim snapshot -rounds 250 -out half.snap
+//	tcsim snapshot -resume half.snap -rounds 150 -out full.snap
 package main
 
 import (
@@ -56,6 +63,12 @@ func main() {
 			return
 		case "submit":
 			if err := runSubmit(os.Args[2:], os.Stdout, os.Stderr); err != nil {
+				fmt.Fprintln(os.Stderr, "tcsim:", err)
+				os.Exit(1)
+			}
+			return
+		case "snapshot":
+			if err := runSnapshot(os.Args[2:], os.Stdout, os.Stderr); err != nil {
 				fmt.Fprintln(os.Stderr, "tcsim:", err)
 				os.Exit(1)
 			}

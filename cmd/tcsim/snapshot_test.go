@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runSnapshotOut runs the snapshot subcommand with a tiny round budget
+// and returns the digest it prints on stdout.
+func runSnapshotOut(t *testing.T, extra ...string) string {
+	t.Helper()
+	var out bytes.Buffer
+	if err := runSnapshot(extra, &out, io.Discard); err != nil {
+		t.Fatalf("runSnapshot %v: %v", extra, err)
+	}
+	return strings.TrimSpace(out.String())
+}
+
+// TestSnapshotSplitRunIdentity is the subcommand-level differential pin:
+// running N+M rounds in one go and as a snapshot/resume pair produces
+// byte-identical snapshot files and the same digest.
+func TestSnapshotSplitRunIdentity(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.snap")
+	half := filepath.Join(dir, "half.snap")
+	resumed := filepath.Join(dir, "resumed.snap")
+
+	fullDigest := runSnapshotOut(t, "-rounds", "50", "-out", full)
+	runSnapshotOut(t, "-rounds", "30", "-out", half)
+	resumedDigest := runSnapshotOut(t, "-resume", half, "-rounds", "20", "-out", resumed)
+
+	if fullDigest != resumedDigest {
+		t.Errorf("digest mismatch: full %s, resumed %s", fullDigest, resumedDigest)
+	}
+	a, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("snapshot files differ: full %d bytes, resumed %d bytes", len(a), len(b))
+	}
+}
+
+// TestSnapshotEngineIndependence: the digest is an engine- and
+// policy-independent function of the simulated state, so seq and
+// parallel engines agree even with the clustering engine attached.
+func TestSnapshotEngineIndependence(t *testing.T) {
+	seq := runSnapshotOut(t, "-policy", "clustered", "-simengine", "seq", "-rounds", "40")
+	par := runSnapshotOut(t, "-policy", "clustered", "-simengine", "parallel", "-rounds", "40")
+	if seq != par {
+		t.Errorf("digest differs across engines: seq %s, parallel %s", seq, par)
+	}
+}
+
+// TestSnapshotRejectsBadFlags covers the argument-validation surface:
+// unknown names, negative rounds and unconfined workloads all error
+// before any simulation runs.
+func TestSnapshotRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-rounds", "-1"},
+		{"-policy", "bogus"},
+		{"-topo", "bogus"},
+		{"-workload", "bogus"},
+		{"-coherence", "bogus"},
+		{"-simengine", "bogus"},
+		{"-resume", filepath.Join(t.TempDir(), "missing.snap")},
+	}
+	for _, args := range cases {
+		if err := runSnapshot(args, io.Discard, io.Discard); err == nil {
+			t.Errorf("runSnapshot %v: want error, got nil", args)
+		}
+	}
+}
+
+// TestSnapshotUnconfinedWorkload: specjbb keeps shared scoreboards that
+// a snapshot cannot carry, so snapshotting it must fail loudly instead
+// of persisting a half-truth.
+func TestSnapshotUnconfinedWorkload(t *testing.T) {
+	err := runSnapshot([]string{"-workload", "specjbb", "-rounds", "5"}, io.Discard, io.Discard)
+	if err == nil {
+		t.Fatal("snapshotting an unconfined workload should error")
+	}
+}

@@ -17,7 +17,12 @@
 //
 // On SIGINT/SIGTERM the daemon stops admission, drains in-flight jobs
 // for -grace, spools still-queued specs to -spool (re-admitted on the
-// next start), then exits.
+// next start), then exits. Jobs cut by the drain deadline — and, with
+// -checkpoint-every N, jobs killed without a drain — leave completed-
+// cell checkpoints beside the spool; a restarted daemon resumes them to
+// the same result digest an uninterrupted run produces. Corrupt spool
+// or checkpoint files are quarantined (renamed *.quarantine) and
+// reported, never fatal.
 package main
 
 import (
@@ -64,7 +69,8 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) error {
 		maxJobCost  = fs.Int64("max-job-cost", 0, "per-job token budget, grid cells x rounds (0 = default)")
 		maxQueued   = fs.Int64("max-queued-cost", 0, "outstanding token pool before 429 (0 = 8x per-job budget)")
 		eventBuffer = fs.Int("event-buffer", 0, "per-job event ring capacity (0 = default)")
-		spoolDir    = fs.String("spool", "", "directory for queued-job specs across restarts (empty = no spool)")
+		spoolDir    = fs.String("spool", "", "directory for queued-job specs and running-job checkpoints across restarts (empty = no spool)")
+		ckptEvery   = fs.Int("checkpoint-every", 0, "flush a running job's checkpoint beside the spool every N completed grid cells (0 = only when a drain cuts it; requires -spool)")
 		grace       = fs.Duration("grace", 30*time.Second, "drain deadline for in-flight jobs at shutdown")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -72,14 +78,15 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) error {
 	}
 
 	s, err := server.New(server.Options{
-		Clock:         systemClock{},
-		QueueDepth:    *queueDepth,
-		MaxJobCost:    *maxJobCost,
-		MaxQueuedCost: *maxQueued,
-		JobWorkers:    *jobWorkers,
-		TaskWorkers:   *taskWorkers,
-		EventBuffer:   *eventBuffer,
-		SpoolDir:      *spoolDir,
+		Clock:           systemClock{},
+		QueueDepth:      *queueDepth,
+		MaxJobCost:      *maxJobCost,
+		MaxQueuedCost:   *maxQueued,
+		JobWorkers:      *jobWorkers,
+		TaskWorkers:     *taskWorkers,
+		EventBuffer:     *eventBuffer,
+		SpoolDir:        *spoolDir,
+		CheckpointEvery: *ckptEvery,
 	})
 	if err != nil {
 		return err
@@ -91,6 +98,11 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) error {
 	// Only a second signal (ctx here is already done) aborts hard.
 	if err := s.Start(context.WithoutCancel(ctx)); err != nil {
 		return err
+	}
+	// Quarantined spool/checkpoint files are warnings, not startup
+	// failures: report them and serve.
+	for _, w := range s.SpoolWarnings() {
+		fmt.Fprintf(stderr, "tcsimd: spool: %v\n", w)
 	}
 
 	ln, err := net.Listen("tcp", *addr)

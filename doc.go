@@ -39,6 +39,14 @@
 // (ErrDuplicateThread, ErrUnknownThread, ErrThreadRunning,
 // ErrBadConfig, ErrAlreadyInstalled) for errors.Is classification.
 //
+// Simulations also checkpoint: Machine.Snapshot captures the complete
+// machine state (caches, coherence directory, PMUs, scheduler, RNG
+// streams, generator cursors, the clustering engine) as a
+// MachineSnapshot whose canonical encoding is byte-identical across
+// engines and GOMAXPROCS, and RestoreMachine resumes a run that is
+// indistinguishable from one that never stopped. See the api.go session
+// example and DESIGN.md §9.
+//
 // See README.md for a walkthrough, DESIGN.md for the system inventory and
 // EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
 // bench_test.go regenerate every table and figure.

@@ -26,13 +26,13 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 
 	"threadcluster/internal/clustering"
 	"threadcluster/internal/errs"
 	"threadcluster/internal/memory"
 	"threadcluster/internal/pmu"
+	"threadcluster/internal/rng"
 	"threadcluster/internal/sched"
 	"threadcluster/internal/sim"
 	"threadcluster/internal/topology"
@@ -160,7 +160,7 @@ type Engine struct {
 	shmaps  map[clustering.ThreadKey]*clustering.ShMap
 	filter  *clustering.Filter         // process 0 (and the single-process case)
 	filters map[int]*clustering.Filter // per process, including 0
-	rng     *rand.Rand
+	rng     *rng.Rand
 
 	samplesRead        int
 	samplesAdmitted    int
@@ -218,7 +218,7 @@ func New(m *sim.Machine, cfg Config) (*Engine, error) {
 		shmaps:  make(map[clustering.ThreadKey]*clustering.ShMap),
 		filter:  filter,
 		filters: map[int]*clustering.Filter{0: filter},
-		rng:     rand.New(rand.NewSource(cfg.Seed + 0x7C1)),
+		rng:     rng.New(cfg.Seed + 0x7C1),
 	}, nil
 }
 
@@ -244,6 +244,12 @@ func (e *Engine) Install() error {
 		}
 	}
 	e.m.OnTick(e.tick)
+	if err := e.m.RegisterStateProvider(StateProviderName, sim.StateProvider{
+		Save:    e.SaveState,
+		Restore: e.RestoreState,
+	}); err != nil {
+		return err
+	}
 	e.windowStart = e.m.Clock()
 	e.snapshotWindowBase()
 	e.registerMetrics()

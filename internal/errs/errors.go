@@ -53,6 +53,12 @@ var (
 	// ErrUnavailable reports a request to a server that is draining or
 	// has not started; nothing is wrong with the request itself.
 	ErrUnavailable = errors.New("server unavailable")
+
+	// ErrSpoolCorrupt reports a spool or checkpoint file that failed to
+	// parse or validate at re-admission. The server quarantines the file
+	// (renames it aside) and keeps starting; the wrapped cause says what
+	// was wrong with it.
+	ErrSpoolCorrupt = errors.New("corrupt spool entry")
 )
 
 // Sentinel pairs a sentinel with its declared name, for tools that need
@@ -84,5 +90,6 @@ func Sentinels() []Sentinel {
 		{"ErrJobNotDone", ErrJobNotDone},
 		{"ErrOverloaded", ErrOverloaded},
 		{"ErrUnavailable", ErrUnavailable},
+		{"ErrSpoolCorrupt", ErrSpoolCorrupt},
 	}
 }

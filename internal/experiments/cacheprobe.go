@@ -7,6 +7,7 @@ import (
 	"threadcluster/internal/memory"
 	"threadcluster/internal/sched"
 	"threadcluster/internal/sim"
+	"threadcluster/internal/snapbin"
 	"threadcluster/internal/stats"
 )
 
@@ -49,6 +50,28 @@ func gcd(a, b uint64) uint64 {
 // Confined marks the generator parallel-safe: the chase walks private
 // per-generator state over an immutable Region.
 func (g *chaseGen) Confined() {}
+
+// SnapshotState returns the chase cursor (the current position; lines and
+// stride are derived from the region at construction).
+func (g *chaseGen) SnapshotState() []byte {
+	e := &snapbin.Enc{}
+	e.U64(g.pos)
+	return e.Bytes()
+}
+
+// RestoreState overwrites the chase cursor.
+func (g *chaseGen) RestoreState(state []byte) error {
+	d := snapbin.NewDec(state)
+	pos := d.U64()
+	if err := d.Close(); err != nil {
+		return fmt.Errorf("experiments: chase cursor: %w", err)
+	}
+	if pos >= g.lines {
+		return fmt.Errorf("experiments: chase cursor %d beyond %d lines: %w", pos, g.lines, snapbin.ErrCorrupt)
+	}
+	g.pos = pos
+	return nil
+}
 
 func (g *chaseGen) Next() sim.MemRef {
 	g.pos = (g.pos + g.stride) % g.lines

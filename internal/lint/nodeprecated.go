@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"strings"
+)
+
+// NoDeprecated forbids in-module references to functions and methods
+// whose doc comment carries a "Deprecated:" paragraph. Deprecation in
+// this repository is a removal staging area, not a permanent state: an
+// entry point is marked, its in-tree callers are migrated the same PR,
+// and the next PR deletes it. This analyzer is what keeps stage two
+// honest — a deprecated function with surviving in-tree callers fails
+// the lint gate instead of fossilizing.
+//
+// Same-package references are resolved from the package's own ASTs.
+// Cross-package references re-parse the defining source file (found via
+// the object's position) with comments; when that file is not readable
+// — e.g. under the unitchecker protocol, where positions may point into
+// export data — the reference is skipped rather than mis-reported.
+var NoDeprecated = &Analyzer{
+	Name: "nodeprecated",
+	Doc: "forbid references to '// Deprecated:' functions and methods inside the module; " +
+		"migrate the caller to the replacement named in the deprecation notice",
+	Appropriate: inModule,
+	Run:         runNoDeprecated,
+}
+
+func runNoDeprecated(pass *Pass) error {
+	// Deprecated function objects declared in this package.
+	local := make(map[types.Object]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !isDeprecatedDoc(fd.Doc) {
+				continue
+			}
+			if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+				local[obj] = true
+			}
+		}
+	}
+
+	// cache memoizes the cross-package lookup per defining object.
+	cache := make(map[types.Object]bool)
+	deprecated := func(obj types.Object) bool {
+		if local[obj] {
+			return true
+		}
+		if obj.Pkg() == nil || !inModule(obj.Pkg().Path()) {
+			return false // out-of-module deprecations are not ours to police
+		}
+		if hit, ok := cache[obj]; ok {
+			return hit
+		}
+		hit := deprecatedAtSource(pass.Fset, obj)
+		cache[obj] = hit
+		return hit
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			fn, ok := obj.(*types.Func)
+			if !ok || !deprecated(fn) {
+				return true
+			}
+			// A function's own body may mention itself (recursion) and a
+			// deprecated wrapper may forward to the real implementation;
+			// only cross-function references are migration debt.
+			if local[fn] && enclosingFuncIsDeprecated(pass, f, id.Pos()) {
+				return true
+			}
+			pass.Reportf(id.Pos(), "%s is deprecated; migrate to the replacement named in its deprecation notice", qualifiedName(fn))
+			return true
+		})
+	}
+	return nil
+}
+
+// enclosingFuncIsDeprecated reports whether pos sits inside a FuncDecl
+// that is itself marked deprecated (deprecated helpers may call each
+// other while they await deletion).
+func enclosingFuncIsDeprecated(pass *Pass, f *ast.File, pos token.Pos) bool {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || pos < fd.Pos() || pos > fd.End() {
+			continue
+		}
+		return isDeprecatedDoc(fd.Doc)
+	}
+	return false
+}
+
+// deprecatedAtSource re-parses the file declaring obj and reports
+// whether the declaration of that name at the object's line carries a
+// deprecation notice. Unreadable or unparsable files (export-data
+// positions under the unitchecker protocol) report false.
+func deprecatedAtSource(fset *token.FileSet, obj types.Object) bool {
+	pos := fset.Position(obj.Pos())
+	if pos.Filename == "" || !strings.HasSuffix(pos.Filename, ".go") {
+		return false
+	}
+	src, err := os.ReadFile(pos.Filename)
+	if err != nil {
+		return false
+	}
+	ffset := token.NewFileSet()
+	f, err := parser.ParseFile(ffset, pos.Filename, src, parser.ParseComments)
+	if err != nil {
+		return false
+	}
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Name.Name != obj.Name() {
+			continue
+		}
+		if ffset.Position(fd.Name.Pos()).Line != pos.Line {
+			continue // same-named method on another receiver
+		}
+		return isDeprecatedDoc(fd.Doc)
+	}
+	return false
+}
+
+// isDeprecatedDoc implements the godoc convention: a doc-comment
+// paragraph beginning "Deprecated:" marks the declaration deprecated.
+func isDeprecatedDoc(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, line := range strings.Split(doc.Text(), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "Deprecated:") {
+			return true
+		}
+	}
+	return false
+}
+
+// qualifiedName renders a function or method for diagnostics:
+// "sim.Machine.RunCycles" rather than the types.Func String() noise.
+func qualifiedName(fn *types.Func) string {
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	if fn.Pkg() != nil {
+		if path := fn.Pkg().Path(); path != "" {
+			name = path[strings.LastIndex(path, "/")+1:] + "." + name
+		}
+	}
+	return name
+}

@@ -1,0 +1,23 @@
+package lint_test
+
+import (
+	"testing"
+
+	"threadcluster/internal/lint"
+	"threadcluster/internal/lint/linttest"
+)
+
+func TestNoDeprecated(t *testing.T) {
+	linttest.Run(t, lint.NoDeprecated, "testdata/nodeprecated", lint.ModulePath+"/internal/sim")
+}
+
+// TestNoDeprecatedOutOfModule: the analyzer polices the module only;
+// a package outside it is not analyzed at all.
+func TestNoDeprecatedOutOfModule(t *testing.T) {
+	if lint.NoDeprecated.Appropriate("example.com/other") {
+		t.Error("nodeprecated should not apply outside the module")
+	}
+	if !lint.NoDeprecated.Appropriate(lint.ModulePath + "/cmd/tcsim") {
+		t.Error("nodeprecated must cover cmd/ packages: front ends accrue migration debt too")
+	}
+}

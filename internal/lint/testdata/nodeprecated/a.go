@@ -1,0 +1,44 @@
+// Package a is the nodeprecated golden package: referencing a function
+// or method marked "Deprecated:" is migration debt and must be flagged;
+// the deprecated declarations themselves, and calls between deprecated
+// helpers awaiting deletion together, are fine.
+package a
+
+// Deprecated: use NewWay.
+func OldWay() int { return 1 }
+
+// NewWay is the replacement; not deprecated.
+func NewWay() int { return 2 }
+
+// Deprecated: use NewWay; forwards to OldWay while both await deletion,
+// which is allowed (deprecated-to-deprecated references are not debt).
+func OlderWay() int { return OldWay() }
+
+type Widget struct{}
+
+// Deprecated: use Widget.Run.
+func (Widget) Go() {}
+
+// Run is the replacement method.
+func (Widget) Run() {}
+
+func caller() int {
+	return OldWay() // want `sim\.OldWay is deprecated`
+}
+
+func methodCaller(w Widget) {
+	w.Go() // want `sim\.Widget\.Go is deprecated`
+	w.Run()
+}
+
+func valueRef() func() int {
+	return OldWay // want `sim\.OldWay is deprecated`
+}
+
+func fineCaller() int {
+	return NewWay()
+}
+
+func suppressed() int {
+	return OldWay() //tclint:allow nodeprecated -- golden test for the suppression path
+}

@@ -127,6 +127,22 @@ func (h *Histogram) BucketCounts() []uint64 {
 	return out
 }
 
+// RestoreState overwrites the histogram's observations with a previously
+// captured (BucketCounts, Sum, Count) triple — the machine-snapshot
+// restore path. counts must have len(Bounds())+1 elements. Not safe for
+// use concurrently with Observe; restore happens on a quiesced machine.
+func (h *Histogram) RestoreState(counts []uint64, sum, n uint64) error {
+	if len(counts) != len(h.counts) {
+		return fmt.Errorf("metrics: histogram restore with %d buckets, want %d", len(counts), len(h.counts))
+	}
+	for i, c := range counts {
+		h.counts[i].Store(c)
+	}
+	h.sum.Store(sum)
+	h.n.Store(n)
+	return nil
+}
+
 // CounterFunc is a collector returning a monotonic count at read time.
 type CounterFunc func() uint64
 

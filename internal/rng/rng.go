@@ -1,0 +1,79 @@
+// Package rng provides the simulator's snapshotable random number
+// generator. It wraps math/rand with a draw-counting source, so the
+// value stream for a given seed is bit-identical to the plain
+// rand.New(rand.NewSource(seed)) the simulator has always used, while
+// the generator's complete state compresses to sixteen bytes: the seed
+// and the number of source draws consumed. Restoring re-seeds and
+// fast-forwards, which costs one lagged-Fibonacci step per historical
+// draw — nanoseconds each, paid only on the (rare, never hot-path)
+// restore.
+//
+// The counting works because math/rand's rngSource advances exactly one
+// step per Int63 or Uint64 call (Int63 is Uint64 masked), so a replay
+// of n raw Uint64 draws reproduces the source state no matter which mix
+// of Rand methods consumed the originals.
+package rng
+
+import "math/rand"
+
+// State is a generator's complete serializable state.
+type State struct {
+	// Seed is the seed the source was last seeded with.
+	Seed int64
+	// Draws is the number of source steps consumed since seeding.
+	Draws uint64
+}
+
+// source counts draws from an underlying math/rand source.
+type source struct {
+	src  rand.Source64
+	seed int64
+	n    uint64
+}
+
+func (s *source) Int63() int64 {
+	s.n++
+	return s.src.Int63()
+}
+
+func (s *source) Uint64() uint64 {
+	s.n++
+	return s.src.Uint64()
+}
+
+func (s *source) Seed(seed int64) {
+	s.seed, s.n = seed, 0
+	s.src.Seed(seed)
+}
+
+// Rand is a snapshotable *rand.Rand. The embedded Rand provides the full
+// method set (Intn, Float64, Int63n, ...); State and Restore capture and
+// reinstate the stream position.
+type Rand struct {
+	*rand.Rand
+	src *source
+}
+
+// New returns a Rand whose value stream for this seed is identical to
+// rand.New(rand.NewSource(seed)).
+func New(seed int64) *Rand {
+	src := &source{src: rand.NewSource(seed).(rand.Source64), seed: seed}
+	return &Rand{Rand: rand.New(src), src: src}
+}
+
+// State returns the generator's current position.
+func (r *Rand) State() State {
+	return State{Seed: r.src.seed, Draws: r.src.n}
+}
+
+// Restore rewinds or advances the generator to exactly st: it re-seeds
+// with st.Seed and replays st.Draws raw source steps. After Restore the
+// generator produces the same stream it would have produced had it just
+// arrived at that position.
+func (r *Rand) Restore(st State) {
+	r.src.Seed(st.Seed)
+	for i := uint64(0); i < st.Draws; i++ {
+		r.src.src.Uint64()
+	}
+	r.src.n = st.Draws
+}

@@ -8,10 +8,10 @@ package sched
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 
 	"threadcluster/internal/errs"
+	"threadcluster/internal/rng"
 	"threadcluster/internal/topology"
 )
 
@@ -70,7 +70,7 @@ type Scheduler struct {
 
 	partition func(ThreadID) int
 	rrNext    int
-	rng       *rand.Rand
+	rng       *rng.Rand
 
 	migrations uint64
 	steals     uint64
@@ -93,7 +93,7 @@ func New(topo topology.Topology, policy Policy, seed int64) (*Scheduler, error) 
 		cpuOf:   make(map[ThreadID]topology.CPUID),
 		running: make(map[ThreadID]bool),
 		pinned:  make(map[ThreadID]bool),
-		rng:     rand.New(rand.NewSource(seed)),
+		rng:     rng.New(seed),
 	}
 	return s, nil
 }

@@ -207,8 +207,15 @@ type job struct {
 	err        error
 	cancel     context.CancelFunc // set while running
 	cancelled  bool               // cancel requested (distinguishes cancel from ctx timeout)
+	cut        bool               // cancelled by a shutdown drain, not the submitter
 	tasksDone  int
 	tasksTotal int
+
+	// completed records finished grid cells for checkpointing (and seeds
+	// a resumed job at re-admission); ckptNew counts completions since
+	// the last checkpoint flush.
+	completed map[int]checkpointCell
+	ckptNew   int
 
 	events  *eventLog
 	payload []byte // canonical result payload bytes (state == done)

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"threadcluster/internal/errs"
+	"threadcluster/internal/metrics"
 )
 
 // Spool format: one JSON JobSpec per file, named
@@ -19,6 +20,45 @@ import (
 // and because a job's result is a pure function of its spec, a re-run
 // after restart produces the byte-identical payload the original
 // admission would have.
+//
+// Checkpoint format: one JSON checkpointFile per running job, named
+// "<job id>.ckpt" beside the spool specs. A checkpoint carries the
+// normalized spec plus every completed grid cell's metrics snapshot;
+// grid cells are independent machines with spec-derived seeds
+// (sweep.DeriveSeed), so a resumed job restores the recorded cells and
+// re-runs only the missing ones, producing the byte-identical payload
+// an uninterrupted run yields. Checkpoints are flushed every
+// Options.CheckpointEvery completed cells and when a graceful drain
+// cuts a running job; a job that settles normally deletes its file.
+//
+// Files that fail to parse or validate at re-admission are quarantined:
+// renamed to "<name>.quarantine", recorded as an errs.ErrSpoolCorrupt
+// warning (SpoolWarnings), counted in server_spool_quarantined_total —
+// and the daemon keeps starting.
+
+const (
+	checkpointSuffix = ".ckpt"
+	spoolSuffix      = ".json"
+	quarantineSuffix = ".quarantine"
+)
+
+// checkpointFile is the on-disk form of a running job's progress.
+type checkpointFile struct {
+	// Spec is the job's normalized spec; the grid (and every cell seed)
+	// derives from it.
+	Spec JobSpec `json:"spec"`
+	// Cells lists the completed grid cells in grid-index order.
+	Cells []checkpointCell `json:"cells"`
+}
+
+// checkpointCell is one completed grid cell: its position, identity and
+// the metrics snapshot the re-assembled payload will carry for it.
+type checkpointCell struct {
+	Index   int              `json:"index"`
+	Name    string           `json:"name"`
+	Seed    int64            `json:"seed"`
+	Metrics metrics.Snapshot `json:"metrics"`
+}
 
 // spool persists queued-but-unstarted jobs (in admission order) to
 // Options.SpoolDir. A nil SpoolDir drops them (the jobs were never
@@ -35,7 +75,7 @@ func (s *Server) spool(queued []*job) error {
 		if err != nil {
 			return fmt.Errorf("server: spooling job %q: %w", j.spec.ID, err)
 		}
-		name := fmt.Sprintf("%08d-%s.json", i, j.spec.ID)
+		name := fmt.Sprintf("%08d-%s%s", i, j.spec.ID, spoolSuffix)
 		if err := os.WriteFile(filepath.Join(s.opt.SpoolDir, name), append(data, '\n'), 0o666); err != nil {
 			return fmt.Errorf("server: spooling job %q: %w", j.spec.ID, err)
 		}
@@ -44,11 +84,16 @@ func (s *Server) spool(queued []*job) error {
 	return nil
 }
 
-// loadSpool re-admits every spec file found in SpoolDir, in lexical
-// (= original admission) order, deleting each file once its job is back
-// in the queue. Specs that no longer fit (queue depth, token pool)
-// remain on disk for the next start; specs that fail to parse or
-// validate are left in place and reported.
+// loadSpool re-admits persisted work found in SpoolDir: checkpoints of
+// cut-down running jobs first (they were admitted before anything that
+// was still queued at shutdown), then spooled specs, each group in
+// lexical (= original admission) order. Spec files are deleted once
+// their job is back in the queue; checkpoint files stay until the
+// resumed job settles, so a crash between re-admission and completion
+// still resumes. Jobs that no longer fit (queue depth, token pool)
+// remain on disk for the next start. Files that fail to parse or
+// validate are quarantined and reported through SpoolWarnings — a
+// corrupt file never stops the daemon from starting.
 func (s *Server) loadSpool() error {
 	if s.opt.SpoolDir == "" {
 		return nil
@@ -60,14 +105,30 @@ func (s *Server) loadSpool() error {
 	if err != nil {
 		return fmt.Errorf("server: reading spool dir: %w", err)
 	}
-	names := make([]string, 0, len(entries))
+	var ckpts, specs []string
 	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
-			names = append(names, e.Name())
+		switch {
+		case e.IsDir():
+		case strings.HasSuffix(e.Name(), checkpointSuffix):
+			ckpts = append(ckpts, e.Name())
+		case strings.HasSuffix(e.Name(), spoolSuffix):
+			specs = append(specs, e.Name())
 		}
 	}
-	sort.Strings(names)
-	for _, name := range names {
+	sort.Strings(ckpts)
+	sort.Strings(specs)
+
+	for _, name := range ckpts {
+		full, err := s.readmitCheckpoint(name)
+		if err != nil {
+			s.quarantine(name, err)
+			continue
+		}
+		if full {
+			return nil // no room this start; the rest stays on disk
+		}
+	}
+	for _, name := range specs {
 		path := filepath.Join(s.opt.SpoolDir, name)
 		data, err := os.ReadFile(path)
 		if err != nil {
@@ -75,18 +136,175 @@ func (s *Server) loadSpool() error {
 		}
 		var spec JobSpec
 		if err := json.Unmarshal(data, &spec); err != nil {
-			return fmt.Errorf("server: parsing spooled spec %s: %w", name, err)
+			s.quarantine(name, fmt.Errorf("parsing spec: %w", err))
+			continue
 		}
-		if _, err := s.Submit(s.baseCtx, spec); err != nil {
-			if errors.Is(err, errs.ErrOverloaded) {
-				return nil // no room this start; the rest stays spooled
-			}
-			return fmt.Errorf("server: re-admitting spooled spec %s: %w", name, err)
+		full, err := s.readmit(spec, nil)
+		if err != nil {
+			s.quarantine(name, err)
+			continue
 		}
-		s.mJobsReadmitted.Inc()
+		if full {
+			return nil
+		}
 		if err := os.Remove(path); err != nil {
 			return fmt.Errorf("server: removing spooled spec %s: %w", name, err)
 		}
 	}
 	return nil
+}
+
+// readmitCheckpoint loads, validates and re-admits one checkpoint file.
+// Returns full=true when the queue had no room (the file stays for the
+// next start); any error means the file is corrupt or no longer
+// admissible and should be quarantined.
+func (s *Server) readmitCheckpoint(name string) (full bool, err error) {
+	data, readErr := os.ReadFile(filepath.Join(s.opt.SpoolDir, name))
+	if readErr != nil {
+		return false, fmt.Errorf("reading checkpoint: %w", readErr)
+	}
+	var cf checkpointFile
+	if err := json.Unmarshal(data, &cf); err != nil {
+		return false, fmt.Errorf("parsing checkpoint: %w", err)
+	}
+	completed, err := cf.validate()
+	if err != nil {
+		return false, err
+	}
+	return s.readmit(cf.Spec, completed)
+}
+
+// validate checks a checkpoint's cells against the grid its spec
+// derives, returning the completed-cell map a resumed job starts from.
+func (cf checkpointFile) validate() (map[int]checkpointCell, error) {
+	norm, err := cf.Spec.Normalize()
+	if err != nil {
+		return nil, fmt.Errorf("validating checkpointed spec: %w", err)
+	}
+	if norm.ID == "" {
+		return nil, fmt.Errorf("checkpointed spec has no job ID")
+	}
+	grid, err := norm.Grid()
+	if err != nil {
+		return nil, fmt.Errorf("compiling checkpointed grid: %w", err)
+	}
+	cells := grid.Cells()
+	completed := make(map[int]checkpointCell, len(cf.Cells))
+	for _, cc := range cf.Cells {
+		if cc.Index < 0 || cc.Index >= len(cells) {
+			return nil, fmt.Errorf("cell index %d outside grid of %d cells", cc.Index, len(cells))
+		}
+		if _, dup := completed[cc.Index]; dup {
+			return nil, fmt.Errorf("duplicate cell index %d", cc.Index)
+		}
+		want := cells[cc.Index]
+		if cc.Name != want.Name() || cc.Seed != want.Seed {
+			return nil, fmt.Errorf("cell %d is %q seed %d, grid says %q seed %d",
+				cc.Index, cc.Name, cc.Seed, want.Name(), want.Seed)
+		}
+		completed[cc.Index] = cc
+	}
+	return completed, nil
+}
+
+// readmit normalizes and admits one persisted spec, seeding the job with
+// any checkpointed cells. full=true means the queue rejected it with
+// backpressure (leave the file; stop re-admitting); an error means the
+// spec itself is unusable (quarantine it).
+func (s *Server) readmit(spec JobSpec, completed map[int]checkpointCell) (full bool, err error) {
+	norm, err := spec.Normalize()
+	if err != nil {
+		return false, fmt.Errorf("validating spec: %w", err)
+	}
+	cost := norm.Cost()
+	if cost > s.opt.MaxJobCost {
+		return false, fmt.Errorf("cost %d exceeds per-job budget %d", cost, s.opt.MaxJobCost)
+	}
+	if _, err := s.admit(norm, cost, completed); err != nil {
+		if errors.Is(err, errs.ErrOverloaded) {
+			return true, nil
+		}
+		return false, fmt.Errorf("re-admitting: %w", err)
+	}
+	s.mJobsReadmitted.Inc()
+	return false, nil
+}
+
+// quarantine renames a bad spool/checkpoint file aside and records the
+// structured warning. The daemon keeps starting: a corrupt file costs
+// one job, not the whole service.
+func (s *Server) quarantine(name string, cause error) {
+	werr := fmt.Errorf("server: %w: %s: %v", errs.ErrSpoolCorrupt, name, cause)
+	path := filepath.Join(s.opt.SpoolDir, name)
+	if err := os.Rename(path, path+quarantineSuffix); err != nil {
+		werr = fmt.Errorf("%w (quarantine rename failed: %v)", werr, err)
+	}
+	s.mSpoolQuarantined.Inc()
+	s.mu.Lock()
+	s.spoolWarnings = append(s.spoolWarnings, werr)
+	s.mu.Unlock()
+}
+
+// SpoolWarnings returns the structured warnings Start accumulated while
+// re-admitting persisted work: one errs.ErrSpoolCorrupt-wrapping error
+// per quarantined file plus any checkpoint-write failures, in
+// occurrence order. Empty on a clean start.
+func (s *Server) SpoolWarnings() []error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]error(nil), s.spoolWarnings...)
+}
+
+// checkpointCells snapshots a job's completed cells in grid order.
+// Caller holds the server mutex.
+func checkpointCells(j *job) []checkpointCell {
+	cells := make([]checkpointCell, 0, len(j.completed))
+	for _, cc := range j.completed {
+		cells = append(cells, cc)
+	}
+	sort.Slice(cells, func(i, k int) bool { return cells[i].Index < cells[k].Index })
+	return cells
+}
+
+// writeCheckpoint atomically persists a job's checkpoint file (write to
+// a temp name, rename into place), so a crash mid-write never leaves a
+// truncated checkpoint where a valid one stood. Failures are recorded
+// as warnings, not job failures: losing a checkpoint costs resumability,
+// not correctness.
+func (s *Server) writeCheckpoint(spec JobSpec, cells []checkpointCell) {
+	record := func(err error) {
+		s.mu.Lock()
+		s.spoolWarnings = append(s.spoolWarnings, err)
+		s.mu.Unlock()
+	}
+	if err := os.MkdirAll(s.opt.SpoolDir, 0o777); err != nil {
+		record(fmt.Errorf("server: creating spool dir for checkpoint %q: %w", spec.ID, err))
+		return
+	}
+	data, err := json.MarshalIndent(checkpointFile{Spec: spec, Cells: cells}, "", "  ")
+	if err != nil {
+		record(fmt.Errorf("server: marshaling checkpoint %q: %w", spec.ID, err))
+		return
+	}
+	path := filepath.Join(s.opt.SpoolDir, spec.ID+checkpointSuffix)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o666); err != nil {
+		record(fmt.Errorf("server: writing checkpoint %q: %w", spec.ID, err))
+		return
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		record(fmt.Errorf("server: installing checkpoint %q: %w", spec.ID, err))
+		return
+	}
+	s.mCheckpoints.Inc()
+}
+
+// removeCheckpoint deletes a settled job's checkpoint file, if any.
+func (s *Server) removeCheckpoint(id string) {
+	err := os.Remove(filepath.Join(s.opt.SpoolDir, id+checkpointSuffix))
+	if err != nil && !os.IsNotExist(err) {
+		s.mu.Lock()
+		s.spoolWarnings = append(s.spoolWarnings, fmt.Errorf("server: removing checkpoint %q: %w", id, err))
+		s.mu.Unlock()
+	}
 }

@@ -74,9 +74,17 @@ type Options struct {
 	EventBuffer int
 
 	// SpoolDir, when set, receives queued-but-unstarted jobs as
-	// replayable spec files at shutdown; Start re-admits any specs found
-	// there, in spool order.
+	// replayable spec files at shutdown and running jobs' checkpoints
+	// (completed grid cells) beside them; Start re-admits both, in spool
+	// order. Corrupt files are quarantined (see SpoolWarnings), never
+	// fatal.
 	SpoolDir string
+
+	// CheckpointEvery flushes a running job's checkpoint after every N
+	// newly completed grid cells, so even an abrupt kill (no graceful
+	// drain) resumes from the last flush. 0 checkpoints only when a
+	// graceful drain cuts a running job. Requires SpoolDir.
+	CheckpointEvery int
 }
 
 // Server owns the job table, the admission queue and the worker pool.
@@ -101,12 +109,17 @@ type Server struct {
 	baseCtx   context.Context
 	stopWork  context.CancelFunc
 	wg        sync.WaitGroup
-	beforeJob func(*job) // test hook: runs in the worker before a job executes
+	beforeJob func(*job)      // test hook: runs in the worker before a job executes
+	afterTask func(*job, int) // test hook: runs after a grid cell completes
 
-	mJobsAdmitted   *metrics.Counter
-	mJobsReadmitted *metrics.Counter
-	mJobsSpooled    *metrics.Counter
-	mEventsDropped  *metrics.Counter
+	spoolWarnings []error // quarantined files and checkpoint-write failures
+
+	mJobsAdmitted     *metrics.Counter
+	mJobsReadmitted   *metrics.Counter
+	mJobsSpooled      *metrics.Counter
+	mEventsDropped    *metrics.Counter
+	mSpoolQuarantined *metrics.Counter
+	mCheckpoints      *metrics.Counter
 }
 
 // New validates opt, fills defaults and builds a stopped server; Start
@@ -133,6 +146,12 @@ func New(opt Options) (*Server, error) {
 	if opt.EventBuffer <= 0 {
 		opt.EventBuffer = 1024
 	}
+	if opt.CheckpointEvery < 0 {
+		return nil, fmt.Errorf("server: %w: negative CheckpointEvery", errs.ErrBadConfig)
+	}
+	if opt.CheckpointEvery > 0 && opt.SpoolDir == "" {
+		return nil, fmt.Errorf("server: %w: CheckpointEvery requires SpoolDir (checkpoints live beside the spool)", errs.ErrBadConfig)
+	}
 	s := &Server{
 		opt:   opt,
 		clock: opt.Clock,
@@ -144,6 +163,8 @@ func New(opt Options) (*Server, error) {
 	s.mJobsReadmitted = s.reg.Counter("server_jobs_readmitted_total", nil)
 	s.mJobsSpooled = s.reg.Counter("server_jobs_spooled_total", nil)
 	s.mEventsDropped = s.reg.Counter("server_events_dropped_total", nil)
+	s.mSpoolQuarantined = s.reg.Counter("server_spool_quarantined_total", nil)
+	s.mCheckpoints = s.reg.Counter("server_checkpoints_written_total", nil)
 	s.reg.RegisterGaugeFunc("server_queue_depth", nil, func() float64 {
 		n, _ := s.queue.stats()
 		return float64(n)
@@ -226,7 +247,13 @@ func (s *Server) Submit(ctx context.Context, spec JobSpec) (JobStatus, error) {
 		return JobStatus{}, fmt.Errorf("server: %w: job cost %d exceeds per-job budget %d (shrink the grid or rounds)",
 			errs.ErrBadConfig, cost, s.opt.MaxJobCost)
 	}
+	return s.admit(norm, cost, nil)
+}
 
+// admit queues one validated job, optionally seeded with checkpointed
+// cells (the spool-restart path); the completed map must be attached
+// before the push so a worker can never observe the job without it.
+func (s *Server) admit(norm JobSpec, cost int64, completed map[int]checkpointCell) (JobStatus, error) {
 	s.mu.Lock()
 	if s.draining || !s.started {
 		s.mu.Unlock()
@@ -243,11 +270,12 @@ func (s *Server) Submit(ctx context.Context, spec JobSpec) (JobStatus, error) {
 		return JobStatus{}, fmt.Errorf("server: %w: %q", errs.ErrJobExists, norm.ID)
 	}
 	j := &job{
-		spec:   norm,
-		seq:    seq,
-		cost:   cost,
-		state:  StateQueued,
-		events: newEventLog(s.opt.EventBuffer, s.mEventsDropped),
+		spec:      norm,
+		seq:       seq,
+		cost:      cost,
+		state:     StateQueued,
+		completed: completed,
+		events:    newEventLog(s.opt.EventBuffer, s.mEventsDropped),
 	}
 	s.nextSeq++
 	s.jobs[norm.ID] = j
@@ -445,23 +473,37 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 	started := s.clock.Now()
 	j.events.append(Event{Time: started, Type: EventRunning, Job: j.spec.ID, TasksTotal: len(tasks)})
 
+	// Cells already checkpointed (spool-restart resume) restore their
+	// recorded snapshots instead of re-running; cell seeds derive from
+	// the spec, so the re-assembled payload is byte-identical to an
+	// uninterrupted run's.
+	s.mu.Lock()
+	resume := make(map[int]checkpointCell, len(j.completed))
+	for i, cc := range j.completed {
+		resume[i] = cc
+	}
+	s.mu.Unlock()
+
 	// Wrap each task to emit a progress event at completion. Events fire
 	// in completion order (operational stream); the payload below is
 	// assembled in grid order (deterministic result).
 	wrapped := make([]sweep.Task, len(tasks))
 	for i, t := range tasks {
-		t := t
-		wrapped[i] = sweep.Task{
-			Name: t.Name,
-			Seed: t.Seed,
-			Run: func(tctx context.Context, seed int64) (metrics.Snapshot, error) {
-				snap, err := t.Run(tctx, seed)
-				if err == nil {
-					s.taskDone(j, t.Name, snap)
-				}
-				return snap, err
-			},
+		i, t := i, t
+		run := func(tctx context.Context, seed int64) (metrics.Snapshot, error) {
+			snap, err := t.Run(tctx, seed)
+			if err == nil {
+				s.taskDone(j, i, t.Name, t.Seed, snap)
+			}
+			return snap, err
 		}
+		if cc, ok := resume[i]; ok {
+			run = func(context.Context, int64) (metrics.Snapshot, error) {
+				s.taskDone(j, i, t.Name, t.Seed, cc.Metrics)
+				return cc.Metrics, nil
+			}
+		}
+		wrapped[i] = sweep.Task{Name: t.Name, Seed: t.Seed, Run: run}
 	}
 
 	workers := j.spec.Workers
@@ -508,12 +550,34 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 	s.settle(j, StateDone, nil)
 }
 
-// taskDone records one completed grid cell and emits its progress event.
-func (s *Server) taskDone(j *job, name string, snap metrics.Snapshot) {
+// taskDone records one completed grid cell, flushes the job's
+// checkpoint when enough new cells accumulated, and emits the cell's
+// progress event.
+func (s *Server) taskDone(j *job, idx int, name string, seed int64, snap metrics.Snapshot) {
 	s.mu.Lock()
 	j.tasksDone++
 	done, total := j.tasksDone, j.tasksTotal
+	var flush []checkpointCell
+	if s.opt.SpoolDir != "" {
+		if j.completed == nil {
+			j.completed = make(map[int]checkpointCell)
+		}
+		if _, ok := j.completed[idx]; !ok {
+			j.completed[idx] = checkpointCell{Index: idx, Name: name, Seed: seed, Metrics: snap}
+			j.ckptNew++
+		}
+		if s.opt.CheckpointEvery > 0 && j.ckptNew >= s.opt.CheckpointEvery {
+			j.ckptNew = 0
+			flush = checkpointCells(j)
+		}
+	}
 	s.mu.Unlock()
+	if flush != nil {
+		s.writeCheckpoint(j.spec, flush)
+	}
+	if s.afterTask != nil {
+		s.afterTask(j, idx)
+	}
 	s.reg.Counter("server_tasks_completed_total", nil).Inc()
 	j.events.append(Event{
 		Time: s.clock.Now(), Type: EventTask, Job: j.spec.ID, Task: name,
@@ -539,8 +603,26 @@ func (s *Server) settle(j *job, state JobState, cause error) {
 	}
 	done, total := j.tasksDone, j.tasksTotal
 	digest := j.digest
+	// A running job cut down by a graceful drain leaves its checkpoint
+	// behind (final flush, even with periodic checkpointing off) so the
+	// next start resumes it; any other settlement retires the file.
+	var flush []checkpointCell
+	removeCkpt := false
+	if s.opt.SpoolDir != "" {
+		if state == StateCanceled && j.cut {
+			flush = checkpointCells(j)
+		} else {
+			removeCkpt = true
+		}
+	}
 	s.mu.Unlock()
 
+	if flush != nil {
+		s.writeCheckpoint(j.spec, flush)
+	}
+	if removeCkpt {
+		s.removeCheckpoint(j.spec.ID)
+	}
 	s.queue.release(j.cost)
 	s.reg.Counter("server_jobs_total", metrics.Labels{"state": string(state)}).Inc()
 
@@ -621,13 +703,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return cut
 }
 
-// cancelRunning cancels every running job's context.
+// cancelRunning cancels every running job's context. These jobs are cut
+// by the drain deadline, not abandoned by their submitter, so they are
+// marked for a final checkpoint: the next start resumes them.
 func (s *Server) cancelRunning() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, j := range s.bySeq {
 		if j.state == StateRunning {
 			j.cancelled = true
+			j.cut = true
 			if j.cancel != nil {
 				j.cancel()
 			}

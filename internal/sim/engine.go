@@ -68,6 +68,16 @@ type ConfinedGenerator interface {
 	Generator
 	// Confined is a marker; implementations do nothing.
 	Confined()
+	// SnapshotState returns the generator's cursor — everything its Next
+	// stream depends on beyond construction-time configuration (RNG
+	// position, reference counts, phase switches) — as an opaque blob the
+	// same implementation's RestoreState accepts. Machine snapshots embed
+	// these blobs; a machine with any non-confined generator cannot be
+	// snapshotted.
+	SnapshotState() []byte
+	// RestoreState overwrites the generator's cursor with a state
+	// returned by SnapshotState on an identically constructed generator.
+	RestoreState(state []byte) error
 }
 
 // deferredRound reports whether the upcoming round can run under the

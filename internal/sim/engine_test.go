@@ -11,7 +11,9 @@ import (
 	"threadcluster/internal/cache"
 	"threadcluster/internal/memory"
 	"threadcluster/internal/pmu"
+	"threadcluster/internal/rng"
 	"threadcluster/internal/sched"
+	"threadcluster/internal/snapbin"
 	"threadcluster/internal/topology"
 )
 
@@ -21,7 +23,7 @@ import (
 // counters, immutable Region descriptors), so machines running it are
 // eligible for the deferred chip-parallel engine.
 type diffGen struct {
-	rng     *rand.Rand
+	rng     *rng.Rand
 	private memory.Region
 	shared  memory.Region
 	global  memory.Region
@@ -31,19 +33,43 @@ type diffGen struct {
 // Confined marks the generator parallel-safe for the engine differential.
 func (g *diffGen) Confined() {}
 
+// SnapshotState returns the generator's cursor (RNG position and step).
+func (g *diffGen) SnapshotState() []byte {
+	e := &snapbin.Enc{}
+	st := g.rng.State()
+	e.I64(st.Seed)
+	e.U64(st.Draws)
+	e.I64(int64(g.step))
+	return e.Bytes()
+}
+
+// RestoreState overwrites the generator's cursor.
+func (g *diffGen) RestoreState(state []byte) error {
+	d := snapbin.NewDec(state)
+	seed := d.I64()
+	draws := d.U64()
+	step := d.I64()
+	if err := d.Close(); err != nil {
+		return err
+	}
+	g.rng.Restore(rng.State{Seed: seed, Draws: draws})
+	g.step = int(step)
+	return nil
+}
+
 func (g *diffGen) Next() MemRef {
 	g.step++
 	ref := MemRef{Insts: 10}
 	switch {
 	case g.step%5 == 0: // group-shared line, half writes
-		ref.Addr = lineIn(g.rng, g.shared)
+		ref.Addr = lineIn(g.rng.Rand, g.shared)
 		ref.Write = g.rng.Intn(2) == 0
 		ref.Ops = 1
 	case g.step%17 == 0: // global state, occasional update
-		ref.Addr = lineIn(g.rng, g.global)
+		ref.Addr = lineIn(g.rng.Rand, g.global)
 		ref.Write = g.rng.Intn(8) == 0
 	default: // private working set
-		ref.Addr = lineIn(g.rng, g.private)
+		ref.Addr = lineIn(g.rng.Rand, g.private)
 		ref.Write = g.rng.Intn(3) == 0
 		ref.BranchStall = uint64(g.rng.Intn(3))
 		ref.OtherStall = uint64(g.rng.Intn(5))
@@ -71,12 +97,8 @@ func diffTopologies() []diffTopo {
 	}
 }
 
-// buildDiffMachine constructs a machine plus its randomized workload,
-// deterministically from seed, with capture enabled. Thread count
-// oversubscribes the machine 2:1 so scheduling stays busy, and sharing
-// groups span chips so cross-chip coherence traffic actually flows.
-func buildDiffMachine(t testing.TB, sc diffTopo, engine Engine, seed int64) *Machine {
-	t.Helper()
+// diffConfig is the differential scenario's machine configuration.
+func diffConfig(sc diffTopo, engine Engine, seed int64) Config {
 	cfg := DefaultConfig()
 	cfg.Topo = sc.topo
 	cfg.Engine = engine
@@ -88,41 +110,61 @@ func buildDiffMachine(t testing.TB, sc diffTopo, engine Engine, seed int64) *Mac
 	if sc.numa {
 		cfg.Lat = topology.NUMALatencies()
 	}
-	m, err := NewMachine(cfg)
+	return cfg
+}
+
+// diffInstall builds the scenario's randomized workload onto a fresh
+// machine, deterministically from seed. Thread count oversubscribes the
+// machine 2:1 so scheduling stays busy, and sharing groups span chips so
+// cross-chip coherence traffic actually flows. Splitting the installer
+// from the config is what lets the snapshot tests rebuild an identical
+// machine through RestoreMachine.
+func diffInstall(sc diffTopo, seed int64) func(*Machine) error {
+	return func(m *Machine) error {
+		const stripe = 1 << 32
+		nodes := memory.StripedNodes{N: sc.topo.Chips, Stripe: stripe}
+		arenas := []*memory.Arena{memory.NewDefaultArena()}
+		if sc.numa {
+			var err error
+			if arenas, err = memory.NodeArenas(nodes); err != nil {
+				return err
+			}
+			m.Hierarchy().SetNUMA(nodes)
+		}
+		arena := func(i int) *memory.Arena { return arenas[i%len(arenas)] }
+
+		seeder := rand.New(rand.NewSource(seed))
+		nThreads := 2 * sc.topo.NumCPUs()
+		nGroups := sc.topo.Chips // groups interleave across chips below
+		shared := make([]memory.Region, nGroups)
+		for i := range shared {
+			shared[i] = arena(i).MustAlloc(8*memory.LineSize, memory.LineSize)
+		}
+		global := arena(0).MustAlloc(4*memory.LineSize, memory.LineSize)
+		for i := 0; i < nThreads; i++ {
+			g := &diffGen{
+				rng:     rng.New(seeder.Int63()),
+				private: arena(i).MustAlloc(16<<10, memory.LineSize),
+				shared:  shared[i%nGroups],
+				global:  global,
+			}
+			if err := m.AddThread(&Thread{ID: sched.ThreadID(i), Gen: g, Partition: i % nGroups}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// buildDiffMachine constructs a machine plus its randomized workload.
+func buildDiffMachine(t testing.TB, sc diffTopo, engine Engine, seed int64) *Machine {
+	t.Helper()
+	m, err := NewMachine(diffConfig(sc, engine, seed))
 	if err != nil {
 		t.Fatal(err)
 	}
-
-	const stripe = 1 << 32
-	nodes := memory.StripedNodes{N: sc.topo.Chips, Stripe: stripe}
-	arenas := []*memory.Arena{memory.NewDefaultArena()}
-	if sc.numa {
-		arenas, err = memory.NodeArenas(nodes)
-		if err != nil {
-			t.Fatal(err)
-		}
-		m.Hierarchy().SetNUMA(nodes)
-	}
-	arena := func(i int) *memory.Arena { return arenas[i%len(arenas)] }
-
-	rng := rand.New(rand.NewSource(seed))
-	nThreads := 2 * sc.topo.NumCPUs()
-	nGroups := sc.topo.Chips // groups interleave across chips below
-	shared := make([]memory.Region, nGroups)
-	for i := range shared {
-		shared[i] = arena(i).MustAlloc(8*memory.LineSize, memory.LineSize)
-	}
-	global := arena(0).MustAlloc(4*memory.LineSize, memory.LineSize)
-	for i := 0; i < nThreads; i++ {
-		g := &diffGen{
-			rng:     rand.New(rand.NewSource(rng.Int63())),
-			private: arena(i).MustAlloc(16<<10, memory.LineSize),
-			shared:  shared[i%nGroups],
-			global:  global,
-		}
-		if err := m.AddThread(&Thread{ID: sched.ThreadID(i), Gen: g, Partition: i % nGroups}); err != nil {
-			t.Fatal(err)
-		}
+	if err := diffInstall(sc, seed)(m); err != nil {
+		t.Fatal(err)
 	}
 	return m
 }
@@ -356,7 +398,7 @@ func TestEngineSingleChipFallsBack(t *testing.T) {
 	}
 	arena := memory.NewDefaultArena()
 	g := &diffGen{
-		rng:     rand.New(rand.NewSource(1)),
+		rng:     rng.New(1),
 		private: arena.MustAlloc(16<<10, memory.LineSize),
 		shared:  arena.MustAlloc(8*memory.LineSize, memory.LineSize),
 		global:  arena.MustAlloc(4*memory.LineSize, memory.LineSize),

@@ -14,13 +14,13 @@ package sim
 import (
 	"context"
 	"fmt"
-	"math/rand"
 
 	"threadcluster/internal/cache"
 	"threadcluster/internal/errs"
 	"threadcluster/internal/memory"
 	"threadcluster/internal/metrics"
 	"threadcluster/internal/pmu"
+	"threadcluster/internal/rng"
 	"threadcluster/internal/sched"
 	"threadcluster/internal/topology"
 )
@@ -135,7 +135,7 @@ type Machine struct {
 
 	clock    uint64 // machine time in cycles
 	rounds   uint64 // completed scheduling rounds
-	rng      *rand.Rand
+	rng      *rng.Rand
 	ticks    []TickFunc
 	running  []sched.ThreadID // per CPU; -1 = idle
 	overhead uint64           // cycles burned in PMU overflow handlers
@@ -161,6 +161,10 @@ type Machine struct {
 	// the engine differential tests; a chip worker appends only to its
 	// own CPUs' logs, so capture is race-free under the parallel driver).
 	capture [][]cache.AccessResult
+
+	// providers holds the named opaque snapshot sections registered by
+	// attached components (see RegisterStateProvider).
+	providers map[string]StateProvider
 }
 
 // AccessObserver intercepts memory references. It returns extra stall
@@ -190,7 +194,7 @@ func NewMachine(cfg Config) (*Machine, error) {
 		hier:    hier,
 		sch:     sch,
 		threads: make(map[sched.ThreadID]*Thread),
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		rng:     rng.New(cfg.Seed),
 		running: make([]sched.ThreadID, cfg.Topo.NumCPUs()),
 	}
 	for i := 0; i < cfg.Topo.NumCPUs(); i++ {
@@ -265,7 +269,7 @@ func (m *Machine) Thread(id sched.ThreadID) *Thread {
 
 // RemoveThread withdraws a thread from the machine (a connection closing,
 // a worker exiting). It must be called between scheduling rounds — i.e.
-// from an OnTick observer or outside RunRounds — never from inside a
+// from an OnTick observer or outside RunRoundsCtx — never from inside a
 // generator or PMU handler.
 func (m *Machine) RemoveThread(id sched.ThreadID) error {
 	if _, ok := m.threads[id]; !ok {
@@ -344,28 +348,6 @@ func (m *Machine) RunRoundsCtx(ctx context.Context, n int) error {
 		m.runRound()
 	}
 	return nil
-}
-
-// RunCycles advances the machine by (at least) the given number of cycles,
-// in whole scheduling rounds, without a cancellation point.
-//
-// Deprecated: Use Run, which checks a context at every round boundary.
-func (m *Machine) RunCycles(cycles uint64) {
-	end := m.clock + cycles
-	for m.clock < end {
-		m.runRound()
-	}
-}
-
-// RunRounds advances the machine by n scheduling rounds, without a
-// cancellation point.
-//
-// Deprecated: Use RunRoundsCtx, which checks a context at every round
-// boundary.
-func (m *Machine) RunRounds(n int) {
-	for i := 0; i < n; i++ {
-		m.runRound()
-	}
 }
 
 // runRound executes one scheduling quantum on every hardware context,

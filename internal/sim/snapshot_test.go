@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"threadcluster/internal/errs"
+	"threadcluster/internal/snapbin"
+)
+
+// TestSnapshotDifferential is the snapshot pin: running N+M rounds in
+// one piece must be byte-identical to running N rounds, snapshotting,
+// encoding, decoding, restoring into a freshly built machine and running
+// M more — access streams, PMU counters, coherence counters, per-thread
+// accounting and metrics snapshots all included — on every topology,
+// both engines, and GOMAXPROCS 1/2/NumCPU. The snapshot digest must also
+// be identical across engines and GOMAXPROCS: the encoding is canonical.
+func TestSnapshotDifferential(t *testing.T) {
+	const seed = 99
+	const preRounds, postRounds = 24, 16
+	ctx := context.Background()
+	for _, sc := range diffTopologies() {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			digests := make(map[string]string)
+			for _, engine := range []Engine{EngineSeq, EngineParallel} {
+				engine := engine
+				t.Run(engine.String(), func(t *testing.T) {
+					for _, procs := range gomaxprocsLevels() {
+						procs := procs
+						t.Run(fmt.Sprintf("gomaxprocs=%d", procs), func(t *testing.T) {
+							old := runtime.GOMAXPROCS(procs)
+							defer runtime.GOMAXPROCS(old)
+
+							ref := buildDiffMachine(t, sc, engine, seed)
+							enableCapture(ref)
+							if err := ref.RunRoundsCtx(ctx, preRounds+postRounds); err != nil {
+								t.Fatal(err)
+							}
+							want := captureState(t, ref)
+
+							split := buildDiffMachine(t, sc, engine, seed)
+							enableCapture(split)
+							if err := split.RunRoundsCtx(ctx, preRounds); err != nil {
+								t.Fatal(err)
+							}
+							snap, err := split.Snapshot(ctx)
+							if err != nil {
+								t.Fatal(err)
+							}
+							enc := snap.Encode()
+							key := fmt.Sprintf("%s/gomaxprocs=%d", engine, procs)
+							digests[key] = snap.Digest()
+
+							decoded, err := DecodeSnapshot(enc)
+							if err != nil {
+								t.Fatal(err)
+							}
+							restored, err := RestoreMachine(diffConfig(sc, engine, seed), decoded, diffInstall(sc, seed))
+							if err != nil {
+								t.Fatal(err)
+							}
+							// The restored machine must re-snapshot to the
+							// exact bytes it was restored from.
+							resnap, err := restored.Snapshot(ctx)
+							if err != nil {
+								t.Fatal(err)
+							}
+							if !bytes.Equal(resnap.Encode(), enc) {
+								t.Fatal("snapshot of the restored machine diverges from the snapshot it was restored from")
+							}
+							enableCapture(restored)
+							if err := restored.RunRoundsCtx(ctx, postRounds); err != nil {
+								t.Fatal(err)
+							}
+							got := captureState(t, restored)
+							// The pre-snapshot and post-restore access
+							// streams concatenate into the uninterrupted run.
+							for c := range got.capture {
+								got.capture[c] = append(split.capture[c], got.capture[c]...)
+							}
+							diffStates(t, want, got)
+						})
+					}
+				})
+			}
+			first := ""
+			for key, dig := range digests {
+				if first == "" {
+					first = dig
+				}
+				if dig != first {
+					t.Fatalf("snapshot digest differs at %s: %s vs %s (encoding is not canonical)", key, dig, first)
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotErrors pins the refusal paths: snapshotting a machine with
+// an unconfined generator, restoring onto a machine missing a thread,
+// and decoding damaged bytes.
+func TestSnapshotErrors(t *testing.T) {
+	ctx := context.Background()
+	sc := diffTopo{name: "open720", topo: diffTopologies()[0].topo}
+
+	t.Run("unconfined generator", func(t *testing.T) {
+		m := buildDiffMachine(t, sc, EngineSeq, 5)
+		th := m.Threads()[0]
+		id, gen := th.ID, th.Gen
+		if err := m.RemoveThread(id); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.AddThread(&Thread{ID: id, Gen: unconfined{gen}}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Snapshot(ctx); !errors.Is(err, errs.ErrBadConfig) {
+			t.Fatalf("snapshot with unconfined generator: %v, want ErrBadConfig", err)
+		}
+	})
+
+	t.Run("thread set mismatch", func(t *testing.T) {
+		m := buildDiffMachine(t, sc, EngineSeq, 5)
+		snap, err := m.Snapshot(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		other := buildDiffMachine(t, sc, EngineSeq, 5)
+		if err := other.RemoveThread(other.Threads()[0].ID); err != nil {
+			t.Fatal(err)
+		}
+		if err := other.RestoreSnapshot(snap); !errors.Is(err, errs.ErrBadConfig) {
+			t.Fatalf("restore with missing thread: %v, want ErrBadConfig", err)
+		}
+	})
+
+	t.Run("damaged bytes", func(t *testing.T) {
+		m := buildDiffMachine(t, sc, EngineSeq, 5)
+		snap, err := m.Snapshot(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc := snap.Encode()
+		if _, err := DecodeSnapshot(enc[:len(enc)/2]); !errors.Is(err, snapbin.ErrCorrupt) {
+			t.Fatalf("truncated snapshot: %v, want ErrCorrupt", err)
+		}
+		flipped := append([]byte(nil), enc...)
+		flipped[len(flipped)/3] ^= 0x40
+		if _, err := DecodeSnapshot(flipped); !errors.Is(err, snapbin.ErrCorrupt) {
+			t.Fatalf("bit-flipped snapshot: %v, want ErrCorrupt", err)
+		}
+		if _, err := DecodeSnapshot(nil); !errors.Is(err, snapbin.ErrCorrupt) {
+			t.Fatalf("empty snapshot: %v, want ErrCorrupt", err)
+		}
+	})
+
+	t.Run("mid-quantum refusal", func(t *testing.T) {
+		m := buildDiffMachine(t, sc, EngineSeq, 5)
+		m.running[0] = m.Threads()[0].ID
+		if _, err := m.Snapshot(ctx); !errors.Is(err, errs.ErrThreadRunning) {
+			t.Fatalf("mid-quantum snapshot: %v, want ErrThreadRunning", err)
+		}
+		m.running[0] = -1
+	})
+
+	t.Run("provider name rules", func(t *testing.T) {
+		m := buildDiffMachine(t, sc, EngineSeq, 5)
+		p := StateProvider{
+			Save:    func(*snapbin.Enc) error { return nil },
+			Restore: func(*snapbin.Dec) error { return nil },
+		}
+		if err := m.RegisterStateProvider("cache", p); !errors.Is(err, errs.ErrBadConfig) {
+			t.Fatalf("reserved name: %v, want ErrBadConfig", err)
+		}
+		if err := m.RegisterStateProvider("x", p); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.RegisterStateProvider("x", p); !errors.Is(err, errs.ErrAlreadyInstalled) {
+			t.Fatalf("duplicate name: %v, want ErrAlreadyInstalled", err)
+		}
+	})
+}
+
+// FuzzSnapshotDecode pins two properties of the decoder: arbitrary bytes
+// never panic it, and any input it accepts re-encodes to the exact bytes
+// it was decoded from.
+func FuzzSnapshotDecode(f *testing.F) {
+	sc := diffTopologies()[0]
+	m, err := NewMachine(diffConfig(sc, EngineSeq, 17))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := diffInstall(sc, 17)(m); err != nil {
+		f.Fatal(err)
+	}
+	if err := m.RunRoundsCtx(context.Background(), 4); err != nil {
+		f.Fatal(err)
+	}
+	snap, err := m.Snapshot(context.Background())
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid := snap.Encode()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := DecodeSnapshot(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(got.Encode(), data) {
+			t.Fatalf("accepted snapshot does not re-encode to its input (%d bytes)", len(data))
+		}
+	})
+}

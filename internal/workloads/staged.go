@@ -2,12 +2,13 @@ package workloads
 
 import (
 	"fmt"
-	"math/rand"
 
 	"threadcluster/internal/errs"
 	"threadcluster/internal/memory"
+	"threadcluster/internal/rng"
 	"threadcluster/internal/sched"
 	"threadcluster/internal/sim"
+	"threadcluster/internal/snapbin"
 )
 
 // StagedConfig parameterizes a SEDA-style staged server (Welsh et al.,
@@ -53,7 +54,7 @@ func DefaultStagedConfig() StagedConfig {
 // stagedWorker processes events: dequeue from the inbound queue, consult
 // stage state, work on private scratch, enqueue to the outbound queue.
 type stagedWorker struct {
-	rng      *rand.Rand
+	rng      *rng.Rand
 	inbound  memory.Region
 	outbound memory.Region
 	state    memory.Region
@@ -65,23 +66,48 @@ type stagedWorker struct {
 // RNG and step counter and reads only immutable Region descriptors.
 func (w *stagedWorker) Confined() {}
 
+// SnapshotState returns the worker's cursor: RNG position and step.
+func (w *stagedWorker) SnapshotState() []byte {
+	e := &snapbin.Enc{}
+	st := w.rng.State()
+	e.I64(st.Seed)
+	e.U64(st.Draws)
+	e.I64(int64(w.step))
+	return e.Bytes()
+}
+
+// RestoreState overwrites the worker's cursor with a SnapshotState blob
+// from an identically constructed worker.
+func (w *stagedWorker) RestoreState(state []byte) error {
+	d := snapbin.NewDec(state)
+	seed := d.I64()
+	draws := d.U64()
+	step := d.I64()
+	if err := d.Close(); err != nil {
+		return fmt.Errorf("workloads: staged cursor: %w", err)
+	}
+	w.rng.Restore(rng.State{Seed: seed, Draws: draws})
+	w.step = int(step)
+	return nil
+}
+
 func (w *stagedWorker) Next() sim.MemRef {
 	w.step++
-	branch, other := stallNoise(w.rng, 2, 4)
+	branch, other := stallNoise(w.rng.Rand, 2, 4)
 	base := sim.MemRef{Insts: 10, BranchStall: branch, OtherStall: other}
 	switch w.step % 6 {
 	case 0: // dequeue: read + head-pointer update on the inbound queue
-		base.Addr = pickHot(w.rng, w.inbound, 2, 0.6)
+		base.Addr = pickHot(w.rng.Rand, w.inbound, 2, 0.6)
 		base.Write = w.rng.Intn(2) == 0
 	case 1: // enqueue: write into the outbound queue
-		base.Addr = pickHot(w.rng, w.outbound, 2, 0.6)
+		base.Addr = pickHot(w.rng.Rand, w.outbound, 2, 0.6)
 		base.Write = true
 		base.Ops = 1 // one event processed
 	case 2: // stage-internal shared state, read-mostly
-		base.Addr = pick(w.rng, w.state)
+		base.Addr = pick(w.rng.Rand, w.state)
 		base.Write = w.rng.Intn(8) == 0
 	default: // private scratch work
-		base.Addr = pick(w.rng, w.scratch)
+		base.Addr = pick(w.rng.Rand, w.scratch)
 		base.Write = w.rng.Intn(3) == 0
 	}
 	return base
@@ -118,7 +144,7 @@ func NewStaged(arena *memory.Arena, cfg StagedConfig) (*Spec, error) {
 			return nil, err
 		}
 		w := &stagedWorker{
-			rng:      rand.New(rand.NewSource(cfg.Seed*86243 + int64(i))),
+			rng:      rng.New(cfg.Seed*86243 + int64(i)),
 			inbound:  queues[stage],
 			outbound: queues[stage+1],
 			state:    states[stage],

@@ -2,12 +2,13 @@ package workloads
 
 import (
 	"fmt"
-	"math/rand"
 
 	"threadcluster/internal/errs"
 	"threadcluster/internal/memory"
+	"threadcluster/internal/rng"
 	"threadcluster/internal/sched"
 	"threadcluster/internal/sim"
+	"threadcluster/internal/snapbin"
 )
 
 // SyntheticConfig parameterizes the Section 5.3.1 microbenchmark: "a
@@ -53,14 +54,16 @@ func DefaultSyntheticConfig() SyntheticConfig {
 }
 
 type syntheticWorker struct {
-	rng        *rand.Rand
+	rng        *rng.Rand
 	private    memory.Region
 	scoreboard memory.Region
 	cfg        SyntheticConfig
 
 	// Phase-change support (Section 4.1: "application phase changes are
 	// automatically accounted for by this iterative process"): after
-	// phaseAfterRefs references the worker switches to secondBoard.
+	// phaseAfterRefs references the worker switches from firstBoard to
+	// secondBoard.
+	firstBoard     memory.Region
 	secondBoard    memory.Region
 	phaseAfterRefs uint64
 	refs           uint64
@@ -70,16 +73,49 @@ type syntheticWorker struct {
 // phase state and reads only immutable Region descriptors.
 func (w *syntheticWorker) Confined() {}
 
+// SnapshotState returns the worker's cursor: RNG position and reference
+// count (the phase switch is derived from the count on restore).
+func (w *syntheticWorker) SnapshotState() []byte {
+	e := &snapbin.Enc{}
+	st := w.rng.State()
+	e.I64(st.Seed)
+	e.U64(st.Draws)
+	e.U64(w.refs)
+	return e.Bytes()
+}
+
+// RestoreState overwrites the worker's cursor with a SnapshotState blob
+// from an identically constructed worker.
+func (w *syntheticWorker) RestoreState(state []byte) error {
+	d := snapbin.NewDec(state)
+	seed := d.I64()
+	draws := d.U64()
+	refs := d.U64()
+	if err := d.Close(); err != nil {
+		return fmt.Errorf("workloads: synthetic cursor: %w", err)
+	}
+	w.rng.Restore(rng.State{Seed: seed, Draws: draws})
+	w.refs = refs
+	// Next switches boards exactly when refs hits phaseAfterRefs; the
+	// restored cursor decides which side of the switch the worker is on.
+	if w.phaseAfterRefs > 0 && w.refs >= w.phaseAfterRefs {
+		w.scoreboard = w.secondBoard
+	} else {
+		w.scoreboard = w.firstBoard
+	}
+	return nil
+}
+
 func (w *syntheticWorker) Next() sim.MemRef {
 	w.refs++
 	if w.phaseAfterRefs > 0 && w.refs == w.phaseAfterRefs {
 		w.scoreboard = w.secondBoard
 	}
-	branch, other := stallNoise(w.rng, 2, 4)
+	branch, other := stallNoise(w.rng.Rand, 2, 4)
 	if w.rng.Float64() < w.cfg.SharedRatio {
 		// Read-modify the scoreboard: one task completed per touch.
 		return sim.MemRef{
-			Addr:        pick(w.rng, w.scoreboard),
+			Addr:        pick(w.rng.Rand, w.scoreboard),
 			Write:       w.rng.Float64() < w.cfg.WriteRatio,
 			Insts:       10,
 			BranchStall: branch,
@@ -88,7 +124,7 @@ func (w *syntheticWorker) Next() sim.MemRef {
 		}
 	}
 	return sim.MemRef{
-		Addr:        pick(w.rng, w.private),
+		Addr:        pick(w.rng.Rand, w.private),
 		Write:       w.rng.Intn(4) == 0,
 		Insts:       10,
 		BranchStall: branch,
@@ -128,9 +164,10 @@ func NewSynthetic(arena *memory.Arena, cfg SyntheticConfig) (*Spec, error) {
 			return nil, err
 		}
 		w := &syntheticWorker{
-			rng:        rand.New(rand.NewSource(cfg.Seed*7919 + int64(i))),
+			rng:        rng.New(cfg.Seed*7919 + int64(i)),
 			private:    private,
 			scoreboard: boards[board],
+			firstBoard: boards[board],
 			cfg:        cfg,
 		}
 		spec.Threads = append(spec.Threads, &sim.Thread{

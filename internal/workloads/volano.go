@@ -2,12 +2,13 @@ package workloads
 
 import (
 	"fmt"
-	"math/rand"
 
 	"threadcluster/internal/errs"
 	"threadcluster/internal/memory"
+	"threadcluster/internal/rng"
 	"threadcluster/internal/sched"
 	"threadcluster/internal/sim"
+	"threadcluster/internal/snapbin"
 )
 
 // VolanoConfig parameterizes the VolanoMark-like chat server workload
@@ -53,7 +54,7 @@ func DefaultVolanoConfig() VolanoConfig {
 // buffer); a "writer" posts the client's messages (read conn buffer,
 // write room board). Both occasionally touch global server state.
 type volanoThread struct {
-	rng    *rand.Rand
+	rng    *rng.Rand
 	writer bool
 	room   memory.Region
 	conn   memory.Region
@@ -66,23 +67,48 @@ type volanoThread struct {
 // its RNG and step counter and reads only immutable Region descriptors.
 func (v *volanoThread) Confined() {}
 
+// SnapshotState returns the thread's cursor: RNG position and step.
+func (v *volanoThread) SnapshotState() []byte {
+	e := &snapbin.Enc{}
+	st := v.rng.State()
+	e.I64(st.Seed)
+	e.U64(st.Draws)
+	e.I64(int64(v.step))
+	return e.Bytes()
+}
+
+// RestoreState overwrites the thread's cursor with a SnapshotState blob
+// from an identically constructed thread.
+func (v *volanoThread) RestoreState(state []byte) error {
+	d := snapbin.NewDec(state)
+	seed := d.I64()
+	draws := d.U64()
+	step := d.I64()
+	if err := d.Close(); err != nil {
+		return fmt.Errorf("workloads: volano cursor: %w", err)
+	}
+	v.rng.Restore(rng.State{Seed: seed, Draws: draws})
+	v.step = int(step)
+	return nil
+}
+
 func (v *volanoThread) Next() sim.MemRef {
 	v.step++
-	branch, other := stallNoise(v.rng, 3, 6)
+	branch, other := stallNoise(v.rng.Rand, 3, 6)
 	base := sim.MemRef{Insts: 12, BranchStall: branch, OtherStall: other}
 	switch v.step % 8 {
 	case 0: // message transfer through the room board
-		base.Addr = pickHot(v.rng, v.room, 4, 0.5)
+		base.Addr = pickHot(v.rng.Rand, v.room, 4, 0.5)
 		base.Write = v.writer
 		base.Ops = 1 // one message handled
 	case 1: // connection buffer (pair-shared)
-		base.Addr = pick(v.rng, v.conn)
+		base.Addr = pick(v.rng.Rand, v.conn)
 		base.Write = !v.writer
 	case 2: // global server state, mostly reads with occasional updates
-		base.Addr = pick(v.rng, v.global)
+		base.Addr = pick(v.rng.Rand, v.global)
 		base.Write = v.rng.Intn(16) == 0
 	default: // heap churn: parsing, formatting, GC-ish traffic
-		base.Addr = pick(v.rng, v.heap)
+		base.Addr = pick(v.rng.Rand, v.heap)
 		base.Write = v.rng.Intn(3) == 0
 	}
 	return base
@@ -155,7 +181,7 @@ func (s *VolanoServer) NewConnection(room int) ([]*sim.Thread, error) {
 			return nil, err
 		}
 		th := &volanoThread{
-			rng:    rand.New(rand.NewSource(s.cfg.Seed*104729 + int64(s.nextID))),
+			rng:    rng.New(s.cfg.Seed*104729 + int64(s.nextID)),
 			writer: writer,
 			room:   s.rooms[room],
 			conn:   conn,

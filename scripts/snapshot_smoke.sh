@@ -1,0 +1,155 @@
+#!/usr/bin/env sh
+# snapshot_smoke.sh: end-to-end smoke test of the snapshot/restore and
+# checkpoint/resume paths.
+#
+# Two contracts are pinned:
+#
+#   1. Machine snapshots: `tcsim snapshot` run for N+M rounds in one go
+#      and as a snapshot/resume pair at N produces byte-identical
+#      snapshot files (the canonical encoding is a pure function of the
+#      simulated state).
+#   2. Daemon checkpoints: a tcsimd job cut down mid-run by a zero-grace
+#      drain leaves a completed-cell checkpoint beside the spool, and a
+#      restarted daemon resumes it to the same result digest
+#      `tcsim sweep -digest` computes offline.
+#
+# Used by `make snapshot-smoke` and the CI snapshot-smoke job.
+set -eu
+
+GO=${GO:-go}
+WORK=$(mktemp -d)
+PID=""
+cleanup() {
+    [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+echo "snapshot-smoke: building tcsimd and tcsim"
+$GO build -o "$WORK/tcsimd" ./cmd/tcsimd
+$GO build -o "$WORK/tcsim" ./cmd/tcsim
+
+# --- 1. split-run snapshot identity ---------------------------------
+
+"$WORK/tcsim" snapshot -policy clustered -rounds 80 -out "$WORK/full.snap" >/dev/null 2>&1
+"$WORK/tcsim" snapshot -policy clustered -rounds 50 -out "$WORK/half.snap" >/dev/null 2>&1
+"$WORK/tcsim" snapshot -policy clustered -resume "$WORK/half.snap" -rounds 30 \
+    -out "$WORK/resumed.snap" >/dev/null 2>&1
+if ! cmp -s "$WORK/full.snap" "$WORK/resumed.snap"; then
+    echo "snapshot-smoke: SNAPSHOT MISMATCH: 80 rounds != 50+30 rounds" >&2
+    exit 1
+fi
+echo "snapshot-smoke: split-run snapshot is byte-identical to the unbroken run"
+
+# --- 2. daemon checkpoint, kill, resume -----------------------------
+
+SPOOL="$WORK/spool"
+mkdir -p "$SPOOL"
+
+start_daemon() {
+    : >"$WORK/stdout"
+    "$WORK/tcsimd" -addr 127.0.0.1:0 -job-workers 1 \
+        -spool "$SPOOL" -checkpoint-every 1 -grace 0s \
+        >"$WORK/stdout" 2>"$WORK/stderr" &
+    PID=$!
+    ADDR=""
+    i=0
+    while [ $i -lt 100 ]; do
+        ADDR=$(sed -n 's/^tcsimd: listening on //p' "$WORK/stdout")
+        [ -n "$ADDR" ] && break
+        if ! kill -0 "$PID" 2>/dev/null; then
+            echo "snapshot-smoke: tcsimd exited early" >&2
+            cat "$WORK/stderr" >&2
+            exit 1
+        fi
+        sleep 0.1
+        i=$((i + 1))
+    done
+    if [ -z "$ADDR" ]; then
+        echo "snapshot-smoke: tcsimd never printed its listen banner" >&2
+        cat "$WORK/stderr" >&2
+        exit 1
+    fi
+}
+
+fetch() {
+    if command -v curl >/dev/null 2>&1; then
+        curl -fsS "$1"
+    else
+        wget -qO- "$1"
+    fi
+}
+
+GRID="-workloads microbenchmark,volano -policies default,clustered -warm 100 -engine 300 -measure 100 -seed 5"
+
+# shellcheck disable=SC2086 # word-splitting the grid flags is the point
+OFFLINE=$("$WORK/tcsim" sweep -digest $GRID 2>/dev/null)
+
+start_daemon
+echo "snapshot-smoke: daemon up at $ADDR (spool $SPOOL)"
+
+# Admit the job without waiting, then let it run until the first
+# completed grid cell lands in the checkpoint.
+# shellcheck disable=SC2086
+"$WORK/tcsim" submit -addr "$ADDR" -id ckpt-job -wait=false $GRID >/dev/null 2>&1
+
+i=0
+while [ ! -f "$SPOOL/ckpt-job.ckpt" ]; do
+    if [ $i -ge 300 ]; then
+        echo "snapshot-smoke: no checkpoint appeared within 30s" >&2
+        cat "$WORK/stderr" >&2
+        exit 1
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+
+# Cut the job down mid-run: zero grace means the drain deadline strikes
+# immediately, the running job is canceled and its final checkpoint
+# flushed on the way out.
+kill -TERM "$PID"
+wait "$PID" 2>/dev/null || true
+PID=""
+if [ ! -f "$SPOOL/ckpt-job.ckpt" ]; then
+    echo "snapshot-smoke: checkpoint missing after the cut drain" >&2
+    exit 1
+fi
+echo "snapshot-smoke: job cut mid-run; checkpoint survives in the spool"
+
+# Restart onto the same spool: the checkpoint re-admits and the job
+# resumes from its completed cells.
+start_daemon
+echo "snapshot-smoke: daemon restarted at $ADDR"
+
+STATE=""
+i=0
+while [ $i -lt 600 ]; do
+    STATUS=$(fetch "$ADDR/v1/jobs/ckpt-job" 2>/dev/null || true)
+    STATE=$(printf '%s' "$STATUS" | sed -n 's/.*"state": *"\([a-z]*\)".*/\1/p')
+    case "$STATE" in
+    done) break ;;
+    failed | canceled)
+        echo "snapshot-smoke: resumed job ended $STATE: $STATUS" >&2
+        exit 1
+        ;;
+    esac
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ "$STATE" != "done" ]; then
+    echo "snapshot-smoke: resumed job never finished (last state: $STATE)" >&2
+    cat "$WORK/stderr" >&2
+    exit 1
+fi
+
+REMOTE=$(printf '%s' "$STATUS" | sed -n 's/.*"digest": *"\([a-z0-9:]*\)".*/\1/p')
+if [ "$OFFLINE" != "$REMOTE" ]; then
+    echo "snapshot-smoke: DIGEST MISMATCH: offline=$OFFLINE resumed=$REMOTE" >&2
+    exit 1
+fi
+echo "snapshot-smoke: resumed digest matches the offline sweep: $REMOTE"
+
+kill "$PID"
+wait "$PID" 2>/dev/null || true
+PID=""
+echo "snapshot-smoke: ok"
