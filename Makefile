@@ -42,16 +42,21 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Benchmark regression guards: compare the broadcast-vs-directory
-# coherence benchmarks against BENCH_coherence.json, and the seq-vs-
-# parallel engine benchmarks against BENCH_sim.json. Fails when a
-# benchmark regresses past tolerance or a speedup pair drops below its
-# required minimum; the parallel-engine speedup gate only applies on
-# hosts with at least min_cores cores (benchcmp skips it below that).
+# coherence benchmarks against BENCH_coherence.json, the seq-vs-
+# parallel engine benchmarks against BENCH_sim.json, and the incremental
+# clustering per-event benchmarks against BENCH_clustering.json. Fails
+# when a benchmark regresses past tolerance, a speedup pair drops below
+# its required minimum, or a scaling pair exceeds its max_ratio ceiling
+# (per-event cost at 100k threads must stay within 8x of 1k); the
+# parallel-engine speedup gate only applies on hosts with at least
+# min_cores cores (benchcmp skips it below that).
 bench-compare:
 	$(GO) test -run '^$$' -bench BenchmarkCoherence -benchtime 1s ./internal/cache \
 		| $(GO) run ./cmd/benchcmp -baseline BENCH_coherence.json
 	$(GO) test -run '^$$' -bench 'BenchmarkMachineRound32Way(Seq|Parallel)' -benchtime 2s ./internal/sim \
 		| $(GO) run ./cmd/benchcmp -baseline BENCH_sim.json
+	$(GO) test -run '^$$' -bench BenchmarkIncrementalEvent -benchtime 1s ./internal/clustering \
+		| $(GO) run ./cmd/benchcmp -baseline BENCH_clustering.json
 
 # Refresh the committed baselines from this machine.
 bench-baseline:
@@ -59,6 +64,8 @@ bench-baseline:
 		| $(GO) run ./cmd/benchcmp -baseline BENCH_coherence.json -update
 	$(GO) test -run '^$$' -bench 'BenchmarkMachineRound32Way(Seq|Parallel)' -benchtime 2s ./internal/sim \
 		| $(GO) run ./cmd/benchcmp -baseline BENCH_sim.json -update
+	$(GO) test -run '^$$' -bench BenchmarkIncrementalEvent -benchtime 1s ./internal/clustering \
+		| $(GO) run ./cmd/benchcmp -baseline BENCH_clustering.json -update
 
 # Report-only benchmark smoke: runs the guarded benchmarks through
 # benchcmp -report, which prints every comparison against the committed
@@ -69,21 +76,28 @@ bench-smoke:
 		| $(GO) run ./cmd/benchcmp -baseline BENCH_coherence.json -report
 	$(GO) test -run '^$$' -bench 'BenchmarkMachineRound32Way(Seq|Parallel)' -benchtime 2s ./internal/sim \
 		| $(GO) run ./cmd/benchcmp -baseline BENCH_sim.json -report
+	$(GO) test -run '^$$' -bench BenchmarkIncrementalEvent -benchtime 1s ./internal/clustering \
+		| $(GO) run ./cmd/benchcmp -baseline BENCH_clustering.json -report
 
 # Short fuzzing pass over the coherence differential target, the trace
-# parser and the snapshot decoder (CI runs the same).
+# parser, the snapshot decoder and the sketch estimator's error-bound
+# invariants (CI runs the same).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzHierarchyAccess -fuzztime 30s ./internal/cache
 	$(GO) test -run '^$$' -fuzz FuzzLoad -fuzztime 15s ./internal/trace
 	$(GO) test -run '^$$' -fuzz FuzzSnapshotDecode -fuzztime 15s ./internal/sim
+	$(GO) test -run '^$$' -fuzz FuzzSketchEstimate -fuzztime 15s ./internal/clustering
 
 # Race-detector coverage for the concurrent packages, including the
 # chip-parallel engine differential (seq vs parallel byte-identity under
-# every GOMAXPROCS level), the snapshot N+M differential and the job
-# server + client under load.
+# every GOMAXPROCS level), the snapshot N+M differential (including the
+# sketch state provider), the incremental-vs-batch clustering
+# differential at several GOMAXPROCS levels, and the job server + client
+# under load.
 test-race:
 	$(GO) test -race ./internal/metrics ./internal/sweep
 	$(GO) test -race -run 'TestEngine|TestRunSlice|TestSnapshot' ./internal/sim
+	$(GO) test -race -run 'TestIncremental|TestSketch' -cpu 1,2,4 ./internal/clustering
 	$(GO) test -race ./internal/server ./internal/client
 
 # End-to-end smoke of the tcsimd job service: boot the daemon, submit a

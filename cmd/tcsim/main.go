@@ -12,8 +12,11 @@
 // Paper experiments: table1, fig1, fig3, fig5, fig6, fig7, fig8,
 // spatial, scale32, sdar. Extension studies: ablation, threshold,
 // pagevspmu, numa, phase, contention, migration, multiprog, smt, mux,
-// probe, staged, churn. Use -exp all for everything and -markdown for
-// GitHub-flavored tables.
+// probe, staged, churn, streaming. Use -exp all for everything and
+// -markdown for GitHub-flavored tables. The -cluster flag swaps the
+// engine's per-detection batch pass for the incremental clusterer
+// (dense vectors or fixed-size sketches); results are differentially
+// tested to match batch.
 //
 // The sweep subcommand fans a configuration grid (policy x topology x
 // workload) across a worker pool and emits a metrics table:
@@ -76,7 +79,7 @@ func main() {
 		}
 	}
 	var (
-		exp       = flag.String("exp", "all", "experiment to run: table1|fig1|fig3|fig5|fig6|fig7|fig8|spatial|scale32|sdar|ablation|pagevspmu|threshold|numa|phase|contention|migration|multiprog|smt|mux|probe|staged|churn|all")
+		exp       = flag.String("exp", "all", "experiment to run: table1|fig1|fig3|fig5|fig6|fig7|fig8|spatial|scale32|sdar|ablation|pagevspmu|threshold|numa|phase|contention|migration|multiprog|smt|mux|probe|staged|churn|streaming|all")
 		workload  = flag.String("workload", experiments.Volano, "workload for fig3: microbenchmark|volano|specjbb|rubis")
 		seed      = flag.Int64("seed", 1, "simulation seed")
 		warm      = flag.Int("warm", 0, "override warm-up rounds (0 = default)")
@@ -84,6 +87,7 @@ func main() {
 		markdown  = flag.Bool("markdown", false, "emit tables as GitHub-flavored Markdown")
 		coherence = flag.String("coherence", "directory", "cache-coherence implementation: directory|broadcast (results are identical; directory is faster)")
 		engine    = flag.String("engine", "parallel", "execution engine for eligible multi-chip rounds: seq|parallel (results are byte-identical)")
+		cluster   = flag.String("cluster", "batch", "clustering path: batch (from-scratch per detection)|dense|sketch (incremental)")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof   = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
@@ -109,6 +113,13 @@ func main() {
 		os.Exit(2)
 	}
 	opt.Engine = eng
+	if *cluster != "batch" {
+		opt.ClusterMode = *cluster
+		if _, err := experiments.EngineConfigFor(opt); err != nil {
+			fmt.Fprintln(os.Stderr, "tcsim:", err)
+			os.Exit(2)
+		}
+	}
 
 	stopCPU, err := startCPUProfile(*cpuprof)
 	if err != nil {
@@ -307,6 +318,13 @@ func run(ctx context.Context, exp, workload string, opt experiments.Options, mar
 	}
 	if show("churn") {
 		_, t, err := experiments.Churn(ctx, opt)
+		if err != nil {
+			return err
+		}
+		emit(t)
+	}
+	if show("streaming") {
+		_, t, err := experiments.Streaming(ctx, opt)
 		if err != nil {
 			return err
 		}

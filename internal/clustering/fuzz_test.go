@@ -1,0 +1,95 @@
+package clustering
+
+import (
+	"testing"
+
+	"threadcluster/internal/snapbin"
+)
+
+// FuzzSketchEstimate pins the sketch against arbitrary counter rows:
+//
+//   - the deterministic sandwich of the Sketch doc comment — dense
+//     Cosine(a,b) <= sketch Cosine, raw estimate <= Ceiling — must hold
+//     for ANY pair of equal-length vectors, not just banded workloads;
+//   - a save/restore round trip must be lossless and byte-stable;
+//   - decoding corrupted bytes must never panic and must either fail
+//     (snapbin.ErrCorrupt for validated invariants) or produce a sketch
+//     that still satisfies the public invariants.
+func FuzzSketchEstimate(f *testing.F) {
+	f.Add([]byte{10, 0, 200, 3}, []byte{0, 10, 200}, uint8(3), false, uint16(0))
+	f.Add([]byte{255, 255, 255, 255, 255, 255, 255, 255}, []byte{255}, uint8(0), false, uint16(3))
+	f.Add([]byte{7, 7, 7}, []byte{7, 7, 7}, uint8(8), true, uint16(12))
+	f.Add([]byte{}, []byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, uint8(1), true, uint16(40))
+
+	f.Fuzz(func(t *testing.T, av, bv []byte, floor uint8, corrupt bool, flip uint16) {
+		const maxEntries = 2048
+		if len(av) > maxEntries {
+			av = av[:maxEntries]
+		}
+		if len(bv) > maxEntries {
+			bv = bv[:maxEntries]
+		}
+		// The sandwich needs a common entry count (dense Cosine scores
+		// only the common prefix); pad the shorter vector with zeros.
+		n := len(av)
+		if len(bv) > n {
+			n = len(bv)
+		}
+		a := NewShMap(n + 1)
+		b := NewShMap(n + 1)
+		copy(a.counters, av)
+		copy(b.counters, bv)
+
+		// Narrow sketches force collisions, the interesting regime.
+		sa := SketchShMap(a, floor, 2, 16)
+		sb := SketchShMap(b, floor, 2, 16)
+		dense := Cosine(a, b, floor, nil)
+		est := sa.Cosine(sb)
+		if est < dense-1e-9 {
+			t.Fatalf("sketch underestimated: dense %v > estimate %v", dense, est)
+		}
+		if est < 0 || est > 1 {
+			t.Fatalf("estimate %v outside [0,1]", est)
+		}
+		if ceiling := sa.Ceiling(sb); sa.cosineRaw(sb) > ceiling+1e-9 {
+			t.Fatalf("raw estimate %v above ceiling %v", sa.cosineRaw(sb), ceiling)
+		}
+		if sa.Cosine(sb) != sb.Cosine(sa) {
+			t.Fatal("estimator is not symmetric")
+		}
+
+		var enc snapbin.Enc
+		sa.SaveState(&enc)
+		buf := append([]byte(nil), enc.Bytes()...)
+		if corrupt {
+			buf[int(flip)%len(buf)]++
+		}
+		r := NewSketch(2, 16)
+		err := r.RestoreState(snapbin.NewDec(buf))
+		if !corrupt {
+			if err != nil {
+				t.Fatalf("round trip of valid state failed: %v", err)
+			}
+			var enc2 snapbin.Enc
+			r.SaveState(&enc2)
+			if string(enc2.Bytes()) != string(enc.Bytes()) {
+				t.Fatal("re-saved state is not byte-identical")
+			}
+			if got := r.Cosine(sb); got != est {
+				t.Fatalf("restored sketch scores %v, original %v", got, est)
+			}
+			return
+		}
+		if err != nil {
+			return // rejected, as malformed input should be
+		}
+		// The flip happened to survive validation; the public invariants
+		// must still hold (the estimator stays safe to use).
+		if r.Inflation() < 1-1e-9 {
+			t.Fatalf("corrupted-but-accepted sketch has inflation %v < 1", r.Inflation())
+		}
+		if c := r.Cosine(r); !r.Empty() && c != 1 {
+			t.Fatalf("corrupted-but-accepted sketch self-cosine %v != 1", c)
+		}
+	})
+}

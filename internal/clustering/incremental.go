@@ -1,0 +1,618 @@
+package clustering
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"threadcluster/internal/errs"
+)
+
+// Mode selects the similarity representation the incremental engine
+// retains per thread.
+type Mode int
+
+const (
+	// ModeDense retains each thread's full shMap vector and scores with
+	// the configured dense metric plus the global-sharing mask — exact,
+	// O(entries) memory per thread. The batch path of the paper.
+	ModeDense Mode = iota
+	// ModeSketch retains a fixed-size Sketch per thread and scores with
+	// the sketch cosine estimator — the scale path: memory and similarity
+	// cost independent of the dense entry count, at the documented
+	// estimation error.
+	ModeSketch
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeDense:
+		return "dense"
+	case ModeSketch:
+		return "sketch"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// ParseMode parses "dense" or "sketch".
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "dense":
+		return ModeDense, nil
+	case "sketch":
+		return ModeSketch, nil
+	}
+	return 0, fmt.Errorf("clustering: unknown mode %q (want dense|sketch): %w", s, errs.ErrBadConfig)
+}
+
+// EngineConfig parameterizes the incremental clusterer.
+type EngineConfig struct {
+	// Clustering carries the dense one-pass parameters (threshold, floor,
+	// global fraction, metric). Full reclusters in ModeDense run exactly
+	// this configuration's Cluster, so incremental results snap to the
+	// batch partition at every recluster point.
+	Clustering Config
+	// Mode selects dense vectors or sketches (see Mode).
+	Mode Mode
+	// SketchRows/SketchWidth shape the per-thread sketches in ModeSketch
+	// (defaults apply when <= 0).
+	SketchRows, SketchWidth int
+	// SketchThreshold is the cosine score above which a thread joins a
+	// cluster in ModeSketch (the dense dot-product threshold does not
+	// transfer: sketch cosine is scale-free). Default 0.6.
+	SketchThreshold float64
+	// DriftThreshold triggers a full recluster when the mean per-event
+	// centroid displacement over the sliding window exceeds it. Lower is
+	// more eager; a negative value with DriftWindow 1 reclusters on every
+	// event (the differential tests use exactly that to pin incremental
+	// == batch continuously). Default 0.25.
+	DriftThreshold float64
+	// DriftWindow is how many per-event displacement samples the
+	// detector averages over; the window must fill before it can fire,
+	// so the window length is also the minimum event distance between
+	// reclusters. Default 64.
+	DriftWindow int
+}
+
+// DefaultEngineConfig returns the paper's clustering parameters with the
+// incremental defaults.
+func DefaultEngineConfig() EngineConfig {
+	return EngineConfig{
+		Clustering:      DefaultConfig(),
+		SketchThreshold: 0.6,
+		DriftThreshold:  0.25,
+		DriftWindow:     64,
+	}
+}
+
+// liveCluster is one cluster under incremental maintenance.
+type liveCluster struct {
+	rep     ThreadKey
+	members map[ThreadKey]struct{}
+	// centroid is the running sum of the members' vectors — dense
+	// counters in ModeDense, row-major folded buckets in ModeSketch —
+	// and baseline is its value at the last recluster (or at founding).
+	// Drift is the angle between the two.
+	centroid []uint64
+	baseline []uint64
+}
+
+// Engine clusters threads incrementally: instead of re-running the
+// one-pass clusterer over every thread whenever anything changes
+// (O(threads x clusters) similarity work — the paper's ~32 threads make
+// that free, 1e5+ threads do not), it updates assignments per event:
+//
+//   - ApplyChurn handles thread arrival and departure;
+//   - ApplyMigration handles a sharing-delta (a thread's vector changed),
+//     migrating the thread between clusters when its similarity moved.
+//
+// Each event costs O(clusters + entries) similarity work — independent
+// of the thread count (pinned by the BENCH_clustering.json sublinear
+// guard). A sharing-drift detector watches per-cluster centroid
+// displacement over a sliding window and triggers a full batch recluster
+// only when the sharing pattern actually changes, after which the
+// partition is exactly what Cluster would produce from scratch
+// (TestIncrementalMatchesBatch pins this at every recluster point).
+//
+// The engine is not goroutine-safe; the clustering engine drives it from
+// the simulation's single event loop.
+type Engine struct {
+	cfg EngineConfig
+
+	dense    map[ThreadKey]*ShMap  // ModeDense: retained vectors (cloned on intake)
+	sketches map[ThreadKey]*Sketch // ModeSketch: retained sketches
+	entries  int                   // ModeDense: widest vector seen
+	hist     []int                 // ModeDense: per-entry non-zero thread counts (incremental GlobalMask)
+
+	clusters []*liveCluster // creation order — matches batch founding order after a recluster
+	assign   map[ThreadKey]*liveCluster
+
+	window     []float64 // drift ring buffer, oldest overwritten
+	windowN    int       // valid samples in window
+	windowNext int       // next write position
+	events     uint64
+	reclusters uint64
+}
+
+// NewEngine builds an incremental clusterer. Zero EngineConfig fields
+// take the DefaultEngineConfig values.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	if cfg.Mode != ModeDense && cfg.Mode != ModeSketch {
+		return nil, fmt.Errorf("clustering: unknown mode %d: %w", int(cfg.Mode), errs.ErrBadConfig)
+	}
+	if cfg.Clustering.Metric == nil {
+		cfg.Clustering.Metric = DotProduct
+	}
+	if cfg.SketchRows <= 0 {
+		cfg.SketchRows = DefaultSketchRows
+	}
+	if cfg.SketchWidth <= 0 {
+		cfg.SketchWidth = DefaultSketchWidth
+	}
+	if cfg.SketchThreshold == 0 {
+		cfg.SketchThreshold = 0.6
+	}
+	if cfg.DriftThreshold == 0 {
+		cfg.DriftThreshold = 0.25
+	}
+	if cfg.DriftWindow <= 0 {
+		cfg.DriftWindow = 64
+	}
+	return &Engine{
+		cfg:      cfg,
+		dense:    make(map[ThreadKey]*ShMap),
+		sketches: make(map[ThreadKey]*Sketch),
+		assign:   make(map[ThreadKey]*liveCluster),
+		window:   make([]float64, cfg.DriftWindow),
+	}, nil
+}
+
+// Mode returns the engine's similarity representation.
+func (e *Engine) Mode() Mode { return e.cfg.Mode }
+
+// Len returns how many threads are tracked.
+func (e *Engine) Len() int { return len(e.assign) }
+
+// Events returns how many arrival/departure/delta events were applied.
+func (e *Engine) Events() uint64 { return e.events }
+
+// Reclusters returns how many drift-triggered (or forced) full batch
+// reclusters have run.
+func (e *Engine) Reclusters() uint64 { return e.reclusters }
+
+// Drift returns the current windowed mean centroid displacement the
+// detector compares against DriftThreshold (0 until the window fills).
+func (e *Engine) Drift() float64 {
+	if e.windowN < len(e.window) {
+		return 0
+	}
+	sum := 0.0
+	for _, d := range e.window {
+		sum += d
+	}
+	return sum / float64(len(e.window))
+}
+
+// Threads returns the tracked thread keys in ascending order.
+func (e *Engine) Threads() []ThreadKey {
+	keys := make([]ThreadKey, 0, len(e.assign))
+	for k := range e.assign {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Has reports whether the thread is tracked.
+func (e *Engine) Has(key ThreadKey) bool { _, ok := e.assign[key]; return ok }
+
+// Clusters renders the current partition: clusters in creation order
+// (which is exactly the batch founding order right after a recluster),
+// members ascending. The result is a value copy.
+func (e *Engine) Clusters() []Cluster {
+	out := make([]Cluster, 0, len(e.clusters))
+	for _, lc := range e.clusters {
+		members := make([]ThreadKey, 0, len(lc.members))
+		for k := range lc.members {
+			members = append(members, k)
+		}
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		out = append(out, Cluster{Rep: lc.rep, Members: members})
+	}
+	return out
+}
+
+// Assignment maps each tracked thread to its cluster's index in
+// Clusters() order.
+func (e *Engine) Assignment() map[ThreadKey]int {
+	idx := make(map[*liveCluster]int, len(e.clusters))
+	for i, lc := range e.clusters {
+		idx[lc] = i
+	}
+	out := make(map[ThreadKey]int, len(e.assign))
+	for k, lc := range e.assign {
+		out[k] = idx[lc]
+	}
+	return out
+}
+
+// ChurnEvent is one batch of thread arrivals and departures.
+type ChurnEvent struct {
+	// Arrived maps new thread keys to their sharing vectors (the engine
+	// clones or sketches them; callers keep ownership). A nil vector
+	// means the thread arrived with no remote accesses yet.
+	Arrived map[ThreadKey]*ShMap
+	// Departed lists threads to drop.
+	Departed []ThreadKey
+}
+
+// ApplyChurn applies thread arrival/departure events: departures are
+// removed from their clusters (emptied clusters dissolve, departed
+// representatives hand the role to the smallest remaining member), then
+// arrivals are assigned by the one-pass rule — join the best existing
+// cluster whose representative scores above the threshold, else found a
+// new cluster. Departures process before arrivals, both in ascending key
+// order, so an event is deterministic regardless of map iteration.
+func (e *Engine) ApplyChurn(ev ChurnEvent) error {
+	departed := append([]ThreadKey(nil), ev.Departed...)
+	sort.Slice(departed, func(i, j int) bool { return departed[i] < departed[j] })
+	for _, key := range departed {
+		lc, ok := e.assign[key]
+		if !ok {
+			return fmt.Errorf("clustering: departure of untracked thread %d: %w", int(key), errs.ErrUnknownThread)
+		}
+		e.events++
+		e.removeFromCluster(key, lc)
+		e.dropVector(key)
+		delete(e.assign, key)
+		e.observeDrift(lc)
+	}
+
+	arrived := make([]ThreadKey, 0, len(ev.Arrived))
+	for k := range ev.Arrived {
+		arrived = append(arrived, k)
+	}
+	sort.Slice(arrived, func(i, j int) bool { return arrived[i] < arrived[j] })
+	for _, key := range arrived {
+		if _, ok := e.assign[key]; ok {
+			return fmt.Errorf("clustering: arrival of already tracked thread %d: %w", int(key), errs.ErrDuplicateThread)
+		}
+		e.events++
+		e.intakeVector(key, ev.Arrived[key])
+		lc := e.assignThread(key)
+		e.observeDrift(lc)
+	}
+	return nil
+}
+
+// ApplyMigration applies a sharing-delta event: thread key's vector
+// changed (a fresh detection phase produced a new shMap). The engine
+// updates the retained vector and, unless the thread is its cluster's
+// representative, re-runs the assignment rule so the thread migrates to
+// whichever cluster its new sharing pattern matches. Representatives
+// stay put — they define their cluster's identity between reclusters,
+// exactly as in the batch one-pass — but their delta still moves the
+// centroid, so a representative whose pattern drifts away is caught by
+// the drift detector rather than by per-event migration.
+func (e *Engine) ApplyMigration(key ThreadKey, m *ShMap) error {
+	lc, ok := e.assign[key]
+	if !ok {
+		return fmt.Errorf("clustering: sharing delta for untracked thread %d: %w", int(key), errs.ErrUnknownThread)
+	}
+	e.events++
+	if lc.rep == key {
+		e.centroidSub(lc, key)
+		e.dropVector(key)
+		e.intakeVector(key, m)
+		e.centroidAdd(lc, key)
+		e.observeDrift(lc)
+		return nil
+	}
+	e.removeFromCluster(key, lc)
+	e.dropVector(key)
+	e.intakeVector(key, m)
+	to := e.assignThread(key)
+	if to != lc {
+		e.observeDrift(lc)
+	}
+	e.observeDrift(to)
+	return nil
+}
+
+// ForceRecluster runs a full batch recluster immediately, resetting the
+// drift baselines and window.
+func (e *Engine) ForceRecluster() { e.recluster() }
+
+// intakeVector stores the thread's vector in the mode's representation.
+func (e *Engine) intakeVector(key ThreadKey, m *ShMap) {
+	if m == nil {
+		m = NewShMap(e.entriesOrDefault())
+	}
+	if e.cfg.Mode == ModeSketch {
+		e.sketches[key] = SketchShMap(m, e.cfg.Clustering.Floor, e.cfg.SketchRows, e.cfg.SketchWidth)
+		return
+	}
+	if m.Len() > e.entries {
+		e.entries = m.Len()
+		grown := make([]int, e.entries)
+		copy(grown, e.hist)
+		e.hist = grown
+	}
+	e.dense[key] = m.Clone()
+	for i := 0; i < m.Len(); i++ {
+		if m.Get(i) > 0 {
+			e.hist[i]++
+		}
+	}
+}
+
+func (e *Engine) entriesOrDefault() int {
+	if e.entries > 0 {
+		return e.entries
+	}
+	return DefaultEntries
+}
+
+// dropVector removes the thread's vector and its histogram contribution.
+func (e *Engine) dropVector(key ThreadKey) {
+	if e.cfg.Mode == ModeSketch {
+		delete(e.sketches, key)
+		return
+	}
+	m := e.dense[key]
+	for i := 0; i < m.Len(); i++ {
+		if m.Get(i) > 0 {
+			e.hist[i]--
+		}
+	}
+	delete(e.dense, key)
+}
+
+// mask materializes the global-sharing mask from the incremental
+// histogram — identical to GlobalMask over the current vectors, in
+// O(entries) instead of O(threads x entries).
+func (e *Engine) mask() []bool {
+	mask := make([]bool, e.entries)
+	if len(e.dense) == 0 {
+		return mask
+	}
+	limit := e.cfg.Clustering.GlobalFraction * float64(len(e.dense))
+	for i, h := range e.hist {
+		if float64(h) > limit {
+			mask[i] = true
+		}
+	}
+	return mask
+}
+
+// score rates thread key against a cluster representative.
+func (e *Engine) score(rep, key ThreadKey, mask []bool) float64 {
+	if e.cfg.Mode == ModeSketch {
+		return e.sketches[rep].Cosine(e.sketches[key])
+	}
+	return e.cfg.Clustering.Metric(e.dense[rep], e.dense[key], e.cfg.Clustering.Floor, mask)
+}
+
+// threshold is the join threshold for the mode.
+func (e *Engine) threshold() float64 {
+	if e.cfg.Mode == ModeSketch {
+		return e.cfg.SketchThreshold
+	}
+	return e.cfg.Clustering.Threshold
+}
+
+// assignThread runs the one-pass rule for one thread whose vector is
+// already retained: join the best-scoring cluster at or above the
+// threshold (first founded wins ties, as in the batch scan), else found
+// a new cluster with the thread as representative.
+func (e *Engine) assignThread(key ThreadKey) *liveCluster {
+	var mask []bool
+	if e.cfg.Mode == ModeDense {
+		mask = e.mask()
+	}
+	threshold := e.threshold()
+	var best *liveCluster
+	bestScore := 0.0
+	for _, lc := range e.clusters {
+		score := e.score(lc.rep, key, mask)
+		if score >= threshold && score > bestScore {
+			best, bestScore = lc, score
+		}
+	}
+	if best == nil {
+		best = &liveCluster{
+			rep:      key,
+			members:  make(map[ThreadKey]struct{}),
+			centroid: make([]uint64, e.centroidLen()),
+		}
+		e.clusters = append(e.clusters, best)
+	}
+	best.members[key] = struct{}{}
+	e.assign[key] = best
+	e.centroidAdd(best, key)
+	if best.baseline == nil {
+		// Founding: the baseline is the founding centroid, so a brand-new
+		// cluster reports zero drift until its pattern moves.
+		best.baseline = append([]uint64(nil), best.centroid...)
+	}
+	return best
+}
+
+// removeFromCluster detaches a member, dissolving emptied clusters and
+// promoting the smallest remaining member when the representative left.
+func (e *Engine) removeFromCluster(key ThreadKey, lc *liveCluster) {
+	e.centroidSub(lc, key)
+	delete(lc.members, key)
+	if len(lc.members) == 0 {
+		for i, c := range e.clusters {
+			if c == lc {
+				e.clusters = append(e.clusters[:i], e.clusters[i+1:]...)
+				break
+			}
+		}
+		return
+	}
+	if lc.rep == key {
+		next := ThreadKey(math.MaxInt64)
+		for k := range lc.members {
+			if k < next {
+				next = k
+			}
+		}
+		lc.rep = next
+	}
+}
+
+// centroidLen is the length of centroid vectors in the current mode.
+func (e *Engine) centroidLen() int {
+	if e.cfg.Mode == ModeSketch {
+		return e.cfg.SketchRows * e.cfg.SketchWidth
+	}
+	return e.entries
+}
+
+// centroidAdd folds thread key's vector into the cluster centroid.
+func (e *Engine) centroidAdd(lc *liveCluster, key ThreadKey) { e.centroidAddSub(lc, key, true) }
+
+// centroidSub removes thread key's vector from the cluster centroid.
+func (e *Engine) centroidSub(lc *liveCluster, key ThreadKey) { e.centroidAddSub(lc, key, false) }
+
+func (e *Engine) centroidAddSub(lc *liveCluster, key ThreadKey, add bool) {
+	if e.cfg.Mode == ModeSketch {
+		s := e.sketches[key]
+		for i, b := range s.buckets {
+			if add {
+				lc.centroid[i] += uint64(b)
+			} else {
+				lc.centroid[i] -= uint64(b)
+			}
+		}
+		return
+	}
+	m := e.dense[key]
+	if m.Len() > len(lc.centroid) {
+		grown := make([]uint64, m.Len())
+		copy(grown, lc.centroid)
+		lc.centroid = grown
+	}
+	for i := 0; i < m.Len(); i++ {
+		if add {
+			lc.centroid[i] += uint64(m.Get(i))
+		} else {
+			lc.centroid[i] -= uint64(m.Get(i))
+		}
+	}
+}
+
+// observeDrift pushes the cluster's centroid displacement — the cosine
+// distance between the current centroid and the baseline captured at the
+// last recluster — into the sliding window, then reclusters when the
+// windowed mean exceeds the threshold. A dissolved cluster (nil or
+// empty) contributes a full displacement of 1: its pattern is gone.
+func (e *Engine) observeDrift(lc *liveCluster) {
+	d := 1.0
+	if lc != nil && len(lc.members) > 0 {
+		// Rounding can push the cosine a hair past 1; keep the sample in
+		// [0, 1] so snapshot validation stays exact.
+		d = math.Max(0, 1-cosU64(lc.centroid, lc.baseline))
+	}
+	e.window[e.windowNext] = d
+	e.windowNext = (e.windowNext + 1) % len(e.window)
+	if e.windowN < len(e.window) {
+		e.windowN++
+	}
+	if e.windowN == len(e.window) && e.Drift() > e.cfg.DriftThreshold {
+		e.recluster()
+	}
+}
+
+// cosU64 is the cosine of two non-negative integer vectors (0 when
+// either is all-zero); lengths may differ, the shorter is zero-padded.
+func cosU64(a, b []uint64) float64 {
+	var dot, na, nb float64
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		var va, vb float64
+		if i < len(a) {
+			va = float64(a[i])
+		}
+		if i < len(b) {
+			vb = float64(b[i])
+		}
+		dot += va * vb
+		na += va * va
+		nb += vb * vb
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// recluster runs the batch one-pass over the retained vectors, replacing
+// the incremental partition with exactly what Cluster (or
+// ClusterSketches in sketch mode) produces from scratch, and resets the
+// drift baselines and window.
+func (e *Engine) recluster() {
+	var batch []Cluster
+	if e.cfg.Mode == ModeSketch {
+		batch = ClusterSketches(e.sketches, e.cfg.SketchThreshold)
+	} else {
+		batch = e.cfg.Clustering.Cluster(e.dense)
+	}
+	e.clusters = e.clusters[:0]
+	for _, c := range batch {
+		lc := &liveCluster{
+			rep:      c.Rep,
+			members:  make(map[ThreadKey]struct{}, len(c.Members)),
+			centroid: make([]uint64, e.centroidLen()),
+		}
+		for _, k := range c.Members {
+			lc.members[k] = struct{}{}
+			e.assign[k] = lc
+			e.centroidAdd(lc, k)
+		}
+		lc.baseline = append([]uint64(nil), lc.centroid...)
+		e.clusters = append(e.clusters, lc)
+	}
+	for i := range e.window {
+		e.window[i] = 0
+	}
+	e.windowN, e.windowNext = 0, 0
+	e.reclusters++
+}
+
+// ClusterSketches runs the one-pass heuristic over sketches with the
+// cosine estimator: scan threads in ascending key order; each joins the
+// best existing cluster whose representative's sketch cosine reaches the
+// threshold, or founds a new cluster. The sketch analogue of
+// Config.Cluster (no global mask: entry identity is folded away, and the
+// scale-free cosine is far less sensitive to globally shared entries
+// than the dot product — see DESIGN.md section 10).
+func ClusterSketches(sketches map[ThreadKey]*Sketch, threshold float64) []Cluster {
+	keys := make([]ThreadKey, 0, len(sketches))
+	for k := range sketches {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var clusters []Cluster
+	for _, k := range keys {
+		s := sketches[k]
+		best, bestScore := -1, 0.0
+		for ci := range clusters {
+			score := sketches[clusters[ci].Rep].Cosine(s)
+			if score >= threshold && score > bestScore {
+				best, bestScore = ci, score
+			}
+		}
+		if best >= 0 {
+			clusters[best].Members = append(clusters[best].Members, k)
+		} else {
+			clusters = append(clusters, Cluster{Rep: k, Members: []ThreadKey{k}})
+		}
+	}
+	return clusters
+}

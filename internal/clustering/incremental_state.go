@@ -1,0 +1,242 @@
+package clustering
+
+import (
+	"fmt"
+	"sort"
+
+	"threadcluster/internal/errs"
+	"threadcluster/internal/snapbin"
+)
+
+// maxCentroidMass bounds a plausible centroid or baseline component
+// (2^40 covers four billion saturated counters summed into one entry) so
+// decode-time validation arithmetic cannot overflow.
+const maxCentroidMass = 1 << 40
+
+// SaveState appends the incremental engine's complete state in canonical
+// order: mode tag, dense entry width, threads ascending with their
+// retained vectors, clusters in creation order (representative, ascending
+// members, drift baseline), the drift window oldest-first, and the event
+// counters. The global-sharing histogram, centroids and the assignment
+// index are derivable from the vectors and memberships and are rebuilt on
+// restore rather than encoded.
+func (e *Engine) SaveState(enc *snapbin.Enc) {
+	enc.U8(uint8(e.cfg.Mode))
+	enc.U32(uint32(e.entries))
+
+	keys := e.Threads()
+	enc.U32(uint32(len(keys)))
+	for _, k := range keys {
+		enc.I64(int64(k))
+		if e.cfg.Mode == ModeSketch {
+			e.sketches[k].SaveState(enc)
+		} else {
+			e.dense[k].SaveState(enc)
+		}
+	}
+
+	enc.U32(uint32(len(e.clusters)))
+	for _, lc := range e.clusters {
+		enc.I64(int64(lc.rep))
+		members := make([]ThreadKey, 0, len(lc.members))
+		for k := range lc.members {
+			members = append(members, k)
+		}
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		enc.U32(uint32(len(members)))
+		for _, k := range members {
+			enc.I64(int64(k))
+		}
+		enc.U32(uint32(len(lc.baseline)))
+		for _, v := range lc.baseline {
+			enc.U64(v)
+		}
+	}
+
+	enc.U32(uint32(e.windowN))
+	for i := 0; i < e.windowN; i++ {
+		// Oldest first: when the ring is full the oldest sample sits at
+		// windowNext, otherwise at 0.
+		pos := i
+		if e.windowN == len(e.window) {
+			pos = (e.windowNext + i) % len(e.window)
+		}
+		enc.F64(e.window[pos])
+	}
+	enc.U64(e.events)
+	enc.U64(e.reclusters)
+}
+
+// RestoreState replaces the engine's state with a state saved by
+// SaveState. The engine must have been built with the same mode and
+// sketch shape (ErrBadConfig otherwise); memberships are validated —
+// ascending keys, every thread in exactly one cluster, representatives
+// members of their own cluster, drift samples in range — so malformed
+// bytes surface as snapbin.ErrCorrupt. The histogram, centroids and
+// assignment index are rebuilt from the decoded vectors.
+func (e *Engine) RestoreState(d *snapbin.Dec) error {
+	mode := Mode(d.U8())
+	entries := int(d.U32())
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if mode != e.cfg.Mode {
+		return fmt.Errorf("clustering: snapshot engine mode %v, built with %v: %w", mode, e.cfg.Mode, errs.ErrBadConfig)
+	}
+	if entries > 1<<20 {
+		return fmt.Errorf("clustering: snapshot engine entry width %d implausible: %w", entries, snapbin.ErrCorrupt)
+	}
+
+	nThreads := d.Count(9) // key + at least a blob length per thread
+	dense := make(map[ThreadKey]*ShMap, nThreads)
+	sketches := make(map[ThreadKey]*Sketch, nThreads)
+	prev := int64(-1 << 62)
+	for i := 0; i < nThreads; i++ {
+		k := d.I64()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if int64(k) <= prev {
+			return fmt.Errorf("clustering: snapshot engine thread keys out of order at %d: %w", k, snapbin.ErrCorrupt)
+		}
+		prev = int64(k)
+		if e.cfg.Mode == ModeSketch {
+			s := NewSketch(e.cfg.SketchRows, e.cfg.SketchWidth)
+			if err := s.RestoreState(d); err != nil {
+				return err
+			}
+			sketches[ThreadKey(k)] = s
+		} else {
+			b := d.Blob()
+			if d.Err() != nil {
+				return d.Err()
+			}
+			if len(b) > entries {
+				return fmt.Errorf("clustering: snapshot engine thread %d vector has %d entries, width %d: %w",
+					k, len(b), entries, snapbin.ErrCorrupt)
+			}
+			m := NewShMap(len(b))
+			copy(m.counters, b)
+			dense[ThreadKey(k)] = m
+		}
+	}
+
+	nClusters := d.Count(16)
+	clusters := make([]*liveCluster, 0, nClusters)
+	assign := make(map[ThreadKey]*liveCluster, nThreads)
+	for i := 0; i < nClusters; i++ {
+		rep := ThreadKey(d.I64())
+		nMembers := d.Count(8)
+		lc := &liveCluster{rep: rep, members: make(map[ThreadKey]struct{}, nMembers)}
+		repSeen := false
+		prevM := int64(-1 << 62)
+		for j := 0; j < nMembers; j++ {
+			k := ThreadKey(d.I64())
+			if d.Err() != nil {
+				return d.Err()
+			}
+			if int64(k) <= prevM {
+				return fmt.Errorf("clustering: snapshot engine cluster %d members out of order at %d: %w",
+					i, k, snapbin.ErrCorrupt)
+			}
+			prevM = int64(k)
+			tracked := false
+			if e.cfg.Mode == ModeSketch {
+				_, tracked = sketches[k]
+			} else {
+				_, tracked = dense[k]
+			}
+			if !tracked {
+				return fmt.Errorf("clustering: snapshot engine cluster %d member %d has no vector: %w",
+					i, k, snapbin.ErrCorrupt)
+			}
+			if _, dup := assign[k]; dup {
+				return fmt.Errorf("clustering: snapshot engine thread %d in two clusters: %w", k, snapbin.ErrCorrupt)
+			}
+			assign[k] = lc
+			lc.members[k] = struct{}{}
+			if k == rep {
+				repSeen = true
+			}
+		}
+		if !repSeen {
+			return fmt.Errorf("clustering: snapshot engine cluster %d rep %d not a member: %w",
+				i, rep, snapbin.ErrCorrupt)
+		}
+		nBase := d.Count(8)
+		lc.baseline = make([]uint64, nBase)
+		for j := 0; j < nBase; j++ {
+			v := d.U64()
+			if d.Err() == nil && v > maxCentroidMass {
+				return fmt.Errorf("clustering: snapshot engine cluster %d baseline component implausible: %w",
+					i, snapbin.ErrCorrupt)
+			}
+			lc.baseline[j] = v
+		}
+		clusters = append(clusters, lc)
+	}
+	if len(assign) != nThreads {
+		return fmt.Errorf("clustering: snapshot engine has %d threads but clusters cover %d: %w",
+			nThreads, len(assign), snapbin.ErrCorrupt)
+	}
+
+	windowN := d.Count(8)
+	if windowN > len(e.window) {
+		return fmt.Errorf("clustering: snapshot engine drift window has %d samples, capacity %d: %w",
+			windowN, len(e.window), snapbin.ErrCorrupt)
+	}
+	samples := make([]float64, windowN)
+	for i := range samples {
+		v := d.F64()
+		if d.Err() == nil && (v < 0 || v > 1) {
+			return fmt.Errorf("clustering: snapshot engine drift sample %g out of range: %w", v, snapbin.ErrCorrupt)
+		}
+		samples[i] = v
+	}
+	events := d.U64()
+	reclusters := d.U64()
+	if err := d.Err(); err != nil {
+		return err
+	}
+
+	e.entries = entries
+	e.dense = dense
+	e.sketches = sketches
+	e.clusters = clusters
+	e.assign = assign
+	e.hist = make([]int, entries)
+	if e.cfg.Mode == ModeDense {
+		for _, k := range e.Threads() {
+			m := dense[k]
+			for i := 0; i < m.Len(); i++ {
+				if m.Get(i) > 0 {
+					e.hist[i]++
+				}
+			}
+		}
+	}
+	for _, lc := range clusters {
+		lc.centroid = make([]uint64, e.centroidLen())
+		members := make([]ThreadKey, 0, len(lc.members))
+		for k := range lc.members {
+			members = append(members, k)
+		}
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		for _, k := range members {
+			e.centroidAdd(lc, k)
+		}
+		if len(lc.baseline) > len(lc.centroid) {
+			return fmt.Errorf("clustering: snapshot engine baseline wider than centroid (%d > %d): %w",
+				len(lc.baseline), len(lc.centroid), snapbin.ErrCorrupt)
+		}
+	}
+	for i := range e.window {
+		e.window[i] = 0
+	}
+	copy(e.window, samples)
+	e.windowN = windowN
+	e.windowNext = windowN % len(e.window)
+	e.events = events
+	e.reclusters = reclusters
+	return nil
+}

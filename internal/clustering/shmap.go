@@ -85,9 +85,20 @@ func (m *ShMap) Clone() *ShMap {
 	return &ShMap{counters: c}
 }
 
-// Row exposes the raw counters (read-only by convention); the Figure 5
-// visualizer renders these as gray-scale rows.
-func (m *ShMap) Row() []uint8 { return m.counters }
+// Row returns a copy of the raw counters; the Figure 5 visualizer
+// renders these as gray-scale rows. It never aliases the internal slice:
+// handing out the live counters would let callers mutate clustering
+// state behind the engine's back (TestRowDoesNotAliasState pins this).
+func (m *ShMap) Row() []uint8 {
+	out := make([]uint8, len(m.counters))
+	copy(out, m.counters)
+	return out
+}
+
+// AppendRow appends the counters to dst and returns the extended slice —
+// the allocation-free variant of Row for render loops that reuse a
+// buffer.
+func (m *ShMap) AppendRow(dst []uint8) []uint8 { return append(dst, m.counters...) }
 
 func (m *ShMap) String() string {
 	return fmt.Sprintf("shMap{%d entries, %d nonzero, total %d}", m.Len(), m.NonZero(), m.Total())

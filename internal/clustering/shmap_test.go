@@ -72,6 +72,42 @@ func TestShMapCounterBounds(t *testing.T) {
 	}
 }
 
+// Regression: Row used to return the internal counter slice, letting the
+// Figure 5 renderer (or any caller) mutate clustering state behind the
+// engine's back. It must copy.
+func TestRowDoesNotAliasState(t *testing.T) {
+	m := NewShMap(8)
+	m.Increment(2)
+	m.Increment(2)
+	row := m.Row()
+	if row[2] != 2 {
+		t.Fatalf("Row()[2] = %d, want 2", row[2])
+	}
+	row[2] = 99
+	if got := m.Get(2); got != 2 {
+		t.Errorf("mutating Row's result changed the shMap: Get(2) = %d, want 2", got)
+	}
+	m.Increment(2)
+	if row[2] != 99 {
+		t.Error("shMap mutation leaked into a previously returned row")
+	}
+}
+
+func TestAppendRowExtendsDst(t *testing.T) {
+	m := NewShMap(4)
+	m.Increment(0)
+	buf := make([]uint8, 0, 16)
+	buf = m.AppendRow(buf)
+	buf = m.AppendRow(buf)
+	if len(buf) != 8 || buf[0] != 1 || buf[4] != 1 {
+		t.Errorf("AppendRow twice = %v, want two concatenated rows", buf)
+	}
+	buf[0] = 77
+	if m.Get(0) != 1 {
+		t.Error("mutating AppendRow's result changed the shMap")
+	}
+}
+
 func TestHashLineInRangeAndDeterministic(t *testing.T) {
 	f := func(a uint64, nRaw uint8) bool {
 		n := int(nRaw%200) + 1

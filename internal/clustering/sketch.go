@@ -1,0 +1,257 @@
+package clustering
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sketch parameters. The summary size is fixed by rows*width regardless
+// of the dense entry count, and a similarity evaluation touches
+// rows*width buckets instead of every dense entry — the win appears as
+// shMaps grow past the paper's 256 entries toward the wide filters the
+// ROADMAP's at-scale deployments need. The default width must stay well
+// above the typical non-zero entry count (~50 for banded shMap
+// workloads): folding is additive, so a width comparable to the support
+// would pile disjoint vectors into the same buckets and score strangers
+// as siblings.
+const (
+	// DefaultSketchRows is the number of independently hashed fold rows.
+	DefaultSketchRows = 2
+	// DefaultSketchWidth is the bucket count per row.
+	DefaultSketchWidth = 256
+)
+
+// Sketch is a fixed-size, count-min-style summary of one thread's shMap,
+// the scale path for clustering 1e5+ threads where retaining every dense
+// vector and comparing them pairwise is too expensive. Each of `rows`
+// rows folds the floored dense vector into `width` buckets with an
+// independent hash (bucket = sum of the entries landing there), and the
+// exact L1 mass, L2 mass and non-zero count of the floored vector ride
+// along.
+//
+// # Error bound
+//
+// For the paper's counters — non-negative saturating integers — folding
+// can only merge mass, never cancel it, which yields a deterministic
+// one-sided sandwich that holds for ARBITRARY counter rows of a common
+// entry count (it is pinned by FuzzSketchEstimate, not just sampled):
+//
+//	Cosine(a, b)  <=  a.Cosine(b)  <=  min(1, a.Ceiling(b))
+//
+// where Cosine(a, b) is the dense cosine of the floored vectors and
+// Ceiling is the minimum over rows of λ_{a,r}·λ_{b,r}, with λ_{v,r} =
+// row r's folded L2 norm divided by the exact L2 norm (the vector's
+// per-row collision inflation; 1 when no two non-zero entries of v share
+// a bucket in that row — Inflation reports the row minimum as a
+// single-vector diagnostic, but the product of two Inflations is NOT a
+// valid bound when the two vectors' best rows differ). The estimate
+// never underestimates: every intra-bucket collision adds a non-negative
+// cross term to the folded dot product while the denominator uses the
+// exact norms. The upper bound follows from Cauchy-Schwarz per row, and
+// the minimum over rows bounds the minimum-dot row. (The lower bound
+// needs a common entry count because the dense Cosine scores only the
+// common prefix of unequal vectors, while a sketch always folds its whole
+// vector; the engine compares shMaps of one configured width, where the
+// caveat is vacuous.)
+//
+// The expected overestimate for vectors with nnz non-zero entries at
+// random positions is O(nnz_a·nnz_b/width) collision pairs per row,
+// minimized over rows, so the relative error scales roughly as
+// nnz/width. At the defaults on banded shMap workloads (nnz ~ 50, the
+// worst case being disjoint bands whose true cosine is 0) the measured
+// mean absolute error stays under 0.2 and the p99 under 0.35
+// (TestSketchCosineStatisticalError) — well below the 0.6 join threshold
+// that separates same-group scores of ~1.0 from stranger scores. Widen
+// the sketch for denser maps: keep width at least 5x the typical
+// non-zero count.
+//
+// A Sketch is built from a dense vector once (SketchShMap) and is
+// immutable afterwards; the incremental engine keeps one per thread and
+// discards the dense vector.
+type Sketch struct {
+	rows, width int
+	buckets     []uint32 // rows*width, row-major
+	l1          uint64   // exact L1 mass of the floored dense vector
+	l2sq        uint64   // exact sum of squared floored entries
+	nnz         uint32   // exact count of non-zero floored entries
+}
+
+// NewSketch returns an empty sketch with the given shape (defaults apply
+// when rows or width is <= 0).
+func NewSketch(rows, width int) *Sketch {
+	if rows <= 0 {
+		rows = DefaultSketchRows
+	}
+	if width <= 0 {
+		width = DefaultSketchWidth
+	}
+	return &Sketch{rows: rows, width: width, buckets: make([]uint32, rows*width)}
+}
+
+// SketchShMap folds a dense shMap into a fresh sketch, applying the noise
+// floor at build time (the sketch cannot re-floor later: entry identity
+// is gone).
+func SketchShMap(m *ShMap, floor uint8, rows, width int) *Sketch {
+	s := NewSketch(rows, width)
+	for i := 0; i < m.Len(); i++ {
+		v := floored(m.Get(i), floor)
+		if v == 0 {
+			continue
+		}
+		s.l1 += v
+		s.l2sq += v * v
+		s.nnz++
+		for r := 0; r < s.rows; r++ {
+			s.buckets[r*s.width+sketchBucket(i, r, s.width)] += uint32(v)
+		}
+	}
+	return s
+}
+
+// sketchBucket maps dense entry i to a bucket of row r: a SplitMix64
+// finalizer over the entry index salted per row, so rows are
+// independently hashed (the count-min trick that lets the minimum over
+// rows shed most collision inflation).
+func sketchBucket(i, r, width int) int {
+	h := uint64(i)*0x9E3779B97F4A7C15 + uint64(r+1)*0xBF58476D1CE4E5B9
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return int(h % uint64(width))
+}
+
+// Rows and Width return the sketch shape.
+func (s *Sketch) Rows() int { return s.rows }
+
+// Width returns the bucket count per row.
+func (s *Sketch) Width() int { return s.width }
+
+// L1 returns the exact L1 mass of the floored dense vector.
+func (s *Sketch) L1() uint64 { return s.l1 }
+
+// NonZero returns the exact non-zero entry count of the floored vector.
+func (s *Sketch) NonZero() int { return int(s.nnz) }
+
+// Empty reports whether the floored vector was all zeros.
+func (s *Sketch) Empty() bool { return s.l1 == 0 }
+
+// rowInflation returns λ_{s,r} = ||folded row r||_2 / ||dense||_2, the
+// factor by which intra-vector bucket collisions inflated this vector's
+// norm in row r (1 when every non-zero entry got its own bucket there).
+func (s *Sketch) rowInflation(r int) float64 {
+	var fl2 float64
+	for w := 0; w < s.width; w++ {
+		v := float64(s.buckets[r*s.width+w])
+		fl2 += v * v
+	}
+	return math.Sqrt(fl2 / float64(s.l2sq))
+}
+
+// Inflation returns min over rows of λ_{s,r} — a single-vector
+// diagnostic of how collision-inflated the sketch is (1 is
+// collision-free). For the two-vector estimate ceiling use Ceiling: the
+// product of two Inflations is not a valid bound when the two vectors'
+// minimizing rows differ.
+func (s *Sketch) Inflation() float64 {
+	if s.l2sq == 0 {
+		return 1
+	}
+	best := math.Inf(1)
+	for r := 0; r < s.rows; r++ {
+		if lam := s.rowInflation(r); lam < best {
+			best = lam
+		}
+	}
+	return best
+}
+
+// Ceiling returns min over rows of λ_{s,r}·λ_{o,r}, the documented
+// deterministic upper bound on the raw cosine estimate (Cauchy-Schwarz
+// applied to each row's folded vectors). 1 for incomparable shapes or
+// empty sketches, where the estimate itself is 0.
+func (s *Sketch) Ceiling(o *Sketch) float64 {
+	if s.rows != o.rows || s.width != o.width || s.l2sq == 0 || o.l2sq == 0 {
+		return 1
+	}
+	best := math.Inf(1)
+	for r := 0; r < s.rows; r++ {
+		if c := s.rowInflation(r) * o.rowInflation(r); c < best {
+			best = c
+		}
+	}
+	return best
+}
+
+// Cosine estimates the dense cosine similarity of the two floored
+// vectors, in [0, 1]: the minimum over rows of the folded dot product,
+// normalized by the exact norms and capped at 1. Guaranteed never below
+// the dense cosine (see the type comment for the full bound). Sketches
+// of different shapes are incomparable and score 0.
+func (s *Sketch) Cosine(o *Sketch) float64 {
+	raw := s.cosineRaw(o)
+	if raw > 1 {
+		return 1
+	}
+	return raw
+}
+
+// cosineRaw is the uncapped estimator: min over rows of
+// foldedDot/(||a||·||b||). It can exceed 1 when collisions inflate the
+// folded dot past the norm product; the cap in Cosine clamps it for
+// scoring while the tests pin the raw value against the Ceiling bound.
+func (s *Sketch) cosineRaw(o *Sketch) float64 {
+	if s.rows != o.rows || s.width != o.width || s.l2sq == 0 || o.l2sq == 0 {
+		return 0
+	}
+	best := math.Inf(1)
+	for r := 0; r < s.rows; r++ {
+		var dot float64
+		for w := 0; w < s.width; w++ {
+			dot += float64(s.buckets[r*s.width+w]) * float64(o.buckets[r*s.width+w])
+		}
+		if dot < best {
+			best = dot
+		}
+	}
+	return best / (math.Sqrt(float64(s.l2sq)) * math.Sqrt(float64(o.l2sq)))
+}
+
+// Jaccard estimates the dense Jaccard similarity from folded supports:
+// the minimum over rows of |both non-zero| / |either non-zero| over
+// buckets. Collisions shrink both supports, so unlike Cosine this
+// estimator carries no one-sided guarantee; it tracks the dense value
+// closely at shMap occupancies (nnz well below width it is exact) and is
+// provided for metric ablations, not for the scale path's scoring.
+func (s *Sketch) Jaccard(o *Sketch) float64 {
+	if s.rows != o.rows || s.width != o.width {
+		return 0
+	}
+	best := math.Inf(1)
+	for r := 0; r < s.rows; r++ {
+		inter, union := 0, 0
+		for w := 0; w < s.width; w++ {
+			a := s.buckets[r*s.width+w] > 0
+			b := o.buckets[r*s.width+w] > 0
+			if a && b {
+				inter++
+			}
+			if a || b {
+				union++
+			}
+		}
+		var j float64
+		if union > 0 {
+			j = float64(inter) / float64(union)
+		}
+		if j < best {
+			best = j
+		}
+	}
+	return best
+}
+
+func (s *Sketch) String() string {
+	return fmt.Sprintf("sketch{%dx%d, l1 %d, %d nonzero}", s.rows, s.width, s.l1, s.nnz)
+}

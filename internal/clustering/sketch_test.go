@@ -1,0 +1,266 @@
+package clustering
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"threadcluster/internal/errs"
+	"threadcluster/internal/snapbin"
+)
+
+// shMapFromBytes builds a vector whose counters are the given bytes.
+func shMapFromBytes(b []uint8) *ShMap {
+	m := NewShMap(len(b))
+	copy(m.counters, b)
+	return m
+}
+
+func TestSketchShapeDefaults(t *testing.T) {
+	s := NewSketch(0, 0)
+	if s.Rows() != DefaultSketchRows || s.Width() != DefaultSketchWidth {
+		t.Errorf("default shape = %dx%d, want %dx%d", s.Rows(), s.Width(), DefaultSketchRows, DefaultSketchWidth)
+	}
+	if !s.Empty() || s.L1() != 0 || s.NonZero() != 0 {
+		t.Error("fresh sketch should be empty")
+	}
+}
+
+func TestSketchExactScalars(t *testing.T) {
+	m := NewShMap(64)
+	for i := 0; i < 10; i++ {
+		m.Increment(7) // 10: above floor
+	}
+	for i := 0; i < 4; i++ {
+		m.Increment(12) // 4: above floor
+	}
+	m.Increment(20) // 1: floored away
+	s := SketchShMap(m, DefaultFloor, 0, 0)
+	if s.L1() != 14 || s.NonZero() != 2 || s.l2sq != 100+16 {
+		t.Errorf("scalars = l1 %d nnz %d l2sq %d, want 14/2/116", s.L1(), s.NonZero(), s.l2sq)
+	}
+	var mass uint64
+	for _, b := range s.buckets[:s.width] {
+		mass += uint64(b)
+	}
+	if mass != s.L1() {
+		t.Errorf("row 0 mass = %d, want l1 %d", mass, s.L1())
+	}
+}
+
+func TestSketchSelfCosineIsOne(t *testing.T) {
+	m := NewShMap(256)
+	for e := 0; e < 50; e++ {
+		for k := 0; k < 30; k++ {
+			m.Increment(e)
+		}
+	}
+	s := SketchShMap(m, DefaultFloor, 0, 0)
+	if got := s.Cosine(s); got != 1 {
+		t.Errorf("self cosine = %v, want exactly 1 (raw >= 1, capped)", got)
+	}
+	if lam := s.Inflation(); lam < 1 {
+		t.Errorf("inflation = %v, want >= 1 (collisions only add mass)", lam)
+	}
+}
+
+func TestSketchEmptyAndMismatchScoreZero(t *testing.T) {
+	m := NewShMap(64)
+	for i := 0; i < 10; i++ {
+		m.Increment(3)
+	}
+	s := SketchShMap(m, DefaultFloor, 2, 64)
+	empty := NewSketch(2, 64)
+	if got := s.Cosine(empty); got != 0 {
+		t.Errorf("cosine with empty = %v, want 0", got)
+	}
+	other := SketchShMap(m, DefaultFloor, 2, 32)
+	if s.Cosine(other) != 0 || s.Jaccard(other) != 0 {
+		t.Error("sketches of different shapes must be incomparable (score 0)")
+	}
+	if empty.Inflation() != 1 {
+		t.Errorf("empty inflation = %v, want 1", empty.Inflation())
+	}
+}
+
+// The deterministic sandwich: for arbitrary counter rows of a common
+// entry count, dense Cosine <= sketch Cosine, and the raw estimate
+// <= the per-row Cauchy-Schwarz Ceiling.
+func TestSketchCosineBound(t *testing.T) {
+	f := func(av, bv []uint8, floorRaw uint8) bool {
+		floor := floorRaw % 8
+		n := len(av)
+		if len(bv) > n {
+			n = len(bv)
+		}
+		a, b := shMapFromBytes(append(av, make([]uint8, n-len(av))...)), shMapFromBytes(append(bv, make([]uint8, n-len(bv))...))
+		sa := SketchShMap(a, floor, 2, 16) // narrow width: force collisions
+		sb := SketchShMap(b, floor, 2, 16)
+		dense := Cosine(a, b, floor, nil)
+		est := sa.Cosine(sb)
+		if est < dense-1e-9 {
+			return false
+		}
+		return sa.cosineRaw(sb) <= sa.Ceiling(sb)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Measured estimation error on shMap-shaped vectors (banded groups, the
+// worst case being disjoint bands whose true cosine is 0): the figures
+// documented on Sketch must hold with margin.
+func TestSketchCosineStatisticalError(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var errsAbs []float64
+	for trial := 0; trial < 300; trial++ {
+		a, b := NewShMap(256), NewShMap(256)
+		// Two bands of ~50 entries; overlapping half the time.
+		startA := rng.Intn(200)
+		startB := rng.Intn(200)
+		if trial%2 == 0 {
+			startB = startA + rng.Intn(30) // partial overlap
+		}
+		for e := 0; e < 50; e++ {
+			for k := 0; k < 20+rng.Intn(30); k++ {
+				a.Increment((startA + e) % 256)
+			}
+			for k := 0; k < 20+rng.Intn(30); k++ {
+				b.Increment((startB + e) % 256)
+			}
+		}
+		sa := SketchShMap(a, DefaultFloor, 0, 0)
+		sb := SketchShMap(b, DefaultFloor, 0, 0)
+		dense := Cosine(a, b, DefaultFloor, nil)
+		errsAbs = append(errsAbs, math.Abs(sa.Cosine(sb)-dense))
+	}
+	sort.Float64s(errsAbs)
+	mean := 0.0
+	for _, e := range errsAbs {
+		mean += e
+	}
+	mean /= float64(len(errsAbs))
+	p99 := errsAbs[len(errsAbs)*99/100]
+	t.Logf("sketch cosine abs error: mean %.4f p99 %.4f max %.4f", mean, p99, errsAbs[len(errsAbs)-1])
+	if mean > 0.2 {
+		t.Errorf("mean abs error = %.4f, documented bound 0.2", mean)
+	}
+	if p99 > 0.35 {
+		t.Errorf("p99 abs error = %.4f, documented bound 0.35", p99)
+	}
+}
+
+// The sketch one-pass must recover the same banded groups the dense
+// one-pass does, at the default sketch threshold.
+func TestClusterSketchesRecoversGroups(t *testing.T) {
+	shmaps, truth := makeGroups(4, 4, 256, 30, false, 21)
+	sketches := make(map[ThreadKey]*Sketch, len(shmaps))
+	for k, m := range shmaps {
+		sketches[k] = SketchShMap(m, DefaultFloor, 0, 0)
+	}
+	clusters := ClusterSketches(sketches, 0.6)
+	if len(clusters) != 4 {
+		t.Fatalf("found %d clusters, want 4", len(clusters))
+	}
+	if p := Purity(clusters, truth); p != 1.0 {
+		t.Errorf("purity = %v, want 1.0", p)
+	}
+}
+
+func TestSketchJaccardTracksDense(t *testing.T) {
+	a, b := NewShMap(64), NewShMap(64)
+	for i := 0; i < 10; i++ {
+		a.Increment(0)
+		a.Increment(1)
+		b.Increment(1)
+		b.Increment(2)
+	}
+	sa := SketchShMap(a, DefaultFloor, 2, 64)
+	sb := SketchShMap(b, DefaultFloor, 2, 64)
+	// At nnz 2 and width 64 collisions are absent for these entries, so
+	// the folded support ratio is the dense one.
+	if got, want := sa.Jaccard(sb), Jaccard(a, b, DefaultFloor, nil); got != want {
+		t.Errorf("sketch jaccard = %v, dense = %v", got, want)
+	}
+}
+
+func TestSketchStateRoundTrip(t *testing.T) {
+	m := NewShMap(256)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 300; i++ {
+		m.Increment(rng.Intn(256))
+	}
+	s := SketchShMap(m, DefaultFloor, 0, 0)
+	var enc snapbin.Enc
+	s.SaveState(&enc)
+
+	r := NewSketch(0, 0)
+	d := snapbin.NewDec(enc.Bytes())
+	if err := r.RestoreState(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if r.L1() != s.L1() || r.NonZero() != s.NonZero() || r.l2sq != s.l2sq {
+		t.Error("restored scalars differ")
+	}
+	if got := r.Cosine(s); got != 1 {
+		t.Errorf("restored sketch cosine vs original = %v, want 1", got)
+	}
+	// Byte-identity on re-save.
+	var enc2 snapbin.Enc
+	r.SaveState(&enc2)
+	if string(enc2.Bytes()) != string(enc.Bytes()) {
+		t.Error("re-saved state is not byte-identical")
+	}
+}
+
+func TestSketchRestoreErrors(t *testing.T) {
+	m := NewShMap(64)
+	for i := 0; i < 20; i++ {
+		m.Increment(i)
+		m.Increment(i)
+		m.Increment(i)
+	}
+	s := SketchShMap(m, DefaultFloor, 2, 32)
+	var enc snapbin.Enc
+	s.SaveState(&enc)
+	good := enc.Bytes()
+
+	t.Run("shape mismatch", func(t *testing.T) {
+		r := NewSketch(2, 64)
+		err := r.RestoreState(snapbin.NewDec(good))
+		if !errors.Is(err, errs.ErrBadConfig) {
+			t.Errorf("err = %v, want ErrBadConfig", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		r := NewSketch(2, 32)
+		if err := r.RestoreState(snapbin.NewDec(good[:len(good)-5])); err == nil {
+			t.Error("truncated state must fail")
+		}
+	})
+	t.Run("corrupt bucket", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[8]++ // first bucket of row 0: row sum no longer matches l1
+		r := NewSketch(2, 32)
+		err := r.RestoreState(snapbin.NewDec(bad))
+		if !errors.Is(err, snapbin.ErrCorrupt) {
+			t.Errorf("err = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("corrupt scalars", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[len(bad)-20]++ // l1 low byte: no row's bucket sum matches anymore
+		r := NewSketch(2, 32)
+		err := r.RestoreState(snapbin.NewDec(bad))
+		if !errors.Is(err, snapbin.ErrCorrupt) {
+			t.Errorf("err = %v, want ErrCorrupt", err)
+		}
+	})
+}

@@ -1,0 +1,286 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"threadcluster/internal/clustering"
+	"threadcluster/internal/errs"
+	"threadcluster/internal/memory"
+	"threadcluster/internal/rng"
+	"threadcluster/internal/sched"
+	"threadcluster/internal/sim"
+)
+
+// streamingTestConfig returns the scaled engine config with the
+// incremental clusterer attached in the given mode. Short monitoring and
+// settle windows keep multiple detection cycles inside a fast test run.
+func streamingTestConfig(mode clustering.Mode) Config {
+	cfg := testEngineConfig()
+	cfg.TargetSamples = 10_000
+	cfg.SettleCycles = 100_000
+	scfg := clustering.DefaultEngineConfig()
+	scfg.Mode = mode
+	cfg.Streaming = &scfg
+	return cfg
+}
+
+// TestStreamingMatchesBatch is the core-level differential: a machine
+// whose engine clusters through the incremental path with per-event
+// reclustering (drift window 1, negative threshold) must produce exactly
+// the clustering sequence of an identical machine on the batch path —
+// every detection, not just the first. With a recluster after the last
+// applied event, the incremental partition is by construction the batch
+// one-pass over the same shMaps, so any divergence means the event
+// plumbing fed the clusterer different vectors than clusterAll saw.
+func TestStreamingMatchesBatch(t *testing.T) {
+	const seed = 31
+	run := func(streaming bool) [][]clustering.Cluster {
+		m := buildGroupedMachine(t, sched.PolicyClustered, 2, 8, seed)
+		cfg := streamingTestConfig(clustering.ModeDense)
+		if streaming {
+			cfg.Streaming.DriftWindow = 1
+			cfg.Streaming.DriftThreshold = -1 // recluster on every event
+		} else {
+			cfg.Streaming = nil
+		}
+		e, err := New(m, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Install(); err != nil {
+			t.Fatal(err)
+		}
+		var history [][]clustering.Cluster
+		e.OnClusters(func(cs []clustering.Cluster) {
+			history = append(history, append([]clustering.Cluster(nil), cs...))
+		})
+		for r := 0; r < 3000 && len(history) < 2; r += 20 {
+			if err := m.RunRoundsCtx(context.Background(), 20); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return history
+	}
+	batch := run(false)
+	stream := run(true)
+	if len(batch) < 2 {
+		t.Fatalf("batch machine clustered %d times, want >= 2", len(batch))
+	}
+	if len(stream) != len(batch) {
+		t.Fatalf("streaming machine clustered %d times, batch %d", len(stream), len(batch))
+	}
+	for i := range batch {
+		if !reflect.DeepEqual(stream[i], batch[i]) {
+			t.Fatalf("clustering %d diverges:\nstreaming: %+v\nbatch:     %+v", i, stream[i], batch[i])
+		}
+	}
+}
+
+// TestStreamingSketchFindsGroups runs the scale path end to end: sampled
+// shMaps are folded into sketches, scored with the cosine estimator, and
+// the resulting clusters must still recover the workload's sharing
+// groups.
+func TestStreamingSketchFindsGroups(t *testing.T) {
+	const nGroups, perGroup = 2, 8
+	m := buildGroupedMachine(t, sched.PolicyClustered, nGroups, perGroup, 33)
+	e, err := New(m, streamingTestConfig(clustering.ModeSketch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Install(); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 3000 && e.Clusters() == nil; r += 20 {
+		if err := m.RunRoundsCtx(context.Background(), 20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clusters := e.Clusters()
+	if clusters == nil {
+		t.Fatalf("detection never completed (phase=%v, samples=%d)", e.Phase(), e.SamplesRead())
+	}
+	truth := make(map[clustering.ThreadKey]int)
+	for _, th := range m.Threads() {
+		truth[clustering.ThreadKey(th.ID)] = th.Partition
+	}
+	if p := clustering.Purity(clusters, truth); p < 0.9 {
+		t.Errorf("sketch-mode purity = %.3f, want >= 0.9 (clusters: %+v)", p, clusters)
+	}
+	snap := e.Snapshot()
+	if !snap.Streaming || snap.StreamMode != "sketch" || snap.StreamEvents == 0 {
+		t.Errorf("snapshot misreports streaming: %+v", snap)
+	}
+	if !strings.Contains(e.Report(), "streaming: mode=sketch") {
+		t.Error("Report should show the streaming line")
+	}
+}
+
+// TestStreamingAbsorbsStableDetections pins the drift detector's
+// purpose: on a workload whose sharing pattern never changes, repeated
+// detections arrive as sharing-delta events and the windowed drift stays
+// below threshold, so the engine never pays for a full batch recluster.
+func TestStreamingAbsorbsStableDetections(t *testing.T) {
+	m := buildGroupedMachine(t, sched.PolicyClustered, 2, 8, 35)
+	cfg := streamingTestConfig(clustering.ModeDense)
+	cfg.Streaming.DriftWindow = 16 // one detection's worth of events fills it
+	e, err := New(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Install(); err != nil {
+		t.Fatal(err)
+	}
+	clusterings := 0
+	e.OnClusters(func([]clustering.Cluster) { clusterings++ })
+	// Two clusterings already prove the point (the second arrives as
+	// absorbed deltas); the third is extra confidence for the full tier.
+	target := 3
+	if testing.Short() {
+		target = 2
+	}
+	for r := 0; r < 4000 && clusterings < target; r += 20 {
+		if err := m.RunRoundsCtx(context.Background(), 20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if clusterings < 2 {
+		t.Fatalf("only %d clusterings happened, want >= 2", clusterings)
+	}
+	stream := e.Stream()
+	if stream == nil {
+		t.Fatal("Stream() should return the incremental clusterer")
+	}
+	if stream.Events() == 0 {
+		t.Fatal("no events reached the incremental clusterer")
+	}
+	if got := stream.Reclusters(); got != 0 {
+		t.Errorf("stable workload triggered %d drift reclusters (drift %.3f), want 0", got, stream.Drift())
+	}
+}
+
+// TestStreamingStateRoundTrip pins the streaming section of the engine's
+// snapshot ride-along in both modes: snapshot after the first streaming
+// clustering, restore into a freshly built machine, and require the
+// clusterer's counters and partition — then the continued simulation —
+// to match exactly.
+func TestStreamingStateRoundTrip(t *testing.T) {
+	for _, mode := range []clustering.Mode{clustering.ModeDense, clustering.ModeSketch} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			const nGroups, perGroup, seed = 2, 4, 41
+			ctx := context.Background()
+			mcfg := sim.DefaultConfig()
+			mcfg.Policy = sched.PolicyClustered
+			mcfg.QuantumCycles = 20_000
+			mcfg.Seed = seed
+			ecfg := streamingTestConfig(mode)
+			ecfg.TargetSamples = 5_000
+
+			buildWithHandle := func() (*sim.Machine, *Engine) {
+				m, err := sim.NewMachine(mcfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				arena := memory.NewDefaultArena()
+				shared := make([]memory.Region, nGroups)
+				for g := range shared {
+					shared[g] = arena.MustAlloc(16*memory.LineSize, 0)
+				}
+				for i := 0; i < nGroups*perGroup; i++ {
+					g := i % nGroups
+					gen := &confinedSharer{
+						rng:     rng.New(seed*1000 + int64(i)),
+						private: arena.MustAlloc(64<<10, 0),
+						shared:  shared[g],
+						ratio:   0.4,
+					}
+					if err := m.AddThread(&sim.Thread{ID: sched.ThreadID(i), Gen: gen, Partition: g}); err != nil {
+						t.Fatal(err)
+					}
+				}
+				e, err := New(m, ecfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := e.Install(); err != nil {
+					t.Fatal(err)
+				}
+				return m, e
+			}
+
+			m, e := buildWithHandle()
+			e.ForceDetection()
+			for r := 0; r < 2000 && e.Clusters() == nil; r += 10 {
+				if err := m.RunRoundsCtx(ctx, 10); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if e.Clusters() == nil {
+				t.Fatalf("detection never completed (samples=%d)", e.SamplesRead())
+			}
+			if e.Stream().Events() == 0 {
+				t.Fatal("test premise broken: no streaming events before snapshot")
+			}
+			snap, err := m.Snapshot(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			m2, e2 := buildWithHandle()
+			if err := m2.RestoreSnapshot(snap); err != nil {
+				t.Fatal(err)
+			}
+			if e2.Stream().Events() != e.Stream().Events() ||
+				e2.Stream().Reclusters() != e.Stream().Reclusters() ||
+				e2.Stream().Len() != e.Stream().Len() {
+				t.Fatalf("restored clusterer counters diverge: events %d/%d reclusters %d/%d threads %d/%d",
+					e2.Stream().Events(), e.Stream().Events(),
+					e2.Stream().Reclusters(), e.Stream().Reclusters(),
+					e2.Stream().Len(), e.Stream().Len())
+			}
+			if !reflect.DeepEqual(e2.Stream().Clusters(), e.Stream().Clusters()) {
+				t.Fatal("restored clusterer partition diverges")
+			}
+			if err := m.RunRoundsCtx(ctx, 10); err != nil {
+				t.Fatal(err)
+			}
+			if err := m2.RunRoundsCtx(ctx, 10); err != nil {
+				t.Fatal(err)
+			}
+			s1, err := m.Snapshot(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s2, err := m2.Snapshot(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s1.Digest() != s2.Digest() {
+				t.Fatal("restored machine diverges from original over further rounds")
+			}
+		})
+	}
+}
+
+// TestStreamingConfigErrors pins the refusal paths of the streaming
+// option.
+func TestStreamingConfigErrors(t *testing.T) {
+	m := buildGroupedMachine(t, sched.PolicyClustered, 2, 2, 1)
+	t.Run("ProcessOf", func(t *testing.T) {
+		cfg := streamingTestConfig(clustering.ModeDense)
+		cfg.ProcessOf = func(sched.ThreadID) int { return 0 }
+		if _, err := New(m, cfg); !errors.Is(err, errs.ErrBadConfig) {
+			t.Errorf("Streaming+ProcessOf: %v, want ErrBadConfig", err)
+		}
+	})
+	t.Run("bad mode", func(t *testing.T) {
+		cfg := streamingTestConfig(clustering.Mode(7))
+		if _, err := New(m, cfg); !errors.Is(err, errs.ErrBadConfig) {
+			t.Errorf("unknown mode: %v, want ErrBadConfig", err)
+		}
+	})
+}

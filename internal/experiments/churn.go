@@ -45,7 +45,7 @@ func Churn(ctx context.Context, opt Options) ([]ChurnPoint, *stats.Table, error)
 	t := stats.NewTable("Connection churn: why Section 5.3.4 uses persistent connections",
 		"Connections", "Residual remote stalls", "Detections")
 	for _, c := range configs {
-		p, err := churnRun(ctx, opt, c.every)
+		p, _, err := churnRun(ctx, opt, c.every)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -56,13 +56,13 @@ func Churn(ctx context.Context, opt Options) ([]ChurnPoint, *stats.Table, error)
 	return points, t, nil
 }
 
-func churnRun(ctx context.Context, opt Options, replaceEvery int) (ChurnPoint, error) {
+func churnRun(ctx context.Context, opt Options, replaceEvery int) (ChurnPoint, *core.Engine, error) {
 	arena := memory.NewDefaultArena()
 	vcfg := workloads.DefaultVolanoConfig()
 	vcfg.Seed = opt.Seed
 	server, err := workloads.NewVolanoServer(arena, vcfg)
 	if err != nil {
-		return ChurnPoint{}, err
+		return ChurnPoint{}, nil, err
 	}
 	mcfg := sim.DefaultConfig()
 	mcfg.Engine = opt.Engine
@@ -72,17 +72,17 @@ func churnRun(ctx context.Context, opt Options, replaceEvery int) (ChurnPoint, e
 	mcfg.Seed = opt.Seed
 	m, err := sim.NewMachine(mcfg)
 	if err != nil {
-		return ChurnPoint{}, err
+		return ChurnPoint{}, nil, err
 	}
 	if err := server.Spec().Install(m); err != nil {
-		return ChurnPoint{}, err
+		return ChurnPoint{}, nil, err
 	}
-	eng, err := core.New(m, ScaledEngineConfig(opt.Seed))
+	eng, err := newScaledEngine(m, opt)
 	if err != nil {
-		return ChurnPoint{}, err
+		return ChurnPoint{}, nil, err
 	}
 	if err := eng.Install(); err != nil {
-		return ChurnPoint{}, err
+		return ChurnPoint{}, nil, err
 	}
 
 	// The churn driver: every replaceEvery rounds, tear down the oldest
@@ -132,15 +132,15 @@ func churnRun(ctx context.Context, opt Options, replaceEvery int) (ChurnPoint, e
 	}
 
 	if err := m.RunRoundsCtx(ctx, opt.WarmRounds+opt.EngineRounds); err != nil {
-		return ChurnPoint{}, err
+		return ChurnPoint{}, nil, err
 	}
 	m.ResetMetrics()
 	if err := m.RunRoundsCtx(ctx, opt.MeasureRounds); err != nil {
-		return ChurnPoint{}, err
+		return ChurnPoint{}, nil, err
 	}
 	return ChurnPoint{
 		ReplaceEveryRounds: replaceEvery,
 		RemoteFraction:     m.Breakdown().RemoteFraction(),
 		Activations:        eng.Activations(),
-	}, nil
+	}, eng, nil
 }

@@ -161,7 +161,7 @@ func Scale32(ctx context.Context, opt Options) (Scale32Result, error) {
 			return 0, err
 		}
 		if withEngine {
-			eng, err := newScaledEngine(m, big.Seed)
+			eng, err := newScaledEngine(m, big)
 			if err != nil {
 				return 0, err
 			}

@@ -5,7 +5,6 @@ import (
 	"fmt"
 
 	"threadcluster/internal/cache"
-	"threadcluster/internal/core"
 	"threadcluster/internal/memory"
 	"threadcluster/internal/pmu"
 	"threadcluster/internal/sched"
@@ -113,7 +112,7 @@ func contentionRun(ctx context.Context, opt Options, placement string, caches ca
 			m.Scheduler().Pin(th.ID)
 		}
 	case "engine (balanced)":
-		eng, err := core.New(m, ScaledEngineConfig(opt.Seed))
+		eng, err := newScaledEngine(m, opt)
 		if err != nil {
 			return ContentionRow{}, err
 		}

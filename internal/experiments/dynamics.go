@@ -5,7 +5,6 @@ import (
 	"fmt"
 
 	"threadcluster/internal/clustering"
-	"threadcluster/internal/core"
 	"threadcluster/internal/memory"
 	"threadcluster/internal/sched"
 	"threadcluster/internal/sim"
@@ -68,7 +67,7 @@ func PhaseChange(ctx context.Context, opt Options) (PhaseChangeResult, error) {
 	if err := spec.Install(m); err != nil {
 		return PhaseChangeResult{}, err
 	}
-	eng, err := core.New(m, ScaledEngineConfig(opt.Seed))
+	eng, err := newScaledEngine(m, opt)
 	if err != nil {
 		return PhaseChangeResult{}, err
 	}

@@ -70,6 +70,12 @@ type Options struct {
 	// value: chip-parallel). Both engines are differentially tested to be
 	// byte-identical; this is purely a speed/debugging knob.
 	Engine sim.Engine
+	// ClusterMode selects how the clustering engine turns each detection
+	// into a partition: "" or "batch" is the paper's from-scratch one-pass;
+	// "dense" and "sketch" attach the incremental clusterer (retained
+	// vectors or fixed-size sketches) with the default drift detector, so
+	// stable detections are absorbed as deltas instead of reclustered.
+	ClusterMode string
 }
 
 // DefaultOptions returns the scaled defaults used by the CLI and benches.
@@ -108,10 +114,33 @@ func ScaledEngineConfig(seed int64) core.Config {
 	return cfg
 }
 
+// EngineConfigFor is ScaledEngineConfig with the Options' cluster mode
+// applied: "batch" (or empty) leaves the from-scratch one-pass, "dense"
+// and "sketch" attach the incremental clusterer in the matching
+// representation.
+func EngineConfigFor(opt Options) (core.Config, error) {
+	cfg := ScaledEngineConfig(opt.Seed)
+	if opt.ClusterMode == "" || opt.ClusterMode == "batch" {
+		return cfg, nil
+	}
+	mode, err := clustering.ParseMode(opt.ClusterMode)
+	if err != nil {
+		return core.Config{}, fmt.Errorf("experiments: cluster mode: %w", err)
+	}
+	scfg := clustering.DefaultEngineConfig()
+	scfg.Mode = mode
+	cfg.Streaming = &scfg
+	return cfg, nil
+}
+
 // newScaledEngine attaches a clustering engine with the scaled paper
-// parameters to a machine.
-func newScaledEngine(m *sim.Machine, seed int64) (*core.Engine, error) {
-	return core.New(m, ScaledEngineConfig(seed))
+// parameters — and the Options' cluster mode — to a machine.
+func newScaledEngine(m *sim.Machine, opt Options) (*core.Engine, error) {
+	cfg, err := EngineConfigFor(opt)
+	if err != nil {
+		return nil, err
+	}
+	return core.New(m, cfg)
 }
 
 // ControlledEngineConfig is ScaledEngineConfig with the activation
@@ -246,7 +275,7 @@ func RunWorkload(ctx context.Context, name string, policy sched.Policy, withEngi
 	}
 	var eng *core.Engine
 	if withEngine {
-		eng, err = core.New(m, ScaledEngineConfig(opt.Seed))
+		eng, err = newScaledEngine(m, opt)
 		if err != nil {
 			return RunMetrics{}, nil, err
 		}

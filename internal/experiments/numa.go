@@ -128,7 +128,10 @@ func numaRun(ctx context.Context, opt Options, policy sched.Policy, withEngine, 
 
 	name := "default"
 	if withEngine {
-		ecfg := ScaledEngineConfig(opt.Seed)
+		ecfg, err := EngineConfigFor(opt)
+		if err != nil {
+			return rowErr(err)
+		}
 		if numaEngine {
 			ecfg.NUMA = true
 			ecfg.NodeOf = func(a memory.Addr) int { return nodes.NodeOf(a) }

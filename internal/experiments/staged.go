@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"sort"
 
-	"threadcluster/internal/core"
 	"threadcluster/internal/memory"
 	"threadcluster/internal/sched"
 	"threadcluster/internal/sim"
@@ -63,7 +62,7 @@ func Staged(ctx context.Context, opt Options) (StagedResult, *stats.Table, error
 			return 0, 0, nil, nil, err
 		}
 		if withEngine {
-			eng, err := core.New(m, ScaledEngineConfig(opt.Seed))
+			eng, err := newScaledEngine(m, opt)
 			if err != nil {
 				return 0, 0, nil, nil, err
 			}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"threadcluster/internal/stats"
+)
+
+// StreamingRow is one cluster-mode measurement of the streaming study.
+type StreamingRow struct {
+	// Mode is the cluster mode measured ("batch", "dense" or "sketch").
+	Mode string
+	// RemoteFraction is the residual remote-stall share under churn.
+	RemoteFraction float64
+	// Activations / Clusterings count detections and completed clustering
+	// passes over the run.
+	Activations uint64
+	Clusterings uint64
+	// Events counts churn/sharing-delta events the incremental clusterer
+	// absorbed (0 in batch mode).
+	Events uint64
+	// Reclusters counts drift-triggered full batch passes inside the
+	// incremental clusterer (0 in batch mode). Reclusters well below
+	// Clusterings is the streaming path earning its keep.
+	Reclusters uint64
+}
+
+// Streaming compares the three cluster modes on the fast-churn chat
+// workload: the paper's from-scratch batch pass per detection against
+// the incremental clusterer with dense vectors and with fixed-size
+// sketches. The placement quality (residual remote stalls) must be
+// equivalent across modes — the incremental paths are differentially
+// tested to match batch — while the incremental modes absorb most
+// detections as deltas instead of reclustering.
+func Streaming(ctx context.Context, opt Options) ([]StreamingRow, *stats.Table, error) {
+	const replaceEvery = 30 // the churn study's fast-churn point
+	var rows []StreamingRow
+	for _, mode := range []string{"batch", "dense", "sketch"} {
+		o := opt
+		o.ClusterMode = mode
+		p, eng, err := churnRun(ctx, o, replaceEvery)
+		if err != nil {
+			return nil, nil, err
+		}
+		row := StreamingRow{
+			Mode:           mode,
+			RemoteFraction: p.RemoteFraction,
+			Activations:    eng.Activations(),
+			Clusterings:    eng.Clusterings(),
+		}
+		if s := eng.Stream(); s != nil {
+			row.Events = s.Events()
+			row.Reclusters = s.Reclusters()
+		}
+		rows = append(rows, row)
+	}
+	t := stats.NewTable("Streaming clustering: incremental re-clustering under churn",
+		"Mode", "Residual remote stalls", "Clusterings", "Events", "Full reclusters")
+	for _, r := range rows {
+		t.AddRow(r.Mode, stats.Pct(r.RemoteFraction),
+			fmt.Sprintf("%d", r.Clusterings),
+			fmt.Sprintf("%d", r.Events),
+			fmt.Sprintf("%d", r.Reclusters))
+	}
+	return rows, t, nil
+}

@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"testing"
 
+	"threadcluster/internal/clustering"
 	"threadcluster/internal/errs"
 	"threadcluster/internal/snapbin"
 )
@@ -96,6 +97,145 @@ func TestSnapshotDifferential(t *testing.T) {
 				if dig != first {
 					t.Fatalf("snapshot digest differs at %s: %s vs %s (encoding is not canonical)", key, dig, first)
 				}
+			}
+		})
+	}
+}
+
+// sketchDriverVector builds the deterministic shMap the sketch-provider
+// driver feeds for thread key at event number n: a banded pattern (four
+// key groups, sixteen entries each) whose counts vary with n.
+func sketchDriverVector(key clustering.ThreadKey, n uint64) *clustering.ShMap {
+	sm := clustering.NewShMap(64)
+	base := (int(key) % 4) * 16
+	for i := 0; i < 12; i++ {
+		reps := 1 + int((n+uint64(i))%3)
+		for r := 0; r < reps; r++ {
+			sm.Increment(base + i)
+		}
+	}
+	return sm
+}
+
+// sketchProviderInstall is diffInstall plus a sketch-mode incremental
+// clusterer registered as an extra state provider and a per-tick churn
+// driver. The driver derives every event purely from the clusterer's own
+// event counter, so after a restore the continuation is a pure function
+// of snapshotted state — no driver-private bookkeeping to lose.
+func sketchProviderInstall(sc diffTopo, seed int64) func(*Machine) error {
+	base := diffInstall(sc, seed)
+	return func(m *Machine) error {
+		if err := base(m); err != nil {
+			return err
+		}
+		cfg := clustering.DefaultEngineConfig()
+		cfg.Mode = clustering.ModeSketch
+		eng, err := clustering.NewEngine(cfg)
+		if err != nil {
+			return err
+		}
+		if err := m.RegisterStateProvider("test.sketch", StateProvider{
+			Save:    func(enc *snapbin.Enc) error { eng.SaveState(enc); return nil },
+			Restore: eng.RestoreState,
+		}); err != nil {
+			return err
+		}
+		m.OnTick(func(*Machine) {
+			n := eng.Events()
+			key := clustering.ThreadKey(n % 48)
+			var err error
+			switch {
+			case n%7 == 3 && eng.Has(key):
+				err = eng.ApplyChurn(clustering.ChurnEvent{Departed: []clustering.ThreadKey{key}})
+			case eng.Has(key):
+				err = eng.ApplyMigration(key, sketchDriverVector(key, n))
+			default:
+				err = eng.ApplyChurn(clustering.ChurnEvent{
+					Arrived: map[clustering.ThreadKey]*clustering.ShMap{key: sketchDriverVector(key, n)},
+				})
+			}
+			if err != nil {
+				panic(fmt.Sprintf("sketch driver event %d: %v", n, err))
+			}
+		})
+		return nil
+	}
+}
+
+// TestSnapshotDifferentialSketchProvider extends the snapshot pin to the
+// clustering engine's sketch state: a machine carrying a sketch-mode
+// incremental clusterer (fed churn by a deterministic per-tick driver)
+// must survive snapshot/restore byte-exactly, and the restored run must
+// end in the same digest as the uninterrupted one.
+func TestSnapshotDifferentialSketchProvider(t *testing.T) {
+	const seed = 77
+	const preRounds, postRounds = 24, 16
+	ctx := context.Background()
+	sc := diffTopologies()[0]
+	for _, engine := range []Engine{EngineSeq, EngineParallel} {
+		engine := engine
+		t.Run(engine.String(), func(t *testing.T) {
+			build := func() *Machine {
+				m, err := NewMachine(diffConfig(sc, engine, seed))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := sketchProviderInstall(sc, seed)(m); err != nil {
+					t.Fatal(err)
+				}
+				return m
+			}
+
+			ref := build()
+			if err := ref.RunRoundsCtx(ctx, preRounds+postRounds); err != nil {
+				t.Fatal(err)
+			}
+			refSnap, err := ref.Snapshot(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			split := build()
+			if err := split.RunRoundsCtx(ctx, preRounds); err != nil {
+				t.Fatal(err)
+			}
+			snap, err := split.Snapshot(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			found := false
+			for _, name := range snap.Sections() {
+				if name == "test.sketch" {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("snapshot sections %v lack the sketch provider", snap.Sections())
+			}
+			decoded, err := DecodeSnapshot(snap.Encode())
+			if err != nil {
+				t.Fatal(err)
+			}
+			restored, err := RestoreMachine(diffConfig(sc, engine, seed), decoded, sketchProviderInstall(sc, seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resnap, err := restored.Snapshot(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(resnap.Encode(), snap.Encode()) {
+				t.Fatal("snapshot of the restored machine diverges from the snapshot it was restored from")
+			}
+			if err := restored.RunRoundsCtx(ctx, postRounds); err != nil {
+				t.Fatal(err)
+			}
+			gotSnap, err := restored.Snapshot(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := gotSnap.Digest(), refSnap.Digest(); got != want {
+				t.Fatalf("restored run diverges from uninterrupted run:\nrestored:      %s\nuninterrupted: %s", got, want)
 			}
 		})
 	}
