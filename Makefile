@@ -13,10 +13,12 @@ vet:
 	$(GO) vet ./...
 
 # Project-specific analyzers (detrand, wallclock, maporder, errwrap,
-# ctxplumb, nodeprecated; see DESIGN.md §6), driven through go vet's vettool protocol
-# so results share vet's per-package build cache. The cmd/ tree is
-# allowlisted for wall-clock reads wholesale: operator-facing progress
-# timing and the tcsimd system clock live there, never in internal/.
+# ctxplumb, nodeprecated, seedflow, snapfields; see DESIGN.md §6),
+# driven through go vet's vettool protocol so results share vet's
+# per-package build cache and the interprocedural analyzers' facts ride
+# its vetx files. The cmd/ tree is allowlisted for wall-clock reads
+# wholesale: operator-facing progress timing and the tcsimd system
+# clock live there, never in internal/.
 tclint:
 	$(GO) build -o bin/tclint ./cmd/tclint
 	$(GO) vet -vettool=$(CURDIR)/bin/tclint -wallclock.allow=threadcluster/cmd ./...

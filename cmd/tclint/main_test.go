@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -20,7 +22,9 @@ import (
 // -wallclock.allow=threadcluster/cmd.
 func TestSelfClean(t *testing.T) {
 	defer func(prev []string) { lint.WallclockAllowlist = prev }(lint.WallclockAllowlist)
+	defer func(prev bool) { lint.RequireAllowReason = prev }(lint.RequireAllowReason)
 	lint.WallclockAllowlist = []string{"threadcluster/cmd"}
+	lint.RequireAllowReason = true
 	diags, err := lint.Run("../..", []string{"./..."}, lint.All())
 	if err != nil {
 		t.Fatalf("tclint: %v", err)
@@ -129,6 +133,163 @@ func Jitter() time.Time {
 		if !strings.Contains(out, wantFragment) {
 			t.Errorf("go vet output missing %q; got:\n%s", wantFragment, out)
 		}
+	}
+}
+
+// TestVettoolFacts proves facts survive the real vetx round-trip: the
+// seed obligation on seedlib.NewGen is computed while go vet analyzes
+// the library package, serialized into its vetx file, and read back
+// when the dependent package is checked — the constant-seed diagnostic
+// in the caller is only possible if that file carried the fact.
+func TestVettoolFacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a scratch module and shells out to go vet")
+	}
+	bin := buildTclint(t)
+
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		full := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(full), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module threadcluster\n\ngo 1.22\n")
+	write("internal/seedlib/seedlib.go", `package seedlib
+
+import "math/rand"
+
+// NewGen picks up a seed obligation on its parameter: callers must
+// pass something traceable to a run seed.
+func NewGen(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+`)
+	write("internal/sim/use.go", `package sim
+
+import "threadcluster/internal/seedlib"
+
+type Config struct {
+	Seed int64
+}
+
+func Fine(cfg Config) {
+	_ = seedlib.NewGen(cfg.Seed)
+}
+
+func Broken() {
+	_ = seedlib.NewGen(42)
+}
+`)
+
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet passed despite a constant seed crossing a package boundary; output:\n%s", out)
+	}
+	got := string(out)
+	if !strings.Contains(got, "seedlib.NewGen is seeded with a constant") {
+		t.Errorf("missing cross-package seedflow diagnostic; got:\n%s", got)
+	}
+	if strings.Contains(got, "cfg.Seed") || strings.Contains(got, "Fine") {
+		t.Errorf("traceable call site reported; got:\n%s", got)
+	}
+}
+
+// TestJSONOutput pins the -json contract: a clean tree emits a literal
+// empty array, a dirty one emits position-sorted objects with the
+// documented field order, and the exit codes match text mode.
+func TestJSONOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds scratch modules")
+	}
+	bin := buildTclint(t)
+
+	mkmod := func(src string) string {
+		t.Helper()
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module threadcluster\n\ngo 1.22\n"), 0o666); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "root.go"), []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+
+	clean := mkmod("package threadcluster\n\nfunc Add(a, b int) int { return a + b }\n")
+	cmd := exec.Command(bin, "-json", "./...")
+	cmd.Dir = clean
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("tclint -json on a clean module: %v\n%s", err, out)
+	}
+	if got := strings.TrimSpace(string(out)); got != "[]" {
+		t.Errorf("clean -json output = %q, want []", got)
+	}
+
+	dirty := mkmod(`package threadcluster
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Pick() int { return rand.Intn(5) }
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`)
+	cmd = exec.Command(bin, "-json", "./...")
+	cmd.Dir = dirty
+	out, err = cmd.Output()
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) || exitErr.ExitCode() != 1 {
+		t.Fatalf("tclint -json on a dirty module: err = %v, want exit code 1", err)
+	}
+	var diags []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Column   int    `json:"column"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(out, &diags); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, out)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2:\n%s", len(diags), out)
+	}
+	for i := 1; i < len(diags); i++ {
+		if diags[i-1].File > diags[i].File ||
+			(diags[i-1].File == diags[i].File && diags[i-1].Line > diags[i].Line) {
+			t.Errorf("diagnostics not position-sorted:\n%s", out)
+		}
+	}
+	wantAnalyzers := map[string]string{
+		"detrand":   "rand.Intn uses the process-global source",
+		"wallclock": "time.Now reads the wall clock",
+	}
+	for _, d := range diags {
+		frag, ok := wantAnalyzers[d.Analyzer]
+		if !ok {
+			t.Errorf("unexpected analyzer %q in:\n%s", d.Analyzer, out)
+			continue
+		}
+		delete(wantAnalyzers, d.Analyzer)
+		if !strings.Contains(d.Message, frag) {
+			t.Errorf("analyzer %s message = %q, want fragment %q", d.Analyzer, d.Message, frag)
+		}
+		if d.File == "" || d.Line == 0 || d.Column == 0 {
+			t.Errorf("diagnostic missing position data: %+v", d)
+		}
+	}
+	for name := range wantAnalyzers {
+		t.Errorf("no %s diagnostic in:\n%s", name, out)
 	}
 }
 

@@ -124,11 +124,11 @@ func SmallConfig() HierarchyConfig {
 // engine uses. Query methods (counters, occupancy, CheckDirectory) are
 // only meaningful at barrier boundaries.
 type Hierarchy struct {
-	topo topology.Topology
-	lat  topology.Latencies
-	l1   []*SetAssoc // indexed by global core id
-	l2   []*SetAssoc // indexed by chip
-	l3   []*SetAssoc // indexed by chip
+	topo topology.Topology  //tclint:allow snapfields -- construction config; RestoreMachine rebuilds it and the restore validates against it
+	lat  topology.Latencies //tclint:allow snapfields -- construction config, immutable after NewHierarchy
+	l1   []*SetAssoc        // indexed by global core id
+	l2   []*SetAssoc        // indexed by chip
+	l3   []*SetAssoc        // indexed by chip
 
 	// mode is the effective coherence implementation. In directory mode
 	// pres is the machine-wide chip-presence table (written only at
@@ -155,7 +155,7 @@ type Hierarchy struct {
 	srcCycles [NumSources]uint64
 
 	// NUMA configuration: nil means uniform memory (the base platform).
-	nodes memory.NodeMap
+	nodes memory.NodeMap //tclint:allow snapfields -- construction config, immutable after NewHierarchy
 }
 
 // NewHierarchy builds the cache system for a topology.

@@ -158,7 +158,7 @@ func DefaultConfig() Config {
 // Engine is the thread-clustering engine attached to one machine.
 type Engine struct {
 	cfg Config
-	m   *sim.Machine
+	m   *sim.Machine //tclint:allow snapfields -- machine attachment; Install re-links it before RestoreSnapshot overlays state
 
 	phase         Phase
 	windowStart   uint64
@@ -167,7 +167,7 @@ type Engine struct {
 	baseRemoteMem uint64
 
 	shmaps  map[clustering.ThreadKey]*clustering.ShMap
-	filter  *clustering.Filter         // process 0 (and the single-process case)
+	filter  *clustering.Filter         //tclint:allow snapfields -- aliases filters[0], whose section carries the data; RestoreState re-links it
 	filters map[int]*clustering.Filter // per process, including 0
 	rng     *rng.Rand
 

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/types"
 	"strings"
 )
 
@@ -38,28 +39,59 @@ var DetRand = &Analyzer{
 }
 
 func runDetRand(pass *Pass) error {
+	report := func(pos ast.Node, path, name string) {
+		short := path[strings.LastIndex(path, "/")+1:]
+		if short == "v2" {
+			short = "rand/v2"
+		}
+		if name == "Seed" {
+			pass.Reportf(pos.Pos(), "rand.Seed reseeds the process-global source; seed a private rand.New(rand.NewSource(seed)) instead")
+		} else {
+			pass.Reportf(pos.Pos(), "%s.%s uses the process-global source; use a seeded *rand.Rand threaded from the engine/sweep seed", short, name)
+		}
+	}
 	for _, f := range pass.Files {
+		// Selector uses (rand.Intn) report on the qualified expression;
+		// the selector's Sel idents are excluded from the bare-ident walk
+		// below so nothing reports twice.
+		inSelector := make(map[*ast.Ident]bool)
 		ast.Inspect(f, func(n ast.Node) bool {
-			sel, ok := n.(*ast.SelectorExpr)
-			if !ok {
-				return true
+			if sel, ok := n.(*ast.SelectorExpr); ok {
+				inSelector[sel.Sel] = true
 			}
-			path := pkgNameOf(pass.TypesInfo, sel)
-			if path != "math/rand" && path != "math/rand/v2" {
-				return true
-			}
-			name := sel.Sel.Name
-			if !globalRandFuncs[name] {
-				return true
-			}
-			short := path[strings.LastIndex(path, "/")+1:]
-			if short == "v2" {
-				short = "rand/v2"
-			}
-			if name == "Seed" {
-				pass.Reportf(sel.Pos(), "rand.Seed reseeds the process-global source; seed a private rand.New(rand.NewSource(seed)) instead")
-			} else {
-				pass.Reportf(sel.Pos(), "%s.%s uses the process-global source; use a seeded *rand.Rand threaded from the engine/sweep seed", short, name)
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				path := pkgNameOf(pass.TypesInfo, n)
+				if path != "math/rand" && path != "math/rand/v2" {
+					return true
+				}
+				if globalRandFuncs[n.Sel.Name] {
+					report(n, path, n.Sel.Name)
+				}
+			case *ast.Ident:
+				// A dot import (import . "math/rand") makes the global
+				// funcs reachable as bare idents, which no selector-based
+				// check sees; resolve the use to its defining package.
+				if inSelector[n] {
+					return true
+				}
+				fn, ok := pass.TypesInfo.Uses[n].(*types.Func)
+				if !ok || fn.Pkg() == nil {
+					return true
+				}
+				path := fn.Pkg().Path()
+				if path != "math/rand" && path != "math/rand/v2" {
+					return true
+				}
+				if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+					return true // methods are fine; only package-level funcs hit the global source
+				}
+				if globalRandFuncs[fn.Name()] {
+					report(n, path, fn.Name())
+				}
 			}
 			return true
 		})

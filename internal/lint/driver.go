@@ -28,12 +28,15 @@ type listedPackage struct {
 }
 
 // Load resolves patterns with the go command and returns each matched
-// package parsed and type-checked against `go list -export` data. It
-// shells out to `go list` twice: once to build export data for the
-// whole dependency graph, once implicitly via -deps in the same call.
-// Only non-test Go files are loaded — the determinism contracts govern
-// what ships, and benchmarks/tests legitimately use wall time and ad
-// hoc randomness.
+// package parsed and type-checked against `go list -export` data, in
+// dependency order (every package after all of its dependencies — the
+// order `go list -deps` emits). Module packages that are dependencies
+// of the matched set but not matched themselves are loaded too, marked
+// DepOnly: the facts pass must see them for cross-package provenance
+// even when the user asks for a subtree, but their diagnostics are not
+// the user's to fix right now. Only non-test Go files are loaded — the
+// determinism contracts govern what ships, and benchmarks/tests
+// legitimately use wall time and ad hoc randomness.
 func Load(dir string, patterns []string) ([]*Package, error) {
 	args := append([]string{
 		"list", "-e", "-export", "-deps",
@@ -64,7 +67,7 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}
-		if !p.DepOnly && !p.Standard {
+		if !p.Standard && (!p.DepOnly || inModule(p.ImportPath)) {
 			pkg := p
 			targets = append(targets, &pkg)
 		}
@@ -88,6 +91,7 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		pkg.DepOnly = t.DepOnly
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
@@ -117,19 +121,26 @@ func checkPackage(fset *token.FileSet, imp types.Importer, path, dir string, fil
 }
 
 // Run loads patterns (relative to dir) and applies the analyzers,
-// returning all surviving diagnostics in package order.
+// returning all surviving diagnostics in package order. A single facts
+// store is threaded through every package in dependency order, so the
+// interprocedural analyzers see the same facts here that they would see
+// round-tripped through vetx files under `go vet -vettool=`. Packages
+// loaded only as dependencies contribute facts but no diagnostics.
 func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
 	pkgs, err := Load(dir, patterns)
 	if err != nil {
 		return nil, err
 	}
+	facts := NewFacts()
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
-		ds, err := RunPackage(pkg, analyzers)
+		ds, err := RunPackageFacts(pkg, analyzers, facts)
 		if err != nil {
 			return nil, err
 		}
-		diags = append(diags, ds...)
+		if !pkg.DepOnly {
+			diags = append(diags, ds...)
+		}
 	}
 	return diags, nil
 }

@@ -1,0 +1,246 @@
+package lint
+
+import (
+	"bytes"
+	"errors"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"threadcluster/internal/snapbin"
+)
+
+// checkSource type-checks one dependency-free source snippet and
+// returns its package for object lookups.
+func checkSource(t *testing.T, src string) *types.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := (&types.Config{}).Check("p", fset, []*ast.File{f}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+func TestObjectKey(t *testing.T) {
+	pkg := checkSource(t, `package p
+
+var Global int
+
+func TopLevel() {
+	local := 0
+	_ = local
+}
+
+type T struct{ Field int }
+
+func (T) ValueMethod()    {}
+func (*T) PointerMethod() {}
+
+type I interface{ IfaceMethod() }
+`)
+	scope := pkg.Scope()
+	lookup := func(name string) types.Object {
+		obj := scope.Lookup(name)
+		if obj == nil {
+			t.Fatalf("no package-level object %q", name)
+		}
+		return obj
+	}
+
+	named := lookup("T").Type().(*types.Named)
+	var valueMethod, pointerMethod types.Object
+	for i := 0; i < named.NumMethods(); i++ {
+		switch m := named.Method(i); m.Name() {
+		case "ValueMethod":
+			valueMethod = m
+		case "PointerMethod":
+			pointerMethod = m
+		}
+	}
+	iface := lookup("I").Type().Underlying().(*types.Interface)
+	ifaceMethod := iface.Method(0)
+	topLevel := lookup("TopLevel").(*types.Func)
+	local := topLevel.Scope().Lookup("local")
+	if local == nil {
+		t.Fatal("no local in TopLevel scope")
+	}
+	field := named.Underlying().(*types.Struct).Field(0)
+
+	cases := []struct {
+		label  string
+		obj    types.Object
+		want   string
+		wantOK bool
+	}{
+		{"package var", lookup("Global"), "Global", true},
+		{"package func", topLevel, "TopLevel", true},
+		{"type name", lookup("T"), "T", true},
+		{"value method", valueMethod, "T.ValueMethod", true},
+		{"pointer method", pointerMethod, "T.PointerMethod", true},
+		{"interface method", ifaceMethod, "", false},
+		{"local var", local, "", false},
+		{"struct field", field, "", false},
+		{"nil object", nil, "", false},
+	}
+	for _, c := range cases {
+		got, ok := ObjectKey(c.obj)
+		if got != c.want || ok != c.wantOK {
+			t.Errorf("ObjectKey(%s) = (%q, %v), want (%q, %v)", c.label, got, ok, c.want, c.wantOK)
+		}
+	}
+}
+
+// put in two different insertion orders must encode identically — go
+// vet caches vetx files by content, so any order sensitivity would
+// thrash its build cache and desynchronize the two drivers.
+func TestFactsEncodeDeterministic(t *testing.T) {
+	entries := []struct {
+		key     factKey
+		payload []byte
+	}{
+		{factKey{"b/pkg", "F", "SeedSummaryFact"}, []byte{1, 2, 3}},
+		{factKey{"a/pkg", "T.M", "SnapFieldsFact"}, []byte{4}},
+		{factKey{"a/pkg", "T.M", "SeedSummaryFact"}, []byte{5, 6}},
+		{factKey{"a/pkg", "A", "SeedSummaryFact"}, nil},
+	}
+	forward := NewFacts()
+	for _, e := range entries {
+		forward.put(e.key, e.payload)
+	}
+	backward := NewFacts()
+	for i := len(entries) - 1; i >= 0; i-- {
+		backward.put(entries[i].key, entries[i].payload)
+	}
+	a, b := forward.Encode(), backward.Encode()
+	if !bytes.Equal(a, b) {
+		t.Errorf("insertion order changed the encoding:\n%x\n%x", a, b)
+	}
+}
+
+func TestFactsRoundTrip(t *testing.T) {
+	src := NewFacts()
+	src.put(factKey{"p/one", "F", "SeedSummaryFact"}, []byte{9, 9})
+	src.put(factKey{"p/two", "T.Save", "SnapFieldsFact"}, []byte{})
+
+	dst := NewFacts()
+	if err := dst.DecodeFacts(src.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != src.Len() {
+		t.Fatalf("round-trip kept %d of %d facts", dst.Len(), src.Len())
+	}
+	for k, v := range src.m {
+		got, ok := dst.get(k)
+		if !ok || !bytes.Equal(got, v) {
+			t.Errorf("fact %+v: got (%x, %v), want (%x, true)", k, got, ok, v)
+		}
+	}
+	if !bytes.Equal(dst.Encode(), src.Encode()) {
+		t.Error("re-encoding the decoded store diverged")
+	}
+}
+
+// A zero-byte blob is the pre-facts suite's vetx output; go vet may
+// still hold such files in its cache, so decoding one must succeed as
+// an empty store rather than error.
+func TestFactsDecodeEmpty(t *testing.T) {
+	f := NewFacts()
+	if err := f.DecodeFacts(nil); err != nil {
+		t.Fatalf("DecodeFacts(nil) = %v", err)
+	}
+	if f.Len() != 0 {
+		t.Fatalf("empty decode produced %d facts", f.Len())
+	}
+}
+
+func TestFactsDecodeRejectsForeignBytes(t *testing.T) {
+	wrongMagic := &snapbin.Enc{}
+	wrongMagic.Str("not-tclint")
+	wrongMagic.U16(factsVersion)
+	wrongMagic.U32(0)
+
+	wrongVersion := &snapbin.Enc{}
+	wrongVersion.Str(factsMagic)
+	wrongVersion.U16(factsVersion + 1)
+	wrongVersion.U32(0)
+
+	for _, c := range []struct {
+		label string
+		data  []byte
+	}{
+		{"wrong magic", wrongMagic.Bytes()},
+		{"wrong version", wrongVersion.Bytes()},
+		{"garbage", []byte{0xff, 0xfe, 0xfd}},
+		{"truncated", NewFacts().Encode()[:4]},
+	} {
+		f := NewFacts()
+		err := f.DecodeFacts(c.data)
+		if !errors.Is(err, snapbin.ErrCorrupt) {
+			t.Errorf("%s: DecodeFacts = %v, want ErrCorrupt", c.label, err)
+		}
+	}
+}
+
+func TestFactsMerge(t *testing.T) {
+	base := NewFacts()
+	base.put(factKey{"p", "A", "SeedSummaryFact"}, []byte{1})
+	overlay := NewFacts()
+	overlay.put(factKey{"p", "A", "SeedSummaryFact"}, []byte{2})
+	overlay.put(factKey{"p", "B", "SeedSummaryFact"}, []byte{3})
+	base.Merge(overlay)
+	if base.Len() != 2 {
+		t.Fatalf("merged store has %d facts, want 2", base.Len())
+	}
+	if got, _ := base.get(factKey{"p", "A", "SeedSummaryFact"}); !bytes.Equal(got, []byte{2}) {
+		t.Errorf("merge did not overwrite: got %x", got)
+	}
+}
+
+// The two fact payload codecs must round-trip exactly: these bytes are
+// what crosses the vetx boundary between go vet invocations.
+func TestFactPayloadRoundTrip(t *testing.T) {
+	seed := &SeedSummaryFact{
+		ResultTraceable: true,
+		ResultParams:    []uint32{0, 2},
+		SinkGroups:      [][]uint32{{0}, {1, 3}},
+	}
+	e := &snapbin.Enc{}
+	seed.EncodeFact(e)
+	var seedBack SeedSummaryFact
+	d := snapbin.NewDec(e.Bytes())
+	if err := seedBack.DecodeFact(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	e2 := &snapbin.Enc{}
+	seedBack.EncodeFact(e2)
+	if !bytes.Equal(e.Bytes(), e2.Bytes()) {
+		t.Errorf("SeedSummaryFact did not round-trip: %x vs %x", e.Bytes(), e2.Bytes())
+	}
+
+	snap := &SnapFieldsFact{Saved: []string{"clock", "hits"}}
+	e = &snapbin.Enc{}
+	snap.EncodeFact(e)
+	var snapBack SnapFieldsFact
+	d = snapbin.NewDec(e.Bytes())
+	if err := snapBack.DecodeFact(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	e2 = &snapbin.Enc{}
+	snapBack.EncodeFact(e2)
+	if !bytes.Equal(e.Bytes(), e2.Bytes()) {
+		t.Errorf("SnapFieldsFact did not round-trip: %x vs %x", e.Bytes(), e2.Bytes())
+	}
+}

@@ -1,7 +1,7 @@
-// Package lint is the project's static-analysis suite: six analyzers
-// that enforce the determinism, error-wrapping, context and
-// deprecation-hygiene contracts the simulator's differential tests rely
-// on dynamically. The sweep
+// Package lint is the project's static-analysis suite: eight analyzers
+// that enforce the determinism, error-wrapping, context, deprecation-
+// hygiene, seed-provenance and snapshot-coverage contracts the
+// simulator's differential tests rely on dynamically. The sweep
 // runner promises byte-identical results for any worker count and the
 // coherence differential harness requires byte-identical AccessResults
 // between broadcast and directory mode; a single stray time.Now, global
@@ -19,9 +19,14 @@
 //
 // Suppression: a `//tclint:allow <name>[,<name>...] -- <reason>` comment
 // on the offending line, or on the line directly above it, silences the
-// named analyzers for that line. The reason is mandatory by convention
-// (golden tests accept bare comments, the repo's own tree must justify
-// every allowance).
+// named analyzers for that line. When RequireAllowReason is set (both
+// tclint drivers set it; the golden-test harness does not), a
+// suppression without a `-- reason` is itself a diagnostic: the repo's
+// own tree must justify every allowance.
+//
+// Interprocedural analyzers (seedflow, snapfields) additionally
+// exchange Facts across package boundaries; see facts.go for the
+// mechanism and codec.
 package lint
 
 import (
@@ -59,7 +64,9 @@ type Analyzer struct {
 	Run func(pass *Pass) error
 }
 
-// A Pass carries one analyzer's view of one type-checked package.
+// A Pass carries one analyzer's view of one type-checked package, plus
+// the facts store shared across the whole run (ExportObjectFact /
+// ImportObjectFact in facts.go).
 type Pass struct {
 	Analyzer  *Analyzer
 	Fset      *token.FileSet
@@ -68,6 +75,7 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	facts  *Facts
 	report func(Diagnostic)
 }
 
@@ -92,12 +100,16 @@ func (d Diagnostic) String() string {
 }
 
 // Package is one loaded, type-checked package ready for analysis.
+// DepOnly marks packages loaded only because a target depends on them:
+// they are analyzed for the facts they export, but their diagnostics
+// are withheld.
 type Package struct {
 	PkgPath string
 	Fset    *token.FileSet
 	Files   []*ast.File
 	Types   *types.Package
 	Info    *types.Info
+	DepOnly bool
 }
 
 // NewTypesInfo returns a types.Info with every map the analyzers read
@@ -113,11 +125,38 @@ func NewTypesInfo() *types.Info {
 	}
 }
 
-// RunPackage applies every appropriate analyzer to pkg and returns the
-// surviving (non-suppressed) diagnostics sorted by position.
+// RequireAllowReason makes a `//tclint:allow` comment without a
+// `-- reason` justification a diagnostic in its own right. Both tclint
+// drivers set it (every suppression surviving in the repo tree must
+// explain itself); the linttest golden harness leaves it unset so
+// golden packages can exercise the bare-comment parse path.
+var RequireAllowReason bool
+
+// RunPackage applies every appropriate analyzer to pkg with a fresh,
+// private facts store and returns the surviving (non-suppressed)
+// diagnostics sorted by position. Cross-package fact flow needs
+// RunPackageFacts with a store shared across packages.
 func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	suppressions := collectSuppressions(pkg.Fset, pkg.Files)
+	return RunPackageFacts(pkg, analyzers, NewFacts())
+}
+
+// RunPackageFacts applies every appropriate analyzer to pkg, importing
+// facts from and exporting facts to the given store. For fact flow to be
+// complete, packages must be analyzed in dependency order against the
+// same store (the standalone driver) or the store must be pre-loaded
+// from the dependencies' vetx files (the unitchecker driver).
+func RunPackageFacts(pkg *Package, analyzers []*Analyzer, facts *Facts) ([]Diagnostic, error) {
+	suppressions, bare := collectSuppressions(pkg.Fset, pkg.Files)
 	var diags []Diagnostic
+	if RequireAllowReason {
+		for _, pos := range bare {
+			diags = append(diags, Diagnostic{
+				Pos:      pos,
+				Analyzer: "allowreason",
+				Message:  "//tclint:allow without a '-- reason' justification; explain why the finding is acceptable",
+			})
+		}
+	}
 	for _, a := range analyzers {
 		if a.Appropriate != nil && !a.Appropriate(pkg.PkgPath) {
 			continue
@@ -129,6 +168,7 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			PkgPath:   pkg.PkgPath,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
+			facts:     facts,
 		}
 		pass.report = func(d Diagnostic) {
 			if suppressions.allows(d.Pos.Filename, d.Pos.Line, d.Analyzer) {
@@ -167,16 +207,23 @@ func (s suppressionIndex) allows(file string, line int, analyzer string) bool {
 	return lines[line][analyzer] || lines[line]["*"]
 }
 
-func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressionIndex {
+// collectSuppressions indexes every //tclint:allow comment and returns,
+// alongside the index, the positions of bare allows — suppressions with
+// no '-- reason' justification — for RequireAllowReason enforcement.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) (suppressionIndex, []token.Position) {
 	idx := make(suppressionIndex)
+	var bare []token.Position
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				names, ok := parseAllow(c.Text)
+				names, reason, ok := parseAllow(c.Text)
 				if !ok {
 					continue
 				}
 				pos := fset.Position(c.Pos())
+				if reason == "" {
+					bare = append(bare, pos)
+				}
 				lines := idx[pos.Filename]
 				if lines == nil {
 					lines = make(map[int]map[string]bool)
@@ -195,32 +242,35 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressionInde
 			}
 		}
 	}
-	return idx
+	return idx, bare
 }
 
-// parseAllow extracts the analyzer names from an //tclint:allow comment.
-// Text after " -- " is the human justification and is ignored here.
-func parseAllow(text string) ([]string, bool) {
+// parseAllow extracts the analyzer names and the justification from an
+// //tclint:allow comment. The justification is the trimmed text after
+// "--"; an absent or empty one comes back as "".
+func parseAllow(text string) (names []string, reason string, ok bool) {
 	if !strings.HasPrefix(text, allowPrefix) {
-		return nil, false
+		return nil, "", false
 	}
 	rest := text[len(allowPrefix):]
 	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
-		return nil, false // e.g. //tclint:allowed — not ours
+		return nil, "", false // e.g. //tclint:allowed — not ours
 	}
 	if i := strings.Index(rest, "--"); i >= 0 {
+		reason = strings.TrimSpace(rest[i+len("--"):])
 		rest = rest[:i]
 	}
-	var names []string
 	for _, field := range strings.FieldsFunc(rest, func(r rune) bool {
 		return r == ',' || r == ' ' || r == '\t'
 	}) {
 		names = append(names, field)
 	}
-	return names, len(names) > 0
+	return names, reason, len(names) > 0
 }
 
-// All returns the full suite in stable order.
+// All returns the full suite in stable order. The first six are
+// package-local; seedflow and snapfields are interprocedural and need
+// facts from the package's dependencies to be complete.
 func All() []*Analyzer {
 	return []*Analyzer{
 		DetRand,
@@ -229,6 +279,8 @@ func All() []*Analyzer {
 		ErrWrap,
 		CtxPlumb,
 		NoDeprecated,
+		SeedFlow,
+		SnapFields,
 	}
 }
 

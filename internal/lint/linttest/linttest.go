@@ -43,7 +43,39 @@ var wantRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
 // against the // want comments through t.
 func Run(t *testing.T, a *lint.Analyzer, dir, asPath string) {
 	t.Helper()
-	diags, wants := analyze(t, a, dir, asPath)
+	RunWithDeps(t, a, nil, dir, asPath)
+}
+
+// Dep is one golden dependency package for RunWithDeps.
+type Dep struct {
+	Dir    string
+	AsPath string
+}
+
+// RunWithDeps analyzes one or more golden dependency packages followed
+// by the package under test, threading one facts store through all of
+// them — the multi-package scenario the interprocedural analyzers
+// exist for. Each dep is registered under its AsPath so the later
+// packages can import it by that path, and its // want comments are
+// checked too (a dep may carry its own expected diagnostics).
+func RunWithDeps(t *testing.T, a *lint.Analyzer, deps []Dep, dir, asPath string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	im := newModuleImporter(t, fset)
+	facts := lint.NewFacts()
+	var diags []lint.Diagnostic
+	var wants []want
+	for _, dep := range append(append([]Dep(nil), deps...), Dep{Dir: dir, AsPath: asPath}) {
+		ds, ws := analyze(t, a, dep.Dir, dep.AsPath, fset, im, facts)
+		diags = append(diags, ds...)
+		wants = append(wants, ws...)
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
 
 	matched := make([]bool, len(wants))
 	for _, d := range diags {
@@ -72,13 +104,12 @@ type want struct {
 	re   *regexp.Regexp
 }
 
-func analyze(t *testing.T, a *lint.Analyzer, dir, asPath string) ([]lint.Diagnostic, []want) {
+func analyze(t *testing.T, a *lint.Analyzer, dir, asPath string, fset *token.FileSet, im *moduleImporter, facts *lint.Facts) ([]lint.Diagnostic, []want) {
 	t.Helper()
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatalf("linttest: %v", err)
 	}
-	fset := token.NewFileSet()
 	var files []*ast.File
 	var wants []want
 	for _, e := range entries {
@@ -102,22 +133,19 @@ func analyze(t *testing.T, a *lint.Analyzer, dir, asPath string) ([]lint.Diagnos
 	}
 
 	info := lint.NewTypesInfo()
-	conf := types.Config{Importer: newModuleImporter(t, fset)}
+	conf := types.Config{Importer: im}
 	tpkg, err := conf.Check(asPath, fset, files, info)
 	if err != nil {
 		t.Fatalf("linttest: type-checking %s: %v", dir, err)
 	}
+	// Register the package so later golden packages in the same run can
+	// import it by its declared path (shadowing any real module package).
+	im.pkgs[asPath] = tpkg
 	pkg := &lint.Package{PkgPath: asPath, Fset: fset, Files: files, Types: tpkg, Info: info}
-	diags, err := lint.RunPackage(pkg, []*lint.Analyzer{a})
+	diags, err := lint.RunPackageFacts(pkg, []*lint.Analyzer{a}, facts)
 	if err != nil {
 		t.Fatalf("linttest: %v", err)
 	}
-	sort.Slice(wants, func(i, j int) bool {
-		if wants[i].file != wants[j].file {
-			return wants[i].file < wants[j].file
-		}
-		return wants[i].line < wants[j].line
-	})
 	return diags, wants
 }
 

@@ -1,0 +1,32 @@
+package lint_test
+
+import (
+	"testing"
+
+	"threadcluster/internal/lint"
+	"threadcluster/internal/lint/linttest"
+)
+
+func TestSnapFields(t *testing.T) {
+	linttest.Run(t, lint.SnapFields, "testdata/snapfields", lint.ModulePath+"/internal/sim")
+}
+
+// TestSnapFieldsCrossPackage: the library component's snapshotability
+// reaches the containing package as a fact.
+func TestSnapFieldsCrossPackage(t *testing.T) {
+	linttest.RunWithDeps(t, lint.SnapFields,
+		[]linttest.Dep{{Dir: "testdata/snapfields_lib", AsPath: lint.ModulePath + "/internal/snapfieldslib"}},
+		"testdata/snapfields_use", lint.ModulePath+"/internal/snapfieldsuse")
+}
+
+func TestSnapFieldsScope(t *testing.T) {
+	for path, want := range map[string]bool{
+		lint.ModulePath + "/internal/sim": true,
+		lint.ModulePath + "/cmd/tcsim":    false,
+		"other/module":                    false,
+	} {
+		if got := lint.SnapFields.Appropriate(path); got != want {
+			t.Errorf("SnapFields.Appropriate(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,19 @@
+// Dot-imported math/rand: the global funcs arrive as bare identifiers,
+// which the selector-based check cannot see; detection goes through
+// types.Info.Uses package membership instead.
+package a
+
+import (
+	. "math/rand" //nolint:staticcheck // the golden case under test
+)
+
+func dotImported() int {
+	Shuffle(3, func(i, j int) {}) // want `rand\.Shuffle uses the process-global source`
+	return Intn(10)               // want `rand\.Intn uses the process-global source`
+}
+
+func dotImportedConstructorOK() *Rand {
+	// Constructors stay sanctioned under a dot import too: this is how a
+	// deterministic generator is built.
+	return New(NewSource(1))
+}

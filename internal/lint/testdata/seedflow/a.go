@@ -1,0 +1,85 @@
+// Package a is the seedflow golden package: every RNG seeding site
+// must receive a value traceable to a run seed (a Seed-named config
+// field or package variable, arithmetic over one, a draw from a seeded
+// generator, or a call summarized as seed-deriving).
+package a
+
+import (
+	"math/rand"
+)
+
+// Config carries the run seed the way the repo's components do.
+type Config struct {
+	Seed  int64
+	Salt  int64
+	Width int
+}
+
+// counter is a package variable with no seed in its name: opaque.
+var counter int64
+
+func constantSeed() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want `rand\.NewSource is seeded with a constant`
+}
+
+func opaqueSeed() *rand.Rand {
+	return rand.New(rand.NewSource(counter)) // want `rand\.NewSource seed argument is not traceable`
+}
+
+func fieldSeed(cfg Config) *rand.Rand {
+	return rand.New(rand.NewSource(cfg.Seed)) // traceable: Seed field
+}
+
+func mixedSeed(cfg Config, i int) *rand.Rand {
+	// Mixing the run seed with a salt stays seed-derived.
+	return rand.New(rand.NewSource(cfg.Seed*86243 + int64(i)))
+}
+
+func localFlow(cfg Config) *rand.Rand {
+	seed := cfg.Seed
+	seed = seed ^ (seed >> 30)
+	return rand.New(rand.NewSource(seed))
+}
+
+func drawnSeed(cfg Config) *rand.Rand {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	// A draw from an already-seeded generator is run-seed-derived.
+	return rand.New(rand.NewSource(r.Int63()))
+}
+
+func reseed(r *rand.Rand, cfg Config) {
+	r.Seed(cfg.Seed + 1)
+	r.Seed(7) // want `Rand\.Seed is seeded with a constant`
+}
+
+// newGen's seed parameter becomes an obligation on its callers rather
+// than a finding here.
+func newGen(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// mix returns a seed-derived value iff either parameter receives one.
+func mix(base, salt int64) int64 {
+	z := base + salt*0x9E3779B9
+	z = (z ^ (z >> 27)) * 0x94D049BB
+	return z
+}
+
+func callers(cfg Config) {
+	newGen(cfg.Seed)          // obligation satisfied by the Seed field
+	newGen(mix(cfg.Seed, 11)) // and through the summarized mixer
+	newGen(3)                 // want `a\.newGen is seeded with a constant`
+	newGen(mix(4, 5))         // want `a\.newGen is seeded with a constant`
+	newGen(counter)           // want `a\.newGen seed argument is not traceable`
+}
+
+// chain proves obligations compose in-package: chain obligates its own
+// caller via newGen's obligation.
+func chain(runSeed int64) {
+	newGen(runSeed)
+}
+
+func chainCaller(cfg Config) {
+	chain(cfg.Seed)
+	chain(9) // want `a\.chain is seeded with a constant`
+}

@@ -1,0 +1,130 @@
+// Package a is the snapfields golden package: state providers must
+// serialize every non-func field, and containers that snapshot one
+// snapshotable component must snapshot all of them.
+package a
+
+import (
+	"threadcluster/internal/snapbin"
+)
+
+// Good serializes everything: no findings.
+type Good struct {
+	clock uint64
+	hits  uint64
+}
+
+func (g *Good) SaveState(e *snapbin.Enc) {
+	e.U64(g.clock)
+	e.U64(g.hits)
+}
+
+func (g *Good) RestoreState(d *snapbin.Dec) error {
+	g.clock = d.U64()
+	g.hits = d.U64()
+	return d.Err()
+}
+
+// Leaky forgot one field; the func-typed callback is exempt by
+// contract (closures are never serialized).
+type Leaky struct {
+	count    uint64
+	dropped  uint64 // want `field dropped of state provider Leaky appears in neither SaveState nor RestoreState`
+	onChange func() // func fields never serialize; no finding
+}
+
+func (l *Leaky) SaveState(e *snapbin.Enc) {
+	e.U64(l.count)
+}
+
+func (l *Leaky) RestoreState(d *snapbin.Dec) error {
+	l.count = d.U64()
+	return d.Err()
+}
+
+// CursorState / Cursor exercise the value-state provider shape
+// (State() T + Restore(T), the rng.Rand pattern).
+type CursorState struct {
+	Pos uint64
+}
+
+type Cursor struct {
+	pos   uint64
+	marks uint64 // want `field marks of state provider Cursor appears in neither State nor Restore`
+}
+
+func (c *Cursor) State() CursorState {
+	return CursorState{Pos: c.pos}
+}
+
+func (c *Cursor) Restore(st CursorState) {
+	c.pos = st.Pos
+}
+
+// Box serializes one snapshotable component but only writes a presence
+// flag for the other — its payload never rides along: the section
+// drift the cross-component check exists for. The field is mentioned,
+// so the in-package check is happy; only the component check sees the
+// missing serialization. The plain int field is not snapshotable and
+// stays out of it.
+type Box struct {
+	a   *Good
+	b   *Good // want `Box serializes some snapshotable components but never field b`
+	gen int
+}
+
+func (x *Box) SaveState(e *snapbin.Enc) {
+	x.a.SaveState(e)
+	e.Bool(x.b != nil)
+	e.U64(uint64(x.gen))
+}
+
+func (x *Box) RestoreState(d *snapbin.Dec) error {
+	if err := x.a.RestoreState(d); err != nil {
+		return err
+	}
+	_ = d.Bool()
+	x.gen = int(d.U64())
+	return d.Err()
+}
+
+// Fleet serializes components through every indirection the repo's
+// snapshot code uses — range aliases, index expressions, local
+// aliases, method values, the value-state verb — so nothing reports.
+type Fleet struct {
+	items []*Good
+	byID  map[string]*Good
+	solo  *Good
+	cur   *Cursor
+}
+
+func (f *Fleet) SaveState(e *snapbin.Enc) {
+	for _, it := range f.items {
+		it.SaveState(e)
+	}
+	for _, k := range []string{"a", "b"} {
+		f.byID[k].SaveState(e)
+	}
+	s := f.solo
+	s.SaveState(e)
+	st := f.cur.State()
+	e.U64(st.Pos)
+}
+
+func (f *Fleet) RestoreState(d *snapbin.Dec) error {
+	for _, it := range f.items {
+		if err := it.RestoreState(d); err != nil {
+			return err
+		}
+	}
+	for _, k := range []string{"a", "b"} {
+		if err := f.byID[k].RestoreState(d); err != nil {
+			return err
+		}
+	}
+	s := f.solo
+	if err := s.RestoreState(d); err != nil {
+		return err
+	}
+	f.cur.Restore(CursorState{Pos: d.U64()})
+	return d.Err()
+}

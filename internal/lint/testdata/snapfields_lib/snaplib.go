@@ -1,0 +1,22 @@
+// Package snaplib is the provider side of the cross-package snapfields
+// golden pair: Comp's SnapFieldsFact marks it snapshotable for any
+// package that embeds it in a container.
+package snaplib
+
+import (
+	"threadcluster/internal/snapbin"
+)
+
+// Comp is a complete state provider.
+type Comp struct {
+	ticks uint64
+}
+
+func (c *Comp) SaveState(e *snapbin.Enc) {
+	e.U64(c.ticks)
+}
+
+func (c *Comp) RestoreState(d *snapbin.Dec) error {
+	c.ticks = d.U64()
+	return d.Err()
+}

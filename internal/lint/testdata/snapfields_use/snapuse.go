@@ -1,0 +1,53 @@
+// Package snapuse holds containers of snaplib.Comp: whether Comp is
+// snapshotable arrives as a fact across the package boundary, not from
+// source.
+package snapuse
+
+import (
+	"threadcluster/internal/snapbin"
+	lib "threadcluster/internal/snapfieldslib"
+)
+
+// Holder serializes one imported component and forgets the other.
+type Holder struct {
+	primary *lib.Comp
+	shadow  *lib.Comp // want `Holder serializes some snapshotable components but never field shadow`
+	label   string
+}
+
+func (h *Holder) SaveState(e *snapbin.Enc) {
+	h.primary.SaveState(e)
+	e.Bool(h.shadow != nil)
+	e.Str(h.label)
+}
+
+func (h *Holder) RestoreState(d *snapbin.Dec) error {
+	if err := h.primary.RestoreState(d); err != nil {
+		return err
+	}
+	_ = d.Bool()
+	h.label = d.Str()
+	return d.Err()
+}
+
+// Pool serializes every imported component (range alias): clean.
+type Pool struct {
+	comps []*lib.Comp
+}
+
+func (p *Pool) SaveState(e *snapbin.Enc) {
+	e.U32(uint32(len(p.comps)))
+	for _, c := range p.comps {
+		c.SaveState(e)
+	}
+}
+
+func (p *Pool) RestoreState(d *snapbin.Dec) error {
+	n := d.Count(8)
+	for i := 0; i < n && i < len(p.comps); i++ {
+		if err := p.comps[i].RestoreState(d); err != nil {
+			return err
+		}
+	}
+	return d.Err()
+}

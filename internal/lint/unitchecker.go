@@ -10,6 +10,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 )
 
@@ -98,16 +99,35 @@ func runUnit(cfgFile string, analyzers []*Analyzer) ([]Diagnostic, error) {
 		return nil, fmt.Errorf("parsing %s: %w", cfgFile, err)
 	}
 
-	// The vetx facts file must exist even when empty: go vet feeds it to
-	// this package's dependents. tclint's analyzers are package-local,
-	// so the file carries no content.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-			return nil, err
+	// The vetx facts file must exist even for packages we export no
+	// facts from: go vet feeds it to this package's dependents. Only
+	// module packages carry facts — the determinism contracts do not
+	// attach facts to the standard library or to vendored dependencies —
+	// so everything else (which go vet visits in VetxOnly mode purely to
+	// materialize vetx files) writes an empty file without paying for a
+	// type-check.
+	if !inModule(cfg.ImportPath) {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+				return nil, err
+			}
 		}
-	}
-	if cfg.VetxOnly {
 		return nil, nil
+	}
+
+	// Seed the store with the dependencies' facts. Each dependency's
+	// vetx already contains its own transitive imports' facts (see the
+	// union write below), so direct-import vetx files suffice no matter
+	// which subset go vet chose to hand us.
+	facts := NewFacts()
+	for _, path := range sortedKeys(cfg.PackageVetx) {
+		data, err := os.ReadFile(cfg.PackageVetx[path])
+		if err != nil {
+			return nil, fmt.Errorf("reading facts of %s: %w", path, err)
+		}
+		if err := facts.DecodeFacts(data); err != nil {
+			return nil, fmt.Errorf("decoding facts of %s: %w", path, err)
+		}
 	}
 
 	fset := token.NewFileSet()
@@ -134,17 +154,49 @@ func runUnit(cfgFile string, analyzers []*Analyzer) ([]Diagnostic, error) {
 			files = append(files, f)
 		}
 	}
+	writeVetx := func() error {
+		if cfg.VetxOutput == "" {
+			return nil
+		}
+		return os.WriteFile(cfg.VetxOutput, facts.Encode(), 0o666)
+	}
 	if len(files) == 0 {
-		return nil, nil
+		// Nothing to analyze (a test-only package unit): pass the
+		// imported facts through for dependents.
+		return nil, writeVetx()
 	}
 	pkg, err := checkPackage(fset, imp, cfg.ImportPath, cfg.Dir, files)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			return nil, nil
+			return nil, writeVetx()
 		}
 		return nil, err
 	}
-	return RunPackage(pkg, analyzers)
+	// VetxOnly means go vet wants this unit's facts for a dependent but
+	// is not reporting on the package itself; the analyzers still run —
+	// fact computation is the analysis — and only the diagnostics are
+	// discarded.
+	diags, err := RunPackageFacts(pkg, analyzers, facts)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeVetx(); err != nil {
+		return nil, err
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+	return diags, nil
+}
+
+// sortedKeys returns m's keys sorted, for deterministic iteration.
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 type importerFunc func(path string) (*types.Package, error)

@@ -21,7 +21,7 @@ type Multiplexer struct {
 	observed  [NumEvents]uint64 // counts while the owning group was active
 	activeCyc [NumEvents]uint64 // cycles during which the event was active
 	totalCyc  uint64
-	groupOf   [NumEvents]int // group index + 1; 0 = not monitored
+	groupOf   [NumEvents]int //tclint:allow snapfields -- derived from groups at construction, never mutated
 	rotations uint64         // completed group switches
 }
 

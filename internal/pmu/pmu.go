@@ -55,7 +55,7 @@ type PMU struct {
 	counts [NumEvents]uint64
 	slots  [NumPhysicalCounters]counterSlot
 	sdar   SampledAddr
-	mux    *Multiplexer // optional; nil when not attached
+	mux    *Multiplexer //tclint:allow snapfields -- optional attachment wiring; the multiplexer snapshots as its own subsection beside the PMU
 
 	// interruptCycles accumulates cycles spent in overflow handlers; the
 	// simulator drains it into the running thread's cost.

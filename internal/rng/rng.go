@@ -50,8 +50,8 @@ func (s *source) Seed(seed int64) {
 // method set (Intn, Float64, Int63n, ...); State and Restore capture and
 // reinstate the stream position.
 type Rand struct {
-	*rand.Rand
-	src *source
+	*rand.Rand //tclint:allow snapfields -- stateless method façade over src; Restore rebuilds the stream by reseed+replay
+	src        *source
 }
 
 // New returns a Rand whose value stream for this seed is identical to
