@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet tclint lint test test-short test-race bench bench-compare bench-baseline bench-smoke fuzz-smoke experiments sweep-smoke server-smoke snapshot-smoke examples clean
+.PHONY: all build vet tclint lint test test-short test-race bench bench-compare bench-baseline bench-smoke bench-sweep bench-sweep-smoke fuzz-smoke experiments sweep-smoke server-smoke snapshot-smoke examples clean
 
 all: build lint test
 
@@ -45,17 +45,22 @@ bench:
 
 # Benchmark regression guards: compare the broadcast-vs-directory
 # coherence benchmarks against BENCH_coherence.json, the seq-vs-
-# parallel engine benchmarks against BENCH_sim.json, and the incremental
-# clustering per-event benchmarks against BENCH_clustering.json. Fails
-# when a benchmark regresses past tolerance, a speedup pair drops below
-# its required minimum, or a scaling pair exceeds its max_ratio ceiling
-# (per-event cost at 100k threads must stay within 8x of 1k); the
-# parallel-engine speedup gate only applies on hosts with at least
-# min_cores cores (benchcmp skips it below that).
+# parallel engine benchmarks plus the SoA-vs-AoS cache hot-path pair
+# against BENCH_sim.json, and the incremental clustering per-event
+# benchmarks against BENCH_clustering.json. Fails when a benchmark
+# regresses past tolerance, a speedup pair drops below its required
+# minimum, or a scaling pair exceeds its max_ratio ceiling (per-event
+# cost at 100k threads must stay within 8x of 1k); the parallel-engine
+# speedup gate only applies on hosts with at least min_cores cores
+# (benchcmp skips it below that). The BENCH_sim pipelines concatenate
+# two `go test -bench` runs — the machine-level engine pair from
+# ./internal/sim and the single-thread cache floor pair from
+# ./internal/cache — into one benchcmp input.
 bench-compare:
 	$(GO) test -run '^$$' -bench BenchmarkCoherence -benchtime 1s ./internal/cache \
 		| $(GO) run ./cmd/benchcmp -baseline BENCH_coherence.json
-	$(GO) test -run '^$$' -bench 'BenchmarkMachineRound32Way(Seq|Parallel)' -benchtime 2s ./internal/sim \
+	{ $(GO) test -run '^$$' -bench 'BenchmarkMachineRound32Way(Seq|Parallel)' -benchtime 2s ./internal/sim ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkSetAssocHot(SoA|AoSRef)' -benchtime 1s ./internal/cache ; } \
 		| $(GO) run ./cmd/benchcmp -baseline BENCH_sim.json
 	$(GO) test -run '^$$' -bench BenchmarkIncrementalEvent -benchtime 1s ./internal/clustering \
 		| $(GO) run ./cmd/benchcmp -baseline BENCH_clustering.json
@@ -64,7 +69,8 @@ bench-compare:
 bench-baseline:
 	$(GO) test -run '^$$' -bench BenchmarkCoherence -benchtime 1s ./internal/cache \
 		| $(GO) run ./cmd/benchcmp -baseline BENCH_coherence.json -update
-	$(GO) test -run '^$$' -bench 'BenchmarkMachineRound32Way(Seq|Parallel)' -benchtime 2s ./internal/sim \
+	{ $(GO) test -run '^$$' -bench 'BenchmarkMachineRound32Way(Seq|Parallel)' -benchtime 2s ./internal/sim ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkSetAssocHot(SoA|AoSRef)' -benchtime 1s ./internal/cache ; } \
 		| $(GO) run ./cmd/benchcmp -baseline BENCH_sim.json -update
 	$(GO) test -run '^$$' -bench BenchmarkIncrementalEvent -benchtime 1s ./internal/clustering \
 		| $(GO) run ./cmd/benchcmp -baseline BENCH_clustering.json -update
@@ -76,10 +82,22 @@ bench-baseline:
 bench-smoke:
 	$(GO) test -run '^$$' -bench BenchmarkCoherence -benchtime 1s ./internal/cache \
 		| $(GO) run ./cmd/benchcmp -baseline BENCH_coherence.json -report
-	$(GO) test -run '^$$' -bench 'BenchmarkMachineRound32Way(Seq|Parallel)' -benchtime 2s ./internal/sim \
+	{ $(GO) test -run '^$$' -bench 'BenchmarkMachineRound32Way(Seq|Parallel)' -benchtime 2s ./internal/sim ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkSetAssocHot(SoA|AoSRef)' -benchtime 1s ./internal/cache ; } \
 		| $(GO) run ./cmd/benchcmp -baseline BENCH_sim.json -report
 	$(GO) test -run '^$$' -bench BenchmarkIncrementalEvent -benchtime 1s ./internal/clustering \
 		| $(GO) run ./cmd/benchcmp -baseline BENCH_clustering.json -report
+
+# Saturation sweep (tcsim bench-sweep): time the scoreboard workload
+# over a chips x cores-per-chip x intensity grid under both engines and
+# record the knee analysis into BENCH_sim.json's "sweep" section.
+bench-sweep:
+	$(GO) run ./cmd/tcsim bench-sweep -record BENCH_sim.json
+
+# Fast report-only sweep for CI: a small grid printed to the log, never
+# written anywhere and never failing on timing.
+bench-sweep-smoke:
+	$(GO) run ./cmd/tcsim bench-sweep -chips 1,2,4 -cores 1 -intensity 0.2,0.6 -rounds 6 -warm 2
 
 # Short fuzzing pass over the coherence differential target, the trace
 # parser, the snapshot decoder and the sketch estimator's error-bound
@@ -92,13 +110,15 @@ fuzz-smoke:
 
 # Race-detector coverage for the concurrent packages, including the
 # chip-parallel engine differential (seq vs parallel byte-identity under
-# every GOMAXPROCS level), the snapshot N+M differential (including the
-# sketch state provider), the incremental-vs-batch clustering
-# differential at several GOMAXPROCS levels, and the job server + client
-# under load.
+# every GOMAXPROCS level), the golden-snapshot compatibility test, the
+# snapshot N+M differential (including the sketch state provider), the
+# batched-vs-serial slice-barrier drain and broadcast-vs-directory
+# differentials at several GOMAXPROCS levels, the incremental-vs-batch
+# clustering differential, and the job server + client under load.
 test-race:
 	$(GO) test -race ./internal/metrics ./internal/sweep
-	$(GO) test -race -run 'TestEngine|TestRunSlice|TestSnapshot' ./internal/sim
+	$(GO) test -race -run 'TestEngine|TestRunSlice|TestSnapshot|TestGolden' ./internal/sim
+	$(GO) test -race -short -run 'TestSliceBarrierBatchedVsSerial|TestBroadcastDirectoryEquivalence' -cpu 1,2,4 ./internal/cache
 	$(GO) test -race -run 'TestIncremental|TestSketch' -cpu 1,2,4 ./internal/clustering
 	$(GO) test -race ./internal/server ./internal/client
 

@@ -11,7 +11,9 @@
 // required minimum ratio, or when a pair with a max_ratio ceiling exceeds
 // it (the scaling guards: a 100x-larger input may cost at most max_ratio
 // more per operation). -update rewrites the baseline from the current
-// run instead of comparing, preserving each pair's required bounds.
+// run instead of comparing, preserving each pair's required bounds and
+// the "sweep" section `tcsim bench-sweep -record` maintains, and stamps
+// the measuring host's core count and GOMAXPROCS into generated_with.
 package main
 
 import (
@@ -35,6 +37,10 @@ type Baseline struct {
 	NsPerOp map[string]float64 `json:"ns_per_op"`
 	// Speedups are required ratios between benchmark pairs.
 	Speedups []Speedup `json:"speedups"`
+	// Sweep is the saturation-sweep report `tcsim bench-sweep -record`
+	// maintains. benchcmp never interprets it; the raw passthrough keeps
+	// the section intact across -update rewrites.
+	Sweep json.RawMessage `json:"sweep,omitempty"`
 }
 
 // Speedup requires benchmark `Fast` to run at least MinRatio times faster
@@ -112,6 +118,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 
 	if *update {
 		base.NsPerOp = current
+		base.GeneratedWith = withHostFacts(base.GeneratedWith, *cores, runtime.GOMAXPROCS(0))
 		for i := range base.Speedups {
 			s := &base.Speedups[i]
 			slow, okS := current[s.Slow]
@@ -197,6 +204,18 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 }
 
 func round2(v float64) float64 { return float64(int(v*100+0.5)) / 100 }
+
+// hostFacts matches the bracketed host annotation withHostFacts appends,
+// so repeated -update runs replace it instead of stacking copies.
+var hostFacts = regexp.MustCompile(`\s*\[host: \d+ cores?, GOMAXPROCS \d+\]`)
+
+// withHostFacts records where a baseline's numbers were measured: the
+// min_cores gates and any cross-host comparison of the committed ns/op
+// need the core count and GOMAXPROCS of the measuring machine on file.
+func withHostFacts(generatedWith string, cores, procs int) string {
+	return fmt.Sprintf("%s [host: %d cores, GOMAXPROCS %d]",
+		hostFacts.ReplaceAllString(generatedWith, ""), cores, procs)
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {

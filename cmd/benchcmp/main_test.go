@@ -187,6 +187,66 @@ func TestReportModeNeverFails(t *testing.T) {
 	}
 }
 
+const sweepBaseline = `{
+  "generated_with": "make bench-baseline [host: 64 cores, GOMAXPROCS 64]",
+  "ns_per_op": {
+    "BenchmarkCoherenceBroadcast32Way": 710.0,
+    "BenchmarkCoherenceDirectory32Way": 340.0
+  },
+  "speedups": [],
+  "sweep": {
+    "host": {"cores": 1, "gomaxprocs": 1},
+    "cells": [{"chips": 2, "cores_per_chip": 1, "intensity": 0.4,
+               "seq_ns_per_ref": 500.0, "par_ns_per_ref": 480.0}],
+    "knees": []
+  }
+}`
+
+// TestUpdatePreservesSweepSection pins the passthrough contract with
+// `tcsim bench-sweep -record`: benchcmp -update owns generated_with,
+// ns_per_op and speedups, and must carry the sweep section through
+// untouched.
+func TestUpdatePreservesSweepSection(t *testing.T) {
+	path := writeBaseline(t, sweepBaseline)
+	var out, errb bytes.Buffer
+	if err := run([]string{"-baseline", path, "-update"}, strings.NewReader(sampleBench), &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"sweep"`, `"seq_ns_per_ref": 500`, `"chips": 2`} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("update dropped sweep content %q:\n%s", want, raw)
+		}
+	}
+}
+
+// TestUpdateStampsHostFacts pins the generated_with host annotation: each
+// -update replaces any previous "[host: ...]" suffix with the measuring
+// host's core count and GOMAXPROCS, never stacking copies.
+func TestUpdateStampsHostFacts(t *testing.T) {
+	path := writeBaseline(t, sweepBaseline)
+	var out, errb bytes.Buffer
+	if err := run([]string{"-baseline", path, "-update", "-cores", "12"}, strings.NewReader(sampleBench), &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "[host: 12 cores, GOMAXPROCS ") {
+		t.Errorf("generated_with missing fresh host facts:\n%s", raw)
+	}
+	if strings.Contains(string(raw), "[host: 64 cores") {
+		t.Errorf("stale host facts must be replaced, not stacked:\n%s", raw)
+	}
+	if !strings.Contains(string(raw), "make bench-baseline [host:") {
+		t.Errorf("the human part of generated_with must survive:\n%s", raw)
+	}
+}
+
 func TestUpdatePreservesMinCores(t *testing.T) {
 	path := writeBaseline(t, gatedBaseline)
 	var out, errb bytes.Buffer

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// benchSweepArgs is a minimal fast grid: two machine shapes, one
+// intensity, a handful of rounds.
+func benchSweepArgs(extra ...string) []string {
+	args := []string{"-chips", "1,2", "-cores", "1", "-intensity", "0.3", "-rounds", "3", "-warm", "1"}
+	return append(args, extra...)
+}
+
+func TestBenchSweepTable(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := runBenchSweep(benchSweepArgs(), &out, &errb); err != nil {
+		t.Fatalf("bench-sweep: %v\nstderr: %s", err, errb.String())
+	}
+	for _, want := range []string{"chips", "seq ns/ref", "host:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("table output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestBenchSweepJSONShape(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := runBenchSweep(benchSweepArgs("-format", "json"), &out, &errb); err != nil {
+		t.Fatalf("bench-sweep: %v\nstderr: %s", err, errb.String())
+	}
+	var report struct {
+		Note  string `json:"note"`
+		Host  struct{ Cores, Gomaxprocs int }
+		Cells []struct {
+			Chips       int     `json:"chips"`
+			SeqNsPerRef float64 `json:"seq_ns_per_ref"`
+			ParNsPerRef float64 `json:"par_ns_per_ref"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatalf("output is not the report JSON: %v\n%s", err, out.String())
+	}
+	if len(report.Cells) != 2 {
+		t.Fatalf("got %d cells, want 2", len(report.Cells))
+	}
+	for _, c := range report.Cells {
+		if c.SeqNsPerRef <= 0 || c.ParNsPerRef <= 0 {
+			t.Errorf("cell %+v has non-positive timing", c)
+		}
+	}
+	if report.Note == "" {
+		t.Error("report should carry the methodology note")
+	}
+}
+
+// TestBenchSweepRecordMergesSweepKey pins the read-modify-write contract
+// of -record: only the "sweep" key changes; the benchcmp-owned keys stay
+// semantically intact (same generated_with, same ns_per_op, same
+// speedups including gates).
+func TestBenchSweepRecordMergesSweepKey(t *testing.T) {
+	const baseline = `{
+  "generated_with": "make bench-baseline on host X",
+  "ns_per_op": {"BenchmarkMachineRound32WaySeq": 123.0},
+  "speedups": [
+    {"name": "parallel-vs-seq-32way", "slow": "a", "fast": "b",
+     "min_ratio": 2, "recorded_ratio": 0.9, "min_cores": 4}
+  ]
+}`
+	path := filepath.Join(t.TempDir(), "BENCH_sim.json")
+	if err := os.WriteFile(path, []byte(baseline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if err := runBenchSweep(benchSweepArgs("-record", path), &out, &errb); err != nil {
+		t.Fatalf("bench-sweep -record: %v\nstderr: %s", err, errb.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("recorded file is not JSON: %v\n%s", err, raw)
+	}
+	if _, ok := got["sweep"]; !ok {
+		t.Fatalf("recorded file missing sweep key:\n%s", raw)
+	}
+	for key, want := range map[string]string{
+		"generated_with": "host X",
+		"ns_per_op":      "BenchmarkMachineRound32WaySeq",
+		"speedups":       `"min_cores": 4`,
+	} {
+		if !strings.Contains(string(got[key]), want) {
+			t.Errorf("key %s lost content %q:\n%s", key, want, got[key])
+		}
+	}
+	// Re-recording must be idempotent modulo fresh timings: still valid
+	// JSON with all four keys.
+	if err := runBenchSweep(benchSweepArgs("-record", path), &out, &errb); err != nil {
+		t.Fatalf("second -record: %v", err)
+	}
+	raw2, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw2, &got); err != nil {
+		t.Fatalf("second recorded file is not JSON: %v", err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("recorded file has %d top-level keys, want 4", len(got))
+	}
+}
+
+func TestBenchSweepRejectsBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := runBenchSweep([]string{"-chips", "0"}, &out, &errb); err == nil {
+		t.Error("zero chips should be rejected")
+	}
+	if err := runBenchSweep([]string{"-intensity", "1.5"}, &out, &errb); err == nil {
+		t.Error("intensity above 1 should be rejected")
+	}
+	if err := runBenchSweep(benchSweepArgs("-format", "xml"), &out, &errb); err == nil {
+		t.Error("unknown format should be rejected")
+	}
+}

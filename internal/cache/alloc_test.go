@@ -46,6 +46,37 @@ func TestAccessZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestSetAssocZeroAlloc pins the slab-backed cache itself: every probe
+// primitive (Lookup, Insert including evictions, Peek, Invalidate,
+// Downgrade) runs against preallocated slabs and must never allocate.
+func TestSetAssocZeroAlloc(t *testing.T) {
+	c, err := NewSetAssoc(benchHotConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := benchHotOps()
+	i := 0
+	step := func() {
+		op := ops[i&benchHotMask]
+		switch op.kind {
+		case 1:
+			c.Invalidate(op.line)
+		case 2:
+			c.Downgrade(op.line)
+		case 3:
+			c.Peek(op.line)
+		default:
+			if c.Lookup(op.line) == Invalid {
+				c.Insert(op.line, op.st)
+			}
+		}
+		i++
+	}
+	if avg := testing.AllocsPerRun(len(ops), step); avg != 0 {
+		t.Fatalf("SetAssoc hot path allocates %v allocs/op, want 0", avg)
+	}
+}
+
 // TestSliceBarrierZeroAlloc drives a deferred multi-chip slice directly
 // through the lanes — the exact path the chip-parallel engine runs — and
 // requires the whole slice + barrier cycle to stay allocation-free after

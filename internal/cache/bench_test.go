@@ -134,9 +134,12 @@ func benchCoherence(b *testing.B, topo topology.Topology, mode CoherenceMode) {
 }
 
 // The broadcast-vs-directory pairs below are the regression guard: `make
-// bench-compare` compares them against BENCH_coherence.json and requires
-// the directory to stay >= 1.5x faster than broadcast on the 32-way
-// machine (§7.4 topology).
+// bench-compare` compares them against BENCH_coherence.json. The SoA
+// cache rewrite cut broadcast's snoop scans ~2x, so the two modes now
+// measure within noise of each other at these cache sizes; the committed
+// floors guard against the directory badly regressing, and the
+// directory's O(sharers) win shows up in SnoopProbesAvoided rather than
+// wall clock (DESIGN.md §7, "What it costs").
 func BenchmarkCoherenceBroadcast32Way(b *testing.B) {
 	benchCoherence(b, topology.Power5_32Way(), CoherenceBroadcast)
 }

@@ -141,6 +141,13 @@ type Hierarchy struct {
 	lanes         []Lane
 	probesAvoided uint64
 
+	// Batched-barrier scratch, reused across SliceBarrier calls so the
+	// drain stays allocation-free. Both are empty whenever the hierarchy
+	// is quiescent (between barriers), which is the only time snapshots
+	// are taken.
+	drain      []drainOp   //tclint:allow snapfields -- transient barrier scratch, always empty at snapshot points
+	peakEvents []peakEvent //tclint:allow snapfields -- transient barrier scratch, always empty at snapshot points
+
 	// coherence traffic counters (base shard: broadcast mode and
 	// barrier-applied actions; Lane carries chip-local shards).
 	invalidationsSent uint64

@@ -2,6 +2,7 @@ package cache
 
 import (
 	"math/bits"
+	"slices"
 
 	"threadcluster/internal/memory"
 	"threadcluster/internal/topology"
@@ -21,13 +22,30 @@ import (
 // is frozen during a slice: it is only written when the mailboxes drain.
 //
 // At the end of a slice the driver calls Hierarchy.SliceBarrier, which
-// applies every lane's mailbox serially in canonical chip order (chip 0
-// first, queue order within a chip). Because each lane's queue content
-// depends only on the frozen pre-slice state and that lane's own access
-// stream, and the barrier order is fixed, the post-barrier state is a
-// pure function of the pre-slice state — independent of how many OS
-// threads ran the lanes or in what real-time order they finished. That is
-// the determinism argument, spelled out in DESIGN.md §7.
+// drains every lane's mailbox with cross-chip effects applied *as if*
+// serially in canonical chip order (chip 0 first, queue order within a
+// chip). Because each lane's queue content depends only on the frozen
+// pre-slice state and that lane's own access stream, and the barrier
+// order is fixed, the post-barrier state is a pure function of the
+// pre-slice state — independent of how many OS threads ran the lanes or
+// in what real-time order they finished. That is the determinism
+// argument, spelled out in DESIGN.md §7.
+//
+// The barrier does not literally walk the queues op by op: it gathers
+// every lane's ops into one buffer, tags each with its canonical
+// sequence number, sorts by (line, seq) and applies per-line runs, so
+// the directory is probed once per line touched rather than once per op
+// and all of a line's barrier work happens while its entry is hot.
+// Barrier ops on *distinct* lines commute — each touches only its own
+// line's presence entry, shard records and cached copies, and never
+// inserts into a cache (no LRU or stamp movement) — so only the
+// within-line order matters, and the seq tiebreak preserves exactly
+// that. The one thing reordering could distort, the presence table's
+// peak-occupancy high-water mark, is reconstructed exactly by replaying
+// the per-op occupancy deltas in seq order (deltas are order-independent
+// because within-line order is preserved). The op-by-op reference drain
+// survives as sliceBarrierSerial, and the batched drain is
+// differentially pinned against it.
 //
 // The classic serial protocol is the degenerate case: Hierarchy.Access
 // runs one lane access followed immediately by a one-lane barrier, which
@@ -341,69 +359,178 @@ func (l *Lane) setOwner(line memory.Addr, core int) {
 	l.shard.ensure(line).owner = int8(core)
 }
 
-// SliceBarrier drains every lane's coherence mailbox in canonical chip
-// order, making all cross-chip effects of the finished slice visible.
-// Must be called with no lane access in flight. A no-op in broadcast
-// mode (which has no lanes).
+// drainOp is one gathered mailbox op in the batched barrier drain: a
+// cohOp stamped with its issuing chip and its canonical sequence number
+// (position in the chip-order, queue-order-within-chip serial drain).
+type drainOp struct {
+	line   memory.Addr
+	seq    uint32
+	kind   opKind
+	state  State
+	src    int16 // issuing chip
+	tgt    int16 // opDowngradeChip: target chip
+	probes uint16
+}
+
+// peakEvent records that the op at canonical position seq changed the
+// presence table's occupancy by delta (always ±1). Replayed in seq order
+// after a batched drain to reconstruct the canonical peak.
+type peakEvent struct {
+	seq   uint32
+	delta int8
+}
+
+// SliceBarrier drains every lane's coherence mailbox, making all
+// cross-chip effects of the finished slice visible — byte-identical to
+// an op-by-op drain in canonical chip order (see the file comment for
+// why the batched application commutes). Must be called with no lane
+// access in flight. A no-op in broadcast mode (which has no lanes).
 func (h *Hierarchy) SliceBarrier() {
+	h.drain = h.drain[:0]
+	h.peakEvents = h.peakEvents[:0]
+	var seq uint32
+	for chip := range h.lanes {
+		l := &h.lanes[chip]
+		for i := range l.ops {
+			op := &l.ops[i]
+			h.drain = append(h.drain, drainOp{
+				line: op.line, seq: seq, kind: op.kind, state: op.state,
+				src: int16(chip), tgt: op.chip, probes: op.probes,
+			})
+			seq++
+		}
+		l.ops = l.ops[:0]
+	}
+	if len(h.drain) == 0 {
+		return
+	}
+	slices.SortFunc(h.drain, func(a, b drainOp) int {
+		if a.line != b.line {
+			if a.line < b.line {
+				return -1
+			}
+			return 1
+		}
+		return int(a.seq) - int(b.seq)
+	})
+	n0, peak0 := h.pres.n, h.pres.peak
+	for i := 0; i < len(h.drain); {
+		line := h.drain[i].line
+		// One directory probe per line run; ops thread the entry through.
+		e := h.pres.find(line)
+		for ; i < len(h.drain) && h.drain[i].line == line; i++ {
+			op := &h.drain[i]
+			before := h.pres.n
+			e = h.applyOpE(int(op.src), line, op.kind, op.state, int(op.tgt), op.probes, e)
+			if d := h.pres.n - before; d != 0 {
+				h.peakEvents = append(h.peakEvents, peakEvent{seq: op.seq, delta: int8(d)})
+			}
+		}
+	}
+	// The sorted application reached the same final occupancy as the
+	// canonical order (per-op deltas are order-independent across lines),
+	// but may have visited a different high-water mark. Replay the deltas
+	// in canonical order to restore the exact serial-drain peak.
+	slices.SortFunc(h.peakEvents, func(a, b peakEvent) int { return int(a.seq) - int(b.seq) })
+	n, peak := n0, peak0
+	for _, ev := range h.peakEvents {
+		n += int(ev.delta)
+		if n > peak {
+			peak = n
+		}
+	}
+	h.pres.peak = peak
+	h.drain = h.drain[:0]
+	h.peakEvents = h.peakEvents[:0]
+}
+
+// sliceBarrierSerial is the pre-batching reference drain: every lane's
+// mailbox in canonical chip order, op by op. The batched SliceBarrier is
+// differentially pinned against it (TestSliceBarrierBatchedVsSerial).
+func (h *Hierarchy) sliceBarrierSerial() {
 	for chip := range h.lanes {
 		h.applyLane(&h.lanes[chip])
 	}
 }
 
-// applyLane drains one lane's mailbox in queue order.
+// applyLane drains one lane's mailbox in queue order. The immediate-mode
+// Access path still drains this way — one lane with a handful of ops has
+// nothing to batch.
 func (h *Hierarchy) applyLane(l *Lane) {
 	for i := range l.ops {
 		op := &l.ops[i]
-		switch op.kind {
-		case opInvalidateRemote:
-			h.applyInvalidateRemote(l.chip, op.line, uint64(op.probes))
-		case opDowngradeChip:
-			h.applyDowngrade(op.line, int(op.chip))
-		case opFillL2:
-			h.applyFill(l.chip, op.line, op.state)
-		case opClearL2:
-			if e := h.pres.find(op.line); e != nil {
-				e.l2 &^= 1 << uint(l.chip)
-				if e.empty() {
-					h.pres.drop(op.line)
-				}
+		var e *presEntry
+		if op.kind != opSetL3 {
+			// opSetL3 touches the table only when the victim copy is live,
+			// and then through ensure; probing upfront would waste a scan.
+			e = h.pres.find(op.line)
+		}
+		h.applyOpE(l.chip, op.line, op.kind, op.state, int(op.chip), op.probes, e)
+	}
+	l.ops = l.ops[:0]
+}
+
+// applyOpE applies one coherence op given the line's current presence
+// entry (nil when absent) and returns the entry afterwards (nil when the
+// op dropped it). Threading the entry through is what lets the batched
+// drain amortize the directory probe across a line's whole run.
+func (h *Hierarchy) applyOpE(chip int, line memory.Addr, kind opKind, st State, tgt int, probes uint16, e *presEntry) *presEntry {
+	switch kind {
+	case opInvalidateRemote:
+		return h.applyInvalidateRemote(chip, line, uint64(probes), e)
+	case opDowngradeChip:
+		h.applyDowngrade(line, tgt, e)
+	case opFillL2:
+		return h.applyFill(chip, line, st, e)
+	case opClearL2:
+		if e != nil {
+			e.l2 &^= 1 << uint(chip)
+			if e.empty() {
+				h.pres.drop(line)
+				return nil
 			}
-		case opSetL3:
-			// Publish only if the victim copy is still there: an earlier op
-			// of this barrier may have invalidated it through the chip's
-			// pre-slice L3 presence bit (see applyFill for the L2 analogue).
-			if h.l3[l.chip].Peek(op.line) != Invalid {
-				h.pres.ensure(op.line).l3 |= 1 << uint(l.chip)
+		}
+	case opSetL3:
+		// Publish only if the victim copy is still there: an earlier op
+		// of this barrier may have invalidated it through the chip's
+		// pre-slice L3 presence bit (see applyFill for the L2 analogue).
+		if h.l3[chip].Peek(line) != Invalid {
+			if e == nil {
+				e = h.pres.ensure(line)
 			}
-		case opClearL3:
-			if e := h.pres.find(op.line); e != nil {
-				e.l3 &^= 1 << uint(l.chip)
-				if e.empty() {
-					h.pres.drop(op.line)
-				}
+			e.l3 |= 1 << uint(chip)
+		}
+	case opClearL3:
+		if e != nil {
+			e.l3 &^= 1 << uint(chip)
+			if e.empty() {
+				h.pres.drop(line)
+				return nil
 			}
 		}
 	}
-	l.ops = l.ops[:0]
+	return e
 }
 
 // applyInvalidateRemote removes every cached copy of the line outside the
 // issuing chip, visiting only the holders the directory records, and
 // settles the broadcast-vs-directory probe accounting (ownProbes L1
-// probes were already issued chip-locally at queue time).
-func (h *Hierarchy) applyInvalidateRemote(except int, line memory.Addr, ownProbes uint64) {
+// probes were already issued chip-locally at queue time). The caller
+// supplies the line's presence entry; the survivor (or nil) is returned.
+func (h *Hierarchy) applyInvalidateRemote(except int, line memory.Addr, ownProbes uint64, e *presEntry) *presEntry {
 	broadcastProbes := uint64(len(h.l1) - 1 + 2*(len(h.l2)-1))
 	probes := ownProbes
-	if e := h.pres.find(line); e != nil {
+	if e != nil {
 		probes += h.invalidateHolders(line, e, except)
 		if e.empty() {
 			h.pres.drop(line)
+			e = nil
 		}
 	}
 	if broadcastProbes > probes {
 		h.probesAvoided += broadcastProbes - probes
 	}
+	return e
 }
 
 // invalidateHolders invalidates every recorded copy of the line outside
@@ -445,13 +572,15 @@ func (h *Hierarchy) invalidateHolders(line memory.Addr, e *presEntry, except int
 }
 
 // applyDowngrade moves the line to Shared in the given chip's caches,
-// touching only recorded holders, with the usual probe accounting.
-func (h *Hierarchy) applyDowngrade(line memory.Addr, chip int) {
+// touching only recorded holders, with the usual probe accounting. The
+// caller supplies the line's presence entry (downgrades never change
+// presence, so there is nothing to return).
+func (h *Hierarchy) applyDowngrade(line memory.Addr, chip int, e *presEntry) {
 	if chip < 0 {
 		return
 	}
 	broadcastProbes := uint64(2 + h.topo.CoresPerChip)
-	probes := h.downgradeChipCopies(line, chip)
+	probes := h.downgradeChipCopies(line, chip, e)
 	if broadcastProbes > probes {
 		h.probesAvoided += broadcastProbes - probes
 	}
@@ -460,9 +589,9 @@ func (h *Hierarchy) applyDowngrade(line memory.Addr, chip int) {
 // downgradeChipCopies moves one chip's recorded copies of the line to
 // Shared and returns how many probes that took. Presence bits are
 // unchanged (the chip keeps Shared copies).
-func (h *Hierarchy) downgradeChipCopies(line memory.Addr, chip int) uint64 {
+func (h *Hierarchy) downgradeChipCopies(line memory.Addr, chip int, e *presEntry) uint64 {
 	var probes uint64
-	if e := h.pres.find(line); e != nil {
+	if e != nil {
 		bit := uint64(1) << uint(chip)
 		if e.l2&bit != 0 {
 			probes++
@@ -511,22 +640,25 @@ func (h *Hierarchy) downgradeChipCopies(line memory.Addr, chip int) uint64 {
 // bit — e.g. the line was evicted and re-fetched within the slice). A
 // dead fill publishes nothing; its L1/shard records were already torn
 // down by the invalidation that killed it.
-func (h *Hierarchy) applyFill(chip int, line memory.Addr, st State) {
+//
+// The caller supplies the line's presence entry; the published entry is
+// returned (nil only when the fill was dead and the line untracked).
+func (h *Hierarchy) applyFill(chip int, line memory.Addr, st State, e *presEntry) *presEntry {
 	switch cur := h.l2[chip].Peek(line); cur {
 	case Invalid:
-		return
+		return e
 	default:
 		st = cur
 	}
 	bit := uint64(1) << uint(chip)
-	if e := h.pres.find(line); e != nil && holderChips(e, chip) != 0 {
+	if e != nil && holderChips(e, chip) != 0 {
 		switch st {
 		case Modified:
 			h.invalidateHolders(line, e, chip)
 			// The entry cannot be empty: the filling chip's bit is set next.
 		case Exclusive:
 			for m := e.l2 | e.l3; m != 0; m &= m - 1 {
-				h.downgradeChipCopies(line, bits.TrailingZeros64(m))
+				h.downgradeChipCopies(line, bits.TrailingZeros64(m), e)
 			}
 			// The filling chip's own fresh copies are not yet published in
 			// the presence table; downgrade them directly (L1s via shard).
@@ -538,5 +670,9 @@ func (h *Hierarchy) applyFill(chip int, line memory.Addr, st State) {
 			}
 		}
 	}
-	h.pres.ensure(line).l2 |= bit
+	if e == nil {
+		e = h.pres.ensure(line)
+	}
+	e.l2 |= bit
+	return e
 }

@@ -79,21 +79,36 @@ type Stats struct {
 	Fills         uint64
 }
 
-type way struct {
-	tag   memory.Addr // line address; meaningful only when state != Invalid
-	state State
-	lru   uint64 // last-touch stamp; larger = more recent
-}
+// invalidTag fills every empty way's tag slot. Line addresses are always
+// line-aligned (the low memory.LineShift bits are zero), so the all-ones
+// pattern can never equal a real line: a probe may compare tags alone,
+// touching one dense slab, without consulting the state slab first. The
+// invariant — tags[i] == invalidTag exactly when states[i] == Invalid —
+// is maintained by Invalidate and restoreCache.
+const invalidTag = ^memory.Addr(0)
 
 // SetAssoc is a set-associative cache with true-LRU replacement. Addresses
 // are tracked at line granularity. It is a passive container: coherence
 // decisions live in Hierarchy.
+//
+// The backing store is structure-of-arrays: three contiguous slabs
+// (tags, states, lru) indexed by set*ways + way. A probe walks `ways`
+// adjacent tag words in one slab — typically a single cache line of
+// simulator-host memory — instead of chasing a per-set slice header into
+// 24-byte AoS records. The hit path then touches exactly the state and
+// LRU words it needs.
 type SetAssoc struct {
 	cfg   Config
-	sets  [][]way
-	stamp uint64
-	stats Stats
-	// setMask is len(sets)-1 when the set count is a power of two, which
+	nsets int
+	ways  int
+	// The slabs. All three have nsets*ways entries; way i of set s lives
+	// at index s*ways + i.
+	tags   []memory.Addr
+	states []State
+	lru    []uint64 // last-touch stamps; larger = more recent
+	stamp  uint64
+	stats  Stats
+	// setMask is nsets-1 when the set count is a power of two, which
 	// turns the per-probe modulo into a mask (the hot-path case: every
 	// Power5 L1 and all of SmallConfig). Zero set counts are rejected by
 	// Validate, so setMask == 0 only for the 1-set degenerate cache,
@@ -108,12 +123,17 @@ func NewSetAssoc(cfg Config) (*SetAssoc, error) {
 		return nil, err
 	}
 	n := cfg.Sets()
-	sets := make([][]way, n)
-	backing := make([]way, n*cfg.Ways)
-	for i := range sets {
-		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
+	c := &SetAssoc{
+		cfg:    cfg,
+		nsets:  n,
+		ways:   cfg.Ways,
+		tags:   make([]memory.Addr, n*cfg.Ways),
+		states: make([]State, n*cfg.Ways),
+		lru:    make([]uint64, n*cfg.Ways),
 	}
-	c := &SetAssoc{cfg: cfg, sets: sets}
+	for i := range c.tags {
+		c.tags[i] = invalidTag
+	}
 	if n&(n-1) == 0 {
 		c.setMask = uint64(n) - 1
 		c.pow2 = true
@@ -127,27 +147,38 @@ func (c *SetAssoc) Config() Config { return c.cfg }
 // Stats returns a copy of the cache's counters.
 func (c *SetAssoc) Stats() Stats { return c.stats }
 
-func (c *SetAssoc) setOf(line memory.Addr) []way {
+// setBase returns the slab index of the set's first way.
+func (c *SetAssoc) setBase(line memory.Addr) int {
 	if c.pow2 {
-		return c.sets[memory.LineIndex(line)&c.setMask]
+		return int(memory.LineIndex(line)&c.setMask) * c.ways
 	}
 	// A non-power-of-two set count (e.g. the Power5 L2's 1638 sets) must
 	// keep the modulo: any faster reduction would change the set mapping
 	// and with it every byte of downstream results.
-	return c.sets[memory.LineIndex(line)%uint64(len(c.sets))]
+	return int(memory.LineIndex(line)%uint64(c.nsets)) * c.ways
+}
+
+// findWay returns the slab index of the line's way, or -1. Because empty
+// ways hold invalidTag, the scan touches only the tag slab.
+func (c *SetAssoc) findWay(line memory.Addr) int {
+	b := c.setBase(line)
+	tags := c.tags[b : b+c.ways]
+	for i := range tags {
+		if tags[i] == line {
+			return b + i
+		}
+	}
+	return -1
 }
 
 // Lookup probes for the line. On a hit it refreshes LRU and returns the
 // current state; on a miss it returns Invalid.
 func (c *SetAssoc) Lookup(line memory.Addr) State {
-	set := c.setOf(line)
-	for i := range set {
-		if set[i].state != Invalid && set[i].tag == line {
-			c.stamp++
-			set[i].lru = c.stamp
-			c.stats.Hits++
-			return set[i].state
-		}
+	if i := c.findWay(line); i >= 0 {
+		c.stamp++
+		c.lru[i] = c.stamp
+		c.stats.Hits++
+		return c.states[i]
 	}
 	c.stats.Misses++
 	return Invalid
@@ -157,11 +188,8 @@ func (c *SetAssoc) Lookup(line memory.Addr) State {
 // snoops from other chips use Peek so that remote probes do not distort
 // the victim cache's recency ordering.
 func (c *SetAssoc) Peek(line memory.Addr) State {
-	set := c.setOf(line)
-	for i := range set {
-		if set[i].state != Invalid && set[i].tag == line {
-			return set[i].state
-		}
+	if i := c.findWay(line); i >= 0 {
+		return c.states[i]
 	}
 	return Invalid
 }
@@ -174,36 +202,39 @@ func (c *SetAssoc) Insert(line memory.Addr, st State) (evicted memory.Addr, evic
 	if st == Invalid {
 		panic("cache: Insert with Invalid state")
 	}
-	set := c.setOf(line)
+	b := c.setBase(line)
 	c.stamp++
-	// Already present: update in place.
-	for i := range set {
-		if set[i].state != Invalid && set[i].tag == line {
-			set[i].state = st
-			set[i].lru = c.stamp
+	// One pass over the tag slab finds the line and, failing that, the
+	// first free way (empty ways carry invalidTag, so both checks read
+	// the same dense array).
+	victim := -1
+	tags := c.tags[b : b+c.ways]
+	for i := range tags {
+		if tags[i] == line {
+			// Already present: update in place.
+			c.states[b+i] = st
+			c.lru[b+i] = c.stamp
 			return 0, Invalid, false
 		}
-	}
-	// Free way?
-	victim := -1
-	for i := range set {
-		if set[i].state == Invalid {
-			victim = i
-			break
+		if victim < 0 && tags[i] == invalidTag {
+			victim = b + i
 		}
 	}
 	if victim < 0 {
 		// Evict true LRU.
-		victim = 0
-		for i := 1; i < len(set); i++ {
-			if set[i].lru < set[victim].lru {
-				victim = i
+		victim = b
+		lru := c.lru[b : b+c.ways]
+		for i := 1; i < len(lru); i++ {
+			if lru[i] < c.lru[victim] {
+				victim = b + i
 			}
 		}
-		evicted, evictedState, didEvict = set[victim].tag, set[victim].state, true
+		evicted, evictedState, didEvict = c.tags[victim], c.states[victim], true
 		c.stats.Evictions++
 	}
-	set[victim] = way{tag: line, state: st, lru: c.stamp}
+	c.tags[victim] = line
+	c.states[victim] = st
+	c.lru[victim] = c.stamp
 	c.stats.Fills++
 	return evicted, evictedState, didEvict
 }
@@ -211,14 +242,12 @@ func (c *SetAssoc) Insert(line memory.Addr, st State) (evicted memory.Addr, evic
 // Invalidate removes the line if present, returning the state it had. A
 // return of Invalid means the line was not cached.
 func (c *SetAssoc) Invalidate(line memory.Addr) State {
-	set := c.setOf(line)
-	for i := range set {
-		if set[i].state != Invalid && set[i].tag == line {
-			st := set[i].state
-			set[i].state = Invalid
-			c.stats.Invalidations++
-			return st
-		}
+	if i := c.findWay(line); i >= 0 {
+		st := c.states[i]
+		c.states[i] = Invalid
+		c.tags[i] = invalidTag
+		c.stats.Invalidations++
+		return st
 	}
 	return Invalid
 }
@@ -227,14 +256,11 @@ func (c *SetAssoc) Invalidate(line memory.Addr) State {
 // Modified state (a remote read snoop hit). It reports whether the line
 // was present.
 func (c *SetAssoc) Downgrade(line memory.Addr) bool {
-	set := c.setOf(line)
-	for i := range set {
-		if set[i].state != Invalid && set[i].tag == line {
-			if set[i].state == Exclusive || set[i].state == Modified {
-				set[i].state = Shared
-			}
-			return true
+	if i := c.findWay(line); i >= 0 {
+		if c.states[i] == Exclusive || c.states[i] == Modified {
+			c.states[i] = Shared
 		}
+		return true
 	}
 	return false
 }
@@ -245,12 +271,9 @@ func (c *SetAssoc) SetState(line memory.Addr, st State) bool {
 	if st == Invalid {
 		panic("cache: SetState to Invalid; use Invalidate")
 	}
-	set := c.setOf(line)
-	for i := range set {
-		if set[i].state != Invalid && set[i].tag == line {
-			set[i].state = st
-			return true
-		}
+	if i := c.findWay(line); i >= 0 {
+		c.states[i] = st
+		return true
 	}
 	return false
 }
@@ -259,11 +282,9 @@ func (c *SetAssoc) SetState(line memory.Addr, st State) bool {
 // particular order. The coherence directory's invariant checker uses it to
 // rebuild ground truth from cache contents.
 func (c *SetAssoc) ForEachLine(f func(line memory.Addr, st State)) {
-	for _, set := range c.sets {
-		for i := range set {
-			if set[i].state != Invalid {
-				f(set[i].tag, set[i].state)
-			}
+	for i, st := range c.states {
+		if st != Invalid {
+			f(c.tags[i], st)
 		}
 	}
 }
@@ -271,15 +292,13 @@ func (c *SetAssoc) ForEachLine(f func(line memory.Addr, st State)) {
 // Occupancy returns the number of valid lines currently cached.
 func (c *SetAssoc) Occupancy() int {
 	n := 0
-	for _, set := range c.sets {
-		for i := range set {
-			if set[i].state != Invalid {
-				n++
-			}
+	for _, st := range c.states {
+		if st != Invalid {
+			n++
 		}
 	}
 	return n
 }
 
 // Capacity returns the total number of lines the cache can hold.
-func (c *SetAssoc) Capacity() int { return len(c.sets) * c.cfg.Ways }
+func (c *SetAssoc) Capacity() int { return c.nsets * c.ways }

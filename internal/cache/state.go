@@ -28,24 +28,27 @@ func saveCache(e *snapbin.Enc, c *SetAssoc) {
 	e.U64(c.stats.Evictions)
 	e.U64(c.stats.Invalidations)
 	e.U64(c.stats.Fills)
-	e.U32(uint32(len(c.sets)))
-	e.U32(uint32(c.cfg.Ways))
-	for _, set := range c.sets {
+	e.U32(uint32(c.nsets))
+	e.U32(uint32(c.ways))
+	// Walk the slabs in (set, way) order — the same canonical order the
+	// pre-slab AoS encoder emitted, so snapshots stay byte-identical.
+	for s := 0; s < c.nsets; s++ {
+		b := s * c.ways
 		valid := 0
-		for i := range set {
-			if set[i].state != Invalid {
+		for i := 0; i < c.ways; i++ {
+			if c.states[b+i] != Invalid {
 				valid++
 			}
 		}
 		e.U8(uint8(valid))
-		for i := range set {
-			if set[i].state == Invalid {
+		for i := 0; i < c.ways; i++ {
+			if c.states[b+i] == Invalid {
 				continue
 			}
 			e.U8(uint8(i))
-			e.U64(uint64(set[i].tag))
-			e.U8(uint8(set[i].state))
-			e.U64(set[i].lru)
+			e.U64(uint64(c.tags[b+i]))
+			e.U8(uint8(c.states[b+i]))
+			e.U64(c.lru[b+i])
 		}
 	}
 }
@@ -67,13 +70,18 @@ func restoreCache(d *snapbin.Dec, c *SetAssoc, what string) error {
 	if err := d.Err(); err != nil {
 		return err
 	}
-	if nsets != len(c.sets) || ways != c.cfg.Ways {
+	if nsets != c.nsets || ways != c.ways {
 		return fmt.Errorf("cache: snapshot %s geometry %dx%d, built %dx%d: %w",
-			what, nsets, ways, len(c.sets), c.cfg.Ways, errs.ErrBadConfig)
+			what, nsets, ways, c.nsets, c.ways, errs.ErrBadConfig)
 	}
-	fresh := make([]way, nsets*ways)
+	freshTags := make([]memory.Addr, nsets*ways)
+	freshStates := make([]State, nsets*ways)
+	freshLRU := make([]uint64, nsets*ways)
+	for i := range freshTags {
+		freshTags[i] = invalidTag
+	}
 	for s := 0; s < nsets; s++ {
-		set := fresh[s*ways : (s+1)*ways]
+		b := s * ways
 		valid := int(d.U8())
 		if d.Err() != nil {
 			return d.Err()
@@ -113,19 +121,21 @@ func restoreCache(d *snapbin.Dec, c *SetAssoc, what string) error {
 					what, uint64(tag), lru, stamp, snapbin.ErrCorrupt)
 			}
 			for w := 0; w < idx; w++ {
-				if set[w].state != Invalid && set[w].tag == tag {
+				if freshTags[b+w] == tag {
 					return fmt.Errorf("cache: snapshot %s line %#x duplicated in set %d: %w",
 						what, uint64(tag), s, snapbin.ErrCorrupt)
 				}
 			}
-			set[idx] = way{tag: tag, state: state, lru: lru}
+			freshTags[b+idx] = tag
+			freshStates[b+idx] = state
+			freshLRU[b+idx] = lru
 		}
 	}
 	c.stamp = stamp
 	c.stats = st
-	for s := range c.sets {
-		copy(c.sets[s], fresh[s*ways:(s+1)*ways])
-	}
+	copy(c.tags, freshTags)
+	copy(c.states, freshStates)
+	copy(c.lru, freshLRU)
 	return nil
 }
 

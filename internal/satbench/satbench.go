@@ -1,0 +1,264 @@
+// Package satbench analyzes saturation benchmark sweeps: grids of
+// (chips x cores-per-chip x access intensity) cells, each carrying a
+// measured wall-clock cost per simulated memory reference under the
+// sequential and the chip-parallel engine.
+//
+// The package is pure analysis — it never reads a clock and never runs a
+// simulation. `tcsim bench-sweep` (under cmd/, where wall-clock reads are
+// allowed) produces the cells; everything here is a deterministic function
+// of them, so knee detection and report assembly are unit-testable and the
+// committed BENCH_sim.json sweep section is reproducible from its cells.
+//
+// Two knee families are extracted, one per sweep axis:
+//
+//   - chips-axis knees ("parallel knees"): for each (cores-per-chip,
+//     intensity) curve, where the parallel-vs-seq speedup stops growing
+//     with machine size. This is the saturation point of the chip-parallel
+//     engine — past it, adding chips buys coordination, not throughput.
+//   - intensity-axis knees ("cost knees"): for each (chips,
+//     cores-per-chip) curve, where the sequential per-reference cost
+//     stops climbing with the shared-access fraction. Past it the
+//     coherence machinery is saturated: almost every access already pays
+//     the cross-chip path.
+//
+// Knees are located with the Kneedle chord construction (Satopaa et al.,
+// "Finding a 'Kneedle' in a Haystack"): normalize the curve to the unit
+// square and take the point farthest above the diagonal. Curves that never
+// rise above their chord (linear, convex, or monotonically degrading — the
+// shape a one-core host produces for speedup curves) have no knee, and the
+// report says so rather than inventing one.
+package satbench
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Cell is one measured grid point of the sweep.
+type Cell struct {
+	// Chips, CoresPerChip describe the simulated machine (SMT contexts
+	// per core are fixed by the sweep, Power5-style 2).
+	Chips        int `json:"chips"`
+	CoresPerChip int `json:"cores_per_chip"`
+	// Intensity is the shared-access fraction of the synthetic workload
+	// in [0, 1] — the knob that drives coherence traffic.
+	Intensity float64 `json:"intensity"`
+	// SeqNsPerRef / ParNsPerRef are measured host-wall-clock nanoseconds
+	// per simulated memory reference under each engine.
+	SeqNsPerRef float64 `json:"seq_ns_per_ref"`
+	ParNsPerRef float64 `json:"par_ns_per_ref"`
+}
+
+// Speedup returns the parallel-vs-seq ratio of the cell (> 1 means the
+// chip-parallel engine wins). Zero when the parallel side was not
+// measured.
+func (c Cell) Speedup() float64 {
+	if c.ParNsPerRef == 0 {
+		return 0
+	}
+	return c.SeqNsPerRef / c.ParNsPerRef
+}
+
+// Valid reports whether the cell's coordinates and measurements are
+// usable for analysis.
+func (c Cell) Valid() error {
+	if c.Chips <= 0 || c.CoresPerChip <= 0 {
+		return fmt.Errorf("satbench: cell needs positive chips and cores, got %d x %d", c.Chips, c.CoresPerChip)
+	}
+	if c.Intensity < 0 || c.Intensity > 1 {
+		return fmt.Errorf("satbench: intensity %v outside [0, 1]", c.Intensity)
+	}
+	if c.SeqNsPerRef <= 0 || c.ParNsPerRef <= 0 {
+		return fmt.Errorf("satbench: cell %dx%d@%v has non-positive timing", c.Chips, c.CoresPerChip, c.Intensity)
+	}
+	return nil
+}
+
+// Axis names the sweep dimension a knee was found along.
+type Axis string
+
+const (
+	// AxisChips marks a parallel knee: speedup vs machine size.
+	AxisChips Axis = "chips"
+	// AxisIntensity marks a cost knee: seq ns/ref vs shared fraction.
+	AxisIntensity Axis = "intensity"
+)
+
+// Knee is one detected saturation point.
+type Knee struct {
+	Axis Axis `json:"axis"`
+	// CoresPerChip is the fixed cores-per-chip coordinate of the curve.
+	CoresPerChip int `json:"cores_per_chip"`
+	// Intensity is the fixed intensity for chips-axis knees.
+	Intensity float64 `json:"intensity,omitempty"`
+	// Chips is the fixed machine size for intensity-axis knees.
+	Chips int `json:"chips,omitempty"`
+	// At is the knee's position along the axis (a chip count or an
+	// intensity).
+	At float64 `json:"at"`
+	// Value is the curve's value at the knee: a speedup ratio for
+	// chips-axis knees, seq ns/ref for intensity-axis knees.
+	Value float64 `json:"value"`
+}
+
+// Host records where the sweep ran; a one-core container cannot show a
+// parallel win, and the committed report must say so.
+type Host struct {
+	Cores      int `json:"cores"`
+	GoMaxProcs int `json:"gomaxprocs"`
+}
+
+// Report is the analyzed sweep, the shape committed under the "sweep"
+// key of BENCH_sim.json.
+type Report struct {
+	// Note carries the producer's honest context (host limitations,
+	// rounds per cell, workload shape).
+	Note  string `json:"note,omitempty"`
+	Host  Host   `json:"host"`
+	Cells []Cell `json:"cells"`
+	Knees []Knee `json:"knees"`
+}
+
+// KneeIndex locates the knee of a curve by the Kneedle chord rule:
+// normalize (xs, ys) to the unit square and return the index of the point
+// farthest above the chord joining the endpoints. It returns -1 when the curve has
+// fewer than 3 points, no x- or y-extent, or never rises meaningfully
+// above its chord (no knee: the curve is linear, convex, or degrading).
+// xs must be strictly increasing. Ties break to the earliest index, so
+// the result is deterministic.
+func KneeIndex(xs, ys []float64) int {
+	if len(xs) != len(ys) || len(xs) < 3 {
+		return -1
+	}
+	xr := xs[len(xs)-1] - xs[0]
+	ymin, ymax := ys[0], ys[0]
+	for _, y := range ys[1:] {
+		if y < ymin {
+			ymin = y
+		}
+		if y > ymax {
+			ymax = y
+		}
+	}
+	if xr <= 0 || ymax <= ymin {
+		return -1
+	}
+	// aboveChordMin is the normalized distance a point must clear the
+	// chord by before it counts as a knee: 1% of the unit square, enough
+	// to reject measurement jitter on an essentially straight curve.
+	const aboveChordMin = 0.01
+	yr := ymax - ymin
+	y0 := (ys[0] - ymin) / yr
+	y1 := (ys[len(ys)-1] - ymin) / yr
+	best, bestD := -1, aboveChordMin
+	for i := 1; i < len(xs)-1; i++ {
+		xn := (xs[i] - xs[0]) / xr
+		yn := (ys[i] - ymin) / yr
+		chord := y0 + (y1-y0)*xn
+		if d := yn - chord; d > bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// BuildReport sorts the cells canonically, validates them, extracts both
+// knee families, and assembles the committed report. The result is a
+// pure function of (note, host, cells): shuffling the input cells does
+// not change a byte of it.
+func BuildReport(note string, host Host, cells []Cell) (Report, error) {
+	sorted := make([]Cell, len(cells))
+	copy(sorted, cells)
+	for _, c := range sorted {
+		if err := c.Valid(); err != nil {
+			return Report{}, err
+		}
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.CoresPerChip != b.CoresPerChip {
+			return a.CoresPerChip < b.CoresPerChip
+		}
+		if a.Intensity != b.Intensity {
+			return a.Intensity < b.Intensity
+		}
+		return a.Chips < b.Chips
+	})
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			return Report{}, fmt.Errorf("satbench: duplicate cell %+v", sorted[i])
+		}
+	}
+	r := Report{Note: note, Host: host, Cells: sorted}
+	r.Knees = append(r.Knees, chipKnees(sorted)...)
+	r.Knees = append(r.Knees, intensityKnees(sorted)...)
+	return r, nil
+}
+
+// chipKnees extracts the parallel knees: one speedup-vs-chips curve per
+// (cores-per-chip, intensity) pair.
+func chipKnees(sorted []Cell) []Knee {
+	var knees []Knee
+	group(sorted,
+		func(c Cell) [2]float64 { return [2]float64{float64(c.CoresPerChip), c.Intensity} },
+		func(c Cell) float64 { return float64(c.Chips) },
+		func(c Cell) float64 { return c.Speedup() },
+		func(first Cell, at, value float64) {
+			knees = append(knees, Knee{
+				Axis:         AxisChips,
+				CoresPerChip: first.CoresPerChip,
+				Intensity:    first.Intensity,
+				At:           at,
+				Value:        value,
+			})
+		})
+	return knees
+}
+
+// intensityKnees extracts the cost knees: one seq-ns/ref-vs-intensity
+// curve per (cores-per-chip, chips) pair.
+func intensityKnees(sorted []Cell) []Knee {
+	var knees []Knee
+	group(sorted,
+		func(c Cell) [2]float64 { return [2]float64{float64(c.CoresPerChip), float64(c.Chips)} },
+		func(c Cell) float64 { return c.Intensity },
+		func(c Cell) float64 { return c.SeqNsPerRef },
+		func(first Cell, at, value float64) {
+			knees = append(knees, Knee{
+				Axis:         AxisIntensity,
+				CoresPerChip: first.CoresPerChip,
+				Chips:        first.Chips,
+				At:           at,
+				Value:        value,
+			})
+		})
+	return knees
+}
+
+// group slices the canonically sorted cells into curves keyed by keyOf,
+// sorts each curve along x, and emits a knee per curve that has one.
+// Iteration follows the cells' canonical order, so output order is
+// deterministic.
+func group(sorted []Cell, keyOf func(Cell) [2]float64, xOf, yOf func(Cell) float64, emit func(first Cell, at, value float64)) {
+	curves := make(map[[2]float64][]Cell)
+	var order [][2]float64
+	for _, c := range sorted {
+		k := keyOf(c)
+		if _, seen := curves[k]; !seen {
+			order = append(order, k)
+		}
+		curves[k] = append(curves[k], c)
+	}
+	for _, k := range order {
+		cs := curves[k]
+		sort.Slice(cs, func(i, j int) bool { return xOf(cs[i]) < xOf(cs[j]) })
+		xs := make([]float64, len(cs))
+		ys := make([]float64, len(cs))
+		for i, c := range cs {
+			xs[i], ys[i] = xOf(c), yOf(c)
+		}
+		if i := KneeIndex(xs, ys); i >= 0 {
+			emit(cs[0], xs[i], ys[i])
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package satbench
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestKneeIndexConcaveCurve(t *testing.T) {
+	// A classic saturating speedup curve: rises steeply, then plateaus.
+	// The knee is where the plateau starts.
+	xs := []float64{1, 2, 4, 8, 16}
+	ys := []float64{1.0, 1.9, 3.4, 3.7, 3.8}
+	i := KneeIndex(xs, ys)
+	if i != 2 {
+		t.Fatalf("knee at index %d, want 2 (x=4, the plateau start)", i)
+	}
+}
+
+func TestKneeIndexNoKnee(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		ys   []float64
+	}{
+		{"linear", []float64{1, 2, 3, 4}, []float64{1, 2, 3, 4}},
+		{"convex", []float64{1, 2, 3, 4}, []float64{1, 1.1, 1.5, 4}},
+		{"degrading", []float64{1, 2, 4, 8}, []float64{1.0, 0.95, 0.9, 0.88}},
+		{"flat", []float64{1, 2, 3, 4}, []float64{2, 2, 2, 2}},
+		{"too-short", []float64{1, 2}, []float64{1, 5}},
+		{"mismatched", []float64{1, 2, 3}, []float64{1, 2}},
+		{"zero-x-extent", []float64{1, 1, 1}, []float64{1, 2, 3}},
+	}
+	for _, tc := range cases {
+		if i := KneeIndex(tc.xs, tc.ys); i != -1 {
+			t.Errorf("%s: found spurious knee at index %d", tc.name, i)
+		}
+	}
+	// A degrading curve is the honest one-core-host shape for speedup vs
+	// chips; the case above pins that it yields "no knee", not a fake one.
+}
+
+func TestKneeIndexTieBreaksEarliest(t *testing.T) {
+	// Two interior points equally far above the chord (the chord runs
+	// flat from 0 to 0, so both interior distances are 1): earliest wins.
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{0, 2, 2, 0}
+	if i := KneeIndex(xs, ys); i != 1 {
+		t.Fatalf("tie should break to the earliest index, got %d", i)
+	}
+}
+
+// sweepCells builds a plausible 3x2x3 grid: speedup grows with chips and
+// saturates (knee at 4 chips), seq cost grows with intensity and
+// saturates (knee at 0.4).
+func sweepCells() []Cell {
+	var cells []Cell
+	costAt := map[float64]float64{0.1: 100, 0.4: 170, 0.7: 180}
+	gain := map[int]float64{1: 1.0, 2: 1.8, 4: 3.0, 8: 3.2}
+	for _, cores := range []int{1, 2} {
+		for _, intensity := range []float64{0.1, 0.4, 0.7} {
+			for _, chips := range []int{1, 2, 4, 8} {
+				seq := costAt[intensity] * float64(cores)
+				cells = append(cells, Cell{
+					Chips:        chips,
+					CoresPerChip: cores,
+					Intensity:    intensity,
+					SeqNsPerRef:  seq,
+					ParNsPerRef:  seq / gain[chips],
+				})
+			}
+		}
+	}
+	return cells
+}
+
+func TestBuildReportFindsBothKneeFamilies(t *testing.T) {
+	r, err := BuildReport("test", Host{Cores: 8, GoMaxProcs: 8}, sweepCells())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chipK, intenK int
+	for _, k := range r.Knees {
+		switch k.Axis {
+		case AxisChips:
+			chipK++
+			if k.At != 4 {
+				t.Errorf("parallel knee at %v chips, want 4 (cores=%d intensity=%v)", k.At, k.CoresPerChip, k.Intensity)
+			}
+			if k.Value < 2.9 || k.Value > 3.1 {
+				t.Errorf("parallel knee value %v, want ~3.0", k.Value)
+			}
+		case AxisIntensity:
+			intenK++
+			if k.At != 0.4 {
+				t.Errorf("cost knee at intensity %v, want 0.4 (chips=%d)", k.At, k.Chips)
+			}
+		default:
+			t.Errorf("unknown axis %q", k.Axis)
+		}
+	}
+	// 2 cores x 3 intensities speedup curves; 2 cores x 4 chip counts
+	// cost curves.
+	if chipK != 6 || intenK != 8 {
+		t.Fatalf("got %d chips-axis and %d intensity-axis knees, want 6 and 8", chipK, intenK)
+	}
+}
+
+func TestBuildReportDeterministicUnderShuffle(t *testing.T) {
+	cells := sweepCells()
+	ref, err := BuildReport("n", Host{Cores: 1, GoMaxProcs: 1}, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		shuffled := make([]Cell, len(cells))
+		copy(shuffled, cells)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		got, err := BuildReport("n", Host{Cores: 1, GoMaxProcs: 1}, shuffled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("trial %d: report differs under input shuffle", trial)
+		}
+	}
+}
+
+func TestBuildReportRejectsBadCells(t *testing.T) {
+	bad := []Cell{{Chips: 0, CoresPerChip: 1, Intensity: 0.5, SeqNsPerRef: 1, ParNsPerRef: 1}}
+	if _, err := BuildReport("", Host{}, bad); err == nil {
+		t.Error("zero chips should be rejected")
+	}
+	dup := sweepCells()
+	dup = append(dup, dup[0])
+	if _, err := BuildReport("", Host{}, dup); err == nil {
+		t.Error("duplicate cells should be rejected")
+	}
+	neg := []Cell{{Chips: 1, CoresPerChip: 1, Intensity: 0.5, SeqNsPerRef: -3, ParNsPerRef: 1}}
+	if _, err := BuildReport("", Host{}, neg); err == nil {
+		t.Error("negative timing should be rejected")
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	r, err := BuildReport("note", Host{Cores: 4, GoMaxProcs: 4}, sweepCells())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r, back) {
+		t.Fatal("report does not survive a JSON round trip")
+	}
+	blob2, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob) != string(blob2) {
+		t.Fatal("re-marshaled report differs byte-wise")
+	}
+}
+
+func TestCellSpeedup(t *testing.T) {
+	if s := (Cell{SeqNsPerRef: 300, ParNsPerRef: 100}).Speedup(); s != 3 {
+		t.Errorf("speedup = %v, want 3", s)
+	}
+	if s := (Cell{SeqNsPerRef: 300}).Speedup(); s != 0 {
+		t.Errorf("unmeasured parallel side should yield 0, got %v", s)
+	}
+}

@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"threadcluster/internal/cache"
+)
+
+var updateGolden = flag.Bool("update-golden", false,
+	"rewrite the testdata golden snapshots and trajectory digests from the current implementation")
+
+// goldenScenario pins one machine composition whose snapshot bytes are
+// committed under testdata/. The golden is captured after warm rounds;
+// the digest file additionally pins the snapshot digest after extra more
+// rounds, so a restore must not only decode the old bytes but continue
+// the simulation on the exact same trajectory.
+type goldenScenario struct {
+	name   string
+	sc     diffTopo
+	caches cache.HierarchyConfig
+	seed   int64
+	warm   int
+	extra  int
+}
+
+func goldenScenarios() []goldenScenario {
+	small := cache.SmallConfig()
+	small.Coherence = cache.CoherenceDirectory
+	power5 := cache.Power5Config() // non-power-of-two L2 sets: pins the modulo set mapping
+	power5.Coherence = cache.CoherenceDirectory
+	return []goldenScenario{
+		{name: "small-32way", sc: diffTopo{name: "power5-32way", topo: diffTopologies()[1].topo},
+			caches: small, seed: 42, warm: 24, extra: 16},
+		{name: "power5-720", sc: diffTopo{name: "open720", topo: diffTopologies()[0].topo},
+			caches: power5, seed: 7, warm: 16, extra: 12},
+	}
+}
+
+func buildGoldenMachine(t testing.TB, g goldenScenario) *Machine {
+	t.Helper()
+	cfg := diffConfig(g.sc, EngineSeq, g.seed)
+	cfg.Caches = g.caches
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := diffInstall(g.sc, g.seed)(m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestGoldenSnapshotCompat restores the committed pre-rewrite golden
+// snapshots and requires (a) the live machine to accept them, (b) an
+// immediate re-snapshot to reproduce the committed bytes exactly — the
+// encoder must emit the historical canonical form from whatever internal
+// layout it now uses — and (c) the simulation to continue from the
+// restore onto the committed trajectory digest. Regenerate with
+// `go test ./internal/sim -run TestGoldenSnapshotCompat -update-golden`
+// only when an intentional SnapshotVersion bump invalidates the format.
+func TestGoldenSnapshotCompat(t *testing.T) {
+	for _, g := range goldenScenarios() {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			snapPath := filepath.Join("testdata", "golden_"+g.name+".snap")
+			digPath := filepath.Join("testdata", "golden_"+g.name+".digest")
+			ctx := context.Background()
+
+			if *updateGolden {
+				m := buildGoldenMachine(t, g)
+				if err := m.RunRoundsCtx(ctx, g.warm); err != nil {
+					t.Fatal(err)
+				}
+				snap, err := m.Snapshot(ctx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(snapPath, snap.Encode(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				if err := m.RunRoundsCtx(ctx, g.extra); err != nil {
+					t.Fatal(err)
+				}
+				after, err := m.Snapshot(ctx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(digPath, []byte(after.Digest()+"\n"), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			raw, err := os.ReadFile(snapPath)
+			if err != nil {
+				t.Fatalf("missing golden (regenerate with -update-golden): %v", err)
+			}
+			wantDig, err := os.ReadFile(digPath)
+			if err != nil {
+				t.Fatalf("missing golden digest (regenerate with -update-golden): %v", err)
+			}
+			snap, err := DecodeSnapshot(raw)
+			if err != nil {
+				t.Fatalf("decode golden: %v", err)
+			}
+			cfg := diffConfig(g.sc, EngineSeq, g.seed)
+			cfg.Caches = g.caches
+			m, err := RestoreMachine(cfg, snap, diffInstall(g.sc, g.seed))
+			if err != nil {
+				t.Fatalf("restore golden: %v", err)
+			}
+			resnap, err := m.Snapshot(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(resnap.Encode(), raw) {
+				t.Fatalf("re-snapshot after restore is not byte-identical to the committed golden (%d vs %d bytes); the encoder no longer emits the canonical pre-rewrite form", len(resnap.Encode()), len(raw))
+			}
+			if err := m.RunRoundsCtx(ctx, g.extra); err != nil {
+				t.Fatal(err)
+			}
+			after, err := m.Snapshot(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := after.Digest(), strings.TrimSpace(string(wantDig)); got != want {
+				t.Fatalf("trajectory diverged after restoring the golden: digest %s, want %s", got, want)
+			}
+		})
+	}
+}
