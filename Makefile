@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet tclint lint test test-short test-race bench bench-compare bench-baseline bench-smoke bench-sweep bench-sweep-smoke fuzz-smoke experiments sweep-smoke server-smoke snapshot-smoke examples clean
+.PHONY: all build vet tclint lint test test-short test-race bench bench-compare bench-baseline bench-smoke bench-sweep bench-sweep-smoke fuzz-smoke experiments sweep-smoke server-smoke snapshot-smoke fleet-smoke examples clean
 
 all: build lint test
 
@@ -120,7 +120,7 @@ test-race:
 	$(GO) test -race -run 'TestEngine|TestRunSlice|TestSnapshot|TestGolden' ./internal/sim
 	$(GO) test -race -short -run 'TestSliceBarrierBatchedVsSerial|TestBroadcastDirectoryEquivalence' -cpu 1,2,4 ./internal/cache
 	$(GO) test -race -run 'TestIncremental|TestSketch' -cpu 1,2,4 ./internal/clustering
-	$(GO) test -race ./internal/server ./internal/client
+	$(GO) test -race ./internal/server ./internal/client ./internal/fleet
 
 # End-to-end smoke of the tcsimd job service: boot the daemon, submit a
 # grid, require the job digest to equal the offline sweep digest, and
@@ -134,6 +134,12 @@ server-smoke:
 # offline sweep digest.
 snapshot-smoke:
 	sh ./scripts/snapshot_smoke.sh
+
+# End-to-end smoke of the tcfleet coordinator: start two tcsimd
+# workers, SIGKILL one mid-sweep, and require the fleet-merged digest
+# to equal the offline sweep digest.
+fleet-smoke:
+	sh ./scripts/fleet_smoke.sh
 
 # Regenerate every table/figure/study of the paper.
 experiments:

@@ -41,6 +41,7 @@ func runSubmit(args []string, stdout, stderr io.Writer) error {
 		wait      = fs.Bool("wait", true, "follow the job and print its result payload (false: print the admission status and return)")
 		events    = fs.Bool("events", false, "echo progress events to stderr while waiting")
 		digest    = fs.Bool("digest", false, "print only the result digest instead of the payload")
+		retries   = fs.Int("retries", 5, "re-submissions after a 429 rejection, honoring Retry-After with deterministic seed-derived jitter (0 = fail fast)")
 		timeout   = fs.Duration("timeout", 0, "give up after this duration (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -88,7 +89,7 @@ func runSubmit(args []string, stdout, stderr io.Writer) error {
 		defer cancel()
 	}
 
-	cl := client.New(*addr, nil)
+	cl := client.New(*addr, nil).WithBackoff(client.Backoff{Retries: *retries, Seed: spec.Seed})
 	st, err := cl.Submit(ctx, spec)
 	if err != nil {
 		return fmt.Errorf("submit: %w", err)

@@ -1,0 +1,154 @@
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"threadcluster/internal/client"
+	"threadcluster/internal/errs"
+	"threadcluster/internal/server"
+)
+
+// overloadedThen202 answers the first n submits 429 with a Retry-After
+// hint, then admits.
+func overloadedThen202(n int64, hintSeconds int) http.HandlerFunc {
+	var count atomic.Int64
+	return func(w http.ResponseWriter, r *http.Request) {
+		if count.Add(1) <= n {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			_ = json.NewEncoder(w).Encode(server.ErrorBody{Error: server.ErrorDetail{
+				Code: "overloaded", Message: "queue full", RetryAfterSeconds: hintSeconds,
+			}})
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		_ = json.NewEncoder(w).Encode(server.JobStatus{ID: "j1", State: server.StateQueued})
+	}
+}
+
+// submitRecordingSleeps runs one Submit against a server that rejects
+// the first `rejects` attempts, returning the recorded backoff delays.
+func submitRecordingSleeps(t *testing.T, rejects int64, hint int, b client.Backoff) ([]time.Duration, error) {
+	t.Helper()
+	ts := httptest.NewServer(overloadedThen202(rejects, hint))
+	defer ts.Close()
+	var slept []time.Duration
+	b.Sleep = func(ctx context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return nil
+	}
+	cl := client.New(ts.URL, ts.Client()).WithBackoff(b)
+	_, err := cl.Submit(context.Background(), server.JobSpec{
+		ID: "j1", Workloads: []string{"microbenchmark"},
+		Policies: []string{"default"}, Topos: []string{"open720"},
+	})
+	return slept, err
+}
+
+// TestSubmitBackoffDeterministic: the 429 retry schedule is a pure
+// function of (seed, attempt, server hints) — two clients with the
+// same seed sleep identically; a different seed jitters differently;
+// the hint, not the base, anchors the delay.
+func TestSubmitBackoffDeterministic(t *testing.T) {
+	b := client.Backoff{Retries: 4, Seed: 99}
+	first, err := submitRecordingSleeps(t, 3, 2, b)
+	if err != nil {
+		t.Fatalf("Submit with backoff: %v", err)
+	}
+	second, err := submitRecordingSleeps(t, 3, 2, b)
+	if err != nil {
+		t.Fatalf("Submit with backoff (rerun): %v", err)
+	}
+	if len(first) != 3 {
+		t.Fatalf("recorded %d sleeps, want 3: %v", len(first), first)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("same seed produced different schedules:\n%v\n%v", first, second)
+	}
+	for _, d := range first {
+		// Hint 2s, jitter in [1.0, 1.5): every delay in [2s, 3s).
+		if d < 2*time.Second || d >= 3*time.Second {
+			t.Errorf("delay %v outside the hinted jitter window [2s, 3s)", d)
+		}
+	}
+
+	other, err := submitRecordingSleeps(t, 3, 2, client.Backoff{Retries: 4, Seed: 100})
+	if err != nil {
+		t.Fatalf("Submit with other seed: %v", err)
+	}
+	if reflect.DeepEqual(first, other) {
+		t.Fatalf("different seeds produced the identical schedule %v (jitter is not seed-derived?)", first)
+	}
+}
+
+// TestSubmitBackoffExhaustsRetries: more rejections than retries
+// surfaces the 429 as ErrOverloaded after the full schedule.
+func TestSubmitBackoffExhaustsRetries(t *testing.T) {
+	slept, err := submitRecordingSleeps(t, 1<<30, 1, client.Backoff{Retries: 2, Seed: 7})
+	if !errors.Is(err, errs.ErrOverloaded) {
+		t.Fatalf("exhausted retries = %v, want ErrOverloaded", err)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("recorded %d sleeps, want 2", len(slept))
+	}
+}
+
+// TestSubmitNoBackoffFailsFast: the zero Backoff is the old client —
+// one attempt, immediate ErrOverloaded, no sleeping.
+func TestSubmitNoBackoffFailsFast(t *testing.T) {
+	slept, err := submitRecordingSleeps(t, 1, 1, client.Backoff{})
+	if !errors.Is(err, errs.ErrOverloaded) {
+		t.Fatalf("zero backoff = %v, want ErrOverloaded", err)
+	}
+	if len(slept) != 0 {
+		t.Fatalf("zero backoff slept %v, want none", slept)
+	}
+}
+
+// TestSubmitBackoffOnlyRetries429: a 400 rejection is never retried,
+// backoff or not.
+func TestSubmitBackoffOnlyRetries429(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		_ = json.NewEncoder(w).Encode(server.ErrorBody{Error: server.ErrorDetail{
+			Code: "bad_config", Message: "empty grid",
+		}})
+	}))
+	defer ts.Close()
+	cl := client.New(ts.URL, ts.Client()).WithBackoff(client.Backoff{
+		Retries: 5, Seed: 1,
+		Sleep: func(ctx context.Context, d time.Duration) error { return nil },
+	})
+	_, err := cl.Submit(context.Background(), server.JobSpec{})
+	if !errors.Is(err, errs.ErrBadConfig) {
+		t.Fatalf("Submit = %v, want ErrBadConfig", err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("400 submit hit the server %d times, want 1", hits.Load())
+	}
+}
+
+// TestClientWorkerHealth: the coordinator's capacity probe round-trips
+// through the typed client.
+func TestClientWorkerHealth(t *testing.T) {
+	f := newFixture(t, server.Options{JobWorkers: 2})
+	h, err := f.cl.WorkerHealth(context.Background())
+	if err != nil {
+		t.Fatalf("WorkerHealth: %v", err)
+	}
+	if h.JobWorkers != 2 || h.Draining {
+		t.Fatalf("WorkerHealth = %+v, want 2 idle job workers", h)
+	}
+}

@@ -2,9 +2,12 @@
 // (internal/server). It speaks the /v1 JSON API, maps the structured
 // error bodies back onto the errs sentinels the server classified them
 // from — errors.Is works identically on both sides of the wire — and
-// streams NDJSON progress events. Every method is ctx-first and does no
-// retrying of its own: overload rejections carry the server's
-// Retry-After hint (APIError.RetryAfterSeconds) for the caller's policy.
+// streams NDJSON progress events. Every method is ctx-first. The one
+// retry the client performs itself is the one the server explicitly
+// invites: a Submit rejected 429 honors the Retry-After hint with a
+// deterministic, seed-derived jittered backoff when a Backoff is
+// configured (WithBackoff); everything else carries the hint out
+// (APIError.RetryAfterSeconds) for the caller's policy.
 package client
 
 import (
@@ -12,19 +15,23 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"threadcluster/internal/errs"
 	"threadcluster/internal/server"
+	"threadcluster/internal/sweep"
 )
 
 // Client talks to one tcsimd base URL, e.g. "http://127.0.0.1:8321".
 type Client struct {
-	base string
-	hc   *http.Client
+	base    string
+	hc      *http.Client
+	backoff Backoff
 }
 
 // New builds a client for base. hc may be nil for http.DefaultClient;
@@ -35,6 +42,75 @@ func New(base string, hc *http.Client) *Client {
 		hc = http.DefaultClient
 	}
 	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// Backoff configures Submit's overload retry. The delay schedule is a
+// pure function of (Seed, attempt) and the server's Retry-After hints —
+// no wall clock, no global randomness — so a retried submission is as
+// replayable as everything else in the system: two clients with the
+// same seed back off identically, while different seeds (the jitter)
+// keep a thundering herd from re-converging on the server.
+type Backoff struct {
+	// Retries is the number of re-submissions after the first 429.
+	// 0 disables retrying (the zero Backoff is the old fail-fast client).
+	Retries int
+	// Seed derives the jitter; callers typically pass the job's seed.
+	Seed int64
+	// Base is the delay when the server sent no Retry-After hint.
+	// Default 1s.
+	Base time.Duration
+	// Max caps any single delay. Default 60s.
+	Max time.Duration
+	// Sleep waits out one backoff delay; nil uses a ctx-aware timer.
+	// Tests inject it to observe the schedule without sleeping.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// WithBackoff returns the client with the Submit overload-retry policy
+// installed (chainable: client.New(...).WithBackoff(...)).
+func (c *Client) WithBackoff(b Backoff) *Client {
+	c.backoff = b
+	return c
+}
+
+// delay computes the attempt'th backoff: the server's hint (or Base),
+// scaled by a deterministic jitter in [1.0, 1.5) derived from the seed
+// and attempt index, clamped to Max.
+func (b Backoff) delay(attempt, hintSeconds int) time.Duration {
+	d := b.Base
+	if d <= 0 {
+		d = time.Second
+	}
+	if hintSeconds > 0 {
+		d = time.Duration(hintSeconds) * time.Second
+	}
+	// sweep.DeriveSeed is a SplitMix64 finalizer: uniform enough for
+	// jitter and already seed-provenance-clean under the lint suite.
+	j := uint64(sweep.DeriveSeed(b.Seed, attempt)) % 1024
+	d += time.Duration(uint64(d) * j / 2048)
+	max := b.Max
+	if max <= 0 {
+		max = 60 * time.Second
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+// sleep waits out d via the injected Sleep, or a ctx-aware timer.
+func (b Backoff) sleep(ctx context.Context, d time.Duration) error {
+	if b.Sleep != nil {
+		return b.Sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // APIError is a non-2xx response: the HTTP status, the server's stable
@@ -115,11 +191,26 @@ func (c *Client) decode(ctx context.Context, method, path string, body, out any)
 	return nil
 }
 
-// Submit admits spec and returns the queued job's status.
+// Submit admits spec and returns the queued job's status. When a
+// Backoff is configured (WithBackoff), a 429 rejection is retried up to
+// Retries times, honoring the server's Retry-After hint with the
+// deterministic jittered schedule; a 429 is a pure rejection, so the
+// retry can never double-submit. All other errors return immediately.
 func (c *Client) Submit(ctx context.Context, spec server.JobSpec) (server.JobStatus, error) {
-	var st server.JobStatus
-	err := c.decode(ctx, http.MethodPost, "/v1/jobs", spec, &st)
-	return st, err
+	for attempt := 0; ; attempt++ {
+		var st server.JobStatus
+		err := c.decode(ctx, http.MethodPost, "/v1/jobs", spec, &st)
+		if err == nil || attempt >= c.backoff.Retries {
+			return st, err
+		}
+		var ae *APIError
+		if !errors.As(err, &ae) || ae.Status != http.StatusTooManyRequests {
+			return st, err
+		}
+		if serr := c.backoff.sleep(ctx, c.backoff.delay(attempt, ae.RetryAfterSeconds)); serr != nil {
+			return server.JobStatus{}, fmt.Errorf("client: backing off overloaded submit: %w", serr)
+		}
+	}
 }
 
 // Status fetches one job's status.
@@ -230,6 +321,14 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 		return "", fmt.Errorf("client: reading metrics: %w", err)
 	}
 	return string(data), nil
+}
+
+// WorkerHealth fetches the worker's capacity signal (GET /v1/worker):
+// the probe a fleet coordinator reads before leasing shards here.
+func (c *Client) WorkerHealth(ctx context.Context) (server.WorkerHealth, error) {
+	var h server.WorkerHealth
+	err := c.decode(ctx, http.MethodGet, "/v1/worker", nil, &h)
+	return h, err
 }
 
 // Ready probes /readyz: nil when the server admits jobs.

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"threadcluster/internal/sched"
+	"threadcluster/internal/sweep"
+)
+
+func subsetGrid() GridSpec {
+	opt := DefaultOptions()
+	opt.WarmRounds, opt.EngineRounds, opt.MeasureRounds = 2, 6, 4
+	return GridSpec{
+		Workloads: []string{"microbenchmark", "volano"},
+		Policies:  []sched.Policy{sched.PolicyDefault, sched.PolicyClustered},
+		Topos:     []string{TopoOpenPower720},
+		BaseSeed:  17,
+		Opt:       opt,
+	}
+}
+
+func TestCheckSubset(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		n       int
+		indices []int
+		ok      bool
+	}{
+		{"empty", 4, nil, true},
+		{"full", 4, []int{0, 1, 2, 3}, true},
+		{"sparse", 4, []int{1, 3}, true},
+		{"negative", 4, []int{-1}, false},
+		{"beyond", 4, []int{4}, false},
+		{"duplicate", 4, []int{2, 2}, false},
+		{"descending", 4, []int{3, 1}, false},
+	} {
+		err := CheckSubset(tc.n, tc.indices)
+		if (err == nil) != tc.ok {
+			t.Errorf("%s: CheckSubset(%d, %v) = %v, want ok=%v", tc.name, tc.n, tc.indices, err, tc.ok)
+		}
+	}
+}
+
+// TestSubsetTasksPreserveFullGridIdentity: a subset's cells and tasks
+// carry the names and seeds the full grid assigns at those positions —
+// the property that lets a fleet shard a grid without changing any
+// cell's workload stream.
+func TestSubsetTasksPreserveFullGridIdentity(t *testing.T) {
+	g := subsetGrid()
+	fullCells, fullTasks, err := g.Tasks()
+	if err != nil {
+		t.Fatalf("Tasks: %v", err)
+	}
+	indices := []int{1, 2}
+	cells, tasks, err := g.SubsetTasks(indices)
+	if err != nil {
+		t.Fatalf("SubsetTasks: %v", err)
+	}
+	if len(cells) != len(indices) || len(tasks) != len(indices) {
+		t.Fatalf("subset sizes %d/%d, want %d", len(cells), len(tasks), len(indices))
+	}
+	for i, idx := range indices {
+		if cells[i] != fullCells[idx] {
+			t.Errorf("subset cell %d = %+v, full grid position %d = %+v", i, cells[i], idx, fullCells[idx])
+		}
+		if tasks[i].Name != fullTasks[idx].Name || tasks[i].Seed != fullTasks[idx].Seed {
+			t.Errorf("subset task %d = (%s, %d), want (%s, %d)",
+				i, tasks[i].Name, tasks[i].Seed, fullTasks[idx].Name, fullTasks[idx].Seed)
+		}
+	}
+	if _, _, err := g.SubsetTasks([]int{len(fullCells)}); err == nil {
+		t.Fatalf("out-of-range subset accepted")
+	}
+}
+
+// TestSubsetRunMatchesFullGridCells: actually executing a subset
+// produces the same per-cell snapshots the full grid run produces at
+// those positions, and sweep.Scatter reassembles them in place.
+func TestSubsetRunMatchesFullGridCells(t *testing.T) {
+	g := subsetGrid()
+	_, fullResults, _, err := RunGrid(context.Background(), g, 2)
+	if err != nil {
+		t.Fatalf("RunGrid: %v", err)
+	}
+	indices := []int{0, 3}
+	_, tasks, err := g.SubsetTasks(indices)
+	if err != nil {
+		t.Fatalf("SubsetTasks: %v", err)
+	}
+	sub, err := sweep.Run(context.Background(), tasks, 1)
+	if err != nil {
+		t.Fatalf("sweep.Run: %v", err)
+	}
+	scattered := make([]sweep.Result, len(fullResults))
+	if err := sweep.Scatter(scattered, indices, sub); err != nil {
+		t.Fatalf("Scatter: %v", err)
+	}
+	for _, idx := range indices {
+		got, want := scattered[idx], fullResults[idx]
+		if got.Name != want.Name || got.Seed != want.Seed {
+			t.Fatalf("cell %d identity (%s, %d), want (%s, %d)", idx, got.Name, got.Seed, want.Name, want.Seed)
+		}
+		gj, err := json.Marshal(got.Metrics)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wj, err := json.Marshal(want.Metrics)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(gj) != string(wj) {
+			t.Errorf("cell %d snapshot differs between subset and full-grid run", idx)
+		}
+	}
+}

@@ -95,30 +95,79 @@ func (g GridSpec) Tasks() ([]GridCell, []sweep.Task, error) {
 	cells := g.Cells()
 	tasks := make([]sweep.Task, 0, len(cells))
 	for _, cell := range cells {
-		cell := cell
-		topo, err := ParseTopo(cell.Topo)
+		task, err := g.taskFor(cell)
 		if err != nil {
 			return nil, nil, err
 		}
-		if _, err := BuildWorkload(cell.Workload, cell.Seed); err != nil {
-			return nil, nil, err
-		}
-		tasks = append(tasks, sweep.Task{
-			Name: cell.Name(),
-			Seed: cell.Seed,
-			Run: func(ctx context.Context, seed int64) (metrics.Snapshot, error) {
-				opt := g.Opt
-				opt.Topo = topo
-				opt.Seed = seed
-				r, _, err := RunWorkload(ctx, cell.Workload, cell.Policy, cell.Policy == sched.PolicyClustered, opt)
-				if err != nil {
-					return metrics.Snapshot{}, err
-				}
-				return r.Metrics, nil
-			},
-		})
+		tasks = append(tasks, task)
 	}
 	return cells, tasks, nil
+}
+
+// SubsetTasks compiles only the grid cells at the given full-grid
+// indices, preserving each cell's full-grid identity: names and seeds
+// are exactly what Tasks would assign at those positions, so a shard of
+// the grid executed elsewhere produces the same per-cell snapshots the
+// whole grid would. Indices must be strictly increasing and in range
+// (see CheckSubset). This is the partition primitive the fleet
+// coordinator shards jobs with.
+func (g GridSpec) SubsetTasks(indices []int) ([]GridCell, []sweep.Task, error) {
+	all := g.Cells()
+	if err := CheckSubset(len(all), indices); err != nil {
+		return nil, nil, err
+	}
+	cells := make([]GridCell, 0, len(indices))
+	tasks := make([]sweep.Task, 0, len(indices))
+	for _, idx := range indices {
+		cell := all[idx]
+		task, err := g.taskFor(cell)
+		if err != nil {
+			return nil, nil, err
+		}
+		cells = append(cells, cell)
+		tasks = append(tasks, task)
+	}
+	return cells, tasks, nil
+}
+
+// CheckSubset validates a cell-index subset against a grid of n cells:
+// indices must be strictly increasing (sorted, no duplicates) and every
+// index must fall in [0, n).
+func CheckSubset(n int, indices []int) error {
+	for i, idx := range indices {
+		if idx < 0 || idx >= n {
+			return fmt.Errorf("experiments: cell index %d outside grid of %d cells", idx, n)
+		}
+		if i > 0 && idx <= indices[i-1] {
+			return fmt.Errorf("experiments: cell indices not strictly increasing at %d (after %d)", idx, indices[i-1])
+		}
+	}
+	return nil
+}
+
+// taskFor compiles one grid cell into its sweep task.
+func (g GridSpec) taskFor(cell GridCell) (sweep.Task, error) {
+	topo, err := ParseTopo(cell.Topo)
+	if err != nil {
+		return sweep.Task{}, err
+	}
+	if _, err := BuildWorkload(cell.Workload, cell.Seed); err != nil {
+		return sweep.Task{}, err
+	}
+	return sweep.Task{
+		Name: cell.Name(),
+		Seed: cell.Seed,
+		Run: func(ctx context.Context, seed int64) (metrics.Snapshot, error) {
+			opt := g.Opt
+			opt.Topo = topo
+			opt.Seed = seed
+			r, _, err := RunWorkload(ctx, cell.Workload, cell.Policy, cell.Policy == sched.PolicyClustered, opt)
+			if err != nil {
+				return metrics.Snapshot{}, err
+			}
+			return r.Metrics, nil
+		},
+	}, nil
 }
 
 // RunGrid executes the grid on the sweep pool and returns per-cell

@@ -1,0 +1,120 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+
+	"threadcluster/internal/experiments"
+	"threadcluster/internal/server"
+)
+
+func gridCells(t *testing.T, spec server.JobSpec) []experiments.GridCell {
+	t.Helper()
+	norm, err := spec.Normalize()
+	if err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	grid, err := norm.Grid()
+	if err != nil {
+		t.Fatalf("Grid: %v", err)
+	}
+	return grid.Cells()
+}
+
+// TestPartitionDeterministicDisjointCover: the ring partition is a
+// pure function of the cells, every cell lands in exactly one shard,
+// and indices stay ascending within each shard.
+func TestPartitionDeterministicDisjointCover(t *testing.T) {
+	cells := gridCells(t, testSpec("partition"))
+	for _, ring := range []int{1, 8, 64, 257} {
+		a := Partition(cells, ring)
+		b := Partition(cells, ring)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("ring %d: two partitions of the same cells differ", ring)
+		}
+		seen := make(map[int]bool, len(cells))
+		prevSlot := -1
+		for _, sh := range a {
+			if sh.Slot <= prevSlot || sh.Slot >= ring {
+				t.Fatalf("ring %d: slot %d out of order or range", ring, sh.Slot)
+			}
+			prevSlot = sh.Slot
+			for i, idx := range sh.Indices {
+				if i > 0 && idx <= sh.Indices[i-1] {
+					t.Fatalf("ring %d slot %d: indices not ascending: %v", ring, sh.Slot, sh.Indices)
+				}
+				if seen[idx] {
+					t.Fatalf("ring %d: cell %d in two shards", ring, idx)
+				}
+				seen[idx] = true
+			}
+		}
+		if len(seen) != len(cells) {
+			t.Fatalf("ring %d: %d of %d cells covered", ring, len(seen), len(cells))
+		}
+	}
+}
+
+// TestPartitionIndependentOfFleet: the shard layout depends only on
+// the spec and ring size — there is no worker input to Partition at
+// all, so two coordinators with different fleets compute the same
+// shards. This is the structural half of the digest argument.
+func TestPartitionIndependentOfFleet(t *testing.T) {
+	specA := testSpec("ring-a")
+	specB := testSpec("ring-b") // different job ID, same grid
+	a := Partition(gridCells(t, specA), 64)
+	b := Partition(gridCells(t, specB), 64)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("shard layout depends on something beyond the grid: %v vs %v", a, b)
+	}
+}
+
+// TestRendezvousMinimalDisruption: removing one worker from the
+// candidate set only reassigns the slots that worker owned; every
+// other slot keeps its assignment.
+func TestRendezvousMinimalDisruption(t *testing.T) {
+	pick := func(slot int, names []string) string {
+		bestName := ""
+		var bestScore uint64
+		for _, n := range names {
+			if s := rendezvousScore(slot, n); bestName == "" || s > bestScore {
+				bestName, bestScore = n, s
+			}
+		}
+		return bestName
+	}
+	all := []string{"w0", "w1", "w2"}
+	without2 := []string{"w0", "w1"}
+	moved, owned := 0, 0
+	for slot := 0; slot < 64; slot++ {
+		before := pick(slot, all)
+		after := pick(slot, without2)
+		if before == "w2" {
+			owned++
+			continue
+		}
+		if before != after {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d slots not owned by the removed worker still moved", moved)
+	}
+	if owned == 0 {
+		t.Fatalf("removed worker owned no slots; test is vacuous")
+	}
+}
+
+// TestCellKeyIsFullGridIdentity: the hash key carries the cell's name
+// and seed, so a shard-scoped job that preserved full-grid identities
+// hashes onto the same slots the coordinator planned.
+func TestCellKeyIsFullGridIdentity(t *testing.T) {
+	cells := gridCells(t, testSpec("key"))
+	if cellKey(cells[0]) == cellKey(cells[1]) {
+		t.Fatalf("distinct cells share a key: %q", cellKey(cells[0]))
+	}
+	got := cellKey(experiments.GridCell{Workload: "w", Policy: 0, Topo: "t", Seed: 42})
+	if got != "w/default/t#42" {
+		t.Fatalf("cellKey = %q, want w/default/t#42", got)
+	}
+}

@@ -1,0 +1,100 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"threadcluster/internal/client"
+	"threadcluster/internal/errs"
+	"threadcluster/internal/server"
+)
+
+// Worker is one execution backend the coordinator leases shards to.
+// Implementations must be safe for concurrent use: the coordinator
+// pings and dispatches from different goroutines.
+type Worker interface {
+	// Name identifies the worker in events, metrics and rendezvous
+	// hashing. Names must be unique within a fleet and stable across
+	// coordinator restarts (rendezvous assignment hashes them).
+	Name() string
+	// Ping probes health; a non-nil error marks the worker down until
+	// a later probe succeeds.
+	Ping(ctx context.Context) error
+	// RunShard executes one shard-scoped JobSpec to completion and
+	// returns its decoded result payload. The spec's Cells field
+	// carries full-grid indices, so the payload's per-cell names and
+	// seeds are exactly what the whole grid would assign.
+	RunShard(ctx context.Context, spec server.JobSpec) (server.ResultPayload, error)
+}
+
+// HTTPWorker drives one tcsimd daemon through the typed client:
+// submit, follow the event stream to the end, fetch the result.
+type HTTPWorker struct {
+	name string
+	cl   *client.Client
+}
+
+// NewHTTPWorker builds a worker for one tcsimd base URL. hc may be nil
+// (but must not carry a response timeout: RunShard holds an event
+// stream open for the whole shard). backoff configures the submit
+// overload retry; pass a zero Backoff to fail fast on 429.
+func NewHTTPWorker(name, base string, hc *http.Client, backoff client.Backoff) *HTTPWorker {
+	return &HTTPWorker{name: name, cl: client.New(base, hc).WithBackoff(backoff)}
+}
+
+// Name returns the worker's fleet-unique name.
+func (w *HTTPWorker) Name() string { return w.name }
+
+// Ping probes GET /v1/worker. A draining daemon is reported down: it
+// answers HTTP but won't admit new shards, which for leasing purposes
+// is the same thing as dead.
+func (w *HTTPWorker) Ping(ctx context.Context) error {
+	h, err := w.cl.WorkerHealth(ctx)
+	if err != nil {
+		return err
+	}
+	if h.Draining {
+		return fmt.Errorf("fleet: worker %s: %w: draining", w.name, errs.ErrUnavailable)
+	}
+	return nil
+}
+
+// RunShard submits the shard job and waits it out. A conflict on
+// submit means this exact attempt ID is already on the worker — the
+// coordinator resumed after a crash — so the job is simply re-attached
+// rather than resubmitted; shard results are pure functions of the
+// spec, so attaching to the in-flight twin is indistinguishable from
+// having submitted it.
+func (w *HTTPWorker) RunShard(ctx context.Context, spec server.JobSpec) (server.ResultPayload, error) {
+	if _, err := w.cl.Submit(ctx, spec); err != nil && !errors.Is(err, errs.ErrJobExists) {
+		return server.ResultPayload{}, err
+	}
+	st, err := w.cl.Wait(ctx, spec.ID)
+	if err != nil {
+		return server.ResultPayload{}, err
+	}
+	if st.State != server.StateDone {
+		return server.ResultPayload{}, fmt.Errorf("fleet: shard job %q ended %s on %s: %s",
+			spec.ID, st.State, w.name, st.Error)
+	}
+	return w.cl.ResultPayload(ctx, spec.ID)
+}
+
+// workerDown classifies a shard failure as a worker-health signal.
+// Transport errors (connection refused, reset, EOF mid-stream) and
+// 5xx responses mean the worker itself is suspect; structured 4xx
+// rejections mean the worker is healthy and the request was the
+// problem. Context cancellation is the coordinator shutting down, not
+// a verdict on the worker.
+func workerDown(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var ae *client.APIError
+	if errors.As(err, &ae) {
+		return ae.Status >= 500
+	}
+	return true
+}

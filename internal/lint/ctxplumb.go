@@ -15,13 +15,15 @@ var ctxFirstPackages = map[string]bool{
 	ModulePath + "/internal/server":      true,
 	ModulePath + "/internal/client":      true,
 	ModulePath + "/internal/experiments": true,
+	ModulePath + "/internal/fleet":       true,
 }
 
 // CtxPlumb enforces the cancellation contract. Two rules:
 //
 //  1. In the ctxFirstPackages set (the root package, internal/sweep,
-//     internal/core, internal/server, internal/client and
-//     internal/experiments), an exported function or method that can
+//     internal/core, internal/server, internal/client,
+//     internal/experiments and internal/fleet), an exported function
+//     or method that can
 //     block (channel operations, select, WaitGroup.Wait, time.Sleep)
 //     must take a context.Context as its first parameter, so a sweep or
 //     job under a deadline can always be cancelled.

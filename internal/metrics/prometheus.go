@@ -44,6 +44,25 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return r.Snapshot().WritePrometheus(w)
 }
 
+// WritePrometheusWith renders the registry followed by extra snapshots,
+// producing one exposition with multiple sections: the tcsimd /metrics
+// endpoint appends its accumulated sim totals to the server registry,
+// and tcfleet appends the fleet job's merged sim snapshot to the
+// coordinator registry (live workers, leased/stolen/retried shards).
+// Callers keep families disjoint across sections (server_*/fleet_*
+// versus sim_*/pmu_*/...), so the combined text stays a valid scrape.
+func (r *Registry) WritePrometheusWith(w io.Writer, extra ...Snapshot) error {
+	if err := r.WritePrometheus(w); err != nil {
+		return err
+	}
+	for _, s := range extra {
+		if err := s.WritePrometheus(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func writePromSample(w io.Writer, name string, smp Sample) error {
 	switch smp.Kind {
 	case KindCounter:

@@ -62,6 +62,7 @@ func classify(err error) (int, string) {
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/jobs/{id}/events NDJSON progress stream (replays from start)
 //	GET    /v1/jobs/{id}/result canonical result payload (byte-stable)
+//	GET    /v1/worker           worker health/capacity (fleet coordinator probe)
 //	GET    /metrics             Prometheus text exposition
 //	GET    /healthz             process liveness
 //	GET    /readyz              admission readiness (503 while draining)
@@ -79,6 +80,7 @@ func (s *Server) Handler() http.Handler {
 	route("DELETE /v1/jobs/{id}", s.handleCancel)
 	route("GET /v1/jobs/{id}/events", s.handleEvents)
 	route("GET /v1/jobs/{id}/result", s.handleResult)
+	route("GET /v1/worker", s.handleWorkerHealth)
 	route("GET /metrics", s.handleMetrics)
 	route("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -231,12 +233,18 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleWorkerHealth serves the fleet coordinator's capacity probe.
+// Always 200: a draining worker reports draining=true rather than
+// erroring, so the coordinator can tell "dying" from "dead".
+func (s *Server) handleWorkerHealth(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.WorkerHealth())
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	_ = s.reg.WritePrometheus(w)
 	// Sim series live in per-run snapshots, not the server registry;
 	// append the cumulative merge so one scrape carries both. Families
 	// never collide: server series are server_*/..., sim series are
 	// sim_*/pmu_*/cache_*/sched_*.
-	_ = s.SimTotals().WritePrometheus(w)
+	_ = s.reg.WritePrometheusWith(w, s.SimTotals())
 }

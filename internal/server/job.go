@@ -10,6 +10,7 @@ import (
 	"threadcluster/internal/experiments"
 	"threadcluster/internal/sched"
 	"threadcluster/internal/sim"
+	"threadcluster/internal/sweep"
 )
 
 // JobSpec is the wire form of one simulation job: a policy x topology x
@@ -54,6 +55,15 @@ type JobSpec struct {
 	// Workers is the per-job sweep pool size; 0 uses the server default.
 	// Results are byte-identical for any value.
 	Workers int `json:"workers,omitempty"`
+
+	// Cells, when non-empty, restricts the job to the listed full-grid
+	// cell indices (strictly increasing, 0-based, grid order). The cells
+	// keep their full-grid identities — names and seeds are what the
+	// whole grid would assign at those positions — so a coordinator can
+	// shard one grid across many workers and reassemble per-cell results
+	// into the exact payload a single node would produce. Empty means
+	// the whole grid, which is what every pre-shard client submits.
+	Cells []int `json:"cells,omitempty"`
 }
 
 // Normalize fills defaults and validates the spec, returning the
@@ -104,6 +114,12 @@ func (js JobSpec) Normalize() (JobSpec, error) {
 			return JobSpec{}, fmt.Errorf("server: %w: %v", errs.ErrBadConfig, err)
 		}
 	}
+	if len(out.Cells) > 0 {
+		gridCells := len(out.Workloads) * len(out.Policies) * len(out.Topos)
+		if err := experiments.CheckSubset(gridCells, out.Cells); err != nil {
+			return JobSpec{}, fmt.Errorf("server: %w: %v", errs.ErrBadConfig, err)
+		}
+	}
 	return out, nil
 }
 
@@ -149,14 +165,31 @@ func (js JobSpec) Grid() (experiments.GridSpec, error) {
 }
 
 // Cost is the job's admission token count: grid cells times total
-// simulated rounds per cell. It is the unit the server's per-job budget
-// (Options.MaxJobCost) and outstanding pool (Options.MaxQueuedCost) are
-// denominated in.
+// simulated rounds per cell (only the selected cells for a shard-scoped
+// job). It is the unit the server's per-job budget (Options.MaxJobCost)
+// and outstanding pool (Options.MaxQueuedCost) are denominated in.
 func (js JobSpec) Cost() int64 {
 	opt := js.options()
 	cells := int64(len(js.Workloads)) * int64(len(js.Policies)) * int64(len(js.Topos))
+	if len(js.Cells) > 0 {
+		cells = int64(len(js.Cells))
+	}
 	rounds := int64(opt.WarmRounds) + int64(opt.EngineRounds) + int64(opt.MeasureRounds)
 	return cells * rounds
+}
+
+// compile expands the spec into the cells and tasks the job will run:
+// the whole grid, or — for a shard-scoped job — the selected subset
+// with full-grid names and seeds.
+func (js JobSpec) compile() ([]experiments.GridCell, []sweep.Task, error) {
+	grid, err := js.Grid()
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(js.Cells) > 0 {
+		return grid.SubsetTasks(js.Cells)
+	}
+	return grid.Tasks()
 }
 
 // JobState is a job's position in its lifecycle.

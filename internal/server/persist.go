@@ -184,11 +184,10 @@ func (cf checkpointFile) validate() (map[int]checkpointCell, error) {
 	if norm.ID == "" {
 		return nil, fmt.Errorf("checkpointed spec has no job ID")
 	}
-	grid, err := norm.Grid()
+	cells, _, err := norm.compile()
 	if err != nil {
 		return nil, fmt.Errorf("compiling checkpointed grid: %w", err)
 	}
-	cells := grid.Cells()
 	completed := make(map[int]checkpointCell, len(cf.Cells))
 	for _, cc := range cf.Cells {
 		if cc.Index < 0 || cc.Index >= len(cells) {
@@ -215,6 +214,18 @@ func (s *Server) readmit(spec JobSpec, completed map[int]checkpointCell) (full b
 	norm, err := spec.Normalize()
 	if err != nil {
 		return false, fmt.Errorf("validating spec: %w", err)
+	}
+	// A spool carrying the same job ID twice (a checkpoint plus a stale
+	// spec, or an operator-copied file) must not double-queue the job:
+	// the second file is a bad config, quarantined like any other
+	// invalid spec, and the first admission stands.
+	if norm.ID != "" {
+		s.mu.Lock()
+		_, dup := s.jobs[norm.ID]
+		s.mu.Unlock()
+		if dup {
+			return false, fmt.Errorf("%w: duplicate job ID %q in spool (already re-admitted this start)", errs.ErrBadConfig, norm.ID)
+		}
 	}
 	cost := norm.Cost()
 	if cost > s.opt.MaxJobCost {

@@ -444,12 +444,7 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 		s.beforeJob(j)
 	}
 
-	grid, err := j.spec.Grid()
-	if err != nil {
-		s.settle(j, StateFailed, err)
-		return
-	}
-	cells, tasks, err := grid.Tasks()
+	cells, tasks, err := j.spec.compile()
 	if err != nil {
 		s.settle(j, StateFailed, fmt.Errorf("server: compiling job %q: %w", j.spec.ID, err))
 		return
@@ -725,4 +720,36 @@ func (s *Server) Draining() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.draining || !s.started
+}
+
+// WorkerHealth is the wire form of GET /v1/worker: the capacity signal a
+// fleet coordinator reads before leasing shards to this daemon. Unlike
+// /readyz it always answers 200 — "draining" is data here, not an error —
+// so one probe distinguishes a dying worker from a dead one.
+type WorkerHealth struct {
+	// Draining reports that admission is closed (shutdown in progress
+	// or server never started); a coordinator stops leasing to it.
+	Draining bool `json:"draining"`
+	// Running and Queued count jobs in those states.
+	Running int `json:"running"`
+	Queued  int `json:"queued"`
+	// OutstandingCost is the admission token pool currently reserved
+	// (queued + running work).
+	OutstandingCost int64 `json:"outstanding_cost"`
+	// JobWorkers is the daemon's concurrent-job capacity.
+	JobWorkers int `json:"job_workers"`
+}
+
+// WorkerHealth snapshots the server's capacity signal.
+func (s *Server) WorkerHealth() WorkerHealth {
+	queued, tokens := s.queue.stats()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return WorkerHealth{
+		Draining:        s.draining || !s.started,
+		Running:         s.running,
+		Queued:          queued,
+		OutstandingCost: tokens,
+		JobWorkers:      s.opt.JobWorkers,
+	}
 }

@@ -86,6 +86,25 @@ func Run(ctx context.Context, tasks []Task, workers int) ([]Result, error) {
 	return results, err
 }
 
+// Scatter copies a subset run's results into their positions in a
+// full-length result slice: sub[i] lands at dst[indices[i]]. It is the
+// merge half of grid sharding — a coordinator that farmed out disjoint
+// index subsets reassembles the full grid-ordered result slice with one
+// Scatter per shard, after which Merged and any payload builder see
+// exactly what a single-node run would have produced.
+func Scatter(dst []Result, indices []int, sub []Result) error {
+	if len(indices) != len(sub) {
+		return fmt.Errorf("sweep: scatter: %d indices for %d results", len(indices), len(sub))
+	}
+	for i, idx := range indices {
+		if idx < 0 || idx >= len(dst) {
+			return fmt.Errorf("sweep: scatter: index %d outside %d results", idx, len(dst))
+		}
+		dst[idx] = sub[i]
+	}
+	return nil
+}
+
 // Merged folds the successful results' snapshots into one machine-wide
 // view (counters add; see metrics.Snapshot.Merge).
 func Merged(results []Result) metrics.Snapshot {

@@ -176,3 +176,26 @@ func TestWorkers(t *testing.T) {
 		t.Error("Workers(0) should resolve to at least 1")
 	}
 }
+
+func TestScatter(t *testing.T) {
+	mk := func(name string) Result { return Result{Name: name} }
+	dst := make([]Result, 4)
+	if err := Scatter(dst, []int{1, 3}, []Result{mk("b"), mk("d")}); err != nil {
+		t.Fatalf("Scatter: %v", err)
+	}
+	want := []string{"", "b", "", "d"}
+	for i, w := range want {
+		if dst[i].Name != w {
+			t.Errorf("dst[%d].Name = %q, want %q", i, dst[i].Name, w)
+		}
+	}
+	if err := Scatter(dst, []int{0}, nil); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := Scatter(dst, []int{4}, []Result{mk("x")}); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if err := Scatter(dst, []int{-1}, []Result{mk("x")}); err == nil {
+		t.Error("negative index accepted")
+	}
+}
